@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ablation for the §4 frame-size trade-off: "a larger frame size allows
+ * for finer granularity in bandwidth allocation; smaller frames yield
+ * lower latency." The bench sweeps frame size and reports, from the
+ * Appendix B machinery: allocation granularity (fraction of a link per
+ * cell/frame), the end-to-end CBR latency bound, the buffer bound, and
+ * the controller padding overhead required by clock drift — quantifying
+ * the trade-off the paper leaves as future work (subdividing frames).
+ */
+#include <cstdio>
+
+#include "an2/base/types.h"
+#include "an2/cbr/timing.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace an2;
+
+constexpr double kTol = 1e-4;  // 100 ppm clocks
+constexpr double kSlotUs = 0.424;
+constexpr double kLinkUs = 10.0;
+constexpr int kHops = 4;
+
+}  // namespace
+
+int
+main()
+{
+    an2::bench::banner(
+        "Ablation -- CBR frame size vs latency, granularity, and padding",
+        "Anderson et al. 1992, Section 4 trade-off discussion");
+    std::printf("  %d-hop path, %.0f ppm clocks, %.0f us links, padding ="
+                " max(min required, 1%%)\n\n",
+                kHops, kTol * 1e6, kLinkUs);
+    std::printf("  %7s  %12s  %13s  %13s  %10s\n", "frame",
+                "granularity", "latency bound", "buffer bound", "padding");
+    std::printf("  %7s  %12s  %13s  %13s  %10s\n", "(slots)",
+                "(% of link)", "(us)", "(frames)", "(slots)");
+    for (int frame : {50, 100, 250, 500, 1000, 2000, 4000}) {
+        int pad = minControllerPadding(frame, kTol);
+        pad = std::max(pad, frame / 100);  // at least 1% for a sane bound
+        FrameTiming t = makeFrameTiming(frame, frame + pad, kSlotUs, kTol,
+                                        kLinkUs);
+        double granularity = 100.0 / frame;
+        double lat_us = latencyBound(t, kHops);
+        double buf_frames = bufferBound(t, kHops);
+        std::printf("  %7d  %11.3f%%  %13.1f  %13.2f  %10d\n", frame,
+                    granularity, lat_us, buf_frames, pad);
+    }
+    std::printf("\n  Smaller frames: lower guaranteed latency but coarser"
+                " allocation and\n  proportionally more padding overhead."
+                " The AN2 prototype picks 1000 slots\n  (~0.42 ms frames,"
+                " 0.1%% granularity).\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ablation: slot placement inside the CBR frame schedule. The
+ * Slepian-Duguid guarantee fixes only the *count* of slots per flow per
+ * frame — "we are free to rearrange the schedule" (§4) — so placement is
+ * a free QoS knob. First-fit packs a flow's slots together (bursty
+ * service, worst-case intra-frame gap near a whole frame); spreading
+ * them evenly smooths service to near the ideal gap frame/k, which cuts
+ * the delay jitter a paced CBR source sees.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "an2/base/rng.h"
+#include "an2/base/stats.h"
+#include "an2/cbr/slepian_duguid.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace an2;
+
+constexpr int kN = 16;
+constexpr int kFrame = 1000;
+
+/** Load the switch with random reservations; return per-flow gap stats. */
+void
+measure(SlotPlacement placement, const char* label)
+{
+    SlepianDuguidScheduler sd(kN, kFrame, placement);
+    Xoshiro256 rng(42);
+    struct Pair
+    {
+        PortId i;
+        PortId j;
+        int k;
+    };
+    std::vector<Pair> pairs;
+    // Book ~70% of every link in randomly sized reservations.
+    for (int attempt = 0; attempt < 4000; ++attempt) {
+        auto i = static_cast<PortId>(rng.nextBelow(kN));
+        auto j = static_cast<PortId>(rng.nextBelow(kN));
+        int k = static_cast<int>(rng.nextBelow(40)) + 10;
+        if (sd.reservations().inputLoad(i) + k > kFrame * 7 / 10)
+            continue;
+        if (sd.reservations().outputLoad(j) + k > kFrame * 7 / 10)
+            continue;
+        if (sd.addReservation(i, j, k))
+            pairs.push_back({i, j, k});
+    }
+
+    RunningStats gap_ratio;  // measured max gap / ideal gap
+    for (const auto& p : pairs) {
+        int total = sd.reservations().reserved(p.i, p.j);
+        double ideal = static_cast<double>(kFrame) / total;
+        gap_ratio.add(sd.maxGap(p.i, p.j) / ideal);
+    }
+    std::printf("  %-10s  %9zu  %10.2f  %10.2f  %10.0f\n", label,
+                pairs.size(), gap_ratio.mean(), gap_ratio.max(),
+                static_cast<double>(sd.totalSwaps()));
+}
+
+}  // namespace
+
+int
+main()
+{
+    an2::bench::banner(
+        "Ablation -- CBR schedule slot placement (first-fit vs spread)",
+        "Anderson et al. 1992, Section 4 (slot assignment freedom)");
+    std::printf("  16x16, %d-slot frame, random reservations to ~70%%"
+                " booking.\n  Gap ratio = worst gap between a flow's"
+                " consecutive slots / ideal (frame/k).\n\n", kFrame);
+    std::printf("  %-10s  %9s  %10s  %10s  %10s\n", "placement",
+                "requests", "mean ratio", "max ratio", "swaps");
+    measure(SlotPlacement::FirstFit, "first-fit");
+    measure(SlotPlacement::Spread, "spread");
+    std::printf("\n  A ratio of 1.0 is perfectly smooth service; first-fit"
+                " leaves flows bursty\n  (large worst-case gaps -> higher"
+                " jitter and deeper downstream buffers),\n  while spread"
+                " placement approaches the ideal at no throughput cost.\n");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Appendix C: statistical matching delivers at least (1 - 1/e) ~ 63% of
+ * every allocation with one round and (1 - 1/e)(1 + 1/e^2) ~ 72% with
+ * two rounds, in any allocation pattern. The bench measures the
+ * delivered/allocated ratio per connection across several patterns —
+ * fully-allocated uniform, skewed, random feasible, and partially
+ * allocated — and reports the minimum and mean ratios.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "an2/base/stats.h"
+#include "an2/matching/statistical.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace an2;
+
+constexpr int kN = 8;
+constexpr int kUnits = 1000;
+constexpr int kSlots = 150'000;
+
+Matrix<int>
+uniformFull()
+{
+    return Matrix<int>(kN, kN, kUnits / kN);
+}
+
+Matrix<int>
+skewed()
+{
+    // Input i sends mostly to output i, a trickle elsewhere.
+    Matrix<int> alloc(kN, kN, 20);
+    for (int i = 0; i < kN; ++i)
+        alloc(i, i) = kUnits - 20 * (kN - 1);
+    return alloc;
+}
+
+Matrix<int>
+randomFeasible(uint64_t seed)
+{
+    Xoshiro256 rng(seed);
+    Matrix<int> alloc(kN, kN, 0);
+    for (int step = 0; step < 4000; ++step) {
+        auto i = static_cast<int>(rng.nextBelow(kN));
+        auto j = static_cast<int>(rng.nextBelow(kN));
+        int k = static_cast<int>(rng.nextBelow(40)) + 1;
+        if (alloc.rowSum(i) + k <= kUnits && alloc.colSum(j) + k <= kUnits)
+            alloc(i, j) += k;
+    }
+    return alloc;
+}
+
+Matrix<int>
+halfAllocated()
+{
+    return Matrix<int>(kN, kN, kUnits / (2 * kN));
+}
+
+void
+runPattern(const char* label, const Matrix<int>& alloc)
+{
+    for (int rounds : {1, 2}) {
+        StatisticalConfig cfg;
+        cfg.units = kUnits;
+        cfg.rounds = rounds;
+        cfg.seed = 3131 + static_cast<uint64_t>(rounds);
+        StatisticalMatcher sm(alloc, cfg);
+        Matrix<int64_t> matched(kN, kN, 0);
+        for (int s = 0; s < kSlots; ++s)
+            for (auto [i, j] : sm.matchAllocated().pairs())
+                ++matched(i, j);
+        double min_ratio = 1e9;
+        RunningStats ratios;
+        for (int i = 0; i < kN; ++i) {
+            for (int j = 0; j < kN; ++j) {
+                if (alloc.at(i, j) == 0)
+                    continue;
+                double allocated =
+                    static_cast<double>(alloc.at(i, j)) / kUnits;
+                double delivered =
+                    static_cast<double>(matched(i, j)) / kSlots;
+                double ratio = delivered / allocated;
+                ratios.add(ratio);
+                min_ratio = std::min(min_ratio, ratio);
+            }
+        }
+        std::printf("  %-22s  %d      %6.3f      %6.3f     %6.3f\n", label,
+                    rounds, ratios.mean(), min_ratio,
+                    rounds == 1 ? statisticalOneRoundFraction(kUnits)
+                                : statisticalTwoRoundFraction(kUnits));
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    an2::bench::banner(
+        "Appendix C -- statistical matching delivered/allocated throughput",
+        "Anderson et al. 1992, Section 5.2 and Appendix C (63% / 72%)");
+    std::printf("  8x8 switch, X=%d units, %d slots per pattern\n\n", kUnits,
+                kSlots);
+    std::printf("  %-22s  rounds  mean ratio  min ratio  theory floor\n",
+                "allocation pattern");
+    runPattern("uniform, 100% booked", uniformFull());
+    runPattern("skewed diagonal", skewed());
+    runPattern("random feasible", randomFeasible(99));
+    runPattern("uniform, 50% booked", halfAllocated());
+    std::printf("\n  Every per-connection ratio should sit at or above the"
+                " theory floor\n  ((1-1/e) for one round;"
+                " (1-1/e)(1+1/e^2) for two), modulo sampling noise.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Section 2.2 substrate check: internal blocking in self-routing
+ * fabrics. A plain banyan loses cells to interior 2x2 conflicts even
+ * when every cell has a distinct output; putting a Batcher sorter in
+ * front (Starlite/Sunshine) makes the same traffic conflict-free. This
+ * is the property the AN2 scheduler assumes of its fabric — the paper
+ * satisfies it with a crossbar; this bench validates the alternative.
+ */
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "an2/base/rng.h"
+#include "an2/fabric/batcher_banyan.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace an2;
+
+void
+measure(int n)
+{
+    BanyanNetwork banyan(n);
+    BatcherBanyanFabric bb(n);
+    Xoshiro256 rng(101);
+    std::vector<PortId> perm(static_cast<size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+
+    constexpr int kTrials = 4000;
+    int blocked_trials = 0;
+    int64_t lost_cells = 0;
+    int64_t bb_lost = 0;
+    for (int t = 0; t < kTrials; ++t) {
+        rng.shuffle(perm);
+        std::vector<FabricCell> cells;
+        for (PortId i = 0; i < n; ++i)
+            cells.push_back({i, perm[static_cast<size_t>(i)], i});
+        FabricResult r = banyan.route(cells);
+        if (!r.blocked.empty())
+            ++blocked_trials;
+        lost_cells += static_cast<int64_t>(r.blocked.size());
+        bb_lost += static_cast<int64_t>(bb.route(cells).blocked.size());
+    }
+    std::printf("  %4d   %14.1f%%  %13.2f   %16lld\n", n,
+                100.0 * blocked_trials / kTrials,
+                static_cast<double>(lost_cells) / kTrials,
+                static_cast<long long>(bb_lost));
+}
+
+}  // namespace
+
+int
+main()
+{
+    an2::bench::banner(
+        "Section 2.2 -- internal blocking: banyan vs Batcher-banyan",
+        "Anderson et al. 1992, Section 2.2 / Huang & Knauer 1984");
+    std::printf("  Random full permutations (distinct outputs), 4000 trials"
+                " per size:\n\n");
+    std::printf("  %4s   %15s  %13s   %16s\n", "N", "banyan blocked",
+                "cells lost", "batcher-banyan lost");
+    for (int n : {4, 8, 16, 32, 64})
+        measure(n);
+    std::printf("\n  A bare banyan drops cells on almost every permutation"
+                " as N grows; the\n  Batcher front-end (or AN2's crossbar)"
+                " eliminates internal blocking, which\n  is what lets the"
+                " scheduler treat the fabric as ideal.\n");
+    return 0;
+}

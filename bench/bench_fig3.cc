@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 3: mean queueing delay vs offered load under the uniform
+ * workload, for FIFO queueing, parallel iterative matching (4
+ * iterations), and perfect output queueing on a 16x16 switch.
+ *
+ * Expected shape: all three agree at low load; FIFO saturates near 60%
+ * (head-of-line blocking); PIM tracks output queueing to ~99% load with
+ * a modest delay gap. The paper's wall-clock claim — an average delay
+ * under 13 us at 95% load with gigabit links — is checked by converting
+ * slots to microseconds (424 ns per 53-byte cell at 1 Gb/s).
+ */
+#include <cstdio>
+
+#include "an2/base/types.h"
+#include "an2/sim/fifo_switch.h"
+#include "an2/sim/oq_switch.h"
+#include "an2/sim/traffic.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace an2;
+using namespace an2::bench;
+
+constexpr int kN = 16;
+
+struct Row
+{
+    double load;
+    double fifo;
+    double pim;
+    double oq;
+    double fifo_tput;
+};
+
+Row
+runLoad(double load)
+{
+    SimConfig cfg = standardSimConfig();
+    Row row{};
+    row.load = load;
+    {
+        FifoSwitch sw(kN, 101);
+        UniformTraffic traffic(kN, load, 201);
+        SimResult r = runSimulation(sw, traffic, cfg);
+        row.fifo = r.mean_delay;
+        row.fifo_tput = r.throughput;
+    }
+    {
+        InputQueuedSwitch sw({.n = kN}, makePim(4, 102));
+        UniformTraffic traffic(kN, load, 201);
+        row.pim = runSimulation(sw, traffic, cfg).mean_delay;
+    }
+    {
+        OutputQueuedSwitch sw(kN);
+        UniformTraffic traffic(kN, load, 201);
+        row.oq = runSimulation(sw, traffic, cfg).mean_delay;
+    }
+    return row;
+}
+
+}  // namespace
+
+int
+main()
+{
+    an2::bench::banner(
+        "Figure 3 -- mean queueing delay vs offered load, uniform workload",
+        "Anderson et al. 1992, Figure 3 (16x16 switch)");
+    std::printf("  delay in cell slots; FIFO throughput shown to expose"
+                " saturation\n\n");
+    std::printf("  load     FIFO        PIM(4)      OutputQ     "
+                "[FIFO tput]\n");
+    double pim_95 = 0.0;
+    for (int i = 0; i < kLoadSweepSize; ++i) {
+        Row row = runLoad(kLoadSweep[i]);
+        std::printf("  %4.2f  %9.2f   %9.2f   %9.2f      %5.3f\n", row.load,
+                    row.fifo, row.pim, row.oq, row.fifo_tput);
+        if (row.load == 0.95)
+            pim_95 = row.pim;
+    }
+    std::printf("\n  PIM(4) delay at 95%% load: %.1f slots = %.1f us at"
+                " 1 Gb/s (paper: < 13 us)\n",
+                pim_95, slotsToMicros(pim_95));
+    std::printf("  (FIFO delay at loads beyond ~0.6 grows with simulation"
+                " length: saturated.)\n");
+    return 0;
+}

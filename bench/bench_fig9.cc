@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Figure 9: unfairness across an arbitrary-topology network ("parking
+ * lot"). Four saturated flows a, b, c, d share a bottleneck link at the
+ * end of a chain of three switches: d and c enter at the first switch, b
+ * at the second, a at the last.
+ *
+ * Three per-switch disciplines are compared:
+ *  - FIFO merge + PIM: the figure's assumption (all traffic on an input
+ *    shares one queue; switches are fair between *ports*). Shares halve
+ *    at every merge: a=1/2, b=1/4, c=d=1/8 — exactly the paper's numbers.
+ *  - AN2 per-flow queues + PIM: AN2's round-robin among eligible flows
+ *    equalizes flows sharing an input (b=c=d=1/6), but the port-level
+ *    split still hands flow a half the bottleneck.
+ *  - Statistical matching with flow-proportional allocations (Section 5)
+ *    restores the fair 1/4 each.
+ */
+#include <cstdio>
+#include <memory>
+
+#include "an2/base/stats.h"
+#include "an2/matching/statistical.h"
+#include "an2/network/network.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace an2;
+using an2::bench::makePim;
+
+struct ChainResult
+{
+    double share[4];  // a, b, c, d
+    double jain;
+};
+
+/** Per-switch scheduling/queueing discipline for the chain. */
+enum class Mode { FifoMergePim, PerFlowPim, Statistical };
+
+/** Build the 3-switch parking-lot chain and run it under `mode`. */
+
+ChainResult
+runChain(Mode mode)
+{
+    NetworkConfig cfg;
+    cfg.slot_ps = 1000;
+    cfg.switch_frame_slots = 50;
+    Network net(cfg);
+
+    bool use_statistical = mode == Mode::Statistical;
+    bool fifo_merge = mode == Mode::FifoMergePim;
+    auto matcherFor = [&](int upstream_flows,
+                          uint64_t seed) -> std::unique_ptr<Matcher> {
+        if (!use_statistical)
+            return makePim(4, seed);
+        // Switch ports: 0 = upstream chain, 1 = local source, 2 = output.
+        // Allocate the output link proportional to flows per input.
+        Matrix<int> alloc(3, 3, 0);
+        constexpr int kUnits = 1000;
+        int total = upstream_flows + 1;
+        alloc(0, 2) = kUnits * upstream_flows / total;
+        alloc(1, 2) = kUnits / total;
+        StatisticalConfig scfg;
+        scfg.units = kUnits;
+        scfg.rounds = 2;
+        scfg.seed = seed;
+        return std::make_unique<StatisticalMatcher>(alloc, scfg);
+    };
+
+    NodeId src_d = net.addController(0.0, 1);
+    NodeId src_c = net.addController(0.0, 2);
+    NodeId src_b = net.addController(0.0, 3);
+    NodeId src_a = net.addController(0.0, 4);
+    NodeId sink = net.addController(0.0, 5);
+    // First switch merges c and d (2 single-flow inputs -> use PIM-fair
+    // structure; for statistical, each input gets half).
+    NodeId s1 = net.addSwitch(3, 0.0, [&]() -> std::unique_ptr<Matcher> {
+        if (!use_statistical)
+            return makePim(4, 11);
+        Matrix<int> alloc(3, 3, 0);
+        alloc(0, 2) = 500;
+        alloc(1, 2) = 500;
+        StatisticalConfig scfg;
+        scfg.units = 1000;
+        scfg.rounds = 2;
+        scfg.seed = 11;
+        return std::make_unique<StatisticalMatcher>(alloc, scfg);
+    }(), 0, fifo_merge);
+    NodeId s2 = net.addSwitch(3, 0.0, matcherFor(2, 12), 0, fifo_merge);
+    NodeId s3 = net.addSwitch(3, 0.0, matcherFor(3, 13), 0, fifo_merge);
+
+    net.connect(src_d, 0, s1, 0, 100);
+    net.connect(src_c, 0, s1, 1, 100);
+    net.connect(s1, 2, s2, 0, 100);
+    net.connect(src_b, 0, s2, 1, 100);
+    net.connect(s2, 2, s3, 0, 100);
+    net.connect(src_a, 0, s3, 1, 100);
+    net.connect(s3, 2, sink, 0, 100);
+
+    FlowId fd = net.addVbrFlow({src_d, s1, s2, s3, sink}, 1.0);
+    FlowId fc = net.addVbrFlow({src_c, s1, s2, s3, sink}, 1.0);
+    FlowId fb = net.addVbrFlow({src_b, s2, s3, sink}, 1.0);
+    FlowId fa = net.addVbrFlow({src_a, s3, sink}, 1.0);
+
+    net.runFrames(2000);
+
+    const Controller& c = net.controller(sink);
+    double total = 0.0;
+    double delivered[4] = {
+        static_cast<double>(c.deliveryStats(fa).delivered),
+        static_cast<double>(c.deliveryStats(fb).delivered),
+        static_cast<double>(c.deliveryStats(fc).delivered),
+        static_cast<double>(c.deliveryStats(fd).delivered),
+    };
+    for (double d : delivered)
+        total += d;
+    ChainResult res{};
+    std::vector<double> shares;
+    for (int k = 0; k < 4; ++k) {
+        res.share[k] = delivered[k] / total;
+        shares.push_back(res.share[k]);
+    }
+    res.jain = jainFairnessIndex(shares);
+    return res;
+}
+
+}  // namespace
+
+int
+main()
+{
+    an2::bench::banner(
+        "Figure 9 -- parking-lot unfairness across a 3-switch chain",
+        "Anderson et al. 1992, Figure 9 / Section 5.1");
+    std::printf("  Four saturated flows merge onto one bottleneck; shares"
+                " of the bottleneck:\n\n");
+    std::printf("  %-26s  %6s  %6s  %6s  %6s   %s\n", "per-switch scheduler",
+                "a", "b", "c", "d", "Jain");
+    ChainResult fifo = runChain(Mode::FifoMergePim);
+    std::printf("  %-26s  %6.3f  %6.3f  %6.3f  %6.3f   %5.3f\n",
+                "FIFO merge + PIM (paper)", fifo.share[0], fifo.share[1],
+                fifo.share[2], fifo.share[3], fifo.jain);
+    ChainResult pim = runChain(Mode::PerFlowPim);
+    std::printf("  %-26s  %6.3f  %6.3f  %6.3f  %6.3f   %5.3f\n",
+                "AN2 per-flow RR + PIM", pim.share[0], pim.share[1],
+                pim.share[2], pim.share[3], pim.jain);
+    ChainResult stat = runChain(Mode::Statistical);
+    std::printf("  %-26s  %6.3f  %6.3f  %6.3f  %6.3f   %5.3f\n",
+                "Statistical (flow-fair)", stat.share[0], stat.share[1],
+                stat.share[2], stat.share[3], stat.jain);
+    std::printf("\n  Paper: FIFO merging with port-fair switches gives"
+                " a=1/2, b=1/4, c=d=1/8. AN2's\n  per-flow round-robin"
+                " equalizes flows sharing an input (b=c=d=1/6) but the\n"
+                "  port split still favors a; statistical matching restores"
+                " the fair 1/4 each.\n");
+    return 0;
+}

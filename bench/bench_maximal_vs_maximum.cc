@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Section 3.4 -- maximal vs maximum matching. Three results:
+ *
+ *  1. Match size: PIM's maximal matches are close to (and never more
+ *     than ~a few percent below) the true maximum across densities, far
+ *     better than the 50% worst case.
+ *  2. Delay: even if maximum matching were free, the simulated delay
+ *     advantage over PIM(4) is marginal, because PIM already tracks
+ *     perfect output queueing closely.
+ *  3. Starvation: under the Figure 2 pattern, maximum matching *never*
+ *     serves connection (0,1); PIM serves it regularly.
+ */
+#include <cstdio>
+
+#include "an2/matching/hopcroft_karp.h"
+#include "an2/sim/traffic.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace an2;
+using namespace an2::bench;
+
+void
+matchSizeComparison()
+{
+    std::printf("  1) Match size, 16x16, 20000 random patterns per"
+                " density:\n");
+    std::printf("     %5s  %10s  %10s  %9s\n", "p", "PIM(4)", "maximum",
+                "ratio");
+    Xoshiro256 rng(55);
+    for (double p : {0.1, 0.3, 0.5, 0.75, 1.0}) {
+        PimMatcher pim(PimConfig{.iterations = 4, .seed = 66});
+        HopcroftKarpMatcher hk;
+        int64_t pim_total = 0;
+        int64_t max_total = 0;
+        for (int t = 0; t < 20'000; ++t) {
+            auto req = RequestMatrix::bernoulli(16, p, rng);
+            pim_total += pim.match(req).size();
+            max_total += hk.match(req).size();
+        }
+        std::printf("     %5.2f  %10lld  %10lld  %9.4f\n", p,
+                    static_cast<long long>(pim_total),
+                    static_cast<long long>(max_total),
+                    static_cast<double>(pim_total) /
+                        static_cast<double>(max_total));
+    }
+}
+
+void
+delayComparison()
+{
+    std::printf("\n  2) Mean delay (slots) at high uniform load, 16x16:\n");
+    std::printf("     %5s  %10s  %12s  %10s\n", "load", "PIM(4)",
+                "maximum", "OutputQ-ish gap");
+    for (double load : {0.90, 0.95}) {
+        SimConfig cfg;
+        cfg.slots = 60'000;
+        cfg.warmup = 10'000;
+        double pim_delay;
+        double hk_delay;
+        {
+            InputQueuedSwitch sw({.n = 16}, makePim(4, 77));
+            UniformTraffic traffic(16, load, 88);
+            pim_delay = runSimulation(sw, traffic, cfg).mean_delay;
+        }
+        {
+            InputQueuedSwitch sw({.n = 16},
+                                 std::make_unique<HopcroftKarpMatcher>());
+            UniformTraffic traffic(16, load, 88);
+            hk_delay = runSimulation(sw, traffic, cfg).mean_delay;
+        }
+        std::printf("     %5.2f  %10.2f  %12.2f  %9.1f%%\n", load, pim_delay,
+                    hk_delay, 100.0 * (pim_delay - hk_delay) / pim_delay);
+    }
+}
+
+void
+starvationDemo()
+{
+    std::printf("\n  3) Starvation (Figure 2 pattern: input 0 requests"
+                " outputs {1,2};\n     input 1 requests {1}; all queues"
+                " always backlogged):\n");
+    RequestMatrix req(3);
+    req.set(0, 1, 1);
+    req.set(0, 2, 1);
+    req.set(1, 1, 1);
+    constexpr int kSlots = 100'000;
+    {
+        HopcroftKarpMatcher hk;
+        int64_t served_01 = 0;
+        for (int s = 0; s < kSlots; ++s)
+            if (hk.match(req).outputOf(0) == 1)
+                ++served_01;
+        std::printf("     maximum matching served (0,1) in %lld of %d"
+                    " slots\n",
+                    static_cast<long long>(served_01), kSlots);
+    }
+    {
+        PimMatcher pim(PimConfig{.iterations = 4, .seed = 99});
+        int64_t served_01 = 0;
+        for (int s = 0; s < kSlots; ++s)
+            if (pim.match(req).outputOf(0) == 1)
+                ++served_01;
+        std::printf("     PIM(4)           served (0,1) in %lld of %d"
+                    " slots (no starvation)\n",
+                    static_cast<long long>(served_01), kSlots);
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    an2::bench::banner(
+        "Section 3.4 -- maximal (PIM) vs maximum (Hopcroft-Karp) matching",
+        "Anderson et al. 1992, Section 3.4");
+    matchSizeComparison();
+    delayComparison();
+    starvationDemo();
+    std::printf("\n  Paper: maximum matching offers only marginal benefit"
+                " and can starve\n  connections; PIM cannot.\n");
+    return 0;
+}

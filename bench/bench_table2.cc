@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Table 2: AN2 switch component costs as a proportion of total switch
+ * cost. 1992 hardware prices cannot be measured, so this bench prints
+ * the parameterized cost model (calibrated to the paper's published
+ * percentages at N = 16) and then uses the model to extrapolate how the
+ * shares shift with switch size — quantifying the §2.1-2.2 argument that
+ * optics dominate at moderate scale while the O(N^2) crossbar and
+ * scheduling wiring stay negligible.
+ */
+#include <cstdio>
+
+#include "an2/fabric/cost_model.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace an2;
+
+void
+printShares(const char* label, const CostModel& model, int n)
+{
+    std::printf("  %-28s", label);
+    for (const auto& s : model.shares(n))
+        std::printf("  %5.1f%%", 100.0 * s.share);
+    std::printf("\n");
+}
+
+}  // namespace
+
+int
+main()
+{
+    an2::bench::banner("Table 2 -- AN2 switch component costs",
+                       "Anderson et al. 1992, Table 2 (cost model)");
+    CostModel prototype(CostModel::prototypeParams());
+    CostModel production(CostModel::productionParams());
+
+    std::printf("  %-28s  %6s  %6s  %6s  %6s  %6s\n", "", "Opto", "Xbar",
+                "Buffer", "Sched", "CPU");
+    printShares("Prototype (16x16, FPGA)", prototype, 16);
+    printShares("Production est. (16x16)", production, 16);
+    std::printf("\n  Paper: prototype 48/4/21/10/17, production 63/5/19/3/10"
+                " (percent)\n");
+
+    std::printf("\n  Model extrapolation (production parameters):\n");
+    std::printf("  %-28s  %6s  %6s  %6s  %6s  %6s\n", "", "Opto", "Xbar",
+                "Buffer", "Sched", "CPU");
+    for (int n : {8, 16, 32, 64, 128}) {
+        char label[32];
+        std::snprintf(label, sizeof label, "N = %d", n);
+        printShares(label, production, n);
+    }
+    std::printf("\n  Note: shares are a calibrated model, not a measurement"
+                " (see DESIGN.md).\n");
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Building an arbitrary-topology LAN (§2, §4, Appendix B): four hosts,
+ * two switches, unsynchronized clocks. A video call reserves bandwidth
+ * end-to-end through admission control; file transfers run as datagram
+ * (VBR) flows underneath. The example prints per-flow delivery, the
+ * measured worst-case CBR latency against the Appendix B bound, and
+ * demonstrates that FIFO order survives the trip.
+ *
+ *   $ ./build_a_network
+ */
+#include <cstdio>
+#include <memory>
+
+#include "an2/cbr/timing.h"
+#include "an2/matching/pim.h"
+#include "an2/network/network.h"
+
+using namespace an2;
+
+namespace {
+
+std::unique_ptr<Matcher>
+pim(uint64_t seed)
+{
+    return std::make_unique<PimMatcher>(
+        PimConfig{.iterations = 4, .seed = seed});
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("an2sim example -- a two-switch LAN with real-time and"
+                " datagram traffic\n\n");
+
+    // 100 ppm clocks; frame of 200 slots; padding from Appendix B.
+    constexpr double kTol = 1e-4;
+    NetworkConfig cfg;
+    cfg.slot_ps = kSlotPicosAt1Gbps;
+    cfg.switch_frame_slots = 200;
+    cfg.controller_padding =
+        std::max(minControllerPadding(200, kTol), 2);
+    Network net(cfg);
+
+    // Hosts (controllers) with slightly wrong clocks.
+    NodeId alice = net.addController(+kTol, 1);
+    NodeId bob = net.addController(-kTol, 2);
+    NodeId carol = net.addController(+kTol / 2, 3);
+    NodeId dave = net.addController(-kTol / 2, 4);
+    // Two 4-port switches joined by a trunk link.
+    NodeId s_west = net.addSwitch(4, +kTol, pim(11));
+    NodeId s_east = net.addSwitch(4, -kTol, pim(12));
+
+    // Each AN2 port is full duplex: wire both directions of every link.
+    constexpr PicoTime kLink = 5 * kSlotPicosAt1Gbps;  // ~2 us of fiber
+    net.connect(alice, 0, s_west, 0, kLink);
+    net.connect(s_west, 0, alice, 0, kLink);
+    net.connect(carol, 0, s_west, 1, kLink);
+    net.connect(s_west, 1, carol, 0, kLink);
+    net.connect(s_west, 3, s_east, 0, kLink);   // trunk west -> east
+    net.connect(s_east, 0, s_west, 3, kLink);   // trunk east -> west
+    net.connect(s_east, 1, bob, 0, kLink);
+    net.connect(bob, 0, s_east, 1, kLink);
+    net.connect(s_east, 2, dave, 0, kLink);
+    net.connect(dave, 0, s_east, 2, kLink);
+
+    // A video call alice -> bob reserves 20 cells/frame (~10% of a link).
+    FlowId video = net.addCbrFlow({alice, s_west, s_east, bob}, 20);
+    std::printf("Video reservation alice->bob: %s\n",
+                video != kNoFlow ? "granted (20 cells/frame)" : "rejected");
+    // Admission control protects the trunk: a second huge request fails.
+    FlowId hog = net.addCbrFlow({carol, s_west, s_east, dave}, 190);
+    std::printf("Bulk reservation carol->dave (190 cells/frame): %s\n\n",
+                hog != kNoFlow ? "granted" : "rejected (trunk capacity)");
+
+    // Datagram file transfers underneath.
+    FlowId ftp1 = net.addVbrFlow({carol, s_west, s_east, dave}, 0.8);
+    FlowId ftp2 = net.addVbrFlow({dave, s_east, s_west, carol}, 0.5);
+
+    net.runFrames(600);
+
+    FrameTiming t = makeFrameTiming(
+        cfg.switch_frame_slots,
+        cfg.switch_frame_slots + cfg.controller_padding,
+        static_cast<double>(cfg.slot_ps), kTol, static_cast<double>(kLink));
+    double bound_us = latencyBound(t, 2) * 1e-6;
+
+    auto report = [&](const char* name, NodeId sink, FlowId f) {
+        const FlowDeliveryStats& st = net.controller(sink).deliveryStats(f);
+        std::printf("  %-18s  delivered %7lld cells   mean latency"
+                    " %7.1f us   in order: %s\n",
+                    name, static_cast<long long>(st.delivered),
+                    st.wall_latency_ps.mean() * 1e-6,
+                    st.order_violations == 0 ? "yes" : "NO");
+        return st;
+    };
+    std::printf("After 600 frames (~%.0f ms of simulated time):\n",
+                600.0 * cfg.switch_frame_slots * cfg.slot_ps * 1e-9);
+    const auto& video_stats = report("video (CBR)", bob, video);
+    report("ftp carol->dave", dave, ftp1);
+    report("ftp dave->carol", carol, ftp2);
+
+    std::printf("\n  video worst-case adjusted latency: %.1f us"
+                " (Appendix B bound: %.1f us)\n",
+                video_stats.adjusted_latency_ps.max() * 1e-6, bound_us);
+    std::printf("  The guarantee held while datagram traffic shared every"
+                " link and the\n  clocks disagreed by %.0f ppm.\n",
+                2 * kTol * 1e6);
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Fair sharing with statistical matching (§5): one port of a 4x4 switch
+ * is a busy server whose link is wanted by everyone; a background flow
+ * competes for an otherwise idle output. Plain PIM starves the
+ * background connection (Figure 8); statistical matching lets an
+ * operator dial in per-connection bandwidth — and re-dial it on the fly,
+ * which is the scheme's whole point (only the two ports involved need to
+ * know about a rate change).
+ *
+ *   $ ./fair_sharing
+ */
+#include <cstdio>
+#include <memory>
+
+#include "an2/matching/statistical.h"
+#include "an2/sim/iq_switch.h"
+
+using namespace an2;
+
+namespace {
+
+constexpr int kN = 4;
+constexpr int kUnits = 1000;
+
+/** Serve the Figure 8 pattern for `slots`, returning (3,0)'s share. */
+Matrix<int64_t>
+serveFigure8(InputQueuedSwitch& sw, SlotTime slots)
+{
+    Matrix<int64_t> served(kN, kN, 0);
+    Matrix<int> queued(kN, kN, 0);
+    auto topUp = [&](PortId i, PortId j, SlotTime slot) {
+        while (queued.at(i, j) < 4) {
+            Cell c;
+            c.flow = static_cast<FlowId>(i * kN + j);
+            c.input = i;
+            c.output = j;
+            c.inject_slot = slot;
+            sw.acceptCell(c);
+            ++queued.at(i, j);
+        }
+    };
+    for (SlotTime slot = 0; slot < slots; ++slot) {
+        for (PortId i = 0; i < 3; ++i)
+            topUp(i, 0, slot);
+        for (PortId j = 0; j < kN; ++j)
+            topUp(3, j, slot);
+        for (const Cell& d : sw.runSlot(slot)) {
+            ++served(d.input, d.output);
+            --queued.at(d.input, d.output);
+        }
+    }
+    return served;
+}
+
+void
+printRow(const char* label, const Matrix<int64_t>& served, SlotTime slots)
+{
+    std::printf("  %-34s", label);
+    for (PortId j = 0; j < kN; ++j)
+        std::printf("  %5.3f",
+                    static_cast<double>(served.at(3, j)) /
+                        static_cast<double>(slots));
+    std::printf("\n");
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("an2sim example -- dialing in fairness with statistical"
+                " matching\n\n");
+    std::printf("Everyone (inputs 0-2) queues for output 0; input 3 queues"
+                " for all outputs.\nShares of input 3's link:\n\n");
+    std::printf("  %-34s  %5s  %5s  %5s  %5s\n", "", "3->0", "3->1", "3->2",
+                "3->3");
+    constexpr SlotTime kSlots = 100'000;
+
+    {
+        StatisticalConfig cfg;
+        cfg.units = kUnits;
+        cfg.rounds = 2;
+        cfg.seed = 8;
+        Matrix<int> equal(kN, kN, 0);
+        for (PortId j = 0; j < kN; ++j)
+            equal(3, j) = kUnits / 4;
+        for (PortId i = 0; i < 3; ++i)
+            equal(i, 0) = kUnits / 4;
+        InputQueuedSwitch sw(
+            {.n = kN},
+            std::make_unique<StatisticalMatcher>(equal, cfg));
+        printRow("equal allocations (250 each)",
+                 serveFigure8(sw, kSlots), kSlots);
+    }
+    {
+        // A new tenant pays for priority on (3,1): re-dial the weights.
+        // Only input 3's and output 1's tables change -- no global
+        // schedule recomputation, unlike the Slepian-Duguid frame method.
+        StatisticalConfig cfg;
+        cfg.units = kUnits;
+        cfg.rounds = 2;
+        cfg.seed = 9;
+        Matrix<int> skew(kN, kN, 0);
+        skew(3, 0) = 100;
+        skew(3, 1) = 600;
+        skew(3, 2) = 150;
+        skew(3, 3) = 150;
+        for (PortId i = 0; i < 3; ++i)
+            skew(i, 0) = 250;
+        InputQueuedSwitch sw(
+            {.n = kN}, std::make_unique<StatisticalMatcher>(skew, cfg));
+        printRow("re-dialed: (3,1) pays for 600",
+                 serveFigure8(sw, kSlots), kSlots);
+    }
+    std::printf("\nDelivered shares track the dialed allocations at ~72%%"
+                " efficiency (Appendix C);\nthe remaining slots would be"
+                " filled by plain PIM in a production switch.\n");
+    return 0;
+}

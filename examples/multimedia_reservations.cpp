@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Multimedia reservations: the paper's motivating real-time scenario
+ * (§4). Three video flows reserve bandwidth on a 16x16 switch via the
+ * Slepian-Duguid frame scheduler while bursty datagram traffic floods
+ * every port. The example shows:
+ *   - admission control accepting/rejecting reservation requests,
+ *   - the frame schedule being updated incrementally (with swap chains),
+ *   - CBR flows receiving exactly their reserved throughput with bounded
+ *     delay, no matter how hard VBR pushes,
+ *   - VBR soaking up every slot CBR leaves idle.
+ *
+ *   $ ./multimedia_reservations
+ */
+#include <cstdio>
+#include <map>
+
+#include "an2/base/stats.h"
+#include "an2/cbr/slepian_duguid.h"
+#include "an2/matching/pim.h"
+#include "an2/sim/iq_switch.h"
+#include "an2/sim/traffic.h"
+
+using namespace an2;
+
+namespace {
+
+constexpr int kN = 16;
+constexpr int kFrame = 100;  // slots per frame
+
+struct VideoFlow
+{
+    const char* name;
+    FlowId id;
+    PortId input;
+    PortId output;
+    int cells_per_frame;  // e.g. ~25 Mb/s per cell/frame at 1 Gb/s links
+    int64_t next_seq = 0;
+    int64_t delivered = 0;
+};
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("an2sim example -- bandwidth reservations for multimedia\n\n");
+
+    SlepianDuguidScheduler scheduler(kN, kFrame);
+    VideoFlow flows[] = {
+        {"hdtv    cam->wall", 100, 2, 9, 40, 0, 0},
+        {"seminar cam->disk", 101, 5, 9, 25, 0, 0},
+        {"phone   a<->b    ", 102, 7, 3, 10, 0, 0},
+    };
+
+    std::printf("Requesting reservations (frame = %d slots):\n", kFrame);
+    for (auto& f : flows) {
+        bool ok = scheduler.addReservation(f.input, f.output,
+                                           f.cells_per_frame);
+        std::printf("  %s  %2d cells/frame  %d->%d  : %s\n", f.name,
+                    f.cells_per_frame, f.input, f.output,
+                    ok ? "granted" : "REJECTED");
+    }
+    // Output 9 already carries 65 cells/frame; 40 more won't fit.
+    bool over = scheduler.addReservation(11, 9, 40);
+    std::printf("  greedy  flow (40 to output 9) : %s\n",
+                over ? "granted" : "rejected (link would be over-committed)");
+    std::printf("  schedule realizes reservations: %s; swap chains used:"
+                " %lld\n\n",
+                scheduler.schedule().realizes(scheduler.reservations())
+                    ? "yes"
+                    : "no",
+                static_cast<long long>(scheduler.totalSwaps()));
+
+    // Run the switch: backlogged CBR sources + saturating bursty VBR.
+    InputQueuedSwitch sw({.n = kN},
+                         std::make_unique<PimMatcher>(
+                             PimConfig{.iterations = 4, .seed = 3}),
+                         &scheduler.schedule());
+    BurstyTraffic vbr(kN, 0.95, 16.0, 4);
+
+    constexpr int kFrames = 400;
+    std::map<FlowId, RunningStats> delay;
+    std::vector<Cell> arrivals;
+    for (SlotTime slot = 0; slot < kFrames * kFrame; ++slot) {
+        for (auto& f : flows) {
+            // Paced source: exactly its reservation, sent as a burst at
+            // the start of each frame (the schedule smooths it out). The
+            // phone is silent every other frame — its reserved slots are
+            // then handed to datagram traffic (§4's VBR fill-in).
+            bool silent = f.id == 102 && (slot / kFrame) % 2 == 1;
+            if (!silent && slot % kFrame < f.cells_per_frame) {
+                Cell c;
+                c.flow = f.id;
+                c.input = f.input;
+                c.output = f.output;
+                c.cls = TrafficClass::CBR;
+                c.seq = f.next_seq++;
+                c.inject_slot = slot;
+                sw.acceptCell(c);
+            }
+        }
+        arrivals.clear();
+        vbr.generate(slot, arrivals);
+        for (const Cell& c : arrivals)
+            sw.acceptCell(c);
+        for (const Cell& d : sw.runSlot(slot)) {
+            if (d.cls != TrafficClass::CBR)
+                continue;
+            for (auto& f : flows) {
+                if (f.id == d.flow) {
+                    ++f.delivered;
+                    delay[f.id].add(
+                        static_cast<double>(slot - d.inject_slot));
+                }
+            }
+        }
+    }
+
+    std::printf("After %d frames under saturating bursty datagram"
+                " traffic:\n", kFrames);
+    std::printf("  %-18s  %9s  %9s  %12s  %10s\n", "flow", "sent",
+                "delivered", "mean delay", "max delay");
+    for (auto& f : flows) {
+        const RunningStats& d = delay[f.id];
+        std::printf("  %-18s  %9lld  %9lld  %9.1f sl  %7.0f sl\n", f.name,
+                    static_cast<long long>(f.next_seq),
+                    static_cast<long long>(f.delivered), d.mean(), d.max());
+    }
+    std::printf("\n  VBR cells forwarded: %lld (%lld of them inside idle"
+                " reserved slots)\n",
+                static_cast<long long>(sw.vbrForwarded()),
+                static_cast<long long>(sw.vbrInCbrSlots()));
+    std::printf("  Every CBR cell arrived within ~2 frames (%d slots),"
+                " as Section 4 guarantees.\n", 2 * kFrame);
+    return 0;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Build an2sim, run the full test suite, and regenerate every paper
+# table/figure (writes test_output.txt and bench_output.txt at the repo
+# root). Usage: scripts/run_experiments.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD" -j"$(nproc)"
+
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+
+{
+    for b in "$BUILD"/bench/bench_*; do
+        [ -x "$b" ] && "$b"
+    done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "Done. See EXPERIMENTS.md for the paper-vs-measured index."

@@ -1,0 +1,28 @@
+#include "an2/base/error.h"
+
+namespace an2 {
+namespace detail {
+
+std::string
+formatLocation(const char* file, int line, const std::string& msg)
+{
+    std::ostringstream oss;
+    oss << file << ":" << line << ": " << msg;
+    return oss.str();
+}
+
+}  // namespace detail
+
+void
+fatalAt(const char* file, int line, const std::string& msg)
+{
+    throw UsageError(detail::formatLocation(file, line, msg));
+}
+
+void
+panicAt(const char* file, int line, const std::string& msg)
+{
+    throw InternalError(detail::formatLocation(file, line, msg));
+}
+
+}  // namespace an2

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * A minimal dense row-major matrix used for request matrices, reservation
+ * matrices, and allocation tables. Header-only.
+ */
+#ifndef AN2_BASE_MATRIX_H
+#define AN2_BASE_MATRIX_H
+
+#include <vector>
+
+#include "an2/base/error.h"
+
+namespace an2 {
+
+/** Dense row-major matrix of scalar T with bounds-checked access. */
+template <typename T>
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** rows x cols matrix, all elements initialized to `fill`. */
+    Matrix(int rows, int cols, T fill = T{})
+        : rows_(checkDim(rows)), cols_(checkDim(cols)),
+          data_(static_cast<size_t>(rows_) * static_cast<size_t>(cols_),
+                fill)
+    {
+    }
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    T&
+    at(int r, int c)
+    {
+        checkIndex(r, c);
+        return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+                     static_cast<size_t>(c)];
+    }
+
+    const T&
+    at(int r, int c) const
+    {
+        checkIndex(r, c);
+        return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+                     static_cast<size_t>(c)];
+    }
+
+    T& operator()(int r, int c) { return at(r, c); }
+    const T& operator()(int r, int c) const { return at(r, c); }
+
+    /** Set every element to `value`. */
+    void
+    fill(T value)
+    {
+        for (auto& x : data_)
+            x = value;
+    }
+
+    /** Sum of row r. */
+    T
+    rowSum(int r) const
+    {
+        T s{};
+        for (int c = 0; c < cols_; ++c)
+            s += at(r, c);
+        return s;
+    }
+
+    /** Sum of column c. */
+    T
+    colSum(int c) const
+    {
+        T s{};
+        for (int r = 0; r < rows_; ++r)
+            s += at(r, c);
+        return s;
+    }
+
+    /** Sum of all elements. */
+    T
+    total() const
+    {
+        T s{};
+        for (const auto& x : data_)
+            s += x;
+        return s;
+    }
+
+    bool
+    operator==(const Matrix& other) const
+    {
+        return rows_ == other.rows_ && cols_ == other.cols_ &&
+               data_ == other.data_;
+    }
+
+  private:
+    static int
+    checkDim(int d)
+    {
+        AN2_REQUIRE(d >= 0, "negative matrix dimension " << d);
+        return d;
+    }
+
+    void
+    checkIndex(int r, int c) const
+    {
+        AN2_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                   "matrix index (" << r << "," << c << ") out of "
+                                    << rows_ << "x" << cols_);
+    }
+
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<T> data_;
+};
+
+}  // namespace an2
+
+#endif  // AN2_BASE_MATRIX_H

@@ -1,0 +1,121 @@
+#include "an2/base/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace an2 {
+
+void
+RunningStats::add(double x)
+{
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStats::merge(const RunningStats& other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other.mean_ - mean_;
+    int64_t total = count_ + other.count_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                           static_cast<double>(other.count_) /
+                           static_cast<double>(total);
+    mean_ += delta * static_cast<double>(other.count_) /
+             static_cast<double>(total);
+    count_ = total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double bin_width, int num_bins) : bin_width_(bin_width)
+{
+    AN2_REQUIRE(bin_width > 0.0, "histogram bin width must be positive");
+    AN2_REQUIRE(num_bins > 0, "histogram needs at least one bin");
+    bins_.assign(static_cast<size_t>(num_bins), 0);
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < 0.0)
+        x = 0.0;
+    auto b = static_cast<int64_t>(x / bin_width_);
+    if (b >= static_cast<int64_t>(bins_.size())) {
+        ++overflow_;
+    } else {
+        ++bins_[static_cast<size_t>(b)];
+    }
+}
+
+int64_t
+Histogram::binCount(int b) const
+{
+    AN2_REQUIRE(b >= 0 && b < numBins(), "bin index out of range");
+    return bins_[static_cast<size_t>(b)];
+}
+
+double
+Histogram::quantile(double q) const
+{
+    AN2_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+    AN2_REQUIRE(total_ > 0, "quantile of empty histogram");
+    auto target = static_cast<int64_t>(
+        std::ceil(q * static_cast<double>(total_)));
+    target = std::max<int64_t>(target, 1);
+    int64_t acc = 0;
+    for (size_t b = 0; b < bins_.size(); ++b) {
+        int64_t prev = acc;
+        acc += bins_[b];
+        if (acc >= target) {
+            // Interpolate within the bin.
+            double frac = bins_[b] == 0
+                              ? 0.0
+                              : static_cast<double>(target - prev) /
+                                    static_cast<double>(bins_[b]);
+            return (static_cast<double>(b) + frac) * bin_width_;
+        }
+    }
+    return bin_width_ * static_cast<double>(bins_.size());
+}
+
+double
+jainFairnessIndex(const std::vector<double>& allocations)
+{
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (double x : allocations) {
+        sum += x;
+        sum_sq += x * x;
+    }
+    if (allocations.empty() || sum_sq == 0.0)
+        return 1.0;
+    return sum * sum /
+           (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+}  // namespace an2

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Statistics collection: running moments, histograms with quantiles, and
+ * the fairness index used by the §5 experiments.
+ */
+#ifndef AN2_BASE_STATS_H
+#define AN2_BASE_STATS_H
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "an2/base/error.h"
+
+namespace an2 {
+
+/**
+ * Single-pass running moments (Welford's algorithm): count, mean,
+ * variance, min, max. Numerically stable for long simulations.
+ */
+class RunningStats
+{
+  public:
+    /** Record one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats& other);
+
+    /** Number of samples recorded. */
+    int64_t count() const { return count_; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest sample; -inf when empty. */
+    double max() const { return max_; }
+
+    /** Sum of all samples. */
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+  private:
+    int64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-width histogram over [0, binWidth * numBins) with an overflow
+ * bucket, supporting approximate quantiles. Used for queueing-delay
+ * distributions.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bin_width Width of each bin (must be positive).
+     * @param num_bins Number of regular bins (must be positive).
+     */
+    Histogram(double bin_width, int num_bins);
+
+    /** Record a sample (negative samples clamp into bin 0). */
+    void add(double x);
+
+    /** Total samples recorded. */
+    int64_t count() const { return total_; }
+
+    /** Count in regular bin b. */
+    int64_t binCount(int b) const;
+
+    /** Samples that fell beyond the last regular bin. */
+    int64_t overflow() const { return overflow_; }
+
+    /**
+     * Approximate quantile (q in [0,1]) by linear interpolation within the
+     * containing bin. Returns the upper range bound if the quantile lands
+     * in the overflow bucket. Requires at least one sample.
+     */
+    double quantile(double q) const;
+
+    /** Number of regular bins. */
+    int numBins() const { return static_cast<int>(bins_.size()); }
+
+    /** Width of each regular bin. */
+    double binWidth() const { return bin_width_; }
+
+  private:
+    double bin_width_;
+    std::vector<int64_t> bins_;
+    int64_t overflow_ = 0;
+    int64_t total_ = 0;
+};
+
+/**
+ * Jain's fairness index over per-entity allocations:
+ * (sum x)^2 / (n * sum x^2). 1.0 = perfectly fair; 1/n = maximally unfair.
+ * Returns 1.0 for empty or all-zero input.
+ */
+double jainFairnessIndex(const std::vector<double>& allocations);
+
+}  // namespace an2
+
+#endif  // AN2_BASE_STATS_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fundamental scalar types and physical constants shared across an2sim.
+ *
+ * The AN2 switch operates on fixed-length ATM cells moving through a
+ * slot-synchronous crossbar: one cell time ("slot") is the time to receive
+ * a 53-byte cell at link speed. All simulator-facing quantities are
+ * expressed in these units; wall-clock conversions live here as well.
+ */
+#ifndef AN2_BASE_TYPES_H
+#define AN2_BASE_TYPES_H
+
+#include <cstdint>
+
+namespace an2 {
+
+/** Index of a switch port (input or output), 0-based. */
+using PortId = int;
+
+/** Identifier for a flow (a stream of cells between a pair of hosts). */
+using FlowId = int32_t;
+
+/** Discrete time measured in cell slots. */
+using SlotTime = int64_t;
+
+/** Wall-clock time in picoseconds (used by the drifting-clock network). */
+using PicoTime = int64_t;
+
+/** Sentinel for "no port" in matchings and schedules. */
+inline constexpr PortId kNoPort = -1;
+
+/** Sentinel for "no flow". */
+inline constexpr FlowId kNoFlow = -1;
+
+/** Size of a standard ATM cell, including the 5-byte header (paper §2.3). */
+inline constexpr int kAtmCellBytes = 53;
+
+/** ATM cell payload size. */
+inline constexpr int kAtmPayloadBytes = 48;
+
+/**
+ * Duration of one cell slot at the AN2 link rate of 1 Gb/s, in picoseconds.
+ * 53 bytes * 8 bits / 1e9 b/s = 424 ns.
+ */
+inline constexpr PicoTime kSlotPicosAt1Gbps = 424'000;
+
+/** Convert a delay in slots to microseconds at 1 Gb/s link speed. */
+constexpr double
+slotsToMicros(double slots)
+{
+    return slots * static_cast<double>(kSlotPicosAt1Gbps) * 1e-6;
+}
+
+/** Traffic class of a flow (paper §4): reserved vs. datagram traffic. */
+enum class TrafficClass : uint8_t {
+    CBR,  ///< constant bit rate; carried by the pre-computed frame schedule
+    VBR,  ///< variable bit rate (datagram); carried by iterative matching
+};
+
+}  // namespace an2
+
+#endif  // AN2_BASE_TYPES_H

@@ -1,0 +1,70 @@
+#include "an2/cbr/admission.h"
+
+namespace an2 {
+
+AdmissionController::AdmissionController(int frame_slots)
+    : frame_slots_(frame_slots)
+{
+    AN2_REQUIRE(frame_slots > 0, "frame must have at least one slot");
+}
+
+LinkId
+AdmissionController::addLink()
+{
+    committed_.push_back(0);
+    return static_cast<LinkId>(committed_.size()) - 1;
+}
+
+void
+AdmissionController::checkLink(LinkId link) const
+{
+    AN2_REQUIRE(link >= 0 && link < numLinks(),
+                "unknown link " << link);
+}
+
+int
+AdmissionController::committed(LinkId link) const
+{
+    checkLink(link);
+    return committed_[static_cast<size_t>(link)];
+}
+
+int
+AdmissionController::available(LinkId link) const
+{
+    return frame_slots_ - committed(link);
+}
+
+bool
+AdmissionController::canAdmit(const std::vector<LinkId>& path, int k) const
+{
+    AN2_REQUIRE(k >= 0, "reservation must be non-negative");
+    for (LinkId link : path)
+        if (available(link) < k)
+            return false;
+    return true;
+}
+
+bool
+AdmissionController::admit(const std::vector<LinkId>& path, int k)
+{
+    if (!canAdmit(path, k))
+        return false;
+    for (LinkId link : path)
+        committed_[static_cast<size_t>(link)] += k;
+    return true;
+}
+
+void
+AdmissionController::release(const std::vector<LinkId>& path, int k)
+{
+    for (LinkId link : path) {
+        checkLink(link);
+        AN2_REQUIRE(committed_[static_cast<size_t>(link)] >= k,
+                    "releasing more than committed on link " << link);
+    }
+    for (LinkId link : path)
+        committed_[static_cast<size_t>(link)] -= k;
+}
+
+}  // namespace an2

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Network-level admission control for CBR reservations (paper §4).
+ *
+ * A request for k cells/frame is granted when there is a path from source
+ * to destination on which every link still has k cells/frame of
+ * uncommitted capacity. The controller tracks per-link commitments; the
+ * per-switch schedules are then updated by SlepianDuguidScheduler (which
+ * always succeeds for admitted flows, by the Slepian-Duguid theorem).
+ */
+#ifndef AN2_CBR_ADMISSION_H
+#define AN2_CBR_ADMISSION_H
+
+#include <vector>
+
+#include "an2/base/error.h"
+#include "an2/base/types.h"
+
+namespace an2 {
+
+/** Identifier of a unidirectional link in the admission database. */
+using LinkId = int;
+
+/** Tracks committed CBR bandwidth on every link of the network. */
+class AdmissionController
+{
+  public:
+    /**
+     * @param frame_slots Slots per frame: the capacity of every link, in
+     *        cells/frame. (A real deployment reserves a few slots for
+     *        clock-drift padding; pass the reduced budget if desired.)
+     */
+    explicit AdmissionController(int frame_slots);
+
+    /** Register a link; returns its LinkId. */
+    LinkId addLink();
+
+    /** Number of registered links. */
+    int numLinks() const { return static_cast<int>(committed_.size()); }
+
+    /** Committed cells/frame on a link. */
+    int committed(LinkId link) const;
+
+    /** Uncommitted cells/frame on a link. */
+    int available(LinkId link) const;
+
+    /** True when every link on the path can carry k more cells/frame. */
+    bool canAdmit(const std::vector<LinkId>& path, int k) const;
+
+    /**
+     * Admit a reservation of k cells/frame along the path.
+     * @return false (no state change) if some link lacks capacity.
+     */
+    bool admit(const std::vector<LinkId>& path, int k);
+
+    /** Release a previously admitted reservation. */
+    void release(const std::vector<LinkId>& path, int k);
+
+    /** Frame capacity per link. */
+    int frameSlots() const { return frame_slots_; }
+
+  private:
+    void checkLink(LinkId link) const;
+
+    int frame_slots_;
+    std::vector<int> committed_;
+};
+
+}  // namespace an2
+
+#endif  // AN2_CBR_ADMISSION_H

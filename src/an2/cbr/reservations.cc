@@ -1,0 +1,53 @@
+#include "an2/cbr/reservations.h"
+
+#include "an2/base/error.h"
+
+namespace an2 {
+
+ReservationMatrix::ReservationMatrix(int n, int frame_slots)
+    : cells_(n, n, 0), frame_slots_(frame_slots)
+{
+    AN2_REQUIRE(n > 0, "switch size must be positive");
+    AN2_REQUIRE(frame_slots > 0, "frame must have at least one slot");
+}
+
+bool
+ReservationMatrix::canAdd(PortId i, PortId j, int k) const
+{
+    AN2_REQUIRE(k >= 0, "reservation must be non-negative");
+    return inputLoad(i) + k <= frame_slots_ &&
+           outputLoad(j) + k <= frame_slots_;
+}
+
+void
+ReservationMatrix::add(PortId i, PortId j, int k)
+{
+    AN2_REQUIRE(canAdd(i, j, k),
+                "reservation of " << k << " cells/frame from " << i << " to "
+                                  << j << " over-commits a link");
+    cells_.at(i, j) += k;
+}
+
+void
+ReservationMatrix::remove(PortId i, PortId j, int k)
+{
+    AN2_REQUIRE(k >= 0 && cells_.at(i, j) >= k,
+                "cannot remove " << k << " cells/frame from (" << i << ","
+                                 << j << "); only " << cells_.at(i, j)
+                                 << " reserved");
+    cells_.at(i, j) -= k;
+}
+
+bool
+ReservationMatrix::feasible() const
+{
+    for (int i = 0; i < size(); ++i)
+        if (inputLoad(i) > frame_slots_)
+            return false;
+    for (int j = 0; j < size(); ++j)
+        if (outputLoad(j) > frame_slots_)
+            return false;
+    return true;
+}
+
+}  // namespace an2

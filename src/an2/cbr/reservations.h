@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bandwidth reservations for constant-bit-rate traffic (paper §4).
+ *
+ * Bandwidth is allocated in cells per *frame* (a fixed number of slots).
+ * A reservation matrix is feasible exactly when no input row and no
+ * output column exceeds the frame size — the Slepian-Duguid condition
+ * under which a conflict-free frame schedule always exists.
+ */
+#ifndef AN2_CBR_RESERVATIONS_H
+#define AN2_CBR_RESERVATIONS_H
+
+#include "an2/base/matrix.h"
+#include "an2/base/types.h"
+
+namespace an2 {
+
+/** Cells-per-frame reservations between every input/output pair. */
+class ReservationMatrix
+{
+  public:
+    /**
+     * @param n Switch size (N x N).
+     * @param frame_slots Slots per frame (the paper's prototype uses 1000).
+     */
+    ReservationMatrix(int n, int frame_slots);
+
+    int size() const { return cells_.rows(); }
+    int frameSlots() const { return frame_slots_; }
+
+    /** Reserved cells/frame from input i to output j. */
+    int reserved(PortId i, PortId j) const { return cells_.at(i, j); }
+
+    /** Total reserved cells/frame departing input i. */
+    int inputLoad(PortId i) const { return cells_.rowSum(i); }
+
+    /** Total reserved cells/frame arriving at output j. */
+    int outputLoad(PortId j) const { return cells_.colSum(j); }
+
+    /** Unreserved slots on input i's link. */
+    int inputSlack(PortId i) const { return frame_slots_ - inputLoad(i); }
+
+    /** Unreserved slots on output j's link. */
+    int outputSlack(PortId j) const { return frame_slots_ - outputLoad(j); }
+
+    /**
+     * True when adding k cells/frame from i to j keeps both the input and
+     * the output within the frame budget (the admission criterion).
+     */
+    bool canAdd(PortId i, PortId j, int k) const;
+
+    /** Add k cells/frame for (i,j); requires canAdd(i,j,k). */
+    void add(PortId i, PortId j, int k);
+
+    /** Remove k cells/frame for (i,j); at least k must be reserved. */
+    void remove(PortId i, PortId j, int k);
+
+    /** True when every row and column fits in the frame. */
+    bool feasible() const;
+
+    /** Total reserved cells per frame across the switch. */
+    int total() const { return cells_.total(); }
+
+  private:
+    Matrix<int> cells_;
+    int frame_slots_;
+};
+
+}  // namespace an2
+
+#endif  // AN2_CBR_RESERVATIONS_H

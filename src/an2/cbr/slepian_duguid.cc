@@ -1,0 +1,198 @@
+#include "an2/cbr/slepian_duguid.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "an2/base/error.h"
+
+namespace an2 {
+
+namespace {
+
+/** Cyclic distance between two slot indices in a frame of F slots. */
+int
+cyclicDistance(int a, int b, int frame)
+{
+    int d = std::abs(a - b);
+    return std::min(d, frame - d);
+}
+
+}  // namespace
+
+SlepianDuguidScheduler::SlepianDuguidScheduler(int n, int frame_slots,
+                                               SlotPlacement placement)
+    : res_(n, frame_slots), sched_(n, frame_slots), placement_(placement)
+{
+}
+
+bool
+SlepianDuguidScheduler::addReservation(PortId i, PortId j, int k)
+{
+    AN2_REQUIRE(k >= 0, "reservation must be non-negative");
+    if (!res_.canAdd(i, j, k))
+        return false;
+    int already = res_.reserved(i, j);
+    for (int c = 0; c < k; ++c) {
+        int target = 0;
+        if (placement_ == SlotPlacement::Spread) {
+            // Aim the (already + c)-th cell of the pair at an evenly
+            // spaced position for the final total of already + k cells.
+            int total = already + k;
+            target = static_cast<int>(
+                (static_cast<int64_t>(already + c) * sched_.frameSlots() +
+                 sched_.frameSlots() / 2) /
+                total % sched_.frameSlots());
+        }
+        placeOne(i, j, target);
+        res_.add(i, j, 1);
+    }
+    return true;
+}
+
+void
+SlepianDuguidScheduler::removeReservation(PortId i, PortId j, int k)
+{
+    AN2_REQUIRE(res_.reserved(i, j) >= k,
+                "cannot release " << k << " cells/frame; only "
+                                  << res_.reserved(i, j) << " reserved");
+    int remaining = k;
+    for (int s = 0; s < sched_.frameSlots() && remaining > 0; ++s) {
+        if (sched_.outputAt(s, i) == j) {
+            sched_.clear(s, i, j);
+            --remaining;
+        }
+    }
+    AN2_ASSERT(remaining == 0, "schedule out of sync with reservations");
+    res_.remove(i, j, k);
+}
+
+int
+SlepianDuguidScheduler::maxGap(PortId i, PortId j) const
+{
+    std::vector<int> slots;
+    for (int s = 0; s < sched_.frameSlots(); ++s)
+        if (sched_.outputAt(s, i) == j)
+            slots.push_back(s);
+    if (slots.empty())
+        return sched_.frameSlots();
+    int worst = 0;
+    for (size_t c = 0; c < slots.size(); ++c) {
+        int cur = slots[c];
+        int next = c + 1 < slots.size()
+                       ? slots[c + 1]
+                       : slots.front() + sched_.frameSlots();
+        worst = std::max(worst, next - cur);
+    }
+    return worst;
+}
+
+int
+SlepianDuguidScheduler::findFreeSlot(PortId i, PortId j, int target) const
+{
+    int best = -1;
+    int best_dist = sched_.frameSlots() + 1;
+    for (int s = 0; s < sched_.frameSlots(); ++s) {
+        if (!sched_.inputFree(s, i) || !sched_.outputFree(s, j))
+            continue;
+        int dist = cyclicDistance(s, target, sched_.frameSlots());
+        if (dist < best_dist) {
+            best_dist = dist;
+            best = s;
+        }
+    }
+    return best;
+}
+
+int
+SlepianDuguidScheduler::findInputFreeSlot(PortId i, int target) const
+{
+    int best = -1;
+    int best_dist = sched_.frameSlots() + 1;
+    for (int s = 0; s < sched_.frameSlots(); ++s) {
+        if (!sched_.inputFree(s, i))
+            continue;
+        int dist = cyclicDistance(s, target, sched_.frameSlots());
+        if (dist < best_dist) {
+            best_dist = dist;
+            best = s;
+        }
+    }
+    AN2_ASSERT(best >= 0, "no input-free slot despite available capacity");
+    return best;
+}
+
+int
+SlepianDuguidScheduler::findOutputFreeSlot(PortId j, int target) const
+{
+    int best = -1;
+    int best_dist = sched_.frameSlots() + 1;
+    for (int s = 0; s < sched_.frameSlots(); ++s) {
+        if (!sched_.outputFree(s, j))
+            continue;
+        int dist = cyclicDistance(s, target, sched_.frameSlots());
+        if (dist < best_dist) {
+            best_dist = dist;
+            best = s;
+        }
+    }
+    AN2_ASSERT(best >= 0, "no output-free slot despite available capacity");
+    return best;
+}
+
+void
+SlepianDuguidScheduler::placeOne(PortId i, PortId j, int target)
+{
+    // Easy case: some slot has both ports free.
+    int both = findFreeSlot(i, j, target);
+    if (both >= 0) {
+        sched_.assign(both, i, j);
+        return;
+    }
+
+    // Swap case: slot a has input i free, slot b has output j free (both
+    // must exist because neither link is over-committed). Insert (i,j)
+    // into slot a and ripple the displaced pairings back and forth
+    // between a and b along the alternating chain. When inserting into
+    // slot a the input endpoint is always free and the conflict (if any)
+    // is on the output; when inserting into slot b the roles reverse.
+    int slot_a = findInputFreeSlot(i, target);
+    int slot_b = findOutputFreeSlot(j, target);
+    AN2_ASSERT(slot_a != slot_b,
+               "slot with both ports free should have been found");
+
+    PortId x = i;
+    PortId y = j;
+    int cur = slot_a;
+    bool conflict_on_output = true;
+    // An alternating chain visits each port of each slot at most once,
+    // so 4N+4 steps is a safe termination bound.
+    int guard = 4 * sched_.size() + 4;
+    while (guard-- > 0) {
+        if (conflict_on_output) {
+            PortId displaced_in = sched_.inputAt(cur, y);
+            if (displaced_in == kNoPort) {
+                sched_.assign(cur, x, y);
+                return;
+            }
+            sched_.clear(cur, displaced_in, y);
+            sched_.assign(cur, x, y);
+            ++total_swaps_;
+            x = displaced_in;  // displaced pairing (displaced_in, y)
+        } else {
+            PortId displaced_out = sched_.outputAt(cur, x);
+            if (displaced_out == kNoPort) {
+                sched_.assign(cur, x, y);
+                return;
+            }
+            sched_.clear(cur, x, displaced_out);
+            sched_.assign(cur, x, y);
+            ++total_swaps_;
+            y = displaced_out;  // displaced pairing (x, displaced_out)
+        }
+        cur = cur == slot_a ? slot_b : slot_a;
+        conflict_on_output = !conflict_on_output;
+    }
+    AN2_PANIC("Slepian-Duguid swap chain failed to terminate");
+}
+
+}  // namespace an2

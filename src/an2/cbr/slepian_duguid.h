@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Incremental frame-schedule construction via the Slepian-Duguid swap
+ * algorithm (paper §4, after Hui 1990).
+ *
+ * The Slepian-Duguid theorem guarantees a conflict-free frame schedule
+ * exists for any reservation pattern in which no input or output link is
+ * over-committed. Reservations are added one cell/frame at a time: if a
+ * slot exists where both ports are free the cell is placed there;
+ * otherwise a slot where the input is free and a slot where the output is
+ * free are chosen, and existing pairings are swapped between the two
+ * slots along an alternating chain until the conflict disappears. The
+ * chain is a simple alternating path, so at most 2N swaps occur; the
+ * paper cites O(k * N) steps to add a k cells/frame reservation.
+ */
+#ifndef AN2_CBR_SLEPIAN_DUGUID_H
+#define AN2_CBR_SLEPIAN_DUGUID_H
+
+#include "an2/cbr/frame_schedule.h"
+#include "an2/cbr/reservations.h"
+
+namespace an2 {
+
+/**
+ * Where in the frame new pairings are placed. The Slepian-Duguid
+ * guarantee (the reserved *number* of cells per frame) is independent of
+ * slot positions, so placement is a quality-of-service knob: spreading a
+ * flow's slots evenly across the frame reduces intra-frame jitter and
+ * per-flow burstiness on the output link, at identical throughput.
+ */
+enum class SlotPlacement {
+    /** Use the first feasible slot (simplest; the paper's algorithm). */
+    FirstFit,
+    /** Aim each of the k cells at an evenly spaced target position. */
+    Spread,
+};
+
+/** Maintains a frame schedule realizing a mutable reservation matrix. */
+class SlepianDuguidScheduler
+{
+  public:
+    /**
+     * @param n Switch size.
+     * @param frame_slots Slots per frame.
+     * @param placement Slot placement policy for new reservations.
+     */
+    SlepianDuguidScheduler(int n, int frame_slots,
+                           SlotPlacement placement = SlotPlacement::FirstFit);
+
+    /**
+     * Try to reserve k cells/frame from input i to output j.
+     * @return false (with no state change) when either link lacks
+     *         capacity; true once the schedule has been updated.
+     */
+    bool addReservation(PortId i, PortId j, int k);
+
+    /**
+     * Release k cells/frame of the (i,j) reservation; at least k must be
+     * reserved. Freed slots become available to VBR traffic immediately.
+     */
+    void removeReservation(PortId i, PortId j, int k);
+
+    /** The reservations currently in force. */
+    const ReservationMatrix& reservations() const { return res_; }
+
+    /** The schedule realizing them. */
+    const FrameSchedule& schedule() const { return sched_; }
+
+    /** Cumulative pairings moved by swap chains (complexity metric). */
+    int64_t totalSwaps() const { return total_swaps_; }
+
+    /**
+     * Largest gap (in slots, cyclically) between consecutive scheduled
+     * slots of the pair (i,j); frame_slots when nothing is scheduled.
+     * With a perfectly smooth schedule of k cells this is frame/k; the
+     * jitter metric for comparing placement policies.
+     */
+    int maxGap(PortId i, PortId j) const;
+
+  private:
+    /**
+     * Place one additional (i,j) cell, swapping as needed.
+     * @param target Preferred slot position (Spread placement); pass 0
+     *        for FirstFit.
+     */
+    void placeOne(PortId i, PortId j, int target);
+
+    /** Slot where both i and j are free, nearest `target`, or -1. */
+    int findFreeSlot(PortId i, PortId j, int target) const;
+
+    /** Slot where input i is free, nearest `target`; must exist. */
+    int findInputFreeSlot(PortId i, int target) const;
+
+    /** Slot where output j is free, nearest `target`; must exist. */
+    int findOutputFreeSlot(PortId j, int target) const;
+
+    ReservationMatrix res_;
+    FrameSchedule sched_;
+    SlotPlacement placement_;
+    int64_t total_swaps_ = 0;
+};
+
+}  // namespace an2
+
+#endif  // AN2_CBR_SLEPIAN_DUGUID_H

@@ -1,0 +1,121 @@
+#include "an2/cbr/subframes.h"
+
+#include <algorithm>
+
+#include "an2/base/error.h"
+
+namespace an2 {
+
+SubframeScheduler::SubframeScheduler(int n, int frame_slots,
+                                     int num_subframes,
+                                     SlotPlacement placement)
+    : n_(n), frame_slots_(frame_slots), num_subframes_(num_subframes),
+      combined_(n, frame_slots)
+{
+    AN2_REQUIRE(num_subframes >= 1, "need at least one subframe");
+    AN2_REQUIRE(frame_slots % num_subframes == 0,
+                "subframes must divide the frame evenly: " << frame_slots
+                                                           << " % "
+                                                           << num_subframes);
+    for (int s = 0; s < num_subframes; ++s)
+        subs_.push_back(std::make_unique<SlepianDuguidScheduler>(
+            n, frame_slots / num_subframes, placement));
+}
+
+bool
+SubframeScheduler::addFrameReservation(PortId i, PortId j, int k)
+{
+    AN2_REQUIRE(k >= 0, "reservation must be non-negative");
+    // Feasibility: each subframe can host min(input, output) slack cells
+    // of this pair.
+    int capacity = 0;
+    for (const auto& sub : subs_) {
+        const ReservationMatrix& r = sub->reservations();
+        capacity += std::min(r.inputSlack(i), r.outputSlack(j));
+    }
+    if (capacity < k)
+        return false;
+
+    // Distribute: always take the subframe with the most remaining slack
+    // for the pair, which balances the cells across the frame.
+    for (int c = 0; c < k; ++c) {
+        int best = -1;
+        int best_slack = 0;
+        for (size_t s = 0; s < subs_.size(); ++s) {
+            const ReservationMatrix& r = subs_[s]->reservations();
+            int slack = std::min(r.inputSlack(i), r.outputSlack(j));
+            if (slack > best_slack) {
+                best_slack = slack;
+                best = static_cast<int>(s);
+            }
+        }
+        AN2_ASSERT(best >= 0, "capacity vanished during distribution");
+        bool ok = subs_[static_cast<size_t>(best)]->addReservation(i, j, 1);
+        AN2_ASSERT(ok, "subframe rejected a feasible cell");
+    }
+    rebuildCombined();
+    return true;
+}
+
+bool
+SubframeScheduler::addSubframeReservation(PortId i, PortId j, int q)
+{
+    AN2_REQUIRE(q >= 0, "reservation must be non-negative");
+    for (const auto& sub : subs_)
+        if (!sub->reservations().canAdd(i, j, q))
+            return false;
+    for (auto& sub : subs_) {
+        bool ok = sub->addReservation(i, j, q);
+        AN2_ASSERT(ok, "subframe rejected a pre-checked reservation");
+    }
+    rebuildCombined();
+    return true;
+}
+
+int
+SubframeScheduler::reservedPerFrame(PortId i, PortId j) const
+{
+    int total = 0;
+    for (const auto& sub : subs_)
+        total += sub->reservations().reserved(i, j);
+    return total;
+}
+
+void
+SubframeScheduler::rebuildCombined()
+{
+    combined_.reset();
+    int sub_len = subframeSlots();
+    for (size_t s = 0; s < subs_.size(); ++s) {
+        const FrameSchedule& sched = subs_[s]->schedule();
+        for (int slot = 0; slot < sub_len; ++slot) {
+            for (PortId i = 0; i < n_; ++i) {
+                PortId j = sched.outputAt(slot, i);
+                if (j != kNoPort)
+                    combined_.assign(static_cast<int>(s) * sub_len + slot,
+                                     i, j);
+            }
+        }
+    }
+}
+
+int
+SubframeScheduler::maxGap(PortId i, PortId j) const
+{
+    std::vector<int> slots;
+    for (int s = 0; s < frame_slots_; ++s)
+        if (combined_.outputAt(s, i) == j)
+            slots.push_back(s);
+    if (slots.empty())
+        return frame_slots_;
+    int worst = 0;
+    for (size_t c = 0; c < slots.size(); ++c) {
+        int cur = slots[c];
+        int next = c + 1 < slots.size() ? slots[c + 1]
+                                        : slots.front() + frame_slots_;
+        worst = std::max(worst, next - cur);
+    }
+    return worst;
+}
+
+}  // namespace an2

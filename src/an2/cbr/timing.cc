@@ -1,0 +1,77 @@
+#include "an2/cbr/timing.h"
+
+#include <cmath>
+
+#include "an2/base/error.h"
+
+namespace an2 {
+
+FrameTiming
+makeFrameTiming(int switch_frame_slots, int controller_frame_slots,
+                double slot_time, double clock_tolerance,
+                double link_latency)
+{
+    AN2_REQUIRE(switch_frame_slots > 0, "switch frame must be non-empty");
+    AN2_REQUIRE(controller_frame_slots >= switch_frame_slots,
+                "controller frame cannot be shorter than switch frame");
+    AN2_REQUIRE(slot_time > 0.0, "slot time must be positive");
+    AN2_REQUIRE(clock_tolerance >= 0.0 && clock_tolerance < 1.0,
+                "clock tolerance must be in [0,1)");
+    AN2_REQUIRE(link_latency >= 0.0, "link latency must be non-negative");
+
+    FrameTiming t{};
+    // A clock running fast by factor (1+tol) finishes its frame early.
+    t.f_s_min = switch_frame_slots * slot_time / (1.0 + clock_tolerance);
+    t.f_s_max = switch_frame_slots * slot_time / (1.0 - clock_tolerance);
+    t.f_c_min = controller_frame_slots * slot_time / (1.0 + clock_tolerance);
+    t.f_c_max = controller_frame_slots * slot_time / (1.0 - clock_tolerance);
+    t.link_latency = link_latency;
+    AN2_REQUIRE(t.valid(),
+                "controller frame too short for the clock tolerance: "
+                "F_c-min = " << t.f_c_min << " <= F_s-max = " << t.f_s_max
+                             << "; add padding slots");
+    return t;
+}
+
+int
+minControllerPadding(int switch_frame_slots, double clock_tolerance)
+{
+    AN2_REQUIRE(switch_frame_slots > 0, "switch frame must be non-empty");
+    AN2_REQUIRE(clock_tolerance >= 0.0 && clock_tolerance < 1.0,
+                "clock tolerance must be in [0,1)");
+    if (clock_tolerance == 0.0) {
+        // Even with perfect clocks, F_c-min must strictly exceed F_s-max.
+        return 1;
+    }
+    double needed = switch_frame_slots * 2.0 * clock_tolerance /
+                    (1.0 - clock_tolerance);
+    return static_cast<int>(std::floor(needed)) + 1;
+}
+
+double
+latencyBound(const FrameTiming& t, int path_hops)
+{
+    AN2_REQUIRE(path_hops >= 0, "path length must be non-negative");
+    return 2.0 * path_hops * (t.f_s_max + t.link_latency);
+}
+
+double
+maxActiveFrames(const FrameTiming& t, int path_hops)
+{
+    AN2_REQUIRE(t.valid(), "invalid frame timing");
+    AN2_REQUIRE(path_hops >= 0, "path length must be non-negative");
+    double numer = (2.0 * t.f_s_max + t.link_latency) * path_hops + t.f_c_max;
+    return 1.0 + std::floor(numer / (t.f_c_min - t.f_s_max));
+}
+
+double
+bufferBound(const FrameTiming& t, int path_hops)
+{
+    AN2_REQUIRE(t.valid(), "invalid frame timing");
+    AN2_REQUIRE(path_hops >= 0, "path length must be non-negative");
+    double numer = (2.0 * t.f_s_max + t.link_latency) * path_hops + t.f_c_max;
+    double drift_ratio = (t.f_s_max - t.f_s_min) / t.f_s_min;
+    return 4.0 + drift_ratio * (2.0 + numer / (t.f_c_min - t.f_s_max));
+}
+
+}  // namespace an2

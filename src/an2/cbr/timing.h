@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Frame-timing analysis under unsynchronized clocks (paper Appendix B).
+ *
+ * Every switch and controller runs its frame off a local clock whose rate
+ * is only known to lie within a tolerance of nominal. Controllers append
+ * extra empty slots to their frames so that even the fastest controller's
+ * frame takes longer than the slowest switch's frame (F_c-min > F_s-max);
+ * this caps the long-run cell arrival rate and yields the closed-form
+ * end-to-end latency bound (Formula 3) and per-switch buffer bound
+ * (Formula 5) implemented here.
+ */
+#ifndef AN2_CBR_TIMING_H
+#define AN2_CBR_TIMING_H
+
+#include "an2/base/types.h"
+
+namespace an2 {
+
+/** Wall-clock frame parameters of a network (Appendix B, Table 3). */
+struct FrameTiming
+{
+    double f_s_min;  ///< minimum wall-clock time of a switch frame
+    double f_s_max;  ///< maximum wall-clock time of a switch frame
+    double f_c_min;  ///< minimum wall-clock time of a controller frame
+    double f_c_max;  ///< maximum wall-clock time of a controller frame
+    double link_latency;  ///< max link latency + switch overhead (l)
+
+    /** True when the padding constraint F_c-min > F_s-max holds. */
+    bool valid() const { return f_c_min > f_s_max && f_s_min > 0.0; }
+};
+
+/**
+ * Build FrameTiming from network parameters.
+ *
+ * A node with clock-rate error r in [-tol, +tol] runs a frame of S slots
+ * in S * slot_time / (1 + r) wall-clock time.
+ *
+ * @param switch_frame_slots Slots per switch frame.
+ * @param controller_frame_slots Slots per controller frame (switch frame
+ *        plus padding; must exceed switch_frame_slots enough to satisfy
+ *        F_c-min > F_s-max).
+ * @param slot_time Nominal slot duration (any consistent unit).
+ * @param clock_tolerance Fractional clock-rate tolerance (e.g. 1e-4).
+ * @param link_latency Max link latency + per-cell switch overhead.
+ */
+FrameTiming makeFrameTiming(int switch_frame_slots,
+                            int controller_frame_slots, double slot_time,
+                            double clock_tolerance, double link_latency);
+
+/**
+ * Minimum number of padding slots a controller must append to a frame of
+ * `switch_frame_slots` so that F_c-min > F_s-max given the clock
+ * tolerance (the "extra empty slots" of §4).
+ */
+int minControllerPadding(int switch_frame_slots, double clock_tolerance);
+
+/**
+ * Appendix B Formula 3: end-to-end adjusted-latency bound for a flow
+ * crossing p switches: L <= 2p(F_s-max + l).
+ */
+double latencyBound(const FrameTiming& t, int path_hops);
+
+/**
+ * Appendix B: maximum number of consecutive active frames at a switch
+ * (first displayed formula of §B.2).
+ */
+double maxActiveFrames(const FrameTiming& t, int path_hops);
+
+/**
+ * Appendix B Formula 5: bound on buffer space (in cells) needed at a
+ * switch per cell/frame of reservation, for a flow with path length p.
+ */
+double bufferBound(const FrameTiming& t, int path_hops);
+
+}  // namespace an2
+
+#endif  // AN2_CBR_TIMING_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The unit of data transfer: a fixed-length ATM-style cell (paper §2.3).
+ *
+ * Cells in an2sim carry only metadata; payload contents are irrelevant to
+ * scheduling behaviour and are not modeled. A cell is stamped with its
+ * arrival time(s) so that queueing delay can be measured at departure.
+ */
+#ifndef AN2_CELL_CELL_H
+#define AN2_CELL_CELL_H
+
+#include <cstdint>
+
+#include "an2/base/types.h"
+
+namespace an2 {
+
+/**
+ * One fixed-length cell. Plain value type; cheap to copy.
+ *
+ * `seq` is the per-flow sequence number assigned at injection; it is the
+ * hook used by tests to assert the switch's no-reordering guarantee
+ * (cells within a flow are never re-ordered, paper §3.1).
+ */
+struct Cell
+{
+    /** Flow this cell belongs to (routing key, paper §2). */
+    FlowId flow = kNoFlow;
+
+    /** Input port at the current switch. */
+    PortId input = kNoPort;
+
+    /** Output port at the current switch (from the routing table). */
+    PortId output = kNoPort;
+
+    /** Traffic class (CBR cells ride the frame schedule; VBR rides PIM). */
+    TrafficClass cls = TrafficClass::VBR;
+
+    /** Per-flow sequence number assigned by the source. */
+    int64_t seq = 0;
+
+    /** Slot in which the cell arrived at the current switch. */
+    SlotTime arrival_slot = 0;
+
+    /** Slot in which the cell was injected at its source. */
+    SlotTime inject_slot = 0;
+
+    /** Wall-clock injection time (drifting-clock network layer only). */
+    PicoTime inject_ps = 0;
+
+    /**
+     * Wall time of the end of the frame in which the cell departed its
+     * source controller: T(c, s_0) of Appendix B. Set at injection.
+     */
+    PicoTime src_frame_end_ps = 0;
+
+    /**
+     * Wall time of the end of the frame in which the cell most recently
+     * departed a node: T(c, s_n). Updated at every hop; the sink computes
+     * the adjusted latency L = frame_end_ps - src_frame_end_ps.
+     */
+    PicoTime frame_end_ps = 0;
+
+    /** Switch hops traversed so far (network layer). */
+    int hops = 0;
+};
+
+}  // namespace an2
+
+#endif  // AN2_CELL_CELL_H

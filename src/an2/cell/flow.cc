@@ -1,0 +1,29 @@
+#include "an2/cell/flow.h"
+
+namespace an2 {
+
+FlowId
+FlowTable::addFlow(PortId input, PortId output, TrafficClass cls,
+                   int cells_per_frame)
+{
+    AN2_REQUIRE(input >= 0, "flow input port must be non-negative");
+    AN2_REQUIRE(output >= 0, "flow output port must be non-negative");
+    AN2_REQUIRE(cells_per_frame >= 0, "reservation must be non-negative");
+    Flow f;
+    f.id = static_cast<FlowId>(flows_.size());
+    f.input = input;
+    f.output = output;
+    f.cls = cls;
+    f.cells_per_frame = cls == TrafficClass::CBR ? cells_per_frame : 0;
+    flows_.push_back(f);
+    return f.id;
+}
+
+const Flow&
+FlowTable::flow(FlowId id) const
+{
+    AN2_REQUIRE(id >= 0 && id < size(), "unknown flow id " << id);
+    return flows_[static_cast<size_t>(id)];
+}
+
+}  // namespace an2

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Flow descriptors and the per-switch flow/routing table.
+ *
+ * Routing in AN2 is flow-based (paper §2): every cell carries a flow
+ * identifier, and a routing table at each switch maps the flow to an
+ * output port. All cells of a flow take the same path, which is what lets
+ * the switch keep per-flow FIFO order without head-of-line blocking.
+ */
+#ifndef AN2_CELL_FLOW_H
+#define AN2_CELL_FLOW_H
+
+#include <vector>
+
+#include "an2/base/error.h"
+#include "an2/base/types.h"
+
+namespace an2 {
+
+/** Static description of one flow through a single switch. */
+struct Flow
+{
+    FlowId id = kNoFlow;
+
+    /** Switch input port the flow's cells arrive on. */
+    PortId input = kNoPort;
+
+    /** Switch output port the flow is routed to. */
+    PortId output = kNoPort;
+
+    /** CBR (reserved) or VBR (datagram). */
+    TrafficClass cls = TrafficClass::VBR;
+
+    /** For CBR flows: reserved cells per frame; 0 for VBR. */
+    int cells_per_frame = 0;
+};
+
+/**
+ * Registry of flows known to one switch: the simulator's stand-in for the
+ * routing table built during network configuration.
+ */
+class FlowTable
+{
+  public:
+    /**
+     * Register a flow and return its id (assigned sequentially).
+     *
+     * @param input Input port.
+     * @param output Output port.
+     * @param cls Traffic class.
+     * @param cells_per_frame Reservation for CBR flows (ignored for VBR).
+     */
+    FlowId addFlow(PortId input, PortId output,
+                   TrafficClass cls = TrafficClass::VBR,
+                   int cells_per_frame = 0);
+
+    /** Look up a flow; the id must have been returned by addFlow. */
+    const Flow& flow(FlowId id) const;
+
+    /** Number of registered flows. */
+    int size() const { return static_cast<int>(flows_.size()); }
+
+    /** All flows, in id order. */
+    const std::vector<Flow>& flows() const { return flows_; }
+
+  private:
+    std::vector<Flow> flows_;
+};
+
+}  // namespace an2
+
+#endif  // AN2_CELL_FLOW_H

@@ -1,0 +1,196 @@
+#include "an2/fabric/batcher_banyan.h"
+
+#include <limits>
+
+#include "an2/base/error.h"
+
+namespace an2 {
+
+bool
+isPowerOfTwo(int v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+namespace {
+
+int
+log2OfPowerOfTwo(int n)
+{
+    int k = 0;
+    while ((1 << k) < n)
+        ++k;
+    return k;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- banyan
+
+BanyanNetwork::BanyanNetwork(int n) : n_(n), stages_(log2OfPowerOfTwo(n))
+{
+    AN2_REQUIRE(isPowerOfTwo(n) && n >= 2,
+                "banyan size must be a power of two >= 2");
+}
+
+FabricResult
+BanyanNetwork::route(const std::vector<FabricCell>& cells) const
+{
+    FabricResult result;
+    // Track each live cell's current wire position through the stages.
+    struct Live
+    {
+        FabricCell cell;
+        int pos;
+    };
+    std::vector<Live> live;
+    live.reserve(cells.size());
+    std::vector<bool> input_used(static_cast<size_t>(n_), false);
+    for (const FabricCell& c : cells) {
+        AN2_REQUIRE(c.input >= 0 && c.input < n_,
+                    "fabric input " << c.input << " out of range");
+        AN2_REQUIRE(c.output >= 0 && c.output < n_,
+                    "fabric output " << c.output << " out of range");
+        AN2_REQUIRE(!input_used[static_cast<size_t>(c.input)],
+                    "two cells presented at fabric input " << c.input);
+        input_used[static_cast<size_t>(c.input)] = true;
+        live.push_back({c, c.input});
+    }
+
+    // Omega network: each stage applies the perfect shuffle to the wire
+    // positions, then every 2x2 element forwards its cells to the upper
+    // or lower exit selected by the destination bit for that stage.
+    // After log2(N) stages a cell's position equals its destination.
+    for (int s = 0; s < stages_ && !live.empty(); ++s) {
+        // exit_taken[element][bit]: index into `live` or -1.
+        std::vector<int> exit_taken(static_cast<size_t>(n_), -1);
+        std::vector<bool> lost(live.size(), false);
+        for (size_t c = 0; c < live.size(); ++c) {
+            int p = live[c].pos;
+            int shuffled = ((p << 1) | (p >> (stages_ - 1))) & (n_ - 1);
+            int element = shuffled >> 1;
+            int bit = (live[c].cell.output >> (stages_ - 1 - s)) & 1;
+            int exit_wire = (element << 1) | bit;
+            int& holder = exit_taken[static_cast<size_t>(exit_wire)];
+            if (holder >= 0) {
+                // Internal blocking: the element's exit is taken. The
+                // earlier cell keeps it (hardware: fixed priority).
+                lost[c] = true;
+                ++result.conflicts;
+            } else {
+                holder = static_cast<int>(c);
+                live[c].pos = exit_wire;
+            }
+        }
+        std::vector<Live> survivors;
+        survivors.reserve(live.size());
+        for (size_t c = 0; c < live.size(); ++c) {
+            if (lost[c])
+                result.blocked.push_back(live[c].cell);
+            else
+                survivors.push_back(live[c]);
+        }
+        live.swap(survivors);
+    }
+
+    for (const Live& l : live) {
+        AN2_ASSERT(l.pos == l.cell.output,
+                   "banyan self-routing failed: cell for output "
+                       << l.cell.output << " emerged at " << l.pos);
+        result.delivered.push_back(l.cell);
+    }
+    return result;
+}
+
+// --------------------------------------------------------------- batcher
+
+BatcherSorter::BatcherSorter(int n) : n_(n)
+{
+    AN2_REQUIRE(isPowerOfTwo(n) && n >= 2,
+                "sorter size must be a power of two >= 2");
+    int k = log2OfPowerOfTwo(n);
+    stages_ = k * (k + 1) / 2;
+}
+
+std::vector<FabricCell>
+BatcherSorter::sort(const std::vector<FabricCell>& cells) const
+{
+    constexpr int kVacant = std::numeric_limits<int>::max();
+    // Lay the cells onto their input wires; vacant wires sort last.
+    std::vector<FabricCell> wire(static_cast<size_t>(n_));
+    std::vector<int> key(static_cast<size_t>(n_), kVacant);
+    for (const FabricCell& c : cells) {
+        AN2_REQUIRE(c.input >= 0 && c.input < n_,
+                    "fabric input " << c.input << " out of range");
+        AN2_REQUIRE(key[static_cast<size_t>(c.input)] == kVacant,
+                    "two cells presented at fabric input " << c.input);
+        wire[static_cast<size_t>(c.input)] = c;
+        key[static_cast<size_t>(c.input)] = c.output;
+    }
+
+    // Bitonic sorting network: the canonical compare-exchange schedule.
+    for (int block = 2; block <= n_; block <<= 1) {
+        for (int dist = block >> 1; dist > 0; dist >>= 1) {
+            for (int i = 0; i < n_; ++i) {
+                int partner = i ^ dist;
+                if (partner <= i)
+                    continue;
+                bool ascending = (i & block) == 0;
+                bool out_of_order =
+                    ascending ? key[static_cast<size_t>(i)] >
+                                    key[static_cast<size_t>(partner)]
+                              : key[static_cast<size_t>(i)] <
+                                    key[static_cast<size_t>(partner)];
+                if (out_of_order) {
+                    std::swap(key[static_cast<size_t>(i)],
+                              key[static_cast<size_t>(partner)]);
+                    std::swap(wire[static_cast<size_t>(i)],
+                              wire[static_cast<size_t>(partner)]);
+                }
+            }
+        }
+    }
+
+    std::vector<FabricCell> sorted;
+    for (int i = 0; i < n_; ++i) {
+        if (key[static_cast<size_t>(i)] == kVacant)
+            break;
+        FabricCell c = wire[static_cast<size_t>(i)];
+        c.input = i;  // concentrated onto consecutive low inputs
+        sorted.push_back(c);
+    }
+    AN2_ASSERT(sorted.size() == cells.size(),
+               "sorter lost cells: " << sorted.size() << " of "
+                                     << cells.size());
+    return sorted;
+}
+
+// -------------------------------------------------------- batcher-banyan
+
+BatcherBanyanFabric::BatcherBanyanFabric(int n)
+    : n_(n), sorter_(n), banyan_(n)
+{
+}
+
+FabricResult
+BatcherBanyanFabric::route(const std::vector<FabricCell>& cells) const
+{
+    std::vector<bool> out_used(static_cast<size_t>(n_), false);
+    for (const FabricCell& c : cells) {
+        AN2_REQUIRE(c.output >= 0 && c.output < n_,
+                    "fabric output " << c.output << " out of range");
+        AN2_REQUIRE(!out_used[static_cast<size_t>(c.output)],
+                    "two cells bound for output "
+                        << c.output
+                        << "; schedule a conflict-free matching first");
+        out_used[static_cast<size_t>(c.output)] = true;
+    }
+    std::vector<FabricCell> sorted = sorter_.sort(cells);
+    FabricResult result = banyan_.route(sorted);
+    AN2_ASSERT(result.conflicts == 0 && result.blocked.empty(),
+               "batcher-banyan blocked internally: sorted concentrated "
+               "distinct-output cells must be conflict-free");
+    return result;
+}
+
+}  // namespace an2

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Self-routing fabrics (paper §2.2): a banyan (omega) network, a Batcher
+ * bitonic sorting network, and their combination.
+ *
+ * A banyan network routes each cell from any input to the output encoded
+ * in its header, but suffers *internal blocking*: two cells bound for
+ * different outputs can collide at an interior 2x2 element. Huang &
+ * Knauer's observation (used by Starlite and Sunshine) is that a banyan
+ * is internally non-blocking when the cells presented to it are sorted
+ * by destination and placed on consecutive inputs — which a Batcher
+ * sorting network does in hardware. The AN2 prototype uses a crossbar
+ * instead, but its scheduling algorithm only assumes *some* non-blocking
+ * fabric; this module lets the claim be exercised and tested.
+ */
+#ifndef AN2_FABRIC_BATCHER_BANYAN_H
+#define AN2_FABRIC_BATCHER_BANYAN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "an2/base/types.h"
+
+namespace an2 {
+
+/** One cell's trip through a self-routing fabric. */
+struct FabricCell
+{
+    PortId input = kNoPort;   ///< presented at this fabric input
+    PortId output = kNoPort;  ///< destination in the header
+
+    /**
+     * Caller-owned identifier carried through sorting and routing; lets
+     * callers correlate delivered cells with what they injected (the
+     * Batcher stage re-positions cells, overwriting `input`).
+     */
+    int64_t tag = 0;
+};
+
+/** Result of routing one slot's worth of cells through a fabric. */
+struct FabricResult
+{
+    /** Cells that reached their destination output. */
+    std::vector<FabricCell> delivered;
+
+    /** Cells lost to internal blocking (never happens behind a Batcher). */
+    std::vector<FabricCell> blocked;
+
+    /** Total 2x2-element conflicts encountered. */
+    int conflicts = 0;
+};
+
+/**
+ * An N x N omega (banyan) network of log2(N) stages of 2x2 elements.
+ * N must be a power of two.
+ */
+class BanyanNetwork
+{
+  public:
+    explicit BanyanNetwork(int n);
+
+    int size() const { return n_; }
+
+    /** Number of 2x2 switching stages (log2 N). */
+    int stages() const { return stages_; }
+
+    /**
+     * Route one slot of cells. Inputs must be distinct; outputs need not
+     * be (the fabric itself has no output arbitration — callers that
+     * allow duplicate outputs will see conflicts). A cell losing a 2x2
+     * conflict is dropped, exactly like a bufferless hardware banyan.
+     */
+    FabricResult route(const std::vector<FabricCell>& cells) const;
+
+  private:
+    int n_;
+    int stages_;
+};
+
+/**
+ * A Batcher bitonic sorting network over cell destinations, modeled at
+ * the compare-exchange level (not std::sort) so the hardware structure
+ * is what is actually exercised: log2(N)*(log2(N)+1)/2 stages.
+ */
+class BatcherSorter
+{
+  public:
+    explicit BatcherSorter(int n);
+
+    int size() const { return n_; }
+
+    /** Number of compare-exchange stages. */
+    int stages() const { return stages_; }
+
+    /**
+     * Sort cells by destination onto consecutive low-numbered outputs.
+     * Vacant inputs sort behind all real cells. Returns the cells in
+     * their sorted positions (position index = new fabric input).
+     */
+    std::vector<FabricCell> sort(const std::vector<FabricCell>& cells) const;
+
+  private:
+    int n_;
+    int stages_;
+};
+
+/**
+ * The Batcher-banyan combination: sort, concentrate onto consecutive
+ * inputs, then self-route. Internally non-blocking for any set of cells
+ * with distinct outputs (the property the paper's scheduler relies on).
+ */
+class BatcherBanyanFabric
+{
+  public:
+    explicit BatcherBanyanFabric(int n);
+
+    int size() const { return n_; }
+
+    /**
+     * Route one slot of cells with distinct inputs and distinct outputs.
+     * Guaranteed conflict-free; an internal conflict here is a bug (and
+     * throws InternalError).
+     */
+    FabricResult route(const std::vector<FabricCell>& cells) const;
+
+  private:
+    int n_;
+    BatcherSorter sorter_;
+    BanyanNetwork banyan_;
+};
+
+/** True when v is a power of two (fabric size requirement). */
+bool isPowerOfTwo(int v);
+
+}  // namespace an2
+
+#endif  // AN2_FABRIC_BATCHER_BANYAN_H

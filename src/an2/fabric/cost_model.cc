@@ -1,0 +1,93 @@
+#include "an2/fabric/cost_model.h"
+
+#include "an2/base/error.h"
+
+namespace an2 {
+
+std::string
+costUnitName(CostUnit unit)
+{
+    switch (unit) {
+      case CostUnit::Optoelectronics: return "Optoelectronics";
+      case CostUnit::Crossbar: return "Crossbar";
+      case CostUnit::BufferRam: return "Buffer RAM/Logic";
+      case CostUnit::SchedulingLogic: return "Scheduling Logic";
+      case CostUnit::ControlCpu: return "Routing/Control CPU";
+    }
+    AN2_PANIC("unknown cost unit");
+}
+
+double
+CostModel::unitCost(CostUnit unit, int n) const
+{
+    AN2_REQUIRE(n > 0, "switch size must be positive");
+    auto nd = static_cast<double>(n);
+    switch (unit) {
+      case CostUnit::Optoelectronics:
+        return params_.opto_per_port * nd;
+      case CostUnit::Crossbar:
+        return params_.crosspoint * nd * nd;
+      case CostUnit::BufferRam:
+        return params_.buffer_per_port * nd;
+      case CostUnit::SchedulingLogic:
+        return params_.sched_per_wire * nd * nd + params_.sched_per_port * nd;
+      case CostUnit::ControlCpu:
+        return params_.control_cpu;
+    }
+    AN2_PANIC("unknown cost unit");
+}
+
+double
+CostModel::totalCost(int n) const
+{
+    double total = 0.0;
+    for (int u = 0; u < kNumCostUnits; ++u)
+        total += unitCost(static_cast<CostUnit>(u), n);
+    return total;
+}
+
+std::vector<CostShare>
+CostModel::shares(int n) const
+{
+    double total = totalCost(n);
+    std::vector<CostShare> result;
+    result.reserve(kNumCostUnits);
+    for (int u = 0; u < kNumCostUnits; ++u) {
+        auto unit = static_cast<CostUnit>(u);
+        result.push_back({unit, unitCost(unit, n) / total});
+    }
+    return result;
+}
+
+// Both parameter sets are calibrated so that a 16x16 switch reproduces
+// the paper's Table 2 percentages exactly (total = 100 cost units at
+// N = 16). Scheduling cost is split evenly between the O(N^2)
+// request/grant wiring and the O(N) per-port selection logic.
+
+CostParams
+CostModel::prototypeParams()
+{
+    return CostParams{
+        /*opto_per_port=*/48.0 / 16,
+        /*crosspoint=*/4.0 / 256,
+        /*buffer_per_port=*/21.0 / 16,
+        /*sched_per_wire=*/5.0 / 256,
+        /*sched_per_port=*/5.0 / 16,
+        /*control_cpu=*/17.0,
+    };
+}
+
+CostParams
+CostModel::productionParams()
+{
+    return CostParams{
+        /*opto_per_port=*/63.0 / 16,
+        /*crosspoint=*/5.0 / 256,
+        /*buffer_per_port=*/19.0 / 16,
+        /*sched_per_wire=*/1.5 / 256,
+        /*sched_per_port=*/1.5 / 16,
+        /*control_cpu=*/10.0,
+    };
+}
+
+}  // namespace an2

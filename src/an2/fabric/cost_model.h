@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Switch hardware cost model reproducing Table 2 of the paper.
+ *
+ * Table 2 reports the cost of each functional unit of the 16x16 AN2
+ * switch as a share of total switch cost, for the FPGA prototype and an
+ * estimated custom-CMOS production version. We cannot measure 1992
+ * hardware prices, so — per the substitution rule — we model them: each
+ * functional unit's cost is a simple function of switch size N with
+ * per-unit price parameters. The default parameter sets are calibrated so
+ * that N = 16 reproduces the paper's published percentages exactly; the
+ * model then extrapolates how shares shift with N (e.g. the O(N^2)
+ * crossbar and scheduling wiring overtaking optics for very large N),
+ * supporting the paper's moderate-switch-size argument in §2.1-2.2.
+ */
+#ifndef AN2_FABRIC_COST_MODEL_H
+#define AN2_FABRIC_COST_MODEL_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace an2 {
+
+/** The functional units of Table 2. */
+enum class CostUnit {
+    Optoelectronics,
+    Crossbar,
+    BufferRam,
+    SchedulingLogic,
+    ControlCpu,
+};
+
+/** Number of functional units in the model. */
+inline constexpr int kNumCostUnits = 5;
+
+/** Human-readable name of a functional unit. */
+std::string costUnitName(CostUnit unit);
+
+/**
+ * Per-unit price parameters. Costs are in arbitrary consistent currency:
+ * only shares are meaningful.
+ */
+struct CostParams
+{
+    double opto_per_port;       ///< optoelectronic devices, per port
+    double crosspoint;          ///< crossbar, per crosspoint (N^2 of them)
+    double buffer_per_port;     ///< buffer RAM + management logic, per port
+    double sched_per_wire;      ///< request/grant wiring, per wire (N^2)
+    double sched_per_port;      ///< per-port scheduling logic
+    double control_cpu;         ///< routing/control processor (fixed)
+};
+
+/** One row of the reproduced Table 2. */
+struct CostShare
+{
+    CostUnit unit;
+    double share;  ///< fraction of total switch cost in [0,1]
+};
+
+/** Parameterized switch cost model. */
+class CostModel
+{
+  public:
+    explicit CostModel(const CostParams& params) : params_(params) {}
+
+    /** Absolute modeled cost of one functional unit for an N x N switch. */
+    double unitCost(CostUnit unit, int n) const;
+
+    /** Total modeled switch cost. */
+    double totalCost(int n) const;
+
+    /** Cost shares for all units, in Table 2 row order. */
+    std::vector<CostShare> shares(int n) const;
+
+    /**
+     * Parameters calibrated to the paper's *prototype* column at N = 16
+     * (Xilinx FPGAs for the random logic).
+     */
+    static CostParams prototypeParams();
+
+    /**
+     * Parameters calibrated to the paper's *production estimate* column at
+     * N = 16 (custom CMOS shrinks the scheduling and control logic).
+     */
+    static CostParams productionParams();
+
+  private:
+    CostParams params_;
+};
+
+}  // namespace an2
+
+#endif  // AN2_FABRIC_COST_MODEL_H

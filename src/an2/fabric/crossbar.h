@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The internally non-blocking data-forwarding fabric (paper §2.2).
+ *
+ * The AN2 prototype uses a crossbar: any set of cells may be forwarded in
+ * a slot provided no two share an input or (beyond the configured
+ * capacity) an output. The crossbar is reconfigured from a Matching at
+ * every slot boundary; routing a cell through an unconfigured crosspoint
+ * is an internal error. The class also tracks utilization statistics.
+ */
+#ifndef AN2_FABRIC_CROSSBAR_H
+#define AN2_FABRIC_CROSSBAR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "an2/base/types.h"
+#include "an2/cell/cell.h"
+#include "an2/matching/matching.h"
+
+namespace an2 {
+
+/** An N_in x N_out crossbar with per-slot configuration. */
+class Crossbar
+{
+  public:
+    /**
+     * @param n_inputs Input ports.
+     * @param n_outputs Output ports.
+     */
+    Crossbar(int n_inputs, int n_outputs);
+
+    /** Square N x N crossbar. */
+    explicit Crossbar(int n) : Crossbar(n, n) {}
+
+    int numInputs() const { return n_inputs_; }
+    int numOutputs() const { return n_outputs_; }
+
+    /**
+     * Reconfigure the crosspoints for the next slot. The matching's
+     * dimensions must equal the crossbar's.
+     */
+    void configure(const Matching& matching);
+
+    /** Output currently connected to input i, or kNoPort. */
+    PortId routeOf(PortId i) const;
+
+    /**
+     * Forward a cell from its input across the configured crosspoint.
+     * The crossbar must be configured with input `cell.input` connected
+     * to `cell.output`; this is the hardware's "cells only move where the
+     * scheduler told them to" invariant.
+     */
+    void forward(const Cell& cell);
+
+    /** Slots configured so far. */
+    int64_t slots() const { return slots_; }
+
+    /** Total cells forwarded so far. */
+    int64_t cellsForwarded() const { return cells_forwarded_; }
+
+    /**
+     * Mean fraction of output links used per configured slot
+     * (cells forwarded / (slots * N_out)).
+     */
+    double utilization() const;
+
+    /** Number of crosspoints (the O(N^2) hardware cost driver, §2.2). */
+    int64_t crosspoints() const
+    {
+        return static_cast<int64_t>(n_inputs_) * n_outputs_;
+    }
+
+  private:
+    int n_inputs_;
+    int n_outputs_;
+    std::vector<PortId> route_;  ///< input -> connected output
+    int64_t slots_ = 0;
+    int64_t cells_forwarded_ = 0;
+};
+
+}  // namespace an2
+
+#endif  // AN2_FABRIC_CROSSBAR_H

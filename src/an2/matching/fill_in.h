@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Composite scheduling (§5.2): "Any slot not used by statistical
+ * matching can be filled with other traffic by parallel iterative
+ * matching." The FillInMatcher runs a primary scheduler (typically
+ * statistical matching, whose weighted dice intentionally idle ~28% of
+ * allocated capacity) and hands the leftover ports to a secondary
+ * scheduler (typically PIM) in the same slot, so reserved shares are
+ * honored *and* the switch stays work-conserving.
+ */
+#ifndef AN2_MATCHING_FILL_IN_H
+#define AN2_MATCHING_FILL_IN_H
+
+#include <memory>
+
+#include "an2/matching/matcher.h"
+
+namespace an2 {
+
+/** Primary scheduler with a secondary filling the ports it leaves idle. */
+class FillInMatcher final : public Matcher
+{
+  public:
+    /**
+     * @param primary Scheduler with first claim on the slot (owned).
+     * @param secondary Scheduler for the leftover ports (owned).
+     */
+    FillInMatcher(std::unique_ptr<Matcher> primary,
+                  std::unique_ptr<Matcher> secondary);
+
+    Matching match(const RequestMatrix& req) override;
+    std::string name() const override;
+    void reset() override;
+
+    /** Pairs contributed by the primary scheduler so far. */
+    int64_t primaryPairs() const { return primary_pairs_; }
+
+    /** Pairs contributed by the fill-in scheduler so far. */
+    int64_t fillInPairs() const { return fill_in_pairs_; }
+
+    /** The primary scheduler (e.g. to adjust allocations on the fly). */
+    Matcher& primary() { return *primary_; }
+
+  private:
+    std::unique_ptr<Matcher> primary_;
+    std::unique_ptr<Matcher> secondary_;
+    int64_t primary_pairs_ = 0;
+    int64_t fill_in_pairs_ = 0;
+};
+
+}  // namespace an2
+
+#endif  // AN2_MATCHING_FILL_IN_H

@@ -1,0 +1,119 @@
+#include "an2/matching/hopcroft_karp.h"
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace an2 {
+
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max();
+
+/** Internal solver state for one run. */
+struct Solver
+{
+    const RequestMatrix& req;
+    int n_in;
+    int n_out;
+    std::vector<std::vector<PortId>> adj;  // input -> requested outputs
+    std::vector<PortId> match_in;          // input -> output or kNoPort
+    std::vector<PortId> match_out;         // output -> input or kNoPort
+    std::vector<int> dist;
+
+    explicit Solver(const RequestMatrix& r)
+        : req(r), n_in(r.numInputs()), n_out(r.numOutputs()),
+          adj(static_cast<size_t>(n_in)),
+          match_in(static_cast<size_t>(n_in), kNoPort),
+          match_out(static_cast<size_t>(n_out), kNoPort),
+          dist(static_cast<size_t>(n_in), 0)
+    {
+        for (PortId i = 0; i < n_in; ++i)
+            for (PortId j = 0; j < n_out; ++j)
+                if (req.has(i, j))
+                    adj[static_cast<size_t>(i)].push_back(j);
+    }
+
+    /** BFS layering from free inputs; true if an augmenting path exists. */
+    bool
+    bfs()
+    {
+        std::queue<PortId> q;
+        bool found = false;
+        for (PortId i = 0; i < n_in; ++i) {
+            if (match_in[static_cast<size_t>(i)] == kNoPort) {
+                dist[static_cast<size_t>(i)] = 0;
+                q.push(i);
+            } else {
+                dist[static_cast<size_t>(i)] = kInf;
+            }
+        }
+        while (!q.empty()) {
+            PortId i = q.front();
+            q.pop();
+            for (PortId j : adj[static_cast<size_t>(i)]) {
+                PortId next = match_out[static_cast<size_t>(j)];
+                if (next == kNoPort) {
+                    found = true;
+                } else if (dist[static_cast<size_t>(next)] == kInf) {
+                    dist[static_cast<size_t>(next)] =
+                        dist[static_cast<size_t>(i)] + 1;
+                    q.push(next);
+                }
+            }
+        }
+        return found;
+    }
+
+    /** DFS along the BFS layering, augmenting where possible. */
+    bool
+    dfs(PortId i)
+    {
+        for (PortId j : adj[static_cast<size_t>(i)]) {
+            PortId next = match_out[static_cast<size_t>(j)];
+            if (next == kNoPort ||
+                (dist[static_cast<size_t>(next)] ==
+                     dist[static_cast<size_t>(i)] + 1 &&
+                 dfs(next))) {
+                match_in[static_cast<size_t>(i)] = j;
+                match_out[static_cast<size_t>(j)] = i;
+                return true;
+            }
+        }
+        dist[static_cast<size_t>(i)] = kInf;
+        return false;
+    }
+
+    void
+    solve()
+    {
+        while (bfs()) {
+            for (PortId i = 0; i < n_in; ++i)
+                if (match_in[static_cast<size_t>(i)] == kNoPort)
+                    dfs(i);
+        }
+    }
+};
+
+}  // namespace
+
+Matching
+HopcroftKarpMatcher::match(const RequestMatrix& req)
+{
+    Solver solver(req);
+    solver.solve();
+    Matching m(req.numInputs(), req.numOutputs());
+    for (PortId i = 0; i < req.numInputs(); ++i)
+        if (solver.match_in[static_cast<size_t>(i)] != kNoPort)
+            m.add(i, solver.match_in[static_cast<size_t>(i)]);
+    return m;
+}
+
+int
+maximumMatchingSize(const RequestMatrix& req)
+{
+    HopcroftKarpMatcher matcher;
+    return matcher.match(req).size();
+}
+
+}  // namespace an2

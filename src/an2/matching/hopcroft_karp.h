@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Hopcroft–Karp maximum bipartite matching, the §3.4 upper-bound
+ * comparator. The paper argues that maximum matching is (a) too slow for a
+ * per-slot hardware scheduler and (b) can starve connections; this
+ * implementation lets the benches quantify (a) and demonstrate (b), and
+ * lets tests verify that PIM's maximal matches are within the classic 2x
+ * bound of the maximum.
+ */
+#ifndef AN2_MATCHING_HOPCROFT_KARP_H
+#define AN2_MATCHING_HOPCROFT_KARP_H
+
+#include "an2/matching/matcher.h"
+
+namespace an2 {
+
+/** Exact maximum matching in O(E * sqrt(V)). Deterministic. */
+class HopcroftKarpMatcher final : public Matcher
+{
+  public:
+    Matching match(const RequestMatrix& req) override;
+    std::string name() const override { return "HopcroftKarp(maximum)"; }
+};
+
+/** Size of a maximum matching for `req` (convenience wrapper). */
+int maximumMatchingSize(const RequestMatrix& req);
+
+}  // namespace an2
+
+#endif  // AN2_MATCHING_HOPCROFT_KARP_H

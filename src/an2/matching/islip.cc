@@ -1,0 +1,95 @@
+#include "an2/matching/islip.h"
+
+#include "an2/base/error.h"
+
+namespace an2 {
+
+IslipMatcher::IslipMatcher(int iterations) : iterations_(iterations)
+{
+    AN2_REQUIRE(iterations >= 1, "iSLIP needs at least one iteration");
+}
+
+std::string
+IslipMatcher::name() const
+{
+    return "iSLIP(" + std::to_string(iterations_) + ")";
+}
+
+void
+IslipMatcher::reset()
+{
+    grant_ptr_.clear();
+    accept_ptr_.clear();
+}
+
+Matching
+IslipMatcher::match(const RequestMatrix& req)
+{
+    const int n_in = req.numInputs();
+    const int n_out = req.numOutputs();
+    if (grant_ptr_.empty()) {
+        grant_ptr_.assign(static_cast<size_t>(n_out), 0);
+        accept_ptr_.assign(static_cast<size_t>(n_in), 0);
+    }
+    AN2_REQUIRE(static_cast<int>(grant_ptr_.size()) == n_out &&
+                    static_cast<int>(accept_ptr_.size()) == n_in,
+                "request matrix size changed without reset()");
+
+    Matching m(n_in, n_out);
+    for (int it = 0; it < iterations_; ++it) {
+        // Grant phase: each unmatched output grants to the requesting
+        // unmatched input nearest at-or-after its pointer.
+        std::vector<std::vector<PortId>> grants_to(
+            static_cast<size_t>(n_in));
+        for (PortId j = 0; j < n_out; ++j) {
+            if (m.isOutputSaturated(j))
+                continue;
+            int best_dist = n_in;
+            PortId pick = kNoPort;
+            for (PortId i = 0; i < n_in; ++i) {
+                if (m.isInputMatched(i) || !req.has(i, j))
+                    continue;
+                int dist = (i - grant_ptr_[static_cast<size_t>(j)] + n_in) %
+                           n_in;
+                if (dist < best_dist) {
+                    best_dist = dist;
+                    pick = i;
+                }
+            }
+            if (pick != kNoPort)
+                grants_to[static_cast<size_t>(pick)].push_back(j);
+        }
+
+        // Accept phase: each input accepts the granting output nearest
+        // at-or-after its pointer. Pointers move only for matches made in
+        // the first iteration (the standard iSLIP rule, which guarantees
+        // that the most recently served connection has lowest priority).
+        int added = 0;
+        for (PortId i = 0; i < n_in; ++i) {
+            const auto& grants = grants_to[static_cast<size_t>(i)];
+            if (grants.empty())
+                continue;
+            int best_dist = n_out;
+            PortId chosen = grants.front();
+            for (PortId j : grants) {
+                int dist = (j - accept_ptr_[static_cast<size_t>(i)] + n_out) %
+                           n_out;
+                if (dist < best_dist) {
+                    best_dist = dist;
+                    chosen = j;
+                }
+            }
+            m.add(i, chosen);
+            ++added;
+            if (it == 0) {
+                accept_ptr_[static_cast<size_t>(i)] = (chosen + 1) % n_out;
+                grant_ptr_[static_cast<size_t>(chosen)] = (i + 1) % n_in;
+            }
+        }
+        if (added == 0)
+            break;
+    }
+    return m;
+}
+
+}  // namespace an2

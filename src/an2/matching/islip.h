@@ -1,0 +1,41 @@
+/**
+ * @file
+ * iSLIP — the rotating-pointer descendant of PIM (McKeown, 1995/99),
+ * included as an ablation baseline: it replaces PIM's random grant/accept
+ * choices with round-robin pointers that "desynchronize" under load,
+ * trading PIM's per-slot randomness for deterministic hardware.
+ *
+ * Not part of the 1992 paper itself; an2sim ships it because the paper's
+ * §3.3 discussion of implementing random selection in hardware is exactly
+ * the problem iSLIP was later designed to avoid, making it the natural
+ * design-alternative ablation.
+ */
+#ifndef AN2_MATCHING_ISLIP_H
+#define AN2_MATCHING_ISLIP_H
+
+#include <vector>
+
+#include "an2/matching/matcher.h"
+
+namespace an2 {
+
+/** The iSLIP scheduler with a configurable iteration count. */
+class IslipMatcher final : public Matcher
+{
+  public:
+    /** @param iterations Grant/accept rounds per slot (>= 1). */
+    explicit IslipMatcher(int iterations = 4);
+
+    Matching match(const RequestMatrix& req) override;
+    std::string name() const override;
+    void reset() override;
+
+  private:
+    int iterations_;
+    std::vector<int> grant_ptr_;   ///< per-output rotating grant pointer
+    std::vector<int> accept_ptr_;  ///< per-input rotating accept pointer
+};
+
+}  // namespace an2
+
+#endif  // AN2_MATCHING_ISLIP_H

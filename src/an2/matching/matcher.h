@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The scheduling-strategy interface: switches are parameterized by a
+ * Matcher so that every experiment can swap algorithms (PIM, iSLIP,
+ * greedy, maximum matching, ...) without touching the simulator.
+ */
+#ifndef AN2_MATCHING_MATCHER_H
+#define AN2_MATCHING_MATCHER_H
+
+#include <string>
+
+#include "an2/matching/matching.h"
+#include "an2/matching/request_matrix.h"
+
+namespace an2 {
+
+/** A switch-scheduling algorithm: request matrix in, legal matching out. */
+class Matcher
+{
+  public:
+    virtual ~Matcher() = default;
+
+    /**
+     * Compute a matching for one time slot. Must return a matching that is
+     * legal for `req`. Implementations may keep internal state across
+     * calls (round-robin pointers, PRNG state).
+     */
+    virtual Matching match(const RequestMatrix& req) = 0;
+
+    /** Human-readable algorithm name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Reset internal state (pointers etc.); PRNG state is preserved. */
+    virtual void reset() {}
+};
+
+}  // namespace an2
+
+#endif  // AN2_MATCHING_MATCHER_H

@@ -1,0 +1,98 @@
+#include "an2/matching/matching.h"
+
+#include <algorithm>
+
+#include "an2/base/error.h"
+
+namespace an2 {
+
+Matching::Matching(int n_inputs, int n_outputs, int output_capacity)
+    : in2out_(static_cast<size_t>(n_inputs), kNoPort),
+      out2ins_(static_cast<size_t>(n_outputs)),
+      out_degree_(static_cast<size_t>(n_outputs), 0),
+      output_capacity_(output_capacity)
+{
+    AN2_REQUIRE(n_inputs > 0 && n_outputs > 0,
+                "matching must have positive dimensions");
+    AN2_REQUIRE(output_capacity >= 1, "output capacity must be >= 1");
+}
+
+void
+Matching::add(PortId i, PortId j)
+{
+    AN2_REQUIRE(i >= 0 && i < numInputs(), "input " << i << " out of range");
+    AN2_REQUIRE(j >= 0 && j < numOutputs(),
+                "output " << j << " out of range");
+    AN2_ASSERT(!isInputMatched(i), "input " << i << " already matched");
+    AN2_ASSERT(!isOutputSaturated(j), "output " << j << " saturated");
+    in2out_[static_cast<size_t>(i)] = j;
+    out2ins_[static_cast<size_t>(j)].push_back(i);
+    ++out_degree_[static_cast<size_t>(j)];
+    ++size_;
+}
+
+void
+Matching::removeInput(PortId i)
+{
+    AN2_REQUIRE(i >= 0 && i < numInputs(), "input " << i << " out of range");
+    PortId j = in2out_[static_cast<size_t>(i)];
+    AN2_ASSERT(j != kNoPort, "input " << i << " is not matched");
+    in2out_[static_cast<size_t>(i)] = kNoPort;
+    auto& ins = out2ins_[static_cast<size_t>(j)];
+    ins.erase(std::find(ins.begin(), ins.end(), i));
+    --out_degree_[static_cast<size_t>(j)];
+    --size_;
+}
+
+const std::vector<PortId>&
+Matching::inputsOf(PortId j) const
+{
+    AN2_REQUIRE(j >= 0 && j < numOutputs(), "output " << j << " out of range");
+    return out2ins_[static_cast<size_t>(j)];
+}
+
+PortId
+Matching::inputOf(PortId j) const
+{
+    const auto& ins = inputsOf(j);
+    return ins.empty() ? kNoPort : ins.front();
+}
+
+std::vector<std::pair<PortId, PortId>>
+Matching::pairs() const
+{
+    std::vector<std::pair<PortId, PortId>> result;
+    result.reserve(static_cast<size_t>(size_));
+    for (PortId i = 0; i < numInputs(); ++i)
+        if (in2out_[static_cast<size_t>(i)] != kNoPort)
+            result.emplace_back(i, in2out_[static_cast<size_t>(i)]);
+    return result;
+}
+
+bool
+Matching::isLegalFor(const RequestMatrix& req) const
+{
+    if (req.numInputs() != numInputs() || req.numOutputs() != numOutputs())
+        return false;
+    for (PortId i = 0; i < numInputs(); ++i) {
+        PortId j = in2out_[static_cast<size_t>(i)];
+        if (j != kNoPort && !req.has(i, j))
+            return false;
+    }
+    return true;
+}
+
+bool
+Matching::isMaximalFor(const RequestMatrix& req) const
+{
+    for (PortId i = 0; i < numInputs(); ++i) {
+        if (isInputMatched(i))
+            continue;
+        for (PortId j = 0; j < numOutputs(); ++j)
+            if (req.has(i, j) && !isOutputSaturated(j))
+                return false;
+    }
+    return true;
+}
+
+}  // namespace an2

@@ -1,0 +1,140 @@
+#include "an2/matching/pim.h"
+
+#include <algorithm>
+
+namespace an2 {
+
+PimMatcher::PimMatcher(const PimConfig& config, std::unique_ptr<Rng> rng)
+    : config_(config),
+      rng_(rng ? std::move(rng) : std::make_unique<Xoshiro256>(config.seed))
+{
+    AN2_REQUIRE(config_.iterations >= 0,
+                "iterations must be >= 0 (0 = to completion)");
+    AN2_REQUIRE(config_.output_capacity >= 1,
+                "output capacity must be >= 1");
+}
+
+std::string
+PimMatcher::name() const
+{
+    std::string n = "PIM(";
+    n += config_.iterations == 0 ? "complete"
+                                 : std::to_string(config_.iterations);
+    if (config_.accept == AcceptPolicy::RoundRobin)
+        n += ",rr-accept";
+    if (config_.output_capacity > 1)
+        n += ",k=" + std::to_string(config_.output_capacity);
+    n += ")";
+    return n;
+}
+
+void
+PimMatcher::reset()
+{
+    accept_ptr_.clear();
+}
+
+Matching
+PimMatcher::match(const RequestMatrix& req)
+{
+    PimRunStats stats;
+    return matchDetailed(req, stats, config_.iterations);
+}
+
+Matching
+PimMatcher::matchDetailed(const RequestMatrix& req, PimRunStats& stats,
+                          int max_iterations)
+{
+    const int n_in = req.numInputs();
+    const int n_out = req.numOutputs();
+    Matching m(n_in, n_out, config_.output_capacity);
+    if (accept_ptr_.empty())
+        accept_ptr_.assign(static_cast<size_t>(n_in), 0);
+    AN2_REQUIRE(static_cast<int>(accept_ptr_.size()) == n_in,
+                "request matrix size changed without reset()");
+
+    stats = PimRunStats{};
+    // An iteration with unresolved requests always adds at least one match
+    // (some output grants, some input accepts), so "no progress" implies
+    // maximality and the loop below terminates for max_iterations == 0.
+    for (int it = 0; max_iterations == 0 || it < max_iterations; ++it) {
+        int added = runIteration(req, m);
+        ++stats.iterations_run;
+        stats.matches_after_iteration.push_back(m.size());
+        if (added == 0)
+            break;
+    }
+    stats.reached_maximal = m.isMaximalFor(req);
+    return m;
+}
+
+int
+PimMatcher::runIteration(const RequestMatrix& req, Matching& m)
+{
+    const int n_in = req.numInputs();
+    const int n_out = req.numOutputs();
+
+    // Phase 1+2 (request + grant). Conceptually each unmatched input
+    // broadcasts requests and each output chooses among them; we evaluate
+    // the grant decision at the output, which sees exactly the requests
+    // from currently-unmatched inputs.
+    //
+    // grants_to[i] lists the outputs granting to input i this iteration.
+    std::vector<std::vector<PortId>> grants_to(static_cast<size_t>(n_in));
+    std::vector<PortId> requesters;
+    requesters.reserve(static_cast<size_t>(n_in));
+    for (PortId j = 0; j < n_out; ++j) {
+        int capacity_left = m.outputCapacity() - m.outputDegree(j);
+        if (capacity_left <= 0)
+            continue;
+        requesters.clear();
+        for (PortId i = 0; i < n_in; ++i)
+            if (!m.isInputMatched(i) && req.has(i, j))
+                requesters.push_back(i);
+        if (requesters.empty())
+            continue;
+        if (capacity_left == 1) {
+            PortId pick = requesters[rng_->nextBelow(requesters.size())];
+            grants_to[static_cast<size_t>(pick)].push_back(j);
+        } else {
+            // Replicated-fabric generalization: grant up to k distinct
+            // requesters, chosen uniformly without replacement.
+            rng_->shuffle(requesters);
+            int grants = std::min<int>(capacity_left,
+                                       static_cast<int>(requesters.size()));
+            for (int g = 0; g < grants; ++g)
+                grants_to[static_cast<size_t>(requesters[static_cast<size_t>(g)])]
+                    .push_back(j);
+        }
+    }
+
+    // Phase 3 (accept): each input that received grants accepts one.
+    int added = 0;
+    for (PortId i = 0; i < n_in; ++i) {
+        auto& grants = grants_to[static_cast<size_t>(i)];
+        if (grants.empty())
+            continue;
+        PortId chosen;
+        if (config_.accept == AcceptPolicy::Random) {
+            chosen = grants[rng_->nextBelow(grants.size())];
+        } else {
+            // Round-robin: first granting output at or after the pointer.
+            int ptr = accept_ptr_[static_cast<size_t>(i)];
+            chosen = grants.front();
+            int best_dist = n_out;
+            for (PortId j : grants) {
+                int dist = (j - ptr + n_out) % n_out;
+                if (dist < best_dist) {
+                    best_dist = dist;
+                    chosen = j;
+                }
+            }
+            accept_ptr_[static_cast<size_t>(i)] = (chosen + 1) % n_out;
+        }
+        m.add(i, chosen);
+        ++added;
+    }
+    return added;
+}
+
+}  // namespace an2

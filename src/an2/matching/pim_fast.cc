@@ -1,0 +1,114 @@
+#include "an2/matching/pim_fast.h"
+
+#include <bit>
+
+#include "an2/base/error.h"
+
+namespace an2 {
+
+namespace {
+
+/** Index of the k-th (0-based) set bit of mask; mask must have > k bits. */
+int
+selectBit(uint64_t mask, int k)
+{
+    while (k-- > 0)
+        mask &= mask - 1;  // clear lowest set bit
+    return std::countr_zero(mask);
+}
+
+/** Uniformly random set-bit index of a non-empty mask. */
+int
+randomBit(uint64_t mask, Rng& rng)
+{
+    int bits = std::popcount(mask);
+    if (bits == 1)
+        return std::countr_zero(mask);
+    return selectBit(mask,
+                     static_cast<int>(rng.nextBelow(
+                         static_cast<uint64_t>(bits))));
+}
+
+}  // namespace
+
+FastPimMatcher::FastPimMatcher(int iterations, uint64_t seed)
+    : iterations_(iterations), rng_(seed)
+{
+    AN2_REQUIRE(iterations >= 0,
+                "iterations must be >= 0 (0 = to completion)");
+}
+
+std::string
+FastPimMatcher::name() const
+{
+    std::string n = "FastPIM(";
+    n += iterations_ == 0 ? "complete" : std::to_string(iterations_);
+    n += ")";
+    return n;
+}
+
+void
+FastPimMatcher::matchMasks(const uint64_t* cols, int n, int* out_to_in)
+{
+    AN2_REQUIRE(n >= 1 && n <= 64, "FastPIM supports 1..64 ports");
+    uint64_t free_inputs = n == 64 ? ~0ULL : (1ULL << n) - 1;
+    for (int j = 0; j < n; ++j)
+        out_to_in[j] = -1;
+    uint64_t free_outputs = free_inputs;
+
+    for (int it = 0; iterations_ == 0 || it < iterations_; ++it) {
+        // Grant phase: every free output with free requesters grants one
+        // uniformly. grants[i] accumulates the outputs granting input i.
+        uint64_t grants[64];
+        uint64_t granted_inputs = 0;
+        for (uint64_t outs = free_outputs; outs != 0; outs &= outs - 1) {
+            int j = std::countr_zero(outs);
+            uint64_t requesters = cols[j] & free_inputs;
+            if (requesters == 0)
+                continue;
+            int pick = randomBit(requesters, rng_);
+            if ((granted_inputs & (1ULL << pick)) == 0) {
+                granted_inputs |= 1ULL << pick;
+                grants[pick] = 0;
+            }
+            grants[pick] |= 1ULL << j;
+        }
+        if (granted_inputs == 0)
+            break;  // maximal: no free output sees a free requester
+
+        // Accept phase: every granted input accepts one grant uniformly.
+        for (uint64_t ins = granted_inputs; ins != 0; ins &= ins - 1) {
+            int i = std::countr_zero(ins);
+            int j = randomBit(grants[i], rng_);
+            out_to_in[j] = i;
+            free_inputs &= ~(1ULL << i);
+            free_outputs &= ~(1ULL << j);
+        }
+    }
+}
+
+Matching
+FastPimMatcher::match(const RequestMatrix& req)
+{
+    const int n_in = req.numInputs();
+    const int n_out = req.numOutputs();
+    AN2_REQUIRE(n_in == n_out, "FastPIM expects a square switch");
+    AN2_REQUIRE(n_in >= 1 && n_in <= 64, "FastPIM supports 1..64 ports");
+    uint64_t cols[64];
+    for (PortId j = 0; j < n_out; ++j) {
+        uint64_t mask = 0;
+        for (PortId i = 0; i < n_in; ++i)
+            if (req.has(i, j))
+                mask |= 1ULL << i;
+        cols[j] = mask;
+    }
+    int out_to_in[64];
+    matchMasks(cols, n_in, out_to_in);
+    Matching m(n_in, n_out);
+    for (PortId j = 0; j < n_out; ++j)
+        if (out_to_in[j] >= 0)
+            m.add(out_to_in[j], j);
+    return m;
+}
+
+}  // namespace an2

@@ -1,0 +1,49 @@
+#include "an2/matching/request_matrix.h"
+
+namespace an2 {
+
+RequestMatrix::RequestMatrix(int n_inputs, int n_outputs)
+    : counts_(n_inputs, n_outputs, 0)
+{
+    AN2_REQUIRE(n_inputs > 0 && n_outputs > 0,
+                "request matrix must have positive dimensions");
+}
+
+void
+RequestMatrix::set(PortId i, PortId j, int count)
+{
+    AN2_REQUIRE(count >= 0, "request count must be non-negative");
+    counts_.at(i, j) = count;
+}
+
+void
+RequestMatrix::decrement(PortId i, PortId j)
+{
+    AN2_ASSERT(counts_.at(i, j) > 0,
+               "decrement of empty request cell (" << i << "," << j << ")");
+    --counts_.at(i, j);
+}
+
+int
+RequestMatrix::numEdges() const
+{
+    int edges = 0;
+    for (int i = 0; i < numInputs(); ++i)
+        for (int j = 0; j < numOutputs(); ++j)
+            if (has(i, j))
+                ++edges;
+    return edges;
+}
+
+RequestMatrix
+RequestMatrix::bernoulli(int n, double p, Rng& rng)
+{
+    RequestMatrix req(n);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            if (rng.nextBernoulli(p))
+                req.set(i, j, 1);
+    return req;
+}
+
+}  // namespace an2

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The scheduling problem input: which input-output pairs have queued cells.
+ *
+ * Switch scheduling is bipartite matching (paper §3.4): inputs and outputs
+ * are the two node sets, and an edge (i,j) exists when input i has at least
+ * one cell queued for output j. The RequestMatrix records the number of
+ * queued cells per pair; schedulers only care whether it is non-zero, but
+ * counts are kept for diagnostics and weighted policies.
+ */
+#ifndef AN2_MATCHING_REQUEST_MATRIX_H
+#define AN2_MATCHING_REQUEST_MATRIX_H
+
+#include "an2/base/matrix.h"
+#include "an2/base/rng.h"
+#include "an2/base/types.h"
+
+namespace an2 {
+
+/** Occupancy of the virtual output queues: requests for the next slot. */
+class RequestMatrix
+{
+  public:
+    /** Empty n_inputs x n_outputs request matrix. */
+    RequestMatrix(int n_inputs, int n_outputs);
+
+    /** Square n x n request matrix. */
+    explicit RequestMatrix(int n) : RequestMatrix(n, n) {}
+
+    int numInputs() const { return counts_.rows(); }
+    int numOutputs() const { return counts_.cols(); }
+
+    /** True when input i has at least one cell queued for output j. */
+    bool has(PortId i, PortId j) const { return counts_.at(i, j) > 0; }
+
+    /** Number of cells queued from i to j. */
+    int count(PortId i, PortId j) const { return counts_.at(i, j); }
+
+    /** Set the queued-cell count for (i,j). */
+    void set(PortId i, PortId j, int count);
+
+    /** Add one queued cell for (i,j). */
+    void increment(PortId i, PortId j) { set(i, j, count(i, j) + 1); }
+
+    /** Remove one queued cell for (i,j); count must be positive. */
+    void decrement(PortId i, PortId j);
+
+    /** Number of (i,j) pairs with at least one request. */
+    int numEdges() const;
+
+    /** Total queued cells across all pairs. */
+    int totalCells() const { return counts_.total(); }
+
+    /** Clear all requests. */
+    void clear() { counts_.fill(0); }
+
+    /**
+     * Generate a random pattern: each pair independently has one request
+     * with probability p (the Table 1 workload).
+     */
+    static RequestMatrix bernoulli(int n, double p, Rng& rng);
+
+  private:
+    Matrix<int> counts_;
+};
+
+}  // namespace an2
+
+#endif  // AN2_MATCHING_REQUEST_MATRIX_H

@@ -1,0 +1,46 @@
+#include "an2/matching/serial_greedy.h"
+
+#include <numeric>
+#include <vector>
+
+namespace an2 {
+
+SerialGreedyMatcher::SerialGreedyMatcher(bool randomize, uint64_t seed)
+    : randomize_(randomize), rng_(std::make_unique<Xoshiro256>(seed))
+{
+}
+
+std::string
+SerialGreedyMatcher::name() const
+{
+    return randomize_ ? "Greedy(random-order)" : "Greedy(fixed-order)";
+}
+
+Matching
+SerialGreedyMatcher::match(const RequestMatrix& req)
+{
+    const int n_in = req.numInputs();
+    const int n_out = req.numOutputs();
+    Matching m(n_in, n_out);
+
+    std::vector<PortId> input_order(static_cast<size_t>(n_in));
+    std::iota(input_order.begin(), input_order.end(), 0);
+    if (randomize_)
+        rng_->shuffle(input_order);
+
+    std::vector<PortId> candidates;
+    for (PortId i : input_order) {
+        candidates.clear();
+        for (PortId j = 0; j < n_out; ++j)
+            if (req.has(i, j) && !m.isOutputSaturated(j))
+                candidates.push_back(j);
+        if (candidates.empty())
+            continue;
+        PortId j = randomize_ ? candidates[rng_->nextBelow(candidates.size())]
+                              : candidates.front();
+        m.add(i, j);
+    }
+    return m;
+}
+
+}  // namespace an2

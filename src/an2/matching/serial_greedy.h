@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Sequential greedy maximal matching: the "obvious" centralized algorithm
+ * PIM competes against. It visits inputs in (optionally random) order and
+ * pairs each with a free requested output. The result is always maximal,
+ * but the algorithm is inherently serial — O(N^2) sequential work per
+ * slot — which is why the paper dismisses centralized schedulers as a
+ * bottleneck (§2.2). It serves as a match-quality reference.
+ */
+#ifndef AN2_MATCHING_SERIAL_GREEDY_H
+#define AN2_MATCHING_SERIAL_GREEDY_H
+
+#include <memory>
+
+#include "an2/base/rng.h"
+#include "an2/matching/matcher.h"
+
+namespace an2 {
+
+/** Centralized greedy maximal matcher. */
+class SerialGreedyMatcher final : public Matcher
+{
+  public:
+    /**
+     * @param randomize Visit inputs and outputs in random order (fairer);
+     *                  when false, lowest index wins every tie.
+     * @param seed PRNG seed used when randomizing.
+     */
+    explicit SerialGreedyMatcher(bool randomize = true, uint64_t seed = 1);
+
+    Matching match(const RequestMatrix& req) override;
+    std::string name() const override;
+
+  private:
+    bool randomize_;
+    std::unique_ptr<Rng> rng_;
+};
+
+}  // namespace an2
+
+#endif  // AN2_MATCHING_SERIAL_GREEDY_H

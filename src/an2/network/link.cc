@@ -1,0 +1,35 @@
+#include "an2/network/link.h"
+
+#include "an2/base/error.h"
+
+namespace an2 {
+
+NetLink::NetLink(PicoTime latency_ps) : latency_ps_(latency_ps)
+{
+    AN2_REQUIRE(latency_ps >= 0, "link latency must be non-negative");
+}
+
+void
+NetLink::send(const Cell& cell, PicoTime now_ps)
+{
+    // Transmissions from one upstream port are naturally ordered in time,
+    // so the in-flight queue stays sorted by arrival.
+    PicoTime arrives = now_ps + latency_ps_;
+    AN2_ASSERT(in_flight_.empty() || in_flight_.back().arrives_ps <= arrives,
+               "link send out of time order");
+    in_flight_.push_back({cell, arrives});
+    ++cells_carried_;
+}
+
+std::vector<Cell>
+NetLink::deliverUpTo(PicoTime now_ps)
+{
+    std::vector<Cell> out;
+    while (!in_flight_.empty() && in_flight_.front().arrives_ps <= now_ps) {
+        out.push_back(in_flight_.front().cell);
+        in_flight_.pop_front();
+    }
+    return out;
+}
+
+}  // namespace an2

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Unidirectional point-to-point links with propagation latency. A cell
+ * placed on a link at wall time t becomes eligible for forwarding at the
+ * downstream node at t + latency (the paper's l includes per-cell switch
+ * overhead; fold that into the latency here).
+ */
+#ifndef AN2_NETWORK_LINK_H
+#define AN2_NETWORK_LINK_H
+
+#include <deque>
+#include <vector>
+
+#include "an2/base/types.h"
+#include "an2/cell/cell.h"
+
+namespace an2 {
+
+/** Identifier of a node in a Network. */
+using NodeId = int;
+
+/** A cell in flight on a link. */
+struct TimedCell
+{
+    Cell cell;
+    PicoTime arrives_ps;
+};
+
+/** One directed link between two node ports. */
+class NetLink
+{
+  public:
+    /**
+     * @param latency_ps Propagation latency plus downstream per-cell
+     *        processing overhead (wall picoseconds).
+     */
+    explicit NetLink(PicoTime latency_ps);
+
+    /** Place a cell on the link at wall time now. */
+    void send(const Cell& cell, PicoTime now_ps);
+
+    /** Remove and return all cells that have arrived by `now`. */
+    std::vector<Cell> deliverUpTo(PicoTime now_ps);
+
+    /** Cells currently in flight. */
+    int inFlight() const { return static_cast<int>(in_flight_.size()); }
+
+    PicoTime latencyPs() const { return latency_ps_; }
+
+    /** Total cells ever carried. */
+    int64_t cellsCarried() const { return cells_carried_; }
+
+  private:
+    PicoTime latency_ps_;
+    std::deque<TimedCell> in_flight_;
+    int64_t cells_carried_ = 0;
+};
+
+}  // namespace an2
+
+#endif  // AN2_NETWORK_LINK_H

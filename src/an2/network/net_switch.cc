@@ -1,0 +1,214 @@
+#include "an2/network/net_switch.h"
+
+#include <algorithm>
+
+#include "an2/base/error.h"
+#include "an2/matching/request_matrix.h"
+
+namespace an2 {
+
+NetSwitch::NetSwitch(NodeId id, LocalClock clock, int n_ports,
+                     int frame_slots, std::unique_ptr<Matcher> vbr_matcher,
+                     bool fifo_merge)
+    : NetNode(id, clock), n_ports_(n_ports), frame_slots_(frame_slots),
+      fifo_merge_(fifo_merge), vbr_matcher_(std::move(vbr_matcher)),
+      cbr_(n_ports, frame_slots),
+      in_links_(static_cast<size_t>(n_ports), nullptr),
+      out_links_(static_cast<size_t>(n_ports), nullptr)
+{
+    AN2_REQUIRE(n_ports > 0, "switch needs at least one port");
+    AN2_REQUIRE(frame_slots > 0, "frame must be non-empty");
+    AN2_REQUIRE(vbr_matcher_ != nullptr, "a VBR matcher is required");
+    cbr_bufs_.reserve(static_cast<size_t>(n_ports));
+    vbr_bufs_.reserve(static_cast<size_t>(n_ports));
+    for (int p = 0; p < n_ports; ++p) {
+        cbr_bufs_.emplace_back(n_ports);
+        vbr_bufs_.emplace_back(n_ports);
+    }
+    occupancy_.max_cbr_per_input.assign(static_cast<size_t>(n_ports), 0);
+    occupancy_.max_vbr_per_input.assign(static_cast<size_t>(n_ports), 0);
+}
+
+void
+NetSwitch::checkPort(PortId p) const
+{
+    AN2_REQUIRE(p >= 0 && p < n_ports_, "port " << p << " out of range");
+}
+
+void
+NetSwitch::setInLink(PortId p, NetLink* link)
+{
+    checkPort(p);
+    AN2_REQUIRE(in_links_[static_cast<size_t>(p)] == nullptr,
+                "input port " << p << " already connected");
+    in_links_[static_cast<size_t>(p)] = link;
+}
+
+void
+NetSwitch::setOutLink(PortId p, NetLink* link)
+{
+    checkPort(p);
+    AN2_REQUIRE(out_links_[static_cast<size_t>(p)] == nullptr,
+                "output port " << p << " already connected");
+    out_links_[static_cast<size_t>(p)] = link;
+}
+
+bool
+NetSwitch::addRoute(FlowId flow, PortId in_port, PortId out_port,
+                    TrafficClass cls, int cells_per_frame)
+{
+    checkPort(in_port);
+    checkPort(out_port);
+    AN2_REQUIRE(routes_.find(flow) == routes_.end(),
+                "flow " << flow << " already routed through this switch");
+    if (cls == TrafficClass::CBR) {
+        if (!cbr_.addReservation(in_port, out_port, cells_per_frame))
+            return false;
+    }
+    routes_[flow] = {out_port, cls,
+                     cls == TrafficClass::CBR ? cells_per_frame : 0};
+    return true;
+}
+
+void
+NetSwitch::setVbrBufferLimit(int cells)
+{
+    AN2_REQUIRE(cells >= 0, "buffer limit must be non-negative");
+    vbr_buffer_limit_ = cells;
+}
+
+void
+NetSwitch::noteOccupancy(const Cell& cell, int delta)
+{
+    if (cell.cls != TrafficClass::CBR)
+        return;
+    int& cur = flow_occupancy_[cell.flow];
+    cur += delta;
+    AN2_ASSERT(cur >= 0, "negative flow occupancy");
+    int& peak = occupancy_.max_per_cbr_flow[cell.flow];
+    peak = std::max(peak, cur);
+}
+
+void
+NetSwitch::acceptArrivals(PicoTime now)
+{
+    for (PortId p = 0; p < n_ports_; ++p) {
+        NetLink* link = in_links_[static_cast<size_t>(p)];
+        if (link == nullptr)
+            continue;
+        for (Cell c : link->deliverUpTo(now)) {
+            auto it = routes_.find(c.flow);
+            AN2_REQUIRE(it != routes_.end(),
+                        "cell of unrouted flow " << c.flow << " at switch "
+                                                 << id_);
+            c.input = p;
+            c.output = it->second.out_port;
+            if (it->second.cls == TrafficClass::CBR) {
+                cbr_bufs_[static_cast<size_t>(p)].enqueue(c);
+                noteOccupancy(c, +1);
+                auto& peak =
+                    occupancy_.max_cbr_per_input[static_cast<size_t>(p)];
+                peak = std::max(
+                    peak, cbr_bufs_[static_cast<size_t>(p)].totalCells());
+            } else {
+                auto& vb = vbr_bufs_[static_cast<size_t>(p)];
+                if (vbr_buffer_limit_ > 0 &&
+                    vb.totalCells() >= vbr_buffer_limit_) {
+                    ++vbr_dropped_;  // flow-controlled datagram buffer full
+                    continue;
+                }
+                if (fifo_merge_) {
+                    // One FIFO per (input, output) pair, all flows mixed.
+                    auto key = static_cast<FlowId>(c.output);
+                    vbr_bufs_[static_cast<size_t>(p)].enqueueAs(key, c);
+                } else {
+                    vbr_bufs_[static_cast<size_t>(p)].enqueue(c);
+                }
+                auto& peak =
+                    occupancy_.max_vbr_per_input[static_cast<size_t>(p)];
+                peak = std::max(
+                    peak, vbr_bufs_[static_cast<size_t>(p)].totalCells());
+            }
+        }
+    }
+}
+
+void
+NetSwitch::tick()
+{
+    PicoTime now = clock_.nextTick();
+    int64_t slot = clock_.advance();
+    acceptArrivals(now);
+
+    auto fs = static_cast<int>(slot % frame_slots_);
+    // Frame boundary: close out the Appendix B active-frame runs.
+    if (fs == 0) {
+        for (auto& [flow, active] : active_this_frame_) {
+            int& run = active_run_[flow];
+            run = active ? run + 1 : 0;
+            int& peak = occupancy_.max_active_frames[flow];
+            peak = std::max(peak, run);
+            active = false;
+        }
+    }
+    // T(c, s_n): end of this switch's current frame.
+    PicoTime frame_end =
+        clock_.slotStart((slot / frame_slots_ + 1) * frame_slots_);
+
+    // Phase 1: CBR cells ride their scheduled pairings.
+    std::vector<bool> in_busy(static_cast<size_t>(n_ports_), false);
+    std::vector<bool> out_busy(static_cast<size_t>(n_ports_), false);
+    const FrameSchedule& sched = cbr_.schedule();
+    for (PortId i = 0; i < n_ports_; ++i) {
+        PortId j = sched.outputAt(fs, i);
+        if (j == kNoPort)
+            continue;
+        auto& buf = cbr_bufs_[static_cast<size_t>(i)];
+        if (!buf.hasCellFor(j))
+            continue;
+        Cell c = buf.dequeueFor(j);
+        noteOccupancy(c, -1);
+        // Appendix B active-frame accounting for the flow's class 0.
+        auto route = routes_.find(c.flow);
+        if (route != routes_.end() && route->second.cells_per_frame > 0 &&
+            c.seq % route->second.cells_per_frame == 0)
+            active_this_frame_[c.flow] = true;
+        c.frame_end_ps = frame_end;
+        ++c.hops;
+        AN2_ASSERT(out_links_[static_cast<size_t>(j)] != nullptr,
+                   "scheduled output " << j << " has no link");
+        out_links_[static_cast<size_t>(j)]->send(c, now);
+        in_busy[static_cast<size_t>(i)] = true;
+        out_busy[static_cast<size_t>(j)] = true;
+        ++cbr_forwarded_;
+    }
+
+    // Phase 2: VBR matching over the remaining ports.
+    RequestMatrix req(n_ports_);
+    for (PortId i = 0; i < n_ports_; ++i) {
+        if (in_busy[static_cast<size_t>(i)])
+            continue;
+        const auto& buf = vbr_bufs_[static_cast<size_t>(i)];
+        if (buf.totalCells() == 0)
+            continue;
+        for (PortId j = 0; j < n_ports_; ++j) {
+            if (out_busy[static_cast<size_t>(j)] ||
+                out_links_[static_cast<size_t>(j)] == nullptr)
+                continue;
+            int count = buf.cellCountFor(j);
+            if (count > 0)
+                req.set(i, j, count);
+        }
+    }
+    Matching m = vbr_matcher_->match(req);
+    AN2_ASSERT(m.isLegalFor(req), "matcher returned illegal match");
+    for (auto [i, j] : m.pairs()) {
+        Cell c = vbr_bufs_[static_cast<size_t>(i)].dequeueFor(j);
+        c.frame_end_ps = frame_end;
+        ++c.hops;
+        out_links_[static_cast<size_t>(j)]->send(c, now);
+        ++vbr_forwarded_;
+    }
+}
+
+}  // namespace an2

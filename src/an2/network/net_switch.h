@@ -1,0 +1,143 @@
+/**
+ * @file
+ * A switch node in the drifting-clock network: VOQ input buffers, a
+ * Slepian-Duguid frame schedule for CBR traffic, and a pluggable matcher
+ * (PIM or statistical matching) for VBR traffic — the full AN2 switch of
+ * §3-§5 embedded in a multi-hop topology.
+ */
+#ifndef AN2_NETWORK_NET_SWITCH_H
+#define AN2_NETWORK_NET_SWITCH_H
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "an2/cbr/slepian_duguid.h"
+#include "an2/matching/matcher.h"
+#include "an2/network/node.h"
+#include "an2/queueing/voq.h"
+
+namespace an2 {
+
+/** Buffer-occupancy statistics for one switch. */
+struct SwitchOccupancy
+{
+    /** Peak CBR cells queued per input port. */
+    std::vector<int> max_cbr_per_input;
+
+    /** Peak VBR cells queued per input port. */
+    std::vector<int> max_vbr_per_input;
+
+    /** Peak queued cells per CBR flow (Appendix B buffer bound). */
+    std::map<FlowId, int> max_per_cbr_flow;
+
+    /**
+     * Longest run of consecutive *active* frames per CBR flow, measured
+     * for the flow's class-0 cells (cells with seq % k == 0). Appendix B
+     * analyzes a k cells/frame flow as k independent one-cell-per-frame
+     * classes and bounds each class's run length (the first displayed
+     * formula of §B.2) — the quantity that caps buffer build-up under
+     * clock drift.
+     */
+    std::map<FlowId, int> max_active_frames;
+};
+
+/** Switch node with per-flow routing and CBR + VBR scheduling. */
+class NetSwitch final : public NetNode
+{
+  public:
+    /**
+     * @param id Node id.
+     * @param clock Local clock.
+     * @param n_ports Port count.
+     * @param frame_slots Switch frame length (CBR schedule period).
+     * @param vbr_matcher Scheduler for datagram traffic (owned).
+     * @param fifo_merge When true, VBR cells arriving on one input for
+     *        one output share a single FIFO queue regardless of flow (the
+     *        Figure 9 merge discipline) instead of AN2's per-flow queues
+     *        with round-robin service.
+     */
+    NetSwitch(NodeId id, LocalClock clock, int n_ports, int frame_slots,
+              std::unique_ptr<Matcher> vbr_matcher,
+              bool fifo_merge = false);
+
+    int ports() const { return n_ports_; }
+
+    /** Attach the incoming link feeding port p. */
+    void setInLink(PortId p, NetLink* link);
+
+    /** Attach the outgoing link driven by port p. */
+    void setOutLink(PortId p, NetLink* link);
+
+    /**
+     * Install the route for a flow crossing this switch and, for CBR
+     * flows, reserve cells_per_frame in the frame schedule.
+     * @return false if the CBR reservation cannot be accommodated.
+     */
+    bool addRoute(FlowId flow, PortId in_port, PortId out_port,
+                  TrafficClass cls, int cells_per_frame);
+
+    void tick() override;
+
+    /**
+     * Cap the VBR buffer at each input to `cells` (0 = unlimited, the
+     * default). Arriving datagram cells beyond the cap are dropped and
+     * counted — the paper's "VBR cells use a different set of buffers,
+     * which are subject to flow control" (§4). CBR buffers are statically
+     * allocated by admission control and never drop.
+     */
+    void setVbrBufferLimit(int cells);
+
+    /** Datagram cells dropped by the VBR buffer cap. */
+    int64_t vbrDropped() const { return vbr_dropped_; }
+
+    /** Occupancy statistics. */
+    const SwitchOccupancy& occupancy() const { return occupancy_; }
+
+    /** The CBR scheduler (reservations and schedule inspection). */
+    const SlepianDuguidScheduler& cbrScheduler() const { return cbr_; }
+
+    /** Cells forwarded, per class. */
+    int64_t cbrForwarded() const { return cbr_forwarded_; }
+    int64_t vbrForwarded() const { return vbr_forwarded_; }
+
+  private:
+    struct Route
+    {
+        PortId out_port;
+        TrafficClass cls;
+        int cells_per_frame;  ///< CBR reservation (0 for VBR)
+    };
+
+    void checkPort(PortId p) const;
+
+    /** Pull arrived cells off the in-links into the input buffers. */
+    void acceptArrivals(PicoTime now);
+
+    /** Track per-flow and per-input occupancy highs. */
+    void noteOccupancy(const Cell& cell, int delta);
+
+    int n_ports_;
+    int frame_slots_;
+    bool fifo_merge_;
+    std::unique_ptr<Matcher> vbr_matcher_;
+    SlepianDuguidScheduler cbr_;
+    std::vector<NetLink*> in_links_;
+    std::vector<NetLink*> out_links_;
+    std::vector<InputBuffer> cbr_bufs_;
+    std::vector<InputBuffer> vbr_bufs_;
+    std::map<FlowId, Route> routes_;
+    std::map<FlowId, int> flow_occupancy_;
+    /** Per-flow activity in the current frame / current run length. */
+    std::map<FlowId, bool> active_this_frame_;
+    std::map<FlowId, int> active_run_;
+    SwitchOccupancy occupancy_;
+    int vbr_buffer_limit_ = 0;
+    int64_t vbr_dropped_ = 0;
+    int64_t cbr_forwarded_ = 0;
+    int64_t vbr_forwarded_ = 0;
+};
+
+}  // namespace an2
+
+#endif  // AN2_NETWORK_NET_SWITCH_H

@@ -1,0 +1,204 @@
+#include "an2/network/network.h"
+
+#include <limits>
+
+#include "an2/base/error.h"
+
+namespace an2 {
+
+Network::Network(const NetworkConfig& config)
+    : config_(config), admission_(config.switch_frame_slots)
+{
+    AN2_REQUIRE(config.slot_ps > 0, "slot duration must be positive");
+    AN2_REQUIRE(config.switch_frame_slots > 0, "frame must be non-empty");
+    AN2_REQUIRE(config.controller_padding >= 0,
+                "padding must be non-negative");
+}
+
+NodeId
+Network::addSwitch(int n_ports, double clock_rate_error,
+                   std::unique_ptr<Matcher> vbr_matcher, PicoTime phase_ps,
+                   bool fifo_merge)
+{
+    auto id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(std::make_unique<NetSwitch>(
+        id, LocalClock(config_.slot_ps, clock_rate_error, phase_ps),
+        n_ports, config_.switch_frame_slots, std::move(vbr_matcher),
+        fifo_merge));
+    is_switch_.push_back(true);
+    return id;
+}
+
+NodeId
+Network::addController(double clock_rate_error, uint64_t seed,
+                       PicoTime phase_ps)
+{
+    auto id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(std::make_unique<Controller>(
+        id, LocalClock(config_.slot_ps, clock_rate_error, phase_ps),
+        controllerFrameSlots(), config_.switch_frame_slots, seed));
+    is_switch_.push_back(false);
+    return id;
+}
+
+NetNode&
+Network::node(NodeId id)
+{
+    AN2_REQUIRE(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
+                "unknown node " << id);
+    return *nodes_[static_cast<size_t>(id)];
+}
+
+Controller&
+Network::controller(NodeId id)
+{
+    AN2_REQUIRE(id >= 0 && id < static_cast<NodeId>(nodes_.size()) &&
+                    !is_switch_[static_cast<size_t>(id)],
+                "node " << id << " is not a controller");
+    return static_cast<Controller&>(*nodes_[static_cast<size_t>(id)]);
+}
+
+const Controller&
+Network::controller(NodeId id) const
+{
+    return const_cast<Network*>(this)->controller(id);
+}
+
+NetSwitch&
+Network::netSwitch(NodeId id)
+{
+    AN2_REQUIRE(id >= 0 && id < static_cast<NodeId>(nodes_.size()) &&
+                    is_switch_[static_cast<size_t>(id)],
+                "node " << id << " is not a switch");
+    return static_cast<NetSwitch&>(*nodes_[static_cast<size_t>(id)]);
+}
+
+const NetSwitch&
+Network::netSwitch(NodeId id) const
+{
+    return const_cast<Network*>(this)->netSwitch(id);
+}
+
+void
+Network::connect(NodeId from, PortId from_port, NodeId to, PortId to_port,
+                 PicoTime latency_ps)
+{
+    node(from);  // bounds checks
+    node(to);
+    auto link = std::make_unique<NetLink>(latency_ps);
+    NetLink* raw = link.get();
+    if (is_switch_[static_cast<size_t>(from)]) {
+        netSwitch(from).setOutLink(from_port, raw);
+    } else {
+        AN2_REQUIRE(from_port == 0, "controllers have a single port 0");
+        controller(from).setOutLink(raw);
+    }
+    if (is_switch_[static_cast<size_t>(to)]) {
+        netSwitch(to).setInLink(to_port, raw);
+    } else {
+        AN2_REQUIRE(to_port == 0, "controllers have a single port 0");
+        controller(to).setInLink(raw);
+    }
+    edges_.push_back({from, from_port, to, to_port, std::move(link)});
+    LinkId lid = admission_.addLink();
+    AN2_ASSERT(lid == static_cast<LinkId>(edges_.size()) - 1,
+               "edge/admission link id mismatch");
+}
+
+int
+Network::findEdge(NodeId from, NodeId to) const
+{
+    int found = -1;
+    for (size_t e = 0; e < edges_.size(); ++e) {
+        if (edges_[e].from == from && edges_[e].to == to) {
+            AN2_REQUIRE(found < 0,
+                        "multiple links from " << from << " to " << to
+                                               << "; path is ambiguous");
+            found = static_cast<int>(e);
+        }
+    }
+    AN2_REQUIRE(found >= 0, "no link from " << from << " to " << to);
+    return found;
+}
+
+FlowId
+Network::addCbrFlow(const std::vector<NodeId>& path, int cells_per_frame)
+{
+    AN2_REQUIRE(path.size() >= 2, "path needs a source and destination");
+    AN2_REQUIRE(!is_switch_[static_cast<size_t>(path.front())] &&
+                    !is_switch_[static_cast<size_t>(path.back())],
+                "path must start and end at controllers");
+
+    std::vector<LinkId> links;
+    for (size_t k = 0; k + 1 < path.size(); ++k)
+        links.push_back(findEdge(path[k], path[k + 1]));
+    if (!admission_.admit(links, cells_per_frame))
+        return kNoFlow;
+
+    FlowId flow = next_flow_++;
+    for (size_t k = 1; k + 1 < path.size(); ++k) {
+        const Edge& in_edge = edges_[static_cast<size_t>(links[k - 1])];
+        const Edge& out_edge = edges_[static_cast<size_t>(links[k])];
+        bool ok = netSwitch(path[k]).addRoute(flow, in_edge.to_port,
+                                              out_edge.from_port,
+                                              TrafficClass::CBR,
+                                              cells_per_frame);
+        // Link admission passed, so per the Slepian-Duguid theorem the
+        // switch schedules can always accommodate the reservation.
+        AN2_ASSERT(ok, "switch reservation failed after link admission");
+    }
+    controller(path.front()).addCbrSource(flow, cells_per_frame);
+    return flow;
+}
+
+FlowId
+Network::addVbrFlow(const std::vector<NodeId>& path, double rate)
+{
+    AN2_REQUIRE(path.size() >= 2, "path needs a source and destination");
+    AN2_REQUIRE(!is_switch_[static_cast<size_t>(path.front())] &&
+                    !is_switch_[static_cast<size_t>(path.back())],
+                "path must start and end at controllers");
+
+    FlowId flow = next_flow_++;
+    for (size_t k = 1; k + 1 < path.size(); ++k) {
+        int in_edge_idx = findEdge(path[k - 1], path[k]);
+        int out_edge_idx = findEdge(path[k], path[k + 1]);
+        const Edge& in_edge = edges_[static_cast<size_t>(in_edge_idx)];
+        const Edge& out_edge = edges_[static_cast<size_t>(out_edge_idx)];
+        bool ok = netSwitch(path[k]).addRoute(flow, in_edge.to_port,
+                                              out_edge.from_port,
+                                              TrafficClass::VBR, 0);
+        AN2_ASSERT(ok, "VBR route installation failed");
+    }
+    controller(path.front()).addVbrSource(flow, rate);
+    return flow;
+}
+
+void
+Network::run(PicoTime until_ps)
+{
+    AN2_REQUIRE(!nodes_.empty(), "network has no nodes");
+    while (true) {
+        PicoTime best = std::numeric_limits<PicoTime>::max();
+        NetNode* next = nullptr;
+        for (auto& n : nodes_) {
+            PicoTime t = n->nextTick();
+            if (t < best) {
+                best = t;
+                next = n.get();
+            }
+        }
+        if (best > until_ps)
+            break;
+        next->tick();
+    }
+}
+
+void
+Network::runFrames(int64_t frames)
+{
+    AN2_REQUIRE(frames > 0, "must run at least one frame");
+    run(frames * config_.switch_frame_slots * config_.slot_ps);
+}
+
+}  // namespace an2

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The arbitrary-topology network simulator: switches and host controllers
+ * on independently drifting clocks, joined by point-to-point links, with
+ * flow-based routing and end-to-end CBR admission (paper §2, §4, App. B).
+ */
+#ifndef AN2_NETWORK_NETWORK_H
+#define AN2_NETWORK_NETWORK_H
+
+#include <memory>
+#include <vector>
+
+#include "an2/base/types.h"
+#include "an2/cbr/admission.h"
+#include "an2/matching/matcher.h"
+#include "an2/network/controller.h"
+#include "an2/network/net_switch.h"
+
+namespace an2 {
+
+/** Network-wide parameters. */
+struct NetworkConfig
+{
+    /** Nominal slot duration (wall picoseconds). */
+    PicoTime slot_ps = kSlotPicosAt1Gbps;
+
+    /** Switch frame length in slots. */
+    int switch_frame_slots = 100;
+
+    /**
+     * Padding slots appended to every controller frame; must satisfy
+     * F_c-min > F_s-max for the worst clock pairing (see
+     * minControllerPadding() in an2/cbr/timing.h).
+     */
+    int controller_padding = 2;
+};
+
+/** A network of switches and controllers under simulation. */
+class Network
+{
+  public:
+    explicit Network(const NetworkConfig& config);
+
+    /**
+     * Add a switch.
+     * @param n_ports Port count.
+     * @param clock_rate_error Fractional clock error (e.g. +1e-4 = fast).
+     * @param vbr_matcher Datagram scheduler for this switch (owned).
+     * @param phase_ps Wall time of the switch's slot 0.
+     * @param fifo_merge Merge all VBR flows of an (input, output) pair
+     *        into one FIFO (Figure 9 discipline) instead of per-flow
+     *        queues with round-robin service.
+     */
+    NodeId addSwitch(int n_ports, double clock_rate_error,
+                     std::unique_ptr<Matcher> vbr_matcher,
+                     PicoTime phase_ps = 0, bool fifo_merge = false);
+
+    /**
+     * Add a host controller (single full-duplex port).
+     * @param clock_rate_error Fractional clock error.
+     * @param seed PRNG seed for VBR injection.
+     * @param phase_ps Wall time of the controller's slot 0.
+     */
+    NodeId addController(double clock_rate_error, uint64_t seed,
+                         PicoTime phase_ps = 0);
+
+    /**
+     * Create a directed link from `from`'s output port to `to`'s input
+     * port. Controller ports must be 0.
+     */
+    void connect(NodeId from, PortId from_port, NodeId to, PortId to_port,
+                 PicoTime latency_ps);
+
+    /**
+     * Reserve and route a CBR flow of k cells/frame along `path`
+     * (controller, switches..., controller). Consecutive nodes must be
+     * joined by exactly one link in path direction.
+     * @return the flow id, or kNoFlow if some link lacks capacity.
+     */
+    FlowId addCbrFlow(const std::vector<NodeId>& path, int cells_per_frame);
+
+    /** Route a VBR flow injecting at `rate` cells/slot along `path`. */
+    FlowId addVbrFlow(const std::vector<NodeId>& path, double rate);
+
+    /** Run the event loop until wall time `until_ps`. */
+    void run(PicoTime until_ps);
+
+    /** Run approximately `frames` switch frames of nominal wall time. */
+    void runFrames(int64_t frames);
+
+    /** Typed node access. */
+    Controller& controller(NodeId id);
+    const Controller& controller(NodeId id) const;
+    NetSwitch& netSwitch(NodeId id);
+    const NetSwitch& netSwitch(NodeId id) const;
+
+    const NetworkConfig& config() const { return config_; }
+
+    /** Controller frame length (switch frame + padding). */
+    int controllerFrameSlots() const
+    {
+        return config_.switch_frame_slots + config_.controller_padding;
+    }
+
+  private:
+    struct Edge
+    {
+        NodeId from;
+        PortId from_port;
+        NodeId to;
+        PortId to_port;
+        std::unique_ptr<NetLink> link;
+    };
+
+    /** Index of the unique edge from `from` to `to`; fatal if absent. */
+    int findEdge(NodeId from, NodeId to) const;
+
+    NetNode& node(NodeId id);
+
+    NetworkConfig config_;
+    std::vector<std::unique_ptr<NetNode>> nodes_;
+    std::vector<bool> is_switch_;
+    std::vector<Edge> edges_;
+    AdmissionController admission_;
+    FlowId next_flow_ = 0;
+};
+
+}  // namespace an2
+
+#endif  // AN2_NETWORK_NETWORK_H

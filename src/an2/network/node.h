@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Base class for nodes (switches and host controllers) in the
+ * unsynchronized-clock network simulator.
+ */
+#ifndef AN2_NETWORK_NODE_H
+#define AN2_NETWORK_NODE_H
+
+#include "an2/base/types.h"
+#include "an2/network/clock.h"
+#include "an2/network/link.h"
+
+namespace an2 {
+
+/** A network node driven by its own local clock. */
+class NetNode
+{
+  public:
+    /**
+     * @param id Node identifier within the Network.
+     * @param clock The node's local slot clock (moved in).
+     */
+    NetNode(NodeId id, LocalClock clock) : id_(id), clock_(clock) {}
+
+    virtual ~NetNode() = default;
+
+    NodeId id() const { return id_; }
+
+    /** Wall time of the node's next slot boundary. */
+    PicoTime nextTick() const { return clock_.nextTick(); }
+
+    /** Execute one local slot. */
+    virtual void tick() = 0;
+
+  protected:
+    NodeId id_;
+    LocalClock clock_;
+};
+
+}  // namespace an2
+
+#endif  // AN2_NETWORK_NODE_H

@@ -1,0 +1,21 @@
+#include "an2/queueing/flow_queue.h"
+
+namespace an2 {
+
+const Cell&
+FlowQueue::front() const
+{
+    AN2_ASSERT(!cells_.empty(), "front() on empty flow queue");
+    return cells_.front();
+}
+
+Cell
+FlowQueue::pop()
+{
+    AN2_ASSERT(!cells_.empty(), "pop() on empty flow queue");
+    Cell c = cells_.front();
+    cells_.pop_front();
+    return c;
+}
+
+}  // namespace an2

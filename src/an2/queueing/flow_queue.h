@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Per-flow FIFO cell queue (paper §3.1/§3.3).
+ *
+ * The AN2 switch keeps a FIFO queue per flow so that cells within a flow
+ * are never re-ordered, while cells of different flows may overtake each
+ * other freely. Only the head cell of a flow is eligible for transfer.
+ */
+#ifndef AN2_QUEUEING_FLOW_QUEUE_H
+#define AN2_QUEUEING_FLOW_QUEUE_H
+
+#include <deque>
+
+#include "an2/base/error.h"
+#include "an2/cell/cell.h"
+
+namespace an2 {
+
+/** FIFO queue of cells belonging to a single flow. */
+class FlowQueue
+{
+  public:
+    /** Append a cell (most recently arrived). */
+    void push(const Cell& cell) { cells_.push_back(cell); }
+
+    /** The head cell; queue must be non-empty. */
+    const Cell& front() const;
+
+    /** Remove and return the head cell; queue must be non-empty. */
+    Cell pop();
+
+    bool empty() const { return cells_.empty(); }
+
+    int size() const { return static_cast<int>(cells_.size()); }
+
+  private:
+    std::deque<Cell> cells_;
+};
+
+}  // namespace an2
+
+#endif  // AN2_QUEUEING_FLOW_QUEUE_H

@@ -1,0 +1,14 @@
+#include "an2/queueing/output_queue.h"
+
+namespace an2 {
+
+Cell
+OutputQueue::pop()
+{
+    AN2_ASSERT(!cells_.empty(), "pop() on empty output queue");
+    Cell c = cells_.front();
+    cells_.pop_front();
+    return c;
+}
+
+}  // namespace an2

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * FIFO output queue, used by the perfect-output-queueing reference switch
+ * (paper §2.4) and by input-queued switches with output speedup k > 1
+ * (replicated fabric, §3.1), where up to k cells may arrive at an output
+ * in a slot but only one may depart.
+ */
+#ifndef AN2_QUEUEING_OUTPUT_QUEUE_H
+#define AN2_QUEUEING_OUTPUT_QUEUE_H
+
+#include <algorithm>
+#include <deque>
+
+#include "an2/base/error.h"
+#include "an2/cell/cell.h"
+
+namespace an2 {
+
+/** FIFO queue at one output port; one departure per slot. */
+class OutputQueue
+{
+  public:
+    /** Accept a cell delivered across the fabric. */
+    void push(const Cell& cell) { cells_.push_back(cell); }
+
+    bool empty() const { return cells_.empty(); }
+
+    int size() const { return static_cast<int>(cells_.size()); }
+
+    /** Largest backlog ever observed (buffer-sizing diagnostics). */
+    int maxOccupancy() const { return max_occupancy_; }
+
+    /** Record the occupancy at a slot boundary. */
+    void
+    noteOccupancy()
+    {
+        max_occupancy_ = std::max(max_occupancy_, size());
+    }
+
+    /** Depart the head cell; queue must be non-empty. */
+    Cell pop();
+
+  private:
+    std::deque<Cell> cells_;
+    int max_occupancy_ = 0;
+};
+
+}  // namespace an2
+
+#endif  // AN2_QUEUEING_OUTPUT_QUEUE_H

@@ -1,0 +1,125 @@
+#include "an2/queueing/voq.h"
+
+#include "an2/base/error.h"
+
+namespace an2 {
+
+InputBuffer::InputBuffer(int n_outputs)
+    : n_outputs_(n_outputs), eligible_(static_cast<size_t>(n_outputs)),
+      cells_per_output_(static_cast<size_t>(n_outputs), 0)
+{
+    AN2_REQUIRE(n_outputs > 0, "input buffer needs at least one output");
+}
+
+InputBuffer::PerFlow&
+InputBuffer::flowState(FlowId f)
+{
+    return flows_[f];
+}
+
+void
+InputBuffer::enqueue(const Cell& cell)
+{
+    enqueueAs(cell.flow, cell);
+}
+
+void
+InputBuffer::enqueueAs(FlowId queue_key, const Cell& cell)
+{
+    AN2_REQUIRE(cell.output >= 0 && cell.output < n_outputs_,
+                "cell routed to invalid output " << cell.output);
+    AN2_REQUIRE(queue_key != kNoFlow, "cell has no queue key");
+    PerFlow& st = flowState(queue_key);
+    // All cells of a flow take the same path (paper §2): the routing
+    // table maps each flow to exactly one output.
+    if (st.output == kNoPort)
+        st.output = cell.output;
+    AN2_REQUIRE(st.output == cell.output,
+                "queue " << queue_key << " routed to output " << st.output
+                         << " but cell claims output " << cell.output);
+    st.cells.push_back(cell);
+    ++total_cells_;
+    ++cells_per_output_[static_cast<size_t>(cell.output)];
+    if (!st.eligible_listed) {
+        eligible_[static_cast<size_t>(cell.output)].push_back(queue_key);
+        st.eligible_listed = true;
+    }
+}
+
+bool
+InputBuffer::hasCellFor(PortId j) const
+{
+    return cellCountFor(j) > 0;
+}
+
+int
+InputBuffer::cellCountFor(PortId j) const
+{
+    AN2_REQUIRE(j >= 0 && j < n_outputs_, "output " << j << " out of range");
+    return cells_per_output_[static_cast<size_t>(j)];
+}
+
+int
+InputBuffer::eligibleFlowsFor(PortId j) const
+{
+    AN2_REQUIRE(j >= 0 && j < n_outputs_, "output " << j << " out of range");
+    int n = 0;
+    for (FlowId f : eligible_[static_cast<size_t>(j)]) {
+        auto it = flows_.find(f);
+        if (it != flows_.end() && !it->second.cells.empty())
+            ++n;
+    }
+    return n;
+}
+
+Cell
+InputBuffer::dequeueFor(PortId j)
+{
+    AN2_REQUIRE(hasCellFor(j), "no cell queued for output " << j);
+    auto& list = eligible_[static_cast<size_t>(j)];
+    while (true) {
+        AN2_ASSERT(!list.empty(),
+                   "eligible list empty despite queued cells for " << j);
+        FlowId f = list.front();
+        list.pop_front();
+        PerFlow& st = flowState(f);
+        if (st.cells.empty()) {
+            // Stale entry left behind by dequeueFlow(); lazily discard.
+            st.eligible_listed = false;
+            continue;
+        }
+        Cell c = st.cells.front();
+        st.cells.pop_front();
+        --total_cells_;
+        --cells_per_output_[static_cast<size_t>(j)];
+        if (!st.cells.empty()) {
+            list.push_back(f);  // round-robin: rotate to the back
+        } else {
+            st.eligible_listed = false;
+        }
+        return c;
+    }
+}
+
+bool
+InputBuffer::flowHasCell(FlowId f) const
+{
+    auto it = flows_.find(f);
+    return it != flows_.end() && !it->second.cells.empty();
+}
+
+Cell
+InputBuffer::dequeueFlow(FlowId f)
+{
+    AN2_REQUIRE(flowHasCell(f), "flow " << f << " has no queued cell");
+    PerFlow& st = flowState(f);
+    Cell c = st.cells.front();
+    st.cells.pop_front();
+    --total_cells_;
+    --cells_per_output_[static_cast<size_t>(c.output)];
+    // If the flow is now empty, its eligible-list entry (if any) becomes
+    // stale and is discarded lazily by dequeueFor().
+    return c;
+}
+
+}  // namespace an2

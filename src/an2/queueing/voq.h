@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Random-access input buffer for one switch input port (paper §3.3).
+ *
+ * The buffer is organized exactly as the paper describes the hardware:
+ * each flow has its own FIFO queue of cells; per output, a round-robin
+ * list of *eligible* flows (flows with at least one queued cell) is
+ * maintained. The input requests output j during matching iff the
+ * eligible list for j is non-empty; when the request is granted, the next
+ * eligible flow is served round-robin.
+ *
+ * Viewed per output, this structure is a virtual output queue (VOQ);
+ * the class name reflects that common framing.
+ */
+#ifndef AN2_QUEUEING_VOQ_H
+#define AN2_QUEUEING_VOQ_H
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "an2/cell/cell.h"
+#include "an2/cell/flow.h"
+
+namespace an2 {
+
+/** Input buffer with per-flow FIFOs and per-output eligible-flow lists. */
+class InputBuffer
+{
+  public:
+    /** @param n_outputs Number of switch outputs. */
+    explicit InputBuffer(int n_outputs);
+
+    /**
+     * Buffer an arriving cell. The cell's `output` field routes it to the
+     * appropriate eligible list.
+     */
+    void enqueue(const Cell& cell);
+
+    /**
+     * Buffer a cell under an explicit queue key instead of its flow id.
+     * Cells sharing a key share one FIFO queue and one round-robin seat;
+     * used to model switches that merge all of an input's traffic into a
+     * single FIFO per output (the Figure 9 "round-robin among input
+     * ports" discipline) rather than AN2's per-flow queues. The key must
+     * consistently map to one output, like a flow.
+     */
+    void enqueueAs(FlowId queue_key, const Cell& cell);
+
+    /** True when some flow has a cell queued for output j. */
+    bool hasCellFor(PortId j) const;
+
+    /** Number of cells queued for output j (across all flows). */
+    int cellCountFor(PortId j) const;
+
+    /** Total buffered cells at this input. */
+    int totalCells() const { return total_cells_; }
+
+    /** Number of distinct eligible flows for output j. */
+    int eligibleFlowsFor(PortId j) const;
+
+    /**
+     * Serve output j: pick the next eligible flow round-robin, dequeue its
+     * head cell, and maintain the eligible list. Requires hasCellFor(j).
+     */
+    Cell dequeueFor(PortId j);
+
+    /** True when a specific flow has at least one queued cell. */
+    bool flowHasCell(FlowId f) const;
+
+    /**
+     * Dequeue the head cell of a specific flow (used by the CBR frame
+     * schedule, which reserves slots per flow). Requires flowHasCell(f).
+     */
+    Cell dequeueFlow(FlowId f);
+
+  private:
+    struct PerFlow
+    {
+        std::deque<Cell> cells;
+        bool eligible_listed = false;  ///< present in an eligible list
+        PortId output = kNoPort;       ///< the flow's routed output
+    };
+
+    PerFlow& flowState(FlowId f);
+
+    /** Remove flow f from output j's eligible list. */
+    void delist(FlowId f, PortId j);
+
+    int n_outputs_;
+    int total_cells_ = 0;
+    std::unordered_map<FlowId, PerFlow> flows_;
+    /** Round-robin eligible-flow list per output. */
+    std::vector<std::deque<FlowId>> eligible_;
+    /** Cells queued per output, maintained incrementally. */
+    std::vector<int> cells_per_output_;
+};
+
+}  // namespace an2
+
+#endif  // AN2_QUEUEING_VOQ_H

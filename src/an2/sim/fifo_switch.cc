@@ -1,0 +1,82 @@
+#include "an2/sim/fifo_switch.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "an2/matching/windowed_fifo.h"
+
+namespace an2 {
+
+FifoSwitch::FifoSwitch(int n, uint64_t seed, int window, int rounds)
+    : n_(n), window_(window), rounds_(rounds),
+      queues_(static_cast<size_t>(n)), crossbar_(n), rng_(seed)
+{
+    AN2_REQUIRE(n > 0, "switch size must be positive");
+    AN2_REQUIRE(window >= 1, "window must be >= 1");
+    AN2_REQUIRE(rounds >= 1, "rounds must be >= 1");
+}
+
+void
+FifoSwitch::acceptCell(const Cell& cell)
+{
+    AN2_REQUIRE(cell.input >= 0 && cell.input < n_,
+                "cell input " << cell.input << " out of range");
+    AN2_REQUIRE(cell.output >= 0 && cell.output < n_,
+                "cell output " << cell.output << " out of range");
+    queues_[static_cast<size_t>(cell.input)].push_back(cell);
+}
+
+std::vector<Cell>
+FifoSwitch::runSlot(SlotTime)
+{
+    // Expose the first `window` destinations of each FIFO.
+    std::vector<std::vector<PortId>> window_dests(static_cast<size_t>(n_));
+    for (PortId i = 0; i < n_; ++i) {
+        const auto& q = queues_[static_cast<size_t>(i)];
+        auto take = std::min<size_t>(q.size(), static_cast<size_t>(window_));
+        auto& dests = window_dests[static_cast<size_t>(i)];
+        dests.reserve(take);
+        for (size_t k = 0; k < take; ++k)
+            dests.push_back(q[k].output);
+    }
+
+    WindowedFifoResult res = windowedFifoMatch(window_dests, n_, rounds_,
+                                               rng_);
+    crossbar_.configure(res.matching);
+
+    std::vector<Cell> departed;
+    for (PortId i = 0; i < n_; ++i) {
+        int pos = res.positions[static_cast<size_t>(i)];
+        if (pos < 0)
+            continue;
+        auto& q = queues_[static_cast<size_t>(i)];
+        AN2_ASSERT(pos < static_cast<int>(q.size()),
+                   "matched position beyond queue");
+        Cell c = q[static_cast<size_t>(pos)];
+        q.erase(q.begin() + pos);
+        crossbar_.forward(c);
+        departed.push_back(c);
+    }
+    return departed;
+}
+
+int
+FifoSwitch::bufferedCells() const
+{
+    int total = 0;
+    for (const auto& q : queues_)
+        total += static_cast<int>(q.size());
+    return total;
+}
+
+std::string
+FifoSwitch::name() const
+{
+    std::ostringstream oss;
+    oss << "FIFO";
+    if (window_ > 1)
+        oss << "(window=" << window_ << ",rounds=" << rounds_ << ")";
+    return oss.str();
+}
+
+}  // namespace an2

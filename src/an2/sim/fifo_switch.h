@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Input-queued switch with per-input FIFO buffers — the head-of-line
+ * blocking baseline of Figures 1 and 3 (paper §2.4).
+ *
+ * Only the cell at the head of each input FIFO is eligible each slot
+ * (window = 1); contention for an output is resolved uniformly at random.
+ * A window w > 1 models the Hui & Arthurs / Karol iterative scheme in
+ * which an input that loses a round bids its next queued cell, which
+ * mitigates — but cannot eliminate — HOL blocking.
+ */
+#ifndef AN2_SIM_FIFO_SWITCH_H
+#define AN2_SIM_FIFO_SWITCH_H
+
+#include <deque>
+#include <memory>
+
+#include "an2/base/rng.h"
+#include "an2/fabric/crossbar.h"
+#include "an2/sim/switch.h"
+
+namespace an2 {
+
+/** FIFO-input-queued switch with optional lookahead window. */
+class FifoSwitch final : public SwitchModel
+{
+  public:
+    /**
+     * @param n Ports.
+     * @param seed PRNG seed for contention resolution.
+     * @param window Queue positions eligible per slot (1 = strict FIFO).
+     * @param rounds Contention rounds per slot (>= 1; ignored beyond the
+     *        window since a loser needs a next cell to bid).
+     */
+    FifoSwitch(int n, uint64_t seed, int window = 1, int rounds = 1);
+
+    void acceptCell(const Cell& cell) override;
+    std::vector<Cell> runSlot(SlotTime slot) override;
+    int bufferedCells() const override;
+    std::string name() const override;
+    int size() const override { return n_; }
+
+  private:
+    int n_;
+    int window_;
+    int rounds_;
+    std::vector<std::deque<Cell>> queues_;
+    Crossbar crossbar_;
+    Xoshiro256 rng_;
+};
+
+}  // namespace an2
+
+#endif  // AN2_SIM_FIFO_SWITCH_H

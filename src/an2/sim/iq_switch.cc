@@ -1,0 +1,224 @@
+#include "an2/sim/iq_switch.h"
+
+#include <sstream>
+
+#include "an2/base/error.h"
+
+namespace an2 {
+
+InputQueuedSwitch::InputQueuedSwitch(const IqSwitchConfig& config,
+                                     std::unique_ptr<Matcher> matcher,
+                                     const FrameSchedule* cbr_schedule)
+    : config_(config), matcher_(std::move(matcher)),
+      cbr_schedule_(cbr_schedule), crossbar_(config.n)
+{
+    AN2_REQUIRE(config_.n > 0, "switch size must be positive");
+    AN2_REQUIRE(config_.output_speedup >= 1, "speedup must be >= 1");
+    AN2_REQUIRE(matcher_ != nullptr, "a matcher is required");
+    AN2_REQUIRE(config_.output_speedup == 1 || cbr_schedule_ == nullptr,
+                "output speedup cannot be combined with a CBR schedule");
+    if (cbr_schedule_ != nullptr) {
+        AN2_REQUIRE(cbr_schedule_->size() == config_.n,
+                    "frame schedule size does not match switch");
+    }
+    vbr_bufs_.reserve(static_cast<size_t>(config_.n));
+    cbr_bufs_.reserve(static_cast<size_t>(config_.n));
+    for (int i = 0; i < config_.n; ++i) {
+        vbr_bufs_.emplace_back(config_.n);
+        cbr_bufs_.emplace_back(config_.n);
+    }
+    if (config_.output_speedup > 1)
+        out_queues_.resize(static_cast<size_t>(config_.n));
+}
+
+std::string
+InputQueuedSwitch::name() const
+{
+    std::ostringstream oss;
+    oss << "IQ[" << matcher_->name();
+    if (config_.output_speedup > 1)
+        oss << ",speedup=" << config_.output_speedup;
+    if (cbr_schedule_ != nullptr)
+        oss << ",CBR";
+    if (config_.pipelined)
+        oss << ",pipelined";
+    oss << "]";
+    return oss.str();
+}
+
+void
+InputQueuedSwitch::acceptCell(const Cell& cell)
+{
+    AN2_REQUIRE(cell.input >= 0 && cell.input < config_.n,
+                "cell input " << cell.input << " out of range");
+    if (cell.cls == TrafficClass::CBR) {
+        AN2_REQUIRE(cbr_schedule_ != nullptr,
+                    "CBR cell arrived at a switch with no frame schedule");
+        cbr_bufs_[static_cast<size_t>(cell.input)].enqueue(cell);
+    } else {
+        vbr_bufs_[static_cast<size_t>(cell.input)].enqueue(cell);
+    }
+}
+
+std::vector<Cell>
+InputQueuedSwitch::serveCbr(SlotTime slot, std::vector<bool>& in_busy,
+                            std::vector<bool>& out_busy)
+{
+    std::vector<Cell> forwarded;
+    if (cbr_schedule_ == nullptr)
+        return forwarded;
+    int fs = static_cast<int>(slot % cbr_schedule_->frameSlots());
+    for (PortId i = 0; i < config_.n; ++i) {
+        PortId j = cbr_schedule_->outputAt(fs, i);
+        if (j == kNoPort)
+            continue;
+        auto& buf = cbr_bufs_[static_cast<size_t>(i)];
+        if (!buf.hasCellFor(j))
+            continue;  // idle reservation: the slot falls to VBR
+        Cell c = buf.dequeueFor(j);
+        in_busy[static_cast<size_t>(i)] = true;
+        out_busy[static_cast<size_t>(j)] = true;
+        forwarded.push_back(c);
+        ++cbr_forwarded_;
+    }
+    return forwarded;
+}
+
+void
+InputQueuedSwitch::predictCbrBusy(SlotTime slot, std::vector<bool>& in_busy,
+                                  std::vector<bool>& out_busy) const
+{
+    // Ports the frame schedule will claim in `slot`, predicted from the
+    // CBR cells queued right now (CBR buffers only drain at their own
+    // scheduled slots, so a cell present now is still present then; a
+    // cell arriving later makes the prediction optimistic, and the
+    // transmit path re-checks with CBR priority).
+    if (cbr_schedule_ == nullptr)
+        return;
+    int fs = static_cast<int>(slot % cbr_schedule_->frameSlots());
+    for (PortId i = 0; i < config_.n; ++i) {
+        PortId j = cbr_schedule_->outputAt(fs, i);
+        if (j == kNoPort || !cbr_bufs_[static_cast<size_t>(i)].hasCellFor(j))
+            continue;
+        in_busy[static_cast<size_t>(i)] = true;
+        out_busy[static_cast<size_t>(j)] = true;
+    }
+}
+
+Matching
+InputQueuedSwitch::computeVbrMatch(const std::vector<bool>& in_busy,
+                                   const std::vector<bool>& out_busy)
+{
+    const int n = config_.n;
+    RequestMatrix req(n);
+    for (PortId i = 0; i < n; ++i) {
+        if (in_busy[static_cast<size_t>(i)])
+            continue;
+        const auto& buf = vbr_bufs_[static_cast<size_t>(i)];
+        if (buf.totalCells() == 0)
+            continue;
+        for (PortId j = 0; j < n; ++j) {
+            if (out_busy[static_cast<size_t>(j)])
+                continue;
+            int count = buf.cellCountFor(j);
+            if (count > 0)
+                req.set(i, j, count);
+        }
+    }
+    Matching m = matcher_->match(req);
+    AN2_ASSERT(m.isLegalFor(req), "matcher returned illegal match");
+    return m;
+}
+
+std::vector<Cell>
+InputQueuedSwitch::runSlot(SlotTime slot)
+{
+    const int n = config_.n;
+
+    // Phase 1: CBR service from the frame schedule.
+    std::vector<bool> in_busy(static_cast<size_t>(n), false);
+    std::vector<bool> out_busy(static_cast<size_t>(n), false);
+    std::vector<Cell> forwarded = serveCbr(slot, in_busy, out_busy);
+
+    // Phase 2: the VBR matching for this slot — computed now, or (in
+    // pipelined mode) taken from the previous slot's computation.
+    std::vector<std::pair<PortId, PortId>> vbr_pairs;
+    if (!config_.pipelined) {
+        for (auto [i, j] : computeVbrMatch(in_busy, out_busy).pairs())
+            vbr_pairs.emplace_back(i, j);
+    } else if (pending_vbr_ != nullptr) {
+        for (auto [i, j] : pending_vbr_->pairs()) {
+            // A CBR cell that arrived after the matching was computed
+            // reclaims its scheduled ports: CBR has priority.
+            if (in_busy[static_cast<size_t>(i)] ||
+                out_busy[static_cast<size_t>(j)])
+                continue;
+            vbr_pairs.emplace_back(i, j);
+        }
+    }
+
+    // Phase 3: forward across the crossbar.
+    Matching combined(n, n, config_.output_speedup);
+    for (const Cell& c : forwarded)
+        combined.add(c.input, c.output);
+    std::vector<Cell> vbr_cells;
+    for (auto [i, j] : vbr_pairs) {
+        combined.add(i, j);
+        AN2_ASSERT(vbr_bufs_[static_cast<size_t>(i)].hasCellFor(j),
+                   "pipelined matching references a vanished cell");
+        Cell c = vbr_bufs_[static_cast<size_t>(i)].dequeueFor(j);
+        ++vbr_forwarded_;
+        if (cbr_schedule_ != nullptr) {
+            int fs = static_cast<int>(slot % cbr_schedule_->frameSlots());
+            if (cbr_schedule_->outputAt(fs, i) == j)
+                ++vbr_in_cbr_slots_;
+        }
+        vbr_cells.push_back(c);
+    }
+    crossbar_.configure(combined);
+    for (const Cell& c : forwarded)
+        crossbar_.forward(c);
+    for (const Cell& c : vbr_cells)
+        crossbar_.forward(c);
+    forwarded.insert(forwarded.end(), vbr_cells.begin(), vbr_cells.end());
+
+    // Pipelined mode: while this slot's cells cross the fabric, the
+    // scheduler computes the matching the *next* slot will use.
+    if (config_.pipelined) {
+        std::vector<bool> next_in(static_cast<size_t>(n), false);
+        std::vector<bool> next_out(static_cast<size_t>(n), false);
+        predictCbrBusy(slot + 1, next_in, next_out);
+        pending_vbr_ =
+            std::make_unique<Matching>(computeVbrMatch(next_in, next_out));
+    }
+
+    // Departures: direct with a plain crossbar; via output queues with a
+    // replicated fabric (one cell leaves each output link per slot).
+    if (config_.output_speedup == 1)
+        return forwarded;
+
+    for (const Cell& c : forwarded)
+        out_queues_[static_cast<size_t>(c.output)].push(c);
+    std::vector<Cell> departed;
+    for (auto& q : out_queues_) {
+        q.noteOccupancy();
+        if (!q.empty())
+            departed.push_back(q.pop());
+    }
+    return departed;
+}
+
+int
+InputQueuedSwitch::bufferedCells() const
+{
+    int total = 0;
+    for (const auto& b : vbr_bufs_)
+        total += b.totalCells();
+    for (const auto& b : cbr_bufs_)
+        total += b.totalCells();
+    for (const auto& q : out_queues_)
+        total += q.size();
+    return total;
+}
+
+}  // namespace an2

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The AN2 input-queued switch model (paper §3-§4): random-access input
+ * buffers, a pluggable scheduling algorithm for datagram (VBR) traffic,
+ * and an optional pre-computed frame schedule for reserved (CBR) traffic.
+ *
+ * Slot sequence (matching the hardware's pipeline):
+ *  1. CBR service — the frame schedule's pairings for this slot forward a
+ *     queued CBR cell, if one is present, claiming their ports.
+ *  2. VBR matching — the scheduler (typically PIM) runs over the ports
+ *     left free, including scheduled-but-idle CBR pairings, so VBR fills
+ *     every slot CBR does not use (§4).
+ *  3. Forwarding across the crossbar; departures leave on output links.
+ *
+ * With output_speedup k > 1 (replicated fabric, §3.1) up to k cells reach
+ * an output per slot and drain through an output queue at one per slot.
+ */
+#ifndef AN2_SIM_IQ_SWITCH_H
+#define AN2_SIM_IQ_SWITCH_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "an2/cbr/frame_schedule.h"
+#include "an2/fabric/crossbar.h"
+#include "an2/matching/matcher.h"
+#include "an2/queueing/output_queue.h"
+#include "an2/queueing/voq.h"
+#include "an2/sim/switch.h"
+
+namespace an2 {
+
+/** Configuration for an InputQueuedSwitch. */
+struct IqSwitchConfig
+{
+    /** Switch size N. */
+    int n = 16;
+
+    /** Cells deliverable to one output per slot (1 = plain crossbar). */
+    int output_speedup = 1;
+
+    /**
+     * Model the hardware scheduling pipeline: the matching used in slot
+     * t is computed during slot t-1 ("there is a fixed amount of time to
+     * schedule the switch -- the time to receive one cell", §3.2), so
+     * datagram cells see one extra slot of latency and a cell arriving
+     * in slot t is first eligible in slot t+1. CBR cells are unaffected
+     * (their schedule is precomputed). Off by default: the unpipelined
+     * model shifts every VBR delay by the same constant.
+     */
+    bool pipelined = false;
+};
+
+/** The AN2 switch: VOQ input buffers + pluggable matcher + CBR schedule. */
+class InputQueuedSwitch final : public SwitchModel
+{
+  public:
+    /**
+     * @param config Switch parameters.
+     * @param matcher VBR scheduling algorithm (owned).
+     * @param cbr_schedule Optional frame schedule for CBR traffic; not
+     *        owned, may be updated externally between slots (reservation
+     *        changes). Must outlive the switch. Output speedup > 1 cannot
+     *        be combined with a CBR schedule.
+     */
+    InputQueuedSwitch(const IqSwitchConfig& config,
+                      std::unique_ptr<Matcher> matcher,
+                      const FrameSchedule* cbr_schedule = nullptr);
+
+    void acceptCell(const Cell& cell) override;
+    std::vector<Cell> runSlot(SlotTime slot) override;
+    int bufferedCells() const override;
+    std::string name() const override;
+    int size() const override { return config_.n; }
+
+    /** CBR cells forwarded so far. */
+    int64_t cbrForwarded() const { return cbr_forwarded_; }
+
+    /** VBR cells forwarded so far. */
+    int64_t vbrForwarded() const { return vbr_forwarded_; }
+
+    /** VBR cells forwarded inside scheduled-but-idle CBR slots. */
+    int64_t vbrInCbrSlots() const { return vbr_in_cbr_slots_; }
+
+    /** The crossbar fabric (utilization statistics). */
+    const Crossbar& crossbar() const { return crossbar_; }
+
+    /** The VBR scheduler. */
+    Matcher& matcher() { return *matcher_; }
+
+  private:
+    /** Serve the frame schedule's pairings for `slot`; returns cells. */
+    std::vector<Cell> serveCbr(SlotTime slot, std::vector<bool>& in_busy,
+                               std::vector<bool>& out_busy);
+
+    /** Predict the ports the frame schedule will claim in `slot`. */
+    void predictCbrBusy(SlotTime slot, std::vector<bool>& in_busy,
+                        std::vector<bool>& out_busy) const;
+
+    /** Compute a VBR matching avoiding the given busy ports. */
+    Matching computeVbrMatch(const std::vector<bool>& in_busy,
+                             const std::vector<bool>& out_busy);
+
+    IqSwitchConfig config_;
+    std::unique_ptr<Matcher> matcher_;
+    const FrameSchedule* cbr_schedule_;
+    std::vector<InputBuffer> vbr_bufs_;
+    std::vector<InputBuffer> cbr_bufs_;
+    std::vector<OutputQueue> out_queues_;  ///< used when speedup > 1
+    Crossbar crossbar_;
+    /** Pipelined mode: the matching precomputed for the next slot. */
+    std::unique_ptr<Matching> pending_vbr_;
+    int64_t cbr_forwarded_ = 0;
+    int64_t vbr_forwarded_ = 0;
+    int64_t vbr_in_cbr_slots_ = 0;
+};
+
+}  // namespace an2
+
+#endif  // AN2_SIM_IQ_SWITCH_H

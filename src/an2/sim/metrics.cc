@@ -1,0 +1,47 @@
+#include "an2/sim/metrics.h"
+
+#include <algorithm>
+
+namespace an2 {
+
+MetricsCollector::MetricsCollector(SlotTime warmup_slots, int delay_hist_bins)
+    : warmup_(warmup_slots), delay_hist_(1.0, delay_hist_bins)
+{
+    AN2_REQUIRE(warmup_slots >= 0, "warmup must be non-negative");
+}
+
+void
+MetricsCollector::noteInjected(const Cell& cell)
+{
+    if (cell.inject_slot < warmup_)
+        return;
+    ++injected_;
+}
+
+void
+MetricsCollector::noteDelivered(const Cell& cell, SlotTime slot)
+{
+    auto d = static_cast<double>(slot - cell.inject_slot);
+    AN2_ASSERT(d >= 0.0, "cell delivered before injection");
+    // Throughput-style counts filter on *delivery* time so that, at
+    // saturation, service slots spent draining the warmup backlog are
+    // still credited. Delay statistics filter on *injection* time so the
+    // initial transient cannot bias them.
+    if (slot >= warmup_) {
+        ++delivered_;
+        ++per_connection_[{cell.input, cell.output}];
+        ++per_flow_[cell.flow];
+    }
+    if (cell.inject_slot >= warmup_) {
+        delay_.add(d);
+        delay_hist_.add(d);
+    }
+}
+
+void
+MetricsCollector::noteOccupancy(int buffered_cells)
+{
+    max_occupancy_ = std::max(max_occupancy_, buffered_cells);
+}
+
+}  // namespace an2

@@ -1,0 +1,43 @@
+#include "an2/sim/oq_switch.h"
+
+#include "an2/base/error.h"
+
+namespace an2 {
+
+OutputQueuedSwitch::OutputQueuedSwitch(int n)
+    : n_(n), queues_(static_cast<size_t>(n))
+{
+    AN2_REQUIRE(n > 0, "switch size must be positive");
+}
+
+void
+OutputQueuedSwitch::acceptCell(const Cell& cell)
+{
+    AN2_REQUIRE(cell.output >= 0 && cell.output < n_,
+                "cell output " << cell.output << " out of range");
+    // Perfect fabric: the cell crosses to its output queue immediately.
+    queues_[static_cast<size_t>(cell.output)].push(cell);
+}
+
+std::vector<Cell>
+OutputQueuedSwitch::runSlot(SlotTime)
+{
+    std::vector<Cell> departed;
+    for (auto& q : queues_) {
+        q.noteOccupancy();
+        if (!q.empty())
+            departed.push_back(q.pop());
+    }
+    return departed;
+}
+
+int
+OutputQueuedSwitch::bufferedCells() const
+{
+    int total = 0;
+    for (const auto& q : queues_)
+        total += q.size();
+    return total;
+}
+
+}  // namespace an2

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Perfect output queueing — the optimal-performance reference (paper
+ * §2.4/§3.5). The fabric is assumed to have enough internal bandwidth to
+ * deliver any number of simultaneous arrivals to an output's queue, so a
+ * cell is delayed only by other cells bound for the same output link.
+ * Infeasible to build at gigabit speeds, but the lower envelope every
+ * scheduling algorithm is measured against in Figures 3 and 4.
+ */
+#ifndef AN2_SIM_OQ_SWITCH_H
+#define AN2_SIM_OQ_SWITCH_H
+
+#include <vector>
+
+#include "an2/queueing/output_queue.h"
+#include "an2/sim/switch.h"
+
+namespace an2 {
+
+/** Ideal output-queued switch: N-speedup fabric, FIFO output queues. */
+class OutputQueuedSwitch final : public SwitchModel
+{
+  public:
+    explicit OutputQueuedSwitch(int n);
+
+    void acceptCell(const Cell& cell) override;
+    std::vector<Cell> runSlot(SlotTime slot) override;
+    int bufferedCells() const override;
+    std::string name() const override { return "OutputQueued"; }
+    int size() const override { return n_; }
+
+  private:
+    int n_;
+    std::vector<OutputQueue> queues_;
+};
+
+}  // namespace an2
+
+#endif  // AN2_SIM_OQ_SWITCH_H

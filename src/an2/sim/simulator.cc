@@ -1,0 +1,62 @@
+#include "an2/sim/simulator.h"
+
+#include "an2/base/error.h"
+
+namespace an2 {
+
+SimResult
+runSimulation(SwitchModel& sw, TrafficGenerator& traffic,
+              const SimConfig& config)
+{
+    AN2_REQUIRE(config.slots > 0, "simulation needs at least one slot");
+    AN2_REQUIRE(config.warmup >= 0 && config.warmup < config.slots,
+                "warmup must be shorter than the simulation");
+
+    MetricsCollector metrics(config.warmup);
+    int64_t injected_total = 0;
+    int64_t delivered_total = 0;
+
+    std::vector<Cell> arrivals;
+    for (SlotTime slot = 0; slot < config.slots; ++slot) {
+        arrivals.clear();
+        traffic.generate(slot, arrivals);
+        for (const Cell& c : arrivals) {
+            sw.acceptCell(c);
+            metrics.noteInjected(c);
+            ++injected_total;
+        }
+        std::vector<Cell> departed = sw.runSlot(slot);
+        for (const Cell& c : departed) {
+            metrics.noteDelivered(c, slot);
+            ++delivered_total;
+            if (config.on_delivered)
+                config.on_delivered(c, slot);
+        }
+        metrics.noteOccupancy(sw.bufferedCells());
+    }
+
+    AN2_ASSERT(injected_total == delivered_total + sw.bufferedCells(),
+               "cell conservation violated: " << injected_total
+                                              << " injected, "
+                                              << delivered_total
+                                              << " delivered, "
+                                              << sw.bufferedCells()
+                                              << " buffered");
+
+    SimResult result;
+    result.mean_delay = metrics.meanDelay();
+    result.p99_delay =
+        metrics.delayStats().count() > 0 ? metrics.delayQuantile(0.99) : 0.0;
+    result.injected = metrics.injected();
+    result.delivered = metrics.delivered();
+    result.measured_slots = config.slots - config.warmup;
+    auto denom = static_cast<double>(result.measured_slots) * sw.size();
+    result.throughput = static_cast<double>(result.delivered) / denom;
+    result.offered = static_cast<double>(result.injected) / denom;
+    result.max_occupancy = metrics.maxOccupancy();
+    result.per_connection = metrics.deliveredPerConnection();
+    result.per_flow = metrics.deliveredPerFlow();
+    return result;
+}
+
+}  // namespace an2

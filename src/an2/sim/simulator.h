@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The single-switch slot-synchronous simulation harness: wires a traffic
+ * generator into a switch model and collects metrics, the way the paper's
+ * §3.5 evaluation does.
+ */
+#ifndef AN2_SIM_SIMULATOR_H
+#define AN2_SIM_SIMULATOR_H
+
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "an2/base/types.h"
+#include "an2/sim/metrics.h"
+#include "an2/sim/switch.h"
+#include "an2/sim/traffic.h"
+
+namespace an2 {
+
+/** Simulation run parameters. */
+struct SimConfig
+{
+    /** Total slots to simulate. */
+    SlotTime slots = 100'000;
+
+    /** Cells injected before this slot are excluded from metrics. */
+    SlotTime warmup = 10'000;
+
+    /** Optional observer invoked for every delivered cell. */
+    std::function<void(const Cell&, SlotTime)> on_delivered;
+};
+
+/** Results of one simulation run. */
+struct SimResult
+{
+    /** Mean queueing delay in slots (measured cells only). */
+    double mean_delay = 0.0;
+
+    /** 99th-percentile delay in slots. */
+    double p99_delay = 0.0;
+
+    /** Cells injected / delivered after warmup. */
+    int64_t injected = 0;
+    int64_t delivered = 0;
+
+    /** Delivered cells per output link per measured slot (utilization). */
+    double throughput = 0.0;
+
+    /** Injected cells per input link per measured slot. */
+    double offered = 0.0;
+
+    /** Peak total buffer occupancy. */
+    int max_occupancy = 0;
+
+    /** Delivered cells per (input, output) connection (post-warmup). */
+    std::map<std::pair<PortId, PortId>, int64_t> per_connection;
+
+    /** Delivered cells per flow (post-warmup). */
+    std::map<FlowId, int64_t> per_flow;
+
+    /** Slots over which metrics were accumulated. */
+    SlotTime measured_slots = 0;
+};
+
+/**
+ * Run `traffic` through `sw` for config.slots slots.
+ *
+ * Verifies cell conservation (injected = delivered + still buffered) and
+ * returns the collected metrics.
+ */
+SimResult runSimulation(SwitchModel& sw, TrafficGenerator& traffic,
+                        const SimConfig& config);
+
+}  // namespace an2
+
+#endif  // AN2_SIM_SIMULATOR_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The switch-architecture interface for the slot-synchronous simulator.
+ *
+ * A slot proceeds as: (1) the simulator feeds each arriving cell to
+ * acceptCell(); (2) runSlot() schedules and forwards cells, returning the
+ * cells that depart the switch in this slot. Delay of a cell is its
+ * departure slot minus its injection slot.
+ */
+#ifndef AN2_SIM_SWITCH_H
+#define AN2_SIM_SWITCH_H
+
+#include <string>
+#include <vector>
+
+#include "an2/cell/cell.h"
+
+namespace an2 {
+
+/** Abstract N x N switch architecture under test. */
+class SwitchModel
+{
+  public:
+    virtual ~SwitchModel() = default;
+
+    /** Accept a cell arriving at the start of the current slot. */
+    virtual void acceptCell(const Cell& cell) = 0;
+
+    /**
+     * Schedule and forward for slot `slot`; returns the departing cells.
+     * Called once per slot, after all of the slot's arrivals.
+     */
+    virtual std::vector<Cell> runSlot(SlotTime slot) = 0;
+
+    /** Cells currently buffered anywhere in the switch. */
+    virtual int bufferedCells() const = 0;
+
+    /** Architecture name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Number of ports. */
+    virtual int size() const = 0;
+};
+
+}  // namespace an2
+
+#endif  // AN2_SIM_SWITCH_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Virtual clock scheduling (Zhang 1991) on a perfect output-queued
+ * switch — the fairness baseline §5.1 compares statistical matching
+ * against. Each flow is assigned a rate; every arriving cell is stamped
+ * with the flow's virtual clock (advanced by 1/rate per cell), and each
+ * output transmits the pending cell with the earliest stamp. The paper's
+ * point: virtual clock presumes an output-queued switch where "each
+ * output link can select arbitrarily among any of the cells queued for
+ * it"; statistical matching achieves comparable allocations in an
+ * input-buffered switch.
+ */
+#ifndef AN2_SIM_VIRTUAL_CLOCK_H
+#define AN2_SIM_VIRTUAL_CLOCK_H
+
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "an2/sim/switch.h"
+
+namespace an2 {
+
+/** Output-queued switch scheduling cells by virtual clock stamps. */
+class VirtualClockSwitch final : public SwitchModel
+{
+  public:
+    explicit VirtualClockSwitch(int n);
+
+    /**
+     * Assign a flow's guaranteed rate in cells/slot (0 < rate <= 1).
+     * Cells of unregistered flows get a default best-effort rate.
+     */
+    void setFlowRate(FlowId flow, double rate);
+
+    /** Rate used for flows never registered (default 0.01). */
+    void setDefaultRate(double rate);
+
+    void acceptCell(const Cell& cell) override;
+    std::vector<Cell> runSlot(SlotTime slot) override;
+    int bufferedCells() const override;
+    std::string name() const override { return "VirtualClock(OQ)"; }
+    int size() const override { return n_; }
+
+  private:
+    struct Stamped
+    {
+        Cell cell;
+        double stamp;
+        int64_t arrival_order;  ///< tie-break: FIFO among equal stamps
+
+        bool
+        operator>(const Stamped& other) const
+        {
+            if (stamp != other.stamp)
+                return stamp > other.stamp;
+            return arrival_order > other.arrival_order;
+        }
+    };
+
+    using MinHeap = std::priority_queue<Stamped, std::vector<Stamped>,
+                                        std::greater<Stamped>>;
+
+    int n_;
+    double default_rate_ = 0.01;
+    std::map<FlowId, double> rates_;
+    std::map<FlowId, double> virtual_clock_;
+    std::vector<MinHeap> queues_;
+    int buffered_ = 0;
+    int64_t arrivals_seen_ = 0;
+};
+
+}  // namespace an2
+
+#endif  // AN2_SIM_VIRTUAL_CLOCK_H

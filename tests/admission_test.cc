@@ -1,0 +1,92 @@
+// Tests for network admission control (an2/cbr/admission.h).
+#include "an2/cbr/admission.h"
+
+#include <gtest/gtest.h>
+
+namespace an2 {
+namespace {
+
+TEST(AdmissionTest, LinksStartEmpty)
+{
+    AdmissionController adm(100);
+    LinkId a = adm.addLink();
+    EXPECT_EQ(adm.numLinks(), 1);
+    EXPECT_EQ(adm.committed(a), 0);
+    EXPECT_EQ(adm.available(a), 100);
+}
+
+TEST(AdmissionTest, AdmitCommitsEveryLinkOnPath)
+{
+    AdmissionController adm(10);
+    LinkId a = adm.addLink();
+    LinkId b = adm.addLink();
+    LinkId c = adm.addLink();
+    EXPECT_TRUE(adm.admit({a, b}, 4));
+    EXPECT_EQ(adm.committed(a), 4);
+    EXPECT_EQ(adm.committed(b), 4);
+    EXPECT_EQ(adm.committed(c), 0);
+}
+
+TEST(AdmissionTest, RejectionLeavesNoPartialCommit)
+{
+    AdmissionController adm(10);
+    LinkId a = adm.addLink();
+    LinkId b = adm.addLink();
+    ASSERT_TRUE(adm.admit({b}, 8));
+    EXPECT_FALSE(adm.admit({a, b}, 4));  // b lacks capacity
+    EXPECT_EQ(adm.committed(a), 0);      // a untouched
+}
+
+TEST(AdmissionTest, CanAdmitMatchesAdmit)
+{
+    AdmissionController adm(5);
+    LinkId a = adm.addLink();
+    EXPECT_TRUE(adm.canAdmit({a}, 5));
+    EXPECT_FALSE(adm.canAdmit({a}, 6));
+}
+
+TEST(AdmissionTest, ReleaseRestoresCapacity)
+{
+    AdmissionController adm(10);
+    LinkId a = adm.addLink();
+    LinkId b = adm.addLink();
+    ASSERT_TRUE(adm.admit({a, b}, 10));
+    EXPECT_FALSE(adm.canAdmit({a}, 1));
+    adm.release({a, b}, 6);
+    EXPECT_EQ(adm.available(a), 6);
+    EXPECT_TRUE(adm.admit({a, b}, 6));
+}
+
+TEST(AdmissionTest, ReleaseMoreThanCommittedRejected)
+{
+    AdmissionController adm(10);
+    LinkId a = adm.addLink();
+    adm.admit({a}, 3);
+    EXPECT_THROW(adm.release({a}, 4), UsageError);
+    EXPECT_EQ(adm.committed(a), 3);  // unchanged
+}
+
+TEST(AdmissionTest, UnknownLinkRejected)
+{
+    AdmissionController adm(10);
+    EXPECT_THROW(adm.committed(0), UsageError);
+    EXPECT_THROW(adm.canAdmit({3}, 1), UsageError);
+}
+
+TEST(AdmissionTest, EmptyPathTriviallyAdmits)
+{
+    AdmissionController adm(10);
+    EXPECT_TRUE(adm.admit({}, 5));
+}
+
+TEST(AdmissionTest, HundredPercentReservable)
+{
+    // §4: the allocation criterion allows 100% of link bandwidth.
+    AdmissionController adm(1000);
+    LinkId a = adm.addLink();
+    EXPECT_TRUE(adm.admit({a}, 1000));
+    EXPECT_EQ(adm.available(a), 0);
+}
+
+}  // namespace
+}  // namespace an2

@@ -1,0 +1,88 @@
+// Tests for the Table 2 cost model (an2/fabric/cost_model.h).
+#include "an2/fabric/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "an2/base/error.h"
+
+namespace an2 {
+namespace {
+
+TEST(CostModelTest, PrototypeReproducesTable2At16)
+{
+    CostModel model(CostModel::prototypeParams());
+    auto shares = model.shares(16);
+    ASSERT_EQ(shares.size(), 5u);
+    EXPECT_NEAR(shares[0].share, 0.48, 1e-9);  // optoelectronics
+    EXPECT_NEAR(shares[1].share, 0.04, 1e-9);  // crossbar
+    EXPECT_NEAR(shares[2].share, 0.21, 1e-9);  // buffer RAM/logic
+    EXPECT_NEAR(shares[3].share, 0.10, 1e-9);  // scheduling logic
+    EXPECT_NEAR(shares[4].share, 0.17, 1e-9);  // routing/control CPU
+}
+
+TEST(CostModelTest, ProductionReproducesTable2At16)
+{
+    CostModel model(CostModel::productionParams());
+    auto shares = model.shares(16);
+    EXPECT_NEAR(shares[0].share, 0.63, 1e-9);
+    EXPECT_NEAR(shares[1].share, 0.05, 1e-9);
+    EXPECT_NEAR(shares[2].share, 0.19, 1e-9);
+    EXPECT_NEAR(shares[3].share, 0.03, 1e-9);
+    EXPECT_NEAR(shares[4].share, 0.10, 1e-9);
+}
+
+TEST(CostModelTest, SharesSumToOneForAnySize)
+{
+    CostModel model(CostModel::prototypeParams());
+    for (int n : {2, 8, 16, 64, 256}) {
+        double total = 0.0;
+        for (const auto& s : model.shares(n))
+            total += s.share;
+        EXPECT_NEAR(total, 1.0, 1e-12) << "n=" << n;
+    }
+}
+
+TEST(CostModelTest, QuadraticUnitsDominateAtScale)
+{
+    // §2.2's point inverted: for very large N the O(N^2) crossbar and
+    // wiring must eventually overtake the per-port optics.
+    CostModel model(CostModel::prototypeParams());
+    double xbar16 = model.shares(16)[1].share;
+    double xbar1024 = model.shares(1024)[1].share;
+    EXPECT_GT(xbar1024, xbar16);
+    EXPECT_GT(xbar1024, model.shares(1024)[0].share);
+}
+
+TEST(CostModelTest, CrossbarSmallAtModerateScale)
+{
+    // The paper's §2.2 claim: < 5% of cost at the prototype's scale.
+    CostModel model(CostModel::prototypeParams());
+    EXPECT_LE(model.shares(16)[1].share, 0.05);
+}
+
+TEST(CostModelTest, UnitCostsArePositiveAndMonotoneInN)
+{
+    CostModel model(CostModel::productionParams());
+    for (int u = 0; u < kNumCostUnits; ++u) {
+        auto unit = static_cast<CostUnit>(u);
+        EXPECT_GT(model.unitCost(unit, 4), 0.0);
+        if (unit != CostUnit::ControlCpu) {
+            EXPECT_GT(model.unitCost(unit, 32), model.unitCost(unit, 16));
+        }
+    }
+}
+
+TEST(CostModelTest, NamesAreDistinct)
+{
+    EXPECT_EQ(costUnitName(CostUnit::Optoelectronics), "Optoelectronics");
+    EXPECT_EQ(costUnitName(CostUnit::ControlCpu), "Routing/Control CPU");
+}
+
+TEST(CostModelTest, InvalidSizeRejected)
+{
+    CostModel model(CostModel::prototypeParams());
+    EXPECT_THROW(model.totalCost(0), UsageError);
+}
+
+}  // namespace
+}  // namespace an2

@@ -1,0 +1,61 @@
+// Tests for error reporting (an2/base/error.h).
+#include "an2/base/error.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace an2 {
+namespace {
+
+TEST(ErrorTest, FatalThrowsUsageError)
+{
+    EXPECT_THROW(AN2_FATAL("bad input " << 42), UsageError);
+}
+
+TEST(ErrorTest, PanicThrowsInternalError)
+{
+    EXPECT_THROW(AN2_PANIC("broken invariant"), InternalError);
+}
+
+TEST(ErrorTest, MessagesCarryLocationAndText)
+{
+    try {
+        AN2_FATAL("value=" << 7);
+        FAIL() << "expected throw";
+    } catch (const UsageError& e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("value=7"), std::string::npos);
+        EXPECT_NE(what.find("error_test.cc"), std::string::npos);
+    }
+}
+
+TEST(ErrorTest, AssertPassesWhenTrue)
+{
+    EXPECT_NO_THROW(AN2_ASSERT(1 + 1 == 2, "math works"));
+}
+
+TEST(ErrorTest, AssertThrowsWhenFalse)
+{
+    EXPECT_THROW(AN2_ASSERT(false, "must fail"), InternalError);
+}
+
+TEST(ErrorTest, RequirePassesAndFails)
+{
+    EXPECT_NO_THROW(AN2_REQUIRE(true, "ok"));
+    EXPECT_THROW(AN2_REQUIRE(false, "nope"), UsageError);
+}
+
+TEST(ErrorTest, UsageErrorIsInvalidArgument)
+{
+    // Callers may catch std::invalid_argument for usage errors.
+    EXPECT_THROW(AN2_REQUIRE(false, "x"), std::invalid_argument);
+}
+
+TEST(ErrorTest, InternalErrorIsLogicError)
+{
+    EXPECT_THROW(AN2_PANIC("x"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace an2

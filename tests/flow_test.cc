@@ -1,0 +1,63 @@
+// Tests for flow descriptors and the flow table (an2/cell/flow.h).
+#include "an2/cell/flow.h"
+
+#include <gtest/gtest.h>
+
+namespace an2 {
+namespace {
+
+TEST(FlowTableTest, SequentialIds)
+{
+    FlowTable t;
+    EXPECT_EQ(t.addFlow(0, 1), 0);
+    EXPECT_EQ(t.addFlow(2, 3), 1);
+    EXPECT_EQ(t.size(), 2);
+}
+
+TEST(FlowTableTest, StoresFields)
+{
+    FlowTable t;
+    FlowId f = t.addFlow(3, 5, TrafficClass::CBR, 12);
+    const Flow& flow = t.flow(f);
+    EXPECT_EQ(flow.id, f);
+    EXPECT_EQ(flow.input, 3);
+    EXPECT_EQ(flow.output, 5);
+    EXPECT_EQ(flow.cls, TrafficClass::CBR);
+    EXPECT_EQ(flow.cells_per_frame, 12);
+}
+
+TEST(FlowTableTest, VbrIgnoresReservation)
+{
+    FlowTable t;
+    FlowId f = t.addFlow(0, 0, TrafficClass::VBR, 99);
+    EXPECT_EQ(t.flow(f).cells_per_frame, 0);
+}
+
+TEST(FlowTableTest, UnknownIdThrows)
+{
+    FlowTable t;
+    t.addFlow(0, 1);
+    EXPECT_THROW(t.flow(1), UsageError);
+    EXPECT_THROW(t.flow(-1), UsageError);
+}
+
+TEST(FlowTableTest, NegativePortsRejected)
+{
+    FlowTable t;
+    EXPECT_THROW(t.addFlow(-1, 0), UsageError);
+    EXPECT_THROW(t.addFlow(0, -1), UsageError);
+    EXPECT_THROW(t.addFlow(0, 0, TrafficClass::CBR, -1), UsageError);
+}
+
+TEST(FlowTableTest, FlowsVectorInOrder)
+{
+    FlowTable t;
+    t.addFlow(0, 1);
+    t.addFlow(1, 2);
+    ASSERT_EQ(t.flows().size(), 2u);
+    EXPECT_EQ(t.flows()[0].output, 1);
+    EXPECT_EQ(t.flows()[1].output, 2);
+}
+
+}  // namespace
+}  // namespace an2

@@ -1,0 +1,126 @@
+// Tests for the frame schedule (an2/cbr/frame_schedule.h), including the
+// paper's Figure 6 worked example.
+#include "an2/cbr/frame_schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace an2 {
+namespace {
+
+TEST(FrameScheduleTest, StartsEmpty)
+{
+    FrameSchedule s(4, 3);
+    EXPECT_EQ(s.totalAssignments(), 0);
+    for (int slot = 0; slot < 3; ++slot)
+        for (PortId p = 0; p < 4; ++p) {
+            EXPECT_TRUE(s.inputFree(slot, p));
+            EXPECT_TRUE(s.outputFree(slot, p));
+        }
+}
+
+TEST(FrameScheduleTest, AssignAndQuery)
+{
+    FrameSchedule s(4, 3);
+    s.assign(1, 2, 3);
+    EXPECT_EQ(s.outputAt(1, 2), 3);
+    EXPECT_EQ(s.inputAt(1, 3), 2);
+    EXPECT_FALSE(s.inputFree(1, 2));
+    EXPECT_FALSE(s.outputFree(1, 3));
+    EXPECT_TRUE(s.inputFree(0, 2));
+    EXPECT_EQ(s.totalAssignments(), 1);
+    EXPECT_EQ(s.slotsFor(2, 3), 1);
+}
+
+TEST(FrameScheduleTest, ConflictingAssignPanics)
+{
+    FrameSchedule s(4, 2);
+    s.assign(0, 1, 1);
+    EXPECT_THROW(s.assign(0, 1, 2), InternalError);  // input busy
+    EXPECT_THROW(s.assign(0, 2, 1), InternalError);  // output busy
+    EXPECT_NO_THROW(s.assign(1, 1, 1));  // other slot fine
+}
+
+TEST(FrameScheduleTest, ClearFreesPorts)
+{
+    FrameSchedule s(4, 2);
+    s.assign(0, 1, 1);
+    s.clear(0, 1, 1);
+    EXPECT_TRUE(s.inputFree(0, 1));
+    EXPECT_EQ(s.totalAssignments(), 0);
+    EXPECT_THROW(s.clear(0, 1, 1), InternalError);
+}
+
+TEST(FrameScheduleTest, RealizesChecksExactCounts)
+{
+    // The Figure 6 example: 4x4 switch, frame of 3 slots.
+    // Reservations (cells/frame):     rows = inputs 1..4 (0-based 0..3)
+    //   in0: 2 to out0, 1 to out1
+    //   in1: 1 to out0, 1 to out2
+    //   in2: 2 to out2, 1 to out3
+    //   in3: 1 to out1, 1 to out3
+    ReservationMatrix res(4, 3);
+    res.add(0, 0, 2);
+    res.add(0, 1, 1);
+    res.add(1, 0, 1);
+    res.add(1, 2, 1);
+    res.add(2, 2, 2);
+    res.add(2, 3, 1);
+    res.add(3, 1, 1);
+    res.add(3, 3, 1);
+
+    // One valid schedule (a Figure 6-style assignment):
+    FrameSchedule s(4, 3);
+    s.assign(0, 0, 0);
+    s.assign(0, 1, 2);
+    s.assign(0, 2, 3);
+    s.assign(0, 3, 1);
+    s.assign(1, 0, 0);
+    s.assign(1, 2, 2);
+    s.assign(1, 3, 3);
+    s.assign(2, 0, 1);
+    s.assign(2, 1, 0);
+    s.assign(2, 2, 2);
+    EXPECT_TRUE(s.realizes(res));
+
+    // Removing one assignment breaks realization.
+    s.clear(2, 2, 2);
+    EXPECT_FALSE(s.realizes(res));
+}
+
+TEST(FrameScheduleTest, RealizesRejectsWrongShape)
+{
+    FrameSchedule s(4, 3);
+    ReservationMatrix other_frame(4, 5);
+    EXPECT_FALSE(s.realizes(other_frame));
+    ReservationMatrix other_size(5, 3);
+    EXPECT_FALSE(s.realizes(other_size));
+}
+
+TEST(FrameScheduleTest, ResetClearsEverything)
+{
+    FrameSchedule s(4, 3);
+    s.assign(0, 0, 1);
+    s.assign(1, 2, 3);
+    s.assign(2, 1, 0);
+    s.reset();
+    EXPECT_EQ(s.totalAssignments(), 0);
+    for (int slot = 0; slot < 3; ++slot)
+        for (PortId p = 0; p < 4; ++p) {
+            EXPECT_TRUE(s.inputFree(slot, p));
+            EXPECT_TRUE(s.outputFree(slot, p));
+        }
+    // Fully reusable after reset.
+    s.assign(0, 0, 1);
+    EXPECT_EQ(s.totalAssignments(), 1);
+}
+
+TEST(FrameScheduleTest, BoundsChecked)
+{
+    FrameSchedule s(2, 2);
+    EXPECT_THROW(s.outputAt(2, 0), UsageError);
+    EXPECT_THROW(s.outputAt(0, 2), UsageError);
+    EXPECT_THROW(s.assign(0, -1, 0), UsageError);
+}
+
+}  // namespace
+}  // namespace an2

@@ -1,0 +1,341 @@
+// Tests for the AN2 input-queued switch (an2/sim/iq_switch.h): VOQ + PIM
+// scheduling, CBR frame-schedule integration, and output speedup.
+#include "an2/sim/iq_switch.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "an2/cbr/slepian_duguid.h"
+#include "an2/matching/pim.h"
+#include "an2/sim/simulator.h"
+#include "an2/sim/traffic.h"
+
+namespace an2 {
+namespace {
+
+std::unique_ptr<Matcher>
+pim(int iterations = 4, uint64_t seed = 1)
+{
+    PimConfig cfg;
+    cfg.iterations = iterations;
+    cfg.seed = seed;
+    return std::make_unique<PimMatcher>(cfg);
+}
+
+Cell
+vbrCell(FlowId flow, PortId in, PortId out, int64_t seq = 0)
+{
+    Cell c;
+    c.flow = flow;
+    c.input = in;
+    c.output = out;
+    c.seq = seq;
+    return c;
+}
+
+TEST(IqSwitchTest, ForwardsWithoutContention)
+{
+    InputQueuedSwitch sw({.n = 4}, pim());
+    sw.acceptCell(vbrCell(0, 0, 1));
+    sw.acceptCell(vbrCell(1, 2, 3));
+    auto departed = sw.runSlot(0);
+    EXPECT_EQ(departed.size(), 2u);
+    EXPECT_EQ(sw.bufferedCells(), 0);
+    EXPECT_EQ(sw.vbrForwarded(), 2);
+}
+
+TEST(IqSwitchTest, NoHolBlockingAcrossVoqs)
+{
+    // The FifoSwitch HOL scenario: input 0 holds cells for outputs 0 and
+    // 1, input 1 holds a cell for output 0. A VOQ switch must move two
+    // cells in the first slot regardless of who wins output 0.
+    InputQueuedSwitch sw({.n = 2}, pim(4));
+    sw.acceptCell(vbrCell(0, 0, 0));
+    sw.acceptCell(vbrCell(1, 0, 1));
+    sw.acceptCell(vbrCell(2, 1, 0));
+    auto departed = sw.runSlot(0);
+    EXPECT_EQ(departed.size(), 2u);
+}
+
+TEST(IqSwitchTest, FullLoadThroughputNearOne)
+{
+    InputQueuedSwitch sw({.n = 16}, pim(4, 7));
+    UniformTraffic traffic(16, 1.0, 8);
+    SimConfig cfg;
+    cfg.slots = 30'000;
+    cfg.warmup = 5'000;
+    SimResult res = runSimulation(sw, traffic, cfg);
+    // PIM(4) sustains nearly full switch throughput (Figure 3).
+    EXPECT_GT(res.throughput, 0.93);
+}
+
+TEST(IqSwitchTest, PerFlowOrderPreservedEndToEnd)
+{
+    InputQueuedSwitch sw({.n = 8}, pim(4, 9));
+    UniformTraffic traffic(8, 0.8, 10);
+    std::map<FlowId, int64_t> last_seq;
+    SimConfig cfg;
+    cfg.slots = 20'000;
+    cfg.warmup = 0;
+    cfg.on_delivered = [&](const Cell& c, SlotTime) {
+        auto [it, inserted] = last_seq.try_emplace(c.flow, -1);
+        EXPECT_GT(c.seq, it->second) << "flow " << c.flow << " re-ordered";
+        it->second = c.seq;
+    };
+    runSimulation(sw, traffic, cfg);
+}
+
+TEST(IqSwitchTest, CbrCellRequiresSchedule)
+{
+    InputQueuedSwitch sw({.n = 4}, pim());
+    Cell c = vbrCell(0, 0, 1);
+    c.cls = TrafficClass::CBR;
+    EXPECT_THROW(sw.acceptCell(c), UsageError);
+}
+
+TEST(IqSwitchTest, CbrRidesItsScheduledSlots)
+{
+    // Reserve 2 cells/frame (frame = 4 slots) from input 1 to output 2.
+    SlepianDuguidScheduler sd(4, 4);
+    ASSERT_TRUE(sd.addReservation(1, 2, 2));
+    InputQueuedSwitch sw({.n = 4}, pim(), &sd.schedule());
+
+    // Queue 4 CBR cells; they must depart exactly 2 per frame.
+    for (int s = 0; s < 4; ++s) {
+        Cell c = vbrCell(0, 1, 2, s);
+        c.cls = TrafficClass::CBR;
+        sw.acceptCell(c);
+    }
+    int64_t departed_frame1 = 0;
+    for (SlotTime slot = 0; slot < 4; ++slot)
+        departed_frame1 += static_cast<int64_t>(sw.runSlot(slot).size());
+    EXPECT_EQ(departed_frame1, 2);
+    int64_t departed_frame2 = 0;
+    for (SlotTime slot = 4; slot < 8; ++slot)
+        departed_frame2 += static_cast<int64_t>(sw.runSlot(slot).size());
+    EXPECT_EQ(departed_frame2, 2);
+    EXPECT_EQ(sw.cbrForwarded(), 4);
+}
+
+TEST(IqSwitchTest, CbrGuaranteeUnmovedByVbrOverload)
+{
+    // Saturating VBR traffic must not take anything from a CBR
+    // reservation: the reserved flow still gets its cells/frame.
+    constexpr int kN = 4;
+    constexpr int kFrame = 8;
+    constexpr int kReserved = 4;  // half of input 0's link
+    SlepianDuguidScheduler sd(kN, kFrame);
+    ASSERT_TRUE(sd.addReservation(0, 1, kReserved));
+    InputQueuedSwitch sw({.n = kN}, pim(4, 11), &sd.schedule());
+
+    Xoshiro256 rng(12);
+    int64_t cbr_seq = 0;
+    int64_t cbr_delivered = 0;
+    constexpr int kFrames = 200;
+    for (SlotTime slot = 0; slot < kFrames * kFrame; ++slot) {
+        // CBR source: always backlogged.
+        Cell c = vbrCell(100, 0, 1, cbr_seq++);
+        c.cls = TrafficClass::CBR;
+        c.inject_slot = slot;
+        sw.acceptCell(c);
+        // VBR overload: every input fires a cell at a random output every
+        // slot (including input 0 and output 1). One flow per connection.
+        for (PortId i = 0; i < kN; ++i) {
+            auto j = static_cast<PortId>(rng.nextBelow(kN));
+            Cell v = vbrCell(i * kN + j, i, j);
+            v.inject_slot = slot;
+            sw.acceptCell(v);
+        }
+        for (const Cell& d : sw.runSlot(slot))
+            if (d.cls == TrafficClass::CBR)
+                ++cbr_delivered;
+    }
+    // Perfect pacing: exactly kReserved per frame once started.
+    EXPECT_GE(cbr_delivered, (kFrames - 2) * kReserved);
+}
+
+TEST(IqSwitchTest, IdleCbrSlotsFallToVbr)
+{
+    // A reservation with no queued CBR cells must not waste slots: VBR
+    // fills them (§4), tracked by vbrInCbrSlots().
+    constexpr int kN = 2;
+    SlepianDuguidScheduler sd(kN, 2);
+    ASSERT_TRUE(sd.addReservation(0, 1, 2));  // input 0 fully reserved
+    InputQueuedSwitch sw({.n = kN}, pim(4, 13), &sd.schedule());
+    // Only VBR cells, on the reserved pair.
+    for (int s = 0; s < 100; ++s) {
+        sw.acceptCell(vbrCell(0, 0, 1, s));
+        auto departed = sw.runSlot(s);
+        ASSERT_EQ(departed.size(), 1u);
+    }
+    EXPECT_EQ(sw.vbrForwarded(), 100);
+    EXPECT_EQ(sw.vbrInCbrSlots(), 100);
+    EXPECT_EQ(sw.cbrForwarded(), 0);
+}
+
+TEST(IqSwitchTest, ScheduleUpdatedDynamicallyMidRun)
+{
+    // §4: "The slot assignment can be changed dynamically without
+    // disrupting guaranteed performance." The switch holds a pointer to
+    // the live schedule; adding a reservation between slots must take
+    // effect immediately and leave existing flows untouched.
+    constexpr int kN = 4;
+    constexpr int kFrame = 8;
+    SlepianDuguidScheduler sd(kN, kFrame);
+    ASSERT_TRUE(sd.addReservation(0, 1, 4));
+    InputQueuedSwitch sw({.n = kN}, pim(4, 31), &sd.schedule());
+
+    auto inject = [&](FlowId f, PortId i, PortId j, SlotTime slot) {
+        Cell c = vbrCell(f, i, j);
+        c.cls = TrafficClass::CBR;
+        c.inject_slot = slot;
+        sw.acceptCell(c);
+    };
+
+    int64_t flow_a = 0;
+    int64_t flow_b = 0;
+    for (SlotTime slot = 0; slot < 40 * kFrame; ++slot) {
+        if (slot == 20 * kFrame) {
+            // Mid-run: a new flow reserves half of input 2's link. The
+            // swap chains may move flow A's slots around, but its
+            // cells/frame must not change.
+            ASSERT_TRUE(sd.addReservation(2, 3, 4));
+        }
+        inject(900, 0, 1, slot);  // flow A backlogged from the start
+        if (slot >= 20 * kFrame)
+            inject(901, 2, 3, slot);  // flow B after its reservation
+        for (const Cell& d : sw.runSlot(slot)) {
+            if (d.flow == 900)
+                ++flow_a;
+            else if (d.flow == 901)
+                ++flow_b;
+        }
+    }
+    // Flow A: 4/frame for all 40 frames (within one frame of slack).
+    EXPECT_GE(flow_a, (40 - 1) * 4);
+    // Flow B: 4/frame for the last 20 frames.
+    EXPECT_GE(flow_b, (20 - 2) * 4);
+}
+
+TEST(IqSwitchTest, OutputSpeedupCrossesKCellsPerSlot)
+{
+    // Four inputs all sending to output 0. With speedup 2 (and a matcher
+    // granting up to 2 per output), two cells cross the fabric per slot,
+    // while the output link still departs one cell per slot.
+    PimConfig mcfg;
+    mcfg.iterations = 4;
+    mcfg.output_capacity = 2;
+    mcfg.seed = 14;
+    InputQueuedSwitch sw({.n = 4, .output_speedup = 2},
+                         std::make_unique<PimMatcher>(mcfg));
+    for (PortId i = 0; i < 4; ++i)
+        sw.acceptCell(vbrCell(i, i, 0));
+    auto d0 = sw.runSlot(0);
+    EXPECT_EQ(d0.size(), 1u);  // link departs 1/slot
+    // Two cells crossed the replicated fabric in slot 0.
+    EXPECT_EQ(sw.crossbar().cellsForwarded(), 2);
+    EXPECT_EQ(sw.bufferedCells(), 3);  // 2 at inputs + 1 in output queue
+    EXPECT_EQ(sw.runSlot(1).size(), 1u);
+    EXPECT_EQ(sw.crossbar().cellsForwarded(), 4);  // all inputs drained
+    EXPECT_EQ(sw.runSlot(2).size(), 1u);
+    EXPECT_EQ(sw.runSlot(3).size(), 1u);
+    EXPECT_EQ(sw.bufferedCells(), 0);
+}
+
+TEST(IqSwitchTest, PipelinedModeAddsOneSlotOfLatency)
+{
+    // A lone cell arriving in slot 0: the unpipelined switch forwards it
+    // in slot 0; the pipelined switch computes the matching during slot
+    // 0 and transmits in slot 1 (§3.2's "time to receive one cell").
+    InputQueuedSwitch direct({.n = 4}, pim(4, 41));
+    InputQueuedSwitch piped({.n = 4, .output_speedup = 1, .pipelined = true},
+                            pim(4, 41));
+    Cell c = vbrCell(0, 1, 2);
+    direct.acceptCell(c);
+    piped.acceptCell(c);
+    EXPECT_EQ(direct.runSlot(0).size(), 1u);
+    EXPECT_EQ(piped.runSlot(0).size(), 0u);  // pipeline fill
+    EXPECT_EQ(piped.runSlot(1).size(), 1u);
+    EXPECT_EQ(piped.bufferedCells(), 0);
+}
+
+TEST(IqSwitchTest, PipelinedThroughputMatchesDirectAtSaturation)
+{
+    // The pipeline shifts delay by one slot but must not cost
+    // throughput: at full load both variants saturate identically.
+    InputQueuedSwitch direct({.n = 8}, pim(4, 42));
+    InputQueuedSwitch piped({.n = 8, .output_speedup = 1, .pipelined = true},
+                            pim(4, 42));
+    UniformTraffic t1(8, 1.0, 43);
+    UniformTraffic t2(8, 1.0, 43);
+    SimConfig cfg;
+    cfg.slots = 20'000;
+    cfg.warmup = 4'000;
+    SimResult rd = runSimulation(direct, t1, cfg);
+    SimResult rp = runSimulation(piped, t2, cfg);
+    EXPECT_NEAR(rp.throughput, rd.throughput, 0.01);
+    EXPECT_GT(rp.mean_delay, rd.mean_delay);  // the extra pipeline slot
+}
+
+TEST(IqSwitchTest, PipelinedCbrPriorityOverStaleMatching)
+{
+    // The pipelined VBR matching may claim a port that a CBR cell
+    // (arriving after the matching was computed) is scheduled to use;
+    // the CBR cell must win and the VBR pair is dropped for that slot.
+    SlepianDuguidScheduler sd(2, 1);  // every slot schedules (0 -> 1)
+    ASSERT_TRUE(sd.addReservation(0, 1, 1));
+    InputQueuedSwitch sw({.n = 2, .output_speedup = 1, .pipelined = true},
+                         pim(4, 44), &sd.schedule());
+    // Slot 0: only a VBR cell on the reserved pair; the pipeline
+    // computes a matching for slot 1 using the idle reservation.
+    sw.acceptCell(vbrCell(10, 0, 1, 0));
+    EXPECT_EQ(sw.runSlot(0).size(), 0u);
+    // A CBR cell arrives before slot 1: it owns the scheduled pair.
+    Cell c = vbrCell(11, 0, 1, 0);
+    c.cls = TrafficClass::CBR;
+    sw.acceptCell(c);
+    auto departed = sw.runSlot(1);
+    ASSERT_EQ(departed.size(), 1u);
+    EXPECT_EQ(departed[0].cls, TrafficClass::CBR);
+    // The VBR cell follows once the reservation goes idle again.
+    auto later = sw.runSlot(2);
+    ASSERT_EQ(later.size(), 1u);
+    EXPECT_EQ(later[0].cls, TrafficClass::VBR);
+    EXPECT_EQ(sw.bufferedCells(), 0);
+}
+
+TEST(IqSwitchTest, SpeedupWithCbrRejected)
+{
+    SlepianDuguidScheduler sd(4, 4);
+    EXPECT_THROW(InputQueuedSwitch({.n = 4, .output_speedup = 2}, pim(),
+                                   &sd.schedule()),
+                 UsageError);
+}
+
+TEST(IqSwitchTest, CrossbarAccountsForwardedCells)
+{
+    InputQueuedSwitch sw({.n = 4}, pim());
+    sw.acceptCell(vbrCell(0, 0, 1));
+    sw.runSlot(0);
+    EXPECT_EQ(sw.crossbar().cellsForwarded(), 1);
+    EXPECT_EQ(sw.crossbar().slots(), 1);
+}
+
+TEST(IqSwitchTest, InvalidConstruction)
+{
+    EXPECT_THROW(InputQueuedSwitch({.n = 0}, pim()), UsageError);
+    EXPECT_THROW(InputQueuedSwitch({.n = 4}, nullptr), UsageError);
+    SlepianDuguidScheduler sd(8, 4);
+    EXPECT_THROW(InputQueuedSwitch({.n = 4}, pim(), &sd.schedule()),
+                 UsageError);
+}
+
+TEST(IqSwitchTest, NameDescribesConfiguration)
+{
+    InputQueuedSwitch sw({.n = 4}, pim(4));
+    EXPECT_EQ(sw.name(), "IQ[PIM(4)]");
+}
+
+}  // namespace
+}  // namespace an2

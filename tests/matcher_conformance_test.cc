@@ -1,0 +1,207 @@
+// Conformance property suite: every scheduling algorithm in an2sim must
+// satisfy the same contract — legal matchings, respected capacities,
+// graceful handling of degenerate patterns — across a common sweep.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "an2/matching/fill_in.h"
+#include "an2/matching/hopcroft_karp.h"
+#include "an2/matching/islip.h"
+#include "an2/matching/pim.h"
+#include "an2/matching/pim_fast.h"
+#include "an2/matching/serial_greedy.h"
+#include "an2/matching/statistical.h"
+
+namespace an2 {
+namespace {
+
+using MatcherFactory = std::function<std::unique_ptr<Matcher>(int n)>;
+
+struct NamedFactory
+{
+    std::string label;
+    MatcherFactory make;
+};
+
+std::vector<NamedFactory>
+allFactories()
+{
+    std::vector<NamedFactory> fs;
+    fs.push_back({"pim4", [](int) {
+                      return std::make_unique<PimMatcher>(
+                          PimConfig{.iterations = 4, .seed = 1});
+                  }});
+    fs.push_back({"pim_complete", [](int) {
+                      return std::make_unique<PimMatcher>(
+                          PimConfig{.iterations = 0, .seed = 2});
+                  }});
+    fs.push_back({"pim_rr", [](int) {
+                      PimConfig cfg;
+                      cfg.iterations = 4;
+                      cfg.accept = AcceptPolicy::RoundRobin;
+                      cfg.seed = 3;
+                      return std::make_unique<PimMatcher>(cfg);
+                  }});
+    fs.push_back({"islip", [](int) {
+                      return std::make_unique<IslipMatcher>(4);
+                  }});
+    fs.push_back({"greedy_random", [](int) {
+                      return std::make_unique<SerialGreedyMatcher>(true, 4);
+                  }});
+    fs.push_back({"greedy_fixed", [](int) {
+                      return std::make_unique<SerialGreedyMatcher>(false);
+                  }});
+    fs.push_back({"hopcroft_karp", [](int) {
+                      return std::make_unique<HopcroftKarpMatcher>();
+                  }});
+    fs.push_back({"statistical", [](int n) {
+                      Matrix<int> alloc(n, n, 1000 / n);
+                      StatisticalConfig cfg;
+                      cfg.units = 1000;
+                      cfg.rounds = 2;
+                      cfg.seed = 5;
+                      return std::make_unique<StatisticalMatcher>(alloc,
+                                                                  cfg);
+                  }});
+    fs.push_back({"fast_pim", [](int) {
+                      return std::make_unique<FastPimMatcher>(4, 6);
+                  }});
+    fs.push_back({"stat_plus_pim", [](int n) {
+                      Matrix<int> alloc(n, n, 1000 / n);
+                      StatisticalConfig scfg;
+                      scfg.units = 1000;
+                      scfg.seed = 7;
+                      PimConfig pcfg;
+                      pcfg.iterations = 4;
+                      pcfg.seed = 8;
+                      return std::make_unique<FillInMatcher>(
+                          std::make_unique<StatisticalMatcher>(alloc, scfg),
+                          std::make_unique<PimMatcher>(pcfg));
+                  }});
+    return fs;
+}
+
+class MatcherConformanceTest
+    : public ::testing::TestWithParam<::testing::tuple<int, int>>
+{
+  protected:
+    int factoryIndex() const { return ::testing::get<0>(GetParam()); }
+    int size() const { return ::testing::get<1>(GetParam()); }
+
+    std::unique_ptr<Matcher>
+    makeMatcher()
+    {
+        return allFactories()[static_cast<size_t>(factoryIndex())].make(
+            size());
+    }
+};
+
+/** Check basic sanity of a matching against its request matrix. */
+void
+expectWellFormed(const Matching& m, const RequestMatrix& req)
+{
+    EXPECT_TRUE(m.isLegalFor(req));
+    std::vector<int> out_used(static_cast<size_t>(req.numOutputs()), 0);
+    for (auto [i, j] : m.pairs()) {
+        EXPECT_GE(i, 0);
+        EXPECT_LT(i, req.numInputs());
+        ++out_used[static_cast<size_t>(j)];
+    }
+    for (int u : out_used)
+        EXPECT_LE(u, 1);
+}
+
+TEST_P(MatcherConformanceTest, LegalAcrossDensities)
+{
+    auto matcher = makeMatcher();
+    Xoshiro256 rng(static_cast<uint64_t>(7 * size() + factoryIndex()));
+    for (double p : {0.05, 0.3, 0.7, 1.0}) {
+        for (int t = 0; t < 10; ++t) {
+            auto req = RequestMatrix::bernoulli(size(), p, rng);
+            expectWellFormed(matcher->match(req), req);
+        }
+    }
+}
+
+TEST_P(MatcherConformanceTest, EmptyRequestsYieldEmptyMatch)
+{
+    auto matcher = makeMatcher();
+    RequestMatrix req(size());
+    EXPECT_EQ(matcher->match(req).size(), 0);
+}
+
+TEST_P(MatcherConformanceTest, PermutationPatternHandled)
+{
+    auto matcher = makeMatcher();
+    RequestMatrix req(size());
+    for (PortId i = 0; i < size(); ++i)
+        req.set(i, (i + 1) % size(), 1);
+    Matching m = matcher->match(req);
+    expectWellFormed(m, req);
+    // All non-statistical matchers must find the full permutation; the
+    // statistical matcher intentionally idles ~28% of slots.
+    std::string label = allFactories()[static_cast<size_t>(factoryIndex())]
+                            .label;
+    if (label != "statistical")
+        EXPECT_EQ(m.size(), size());
+}
+
+TEST_P(MatcherConformanceTest, SingleColumnContention)
+{
+    // Everyone wants output 0: exactly one winner per slot.
+    auto matcher = makeMatcher();
+    RequestMatrix req(size());
+    for (PortId i = 0; i < size(); ++i)
+        req.set(i, 0, 1);
+    for (int t = 0; t < 20; ++t) {
+        Matching m = matcher->match(req);
+        expectWellFormed(m, req);
+        EXPECT_LE(m.size(), 1);
+    }
+}
+
+TEST_P(MatcherConformanceTest, SingleRowFanOut)
+{
+    // One input wants everything: at most one accept per slot.
+    auto matcher = makeMatcher();
+    RequestMatrix req(size());
+    for (PortId j = 0; j < size(); ++j)
+        req.set(0, j, 1);
+    for (int t = 0; t < 20; ++t) {
+        Matching m = matcher->match(req);
+        expectWellFormed(m, req);
+        EXPECT_LE(m.size(), 1);
+    }
+}
+
+TEST_P(MatcherConformanceTest, RepeatedCallsStayLegal)
+{
+    // State carried across slots (pointers, PRNG) must never corrupt
+    // legality, including when the pattern changes every slot.
+    auto matcher = makeMatcher();
+    Xoshiro256 rng(static_cast<uint64_t>(13 + factoryIndex()));
+    for (int t = 0; t < 200; ++t) {
+        auto req = RequestMatrix::bernoulli(size(),
+                                            0.1 + 0.8 * rng.nextDouble(),
+                                            rng);
+        expectWellFormed(matcher->match(req), req);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMatchers, MatcherConformanceTest,
+    ::testing::Combine(::testing::Range(0, 10),  // factory index
+                       ::testing::Values(2, 5, 8, 16)),
+    [](const ::testing::TestParamInfo<::testing::tuple<int, int>>& info) {
+        return allFactories()[static_cast<size_t>(
+                                  ::testing::get<0>(info.param))]
+                   .label +
+               "_n" + std::to_string(::testing::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace an2

@@ -1,0 +1,84 @@
+// Tests for the dense matrix (an2/base/matrix.h).
+#include "an2/base/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace an2 {
+namespace {
+
+TEST(MatrixTest, DefaultEmpty)
+{
+    Matrix<int> m;
+    EXPECT_EQ(m.rows(), 0);
+    EXPECT_EQ(m.cols(), 0);
+}
+
+TEST(MatrixTest, FillConstructorAndAccess)
+{
+    Matrix<int> m(3, 4, 7);
+    EXPECT_EQ(m.rows(), 3);
+    EXPECT_EQ(m.cols(), 4);
+    for (int r = 0; r < 3; ++r)
+        for (int c = 0; c < 4; ++c)
+            EXPECT_EQ(m.at(r, c), 7);
+}
+
+TEST(MatrixTest, WriteAndReadBack)
+{
+    Matrix<double> m(2, 2);
+    m(0, 1) = 3.5;
+    m(1, 0) = -1.0;
+    EXPECT_EQ(m.at(0, 1), 3.5);
+    EXPECT_EQ(m.at(1, 0), -1.0);
+    EXPECT_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(MatrixTest, RowColAndTotalSums)
+{
+    Matrix<int> m(2, 3);
+    // 1 2 3
+    // 4 5 6
+    int v = 1;
+    for (int r = 0; r < 2; ++r)
+        for (int c = 0; c < 3; ++c)
+            m(r, c) = v++;
+    EXPECT_EQ(m.rowSum(0), 6);
+    EXPECT_EQ(m.rowSum(1), 15);
+    EXPECT_EQ(m.colSum(0), 5);
+    EXPECT_EQ(m.colSum(2), 9);
+    EXPECT_EQ(m.total(), 21);
+}
+
+TEST(MatrixTest, FillOverwrites)
+{
+    Matrix<int> m(2, 2, 1);
+    m.fill(9);
+    EXPECT_EQ(m.total(), 36);
+}
+
+TEST(MatrixTest, EqualityComparesShapeAndData)
+{
+    Matrix<int> a(2, 2, 1);
+    Matrix<int> b(2, 2, 1);
+    EXPECT_TRUE(a == b);
+    b(1, 1) = 2;
+    EXPECT_FALSE(a == b);
+    Matrix<int> c(1, 4, 1);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(MatrixTest, OutOfBoundsThrows)
+{
+    Matrix<int> m(2, 2);
+    EXPECT_THROW(m.at(2, 0), InternalError);
+    EXPECT_THROW(m.at(0, 2), InternalError);
+    EXPECT_THROW(m.at(-1, 0), InternalError);
+}
+
+TEST(MatrixTest, NegativeDimensionsRejected)
+{
+    EXPECT_THROW(Matrix<int>(-1, 2), UsageError);
+}
+
+}  // namespace
+}  // namespace an2

@@ -1,0 +1,83 @@
+// Tests for the metrics collector (an2/sim/metrics.h).
+#include "an2/sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace an2 {
+namespace {
+
+Cell
+cellAt(FlowId flow, PortId in, PortId out, SlotTime inject)
+{
+    Cell c;
+    c.flow = flow;
+    c.input = in;
+    c.output = out;
+    c.inject_slot = inject;
+    return c;
+}
+
+TEST(MetricsTest, WarmupCellsExcluded)
+{
+    MetricsCollector m(100);
+    Cell early = cellAt(0, 0, 1, 50);
+    Cell late = cellAt(0, 0, 1, 150);
+    m.noteInjected(early);
+    m.noteInjected(late);
+    m.noteDelivered(early, 60);
+    m.noteDelivered(late, 155);
+    EXPECT_EQ(m.injected(), 1);
+    EXPECT_EQ(m.delivered(), 1);
+    EXPECT_DOUBLE_EQ(m.meanDelay(), 5.0);
+}
+
+TEST(MetricsTest, DelayStatsAndQuantiles)
+{
+    MetricsCollector m(0);
+    for (int d = 0; d < 100; ++d) {
+        Cell c = cellAt(0, 0, 0, 0);
+        m.noteInjected(c);
+        m.noteDelivered(c, d);
+    }
+    EXPECT_NEAR(m.meanDelay(), 49.5, 1e-9);
+    EXPECT_NEAR(m.delayQuantile(0.99), 99.0, 1.5);
+    EXPECT_EQ(m.delayStats().count(), 100);
+}
+
+TEST(MetricsTest, PerConnectionAndPerFlowCounts)
+{
+    MetricsCollector m(0);
+    Cell a = cellAt(7, 1, 2, 0);
+    Cell b = cellAt(8, 1, 3, 0);
+    m.noteDelivered(a, 1);
+    m.noteDelivered(a, 2);
+    m.noteDelivered(b, 3);
+    EXPECT_EQ(m.deliveredPerConnection().at({1, 2}), 2);
+    EXPECT_EQ(m.deliveredPerConnection().at({1, 3}), 1);
+    EXPECT_EQ(m.deliveredPerFlow().at(7), 2);
+    EXPECT_EQ(m.deliveredPerFlow().at(8), 1);
+}
+
+TEST(MetricsTest, OccupancyPeakSticky)
+{
+    MetricsCollector m(0);
+    m.noteOccupancy(3);
+    m.noteOccupancy(10);
+    m.noteOccupancy(4);
+    EXPECT_EQ(m.maxOccupancy(), 10);
+}
+
+TEST(MetricsTest, NegativeDelayPanics)
+{
+    MetricsCollector m(0);
+    Cell c = cellAt(0, 0, 0, 10);
+    EXPECT_THROW(m.noteDelivered(c, 5), InternalError);
+}
+
+TEST(MetricsTest, NegativeWarmupRejected)
+{
+    EXPECT_THROW(MetricsCollector(-1), UsageError);
+}
+
+}  // namespace
+}  // namespace an2

@@ -1,0 +1,187 @@
+// Tests for multicast PIM (an2/matching/multicast.h).
+#include "an2/matching/multicast.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "an2/base/error.h"
+
+namespace an2 {
+namespace {
+
+MulticastRequest
+req(PortId input, std::vector<PortId> outputs)
+{
+    return {input, std::move(outputs)};
+}
+
+/** No output may be won by two different requests. */
+void
+expectConflictFree(const MulticastMatch& m, int n)
+{
+    std::vector<int> owners(static_cast<size_t>(n), 0);
+    for (const auto& won : m.won)
+        for (PortId j : won)
+            ++owners[static_cast<size_t>(j)];
+    for (int o : owners)
+        EXPECT_LE(o, 1);
+}
+
+TEST(MulticastPimTest, SingleRequestWinsWholeFanout)
+{
+    MulticastPim pim(8);
+    auto m = pim.match({req(2, {0, 3, 7})});
+    ASSERT_EQ(m.won.size(), 1u);
+    EXPECT_EQ(m.won[0], (std::vector<PortId>{0, 3, 7}));
+    EXPECT_EQ(m.deliveries, 3);
+    EXPECT_EQ(m.completed, 1);
+}
+
+TEST(MulticastPimTest, DisjointFanoutsAllComplete)
+{
+    MulticastPim pim(8);
+    auto m = pim.match({req(0, {0, 1}), req(1, {2, 3}), req(2, {4, 5, 6})});
+    EXPECT_EQ(m.completed, 3);
+    EXPECT_EQ(m.deliveries, 7);
+    expectConflictFree(m, 8);
+}
+
+TEST(MulticastPimTest, SplittingSharesContendedOutput)
+{
+    // Two broadcasts to the same pair of outputs: with splitting, both
+    // outputs are claimed every slot (possibly by different inputs).
+    MulticastPimConfig cfg;
+    cfg.fanout_splitting = true;
+    cfg.seed = 3;
+    MulticastPim pim(4, cfg);
+    int total_deliveries = 0;
+    for (int t = 0; t < 500; ++t) {
+        auto m = pim.match({req(0, {1, 2}), req(3, {1, 2})});
+        expectConflictFree(m, 4);
+        EXPECT_EQ(m.deliveries, 2);  // both outputs always served
+        total_deliveries += m.deliveries;
+    }
+    EXPECT_EQ(total_deliveries, 1000);
+}
+
+TEST(MulticastPimTest, NoSplittingIsAllOrNothing)
+{
+    MulticastPimConfig cfg;
+    cfg.fanout_splitting = false;
+    cfg.iterations = 6;
+    cfg.seed = 4;
+    MulticastPim pim(4, cfg);
+    int completed_slots = 0;
+    for (int t = 0; t < 500; ++t) {
+        auto m = pim.match({req(0, {1, 2}), req(3, {1, 2})});
+        expectConflictFree(m, 4);
+        // All-or-nothing: a transmission carries the whole fanout or
+        // nothing; at most one of the two identical fanouts can win.
+        EXPECT_LE(m.completed, 1);
+        for (const auto& won : m.won)
+            EXPECT_TRUE(won.empty() || won.size() == 2u);
+        if (m.completed == 1)
+            ++completed_slots;
+    }
+    // A tie (both grants split across the rivals) can survive all
+    // iterations with probability 2^-6 per slot, so ~98% succeed.
+    EXPECT_GT(completed_slots, 450);
+}
+
+TEST(MulticastPimTest, NoSplittingWithdrawalFreesOutputsForRivals)
+{
+    // Request A wants {0,1}; B wants {1,2}; C wants {2,3}. At most two
+    // can complete (A and C); B conflicts with both. The iterative
+    // lock/withdraw protocol should frequently complete two requests.
+    MulticastPimConfig cfg;
+    cfg.fanout_splitting = false;
+    cfg.iterations = 4;
+    cfg.seed = 5;
+    MulticastPim pim(4, cfg);
+    int both = 0;
+    for (int t = 0; t < 2000; ++t) {
+        auto m = pim.match(
+            {req(0, {0, 1}), req(1, {1, 2}), req(2, {2, 3})});
+        expectConflictFree(m, 4);
+        EXPECT_GE(m.completed, 1);
+        if (m.completed == 2)
+            ++both;
+    }
+    EXPECT_GT(both, 500);
+}
+
+TEST(MulticastPimTest, SplittingDeliversAtLeastAsMuchAsNoSplitting)
+{
+    MulticastPimConfig split_cfg;
+    split_cfg.fanout_splitting = true;
+    split_cfg.seed = 6;
+    MulticastPimConfig atomic_cfg;
+    atomic_cfg.fanout_splitting = false;
+    atomic_cfg.seed = 6;
+    MulticastPim split(8, split_cfg);
+    MulticastPim atomic(8, atomic_cfg);
+    Xoshiro256 rng(7);
+    int64_t split_total = 0;
+    int64_t atomic_total = 0;
+    for (int t = 0; t < 400; ++t) {
+        std::vector<MulticastRequest> reqs;
+        for (PortId i = 0; i < 8; ++i) {
+            if (!rng.nextBernoulli(0.7))
+                continue;
+            std::set<PortId> outs;
+            auto fanout = 1 + rng.nextBelow(4);
+            while (outs.size() < fanout)
+                outs.insert(static_cast<PortId>(rng.nextBelow(8)));
+            reqs.push_back(req(i, {outs.begin(), outs.end()}));
+        }
+        if (reqs.empty())
+            continue;
+        split_total += split.match(reqs).deliveries;
+        atomic_total += atomic.match(reqs).deliveries;
+    }
+    EXPECT_GT(split_total, atomic_total);
+}
+
+TEST(MulticastPimTest, BroadcastStormPartitionsOutputs)
+{
+    // Every input broadcasts to every output; with splitting, all N
+    // outputs are served each slot, spread across inputs over time.
+    constexpr int kN = 4;
+    MulticastPimConfig cfg;
+    cfg.seed = 8;
+    MulticastPim pim(kN, cfg);
+    std::vector<MulticastRequest> reqs;
+    for (PortId i = 0; i < kN; ++i)
+        reqs.push_back(req(i, {0, 1, 2, 3}));
+    std::vector<int64_t> per_input(kN, 0);
+    for (int t = 0; t < 4000; ++t) {
+        auto m = pim.match(reqs);
+        EXPECT_EQ(m.deliveries, kN);
+        for (size_t r = 0; r < m.won.size(); ++r)
+            per_input[r] += static_cast<int64_t>(m.won[r].size());
+    }
+    for (int64_t p : per_input)
+        EXPECT_NEAR(static_cast<double>(p), 4000.0, 400.0);
+}
+
+TEST(MulticastPimTest, InvalidRequestsRejected)
+{
+    MulticastPim pim(4);
+    EXPECT_THROW(pim.match({req(5, {0})}), UsageError);
+    EXPECT_THROW(pim.match({req(0, {})}), UsageError);
+    EXPECT_THROW(pim.match({req(0, {9})}), UsageError);
+    EXPECT_THROW(pim.match({req(0, {1, 1})}), UsageError);
+    EXPECT_THROW(pim.match({req(0, {1}), req(0, {2})}), UsageError);
+}
+
+TEST(MulticastPimTest, InvalidConfigRejected)
+{
+    MulticastPimConfig cfg;
+    cfg.iterations = 0;
+    EXPECT_THROW(MulticastPim(4, cfg), UsageError);
+    EXPECT_THROW(MulticastPim(0), UsageError);
+}
+
+}  // namespace
+}  // namespace an2

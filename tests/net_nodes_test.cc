@@ -1,0 +1,164 @@
+// Unit tests for the network node internals: Controller frame pacing and
+// padding, NetSwitch routing validation (an2/network/*). The multi-node
+// behaviours live in network_test.cc; these drive the nodes directly.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "an2/matching/pim.h"
+#include "an2/network/controller.h"
+#include "an2/network/net_switch.h"
+
+namespace an2 {
+namespace {
+
+constexpr PicoTime kSlotPs = 1000;
+
+std::unique_ptr<Matcher>
+pim(uint64_t seed)
+{
+    return std::make_unique<PimMatcher>(
+        PimConfig{.iterations = 4, .seed = seed});
+}
+
+// ----------------------------------------------------------- Controller
+
+TEST(ControllerUnitTest, CbrPacedExactlyPerFrame)
+{
+    // Frame of 10 slots (8 schedulable + 2 padding); reservation of 3.
+    Controller ctl(0, LocalClock(kSlotPs, 0.0), 10, 8, 1);
+    NetLink out(0);
+    ctl.setOutLink(&out);
+    ctl.addCbrSource(42, 3);
+    for (int tick = 0; tick < 50; ++tick)
+        ctl.tick();
+    // 5 full frames: 15 cells, delivered immediately (zero latency link).
+    auto cells = out.deliverUpTo(kSlotPs * 1000);
+    ASSERT_EQ(cells.size(), 15u);
+    // Cells occupy the first 3 slots of each frame, in seq order.
+    for (size_t k = 0; k < cells.size(); ++k) {
+        EXPECT_EQ(cells[k].seq, static_cast<int64_t>(k));
+        EXPECT_EQ(cells[k].inject_slot % 10, static_cast<SlotTime>(k % 3));
+        EXPECT_EQ(cells[k].cls, TrafficClass::CBR);
+    }
+}
+
+TEST(ControllerUnitTest, PaddingSlotsNeverCarryCells)
+{
+    Controller ctl(0, LocalClock(kSlotPs, 0.0), 10, 8, 2);
+    NetLink out(0);
+    ctl.setOutLink(&out);
+    ctl.addVbrSource(7, 1.0);  // saturating datagram source
+    for (int tick = 0; tick < 100; ++tick)
+        ctl.tick();
+    auto cells = out.deliverUpTo(kSlotPs * 1000);
+    EXPECT_EQ(cells.size(), 80u);  // 8 of every 10 slots
+    for (const Cell& c : cells)
+        EXPECT_LT(c.inject_slot % 10, 8);
+}
+
+TEST(ControllerUnitTest, CbrOverCommitRejected)
+{
+    Controller ctl(0, LocalClock(kSlotPs, 0.0), 10, 8, 3);
+    ctl.addCbrSource(1, 5);
+    EXPECT_THROW(ctl.addCbrSource(2, 4), UsageError);  // 9 > 8
+    EXPECT_NO_THROW(ctl.addCbrSource(3, 3));
+}
+
+TEST(ControllerUnitTest, VbrRatesSplitTheFreeSlots)
+{
+    Controller ctl(0, LocalClock(kSlotPs, 0.0), 10, 10, 4);
+    NetLink out(0);
+    ctl.setOutLink(&out);
+    ctl.addVbrSource(1, 0.6);
+    ctl.addVbrSource(2, 0.2);
+    EXPECT_THROW(ctl.addVbrSource(3, 0.3), UsageError);  // sum > 1
+    for (int tick = 0; tick < 20'000; ++tick)
+        ctl.tick();
+    auto cells = out.deliverUpTo(kSlotPs * 1'000'000);
+    int64_t f1 = 0;
+    int64_t f2 = 0;
+    for (const Cell& c : cells)
+        (c.flow == 1 ? f1 : f2)++;
+    EXPECT_NEAR(static_cast<double>(f1) / 20'000, 0.6, 0.02);
+    EXPECT_NEAR(static_cast<double>(f2) / 20'000, 0.2, 0.02);
+}
+
+TEST(ControllerUnitTest, SinkStatsForUnknownFlowRejected)
+{
+    Controller ctl(0, LocalClock(kSlotPs, 0.0), 10, 8, 5);
+    EXPECT_THROW(ctl.deliveryStats(9), UsageError);
+    EXPECT_THROW(ctl.injectedCells(9), UsageError);
+    EXPECT_THROW(ctl.policedDrops(9), UsageError);
+}
+
+TEST(ControllerUnitTest, InvalidConstruction)
+{
+    EXPECT_THROW(Controller(0, LocalClock(kSlotPs, 0.0), 0, 1, 1),
+                 UsageError);
+    EXPECT_THROW(Controller(0, LocalClock(kSlotPs, 0.0), 10, 11, 1),
+                 UsageError);
+}
+
+// ------------------------------------------------------------ NetSwitch
+
+TEST(NetSwitchUnitTest, UnroutedFlowCellRejected)
+{
+    NetSwitch sw(0, LocalClock(kSlotPs, 0.0), 2, 10, pim(1));
+    NetLink in(0);
+    NetLink out(0);
+    sw.setInLink(0, &in);
+    sw.setOutLink(1, &out);
+    Cell c;
+    c.flow = 99;  // never routed
+    c.cls = TrafficClass::VBR;
+    in.send(c, 0);
+    EXPECT_THROW(sw.tick(), UsageError);
+}
+
+TEST(NetSwitchUnitTest, DuplicateRouteRejected)
+{
+    NetSwitch sw(0, LocalClock(kSlotPs, 0.0), 2, 10, pim(2));
+    EXPECT_TRUE(sw.addRoute(5, 0, 1, TrafficClass::VBR, 0));
+    EXPECT_THROW(sw.addRoute(5, 0, 1, TrafficClass::VBR, 0), UsageError);
+}
+
+TEST(NetSwitchUnitTest, CbrRouteFailsWhenScheduleFull)
+{
+    NetSwitch sw(0, LocalClock(kSlotPs, 0.0), 2, 10, pim(3));
+    EXPECT_TRUE(sw.addRoute(1, 0, 1, TrafficClass::CBR, 10));
+    EXPECT_FALSE(sw.addRoute(2, 0, 1, TrafficClass::CBR, 1));
+}
+
+TEST(NetSwitchUnitTest, ForwardsVbrBetweenLinks)
+{
+    NetSwitch sw(0, LocalClock(kSlotPs, 0.0), 2, 10, pim(4));
+    NetLink in(0);
+    NetLink out(0);
+    sw.setInLink(0, &in);
+    sw.setOutLink(1, &out);
+    ASSERT_TRUE(sw.addRoute(5, 0, 1, TrafficClass::VBR, 0));
+    Cell c;
+    c.flow = 5;
+    c.cls = TrafficClass::VBR;
+    c.seq = 3;
+    in.send(c, 0);
+    sw.tick();
+    auto delivered = out.deliverUpTo(kSlotPs * 100);
+    ASSERT_EQ(delivered.size(), 1u);
+    EXPECT_EQ(delivered[0].seq, 3);
+    EXPECT_EQ(delivered[0].hops, 1);
+    EXPECT_EQ(sw.vbrForwarded(), 1);
+}
+
+TEST(NetSwitchUnitTest, PortWiringValidated)
+{
+    NetSwitch sw(0, LocalClock(kSlotPs, 0.0), 2, 10, pim(5));
+    NetLink link(0);
+    sw.setInLink(0, &link);
+    EXPECT_THROW(sw.setInLink(0, &link), UsageError);  // already wired
+    EXPECT_THROW(sw.setOutLink(5, &link), UsageError);  // out of range
+}
+
+}  // namespace
+}  // namespace an2

@@ -1,0 +1,145 @@
+// Differential tests for the bitmask PIM (an2/matching/pim_fast.h)
+// against the reference implementation: identical guarantees,
+// statistically identical behaviour.
+#include "an2/matching/pim_fast.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "an2/matching/pim.h"
+
+namespace an2 {
+namespace {
+
+TEST(FastPimTest, EmptyAndSingleRequest)
+{
+    FastPimMatcher pim(4, 1);
+    RequestMatrix empty(16);
+    EXPECT_EQ(pim.match(empty).size(), 0);
+    RequestMatrix one(16);
+    one.set(5, 9, 1);
+    Matching m = pim.match(one);
+    EXPECT_EQ(m.size(), 1);
+    EXPECT_EQ(m.outputOf(5), 9);
+}
+
+TEST(FastPimTest, LegalAndMaximalToCompletion)
+{
+    FastPimMatcher pim(0, 2);
+    Xoshiro256 rng(3);
+    for (int n : {1, 2, 7, 16, 33, 64}) {
+        for (int t = 0; t < 30; ++t) {
+            auto req = RequestMatrix::bernoulli(n, 0.4, rng);
+            Matching m = pim.match(req);
+            EXPECT_TRUE(m.isLegalFor(req));
+            EXPECT_TRUE(m.isMaximalFor(req)) << "n=" << n;
+        }
+    }
+}
+
+TEST(FastPimTest, SixtyFourPortBoundary)
+{
+    // Full 64x64 request matrix exercises the all-ones mask path.
+    FastPimMatcher pim(0, 4);
+    RequestMatrix req(64);
+    for (PortId i = 0; i < 64; ++i)
+        for (PortId j = 0; j < 64; ++j)
+            req.set(i, j, 1);
+    Matching m = pim.match(req);
+    EXPECT_EQ(m.size(), 64);
+}
+
+TEST(FastPimTest, MatchSizeDistributionTracksReference)
+{
+    // Same workloads, same iteration budget: mean matched pairs must
+    // agree with the reference PIM within sampling noise.
+    constexpr int kTrials = 4000;
+    for (double p : {0.15, 0.5, 1.0}) {
+        PimMatcher ref(PimConfig{.iterations = 4, .seed = 5});
+        FastPimMatcher fast(4, 6);
+        Xoshiro256 rng_a(7);
+        Xoshiro256 rng_b(7);  // identical request streams
+        double ref_total = 0;
+        double fast_total = 0;
+        for (int t = 0; t < kTrials; ++t) {
+            auto req_a = RequestMatrix::bernoulli(16, p, rng_a);
+            auto req_b = RequestMatrix::bernoulli(16, p, rng_b);
+            ref_total += ref.match(req_a).size();
+            fast_total += fast.match(req_b).size();
+        }
+        EXPECT_NEAR(fast_total / kTrials, ref_total / kTrials, 0.1)
+            << "p=" << p;
+    }
+}
+
+TEST(FastPimTest, GrantFairnessUniform)
+{
+    // One output, four requesters: each must win ~1/4 of slots.
+    FastPimMatcher pim(1, 8);
+    RequestMatrix req(4);
+    for (PortId i = 0; i < 4; ++i)
+        req.set(i, 0, 1);
+    std::vector<int> wins(4, 0);
+    constexpr int kSlots = 40'000;
+    for (int s = 0; s < kSlots; ++s) {
+        Matching m = pim.match(req);
+        ASSERT_EQ(m.size(), 1);
+        ++wins[static_cast<size_t>(m.inputOf(0))];
+    }
+    for (int w : wins)
+        EXPECT_NEAR(w / static_cast<double>(kSlots), 0.25, 0.01);
+}
+
+TEST(FastPimTest, AcceptFairnessUniform)
+{
+    // One input granted by four outputs: each accepted ~1/4 of slots.
+    FastPimMatcher pim(1, 9);
+    RequestMatrix req(4);
+    for (PortId j = 0; j < 4; ++j)
+        req.set(0, j, 1);
+    std::vector<int> wins(4, 0);
+    constexpr int kSlots = 40'000;
+    for (int s = 0; s < kSlots; ++s) {
+        Matching m = pim.match(req);
+        ASSERT_EQ(m.size(), 1);
+        ++wins[static_cast<size_t>(m.outputOf(0))];
+    }
+    for (int w : wins)
+        EXPECT_NEAR(w / static_cast<double>(kSlots), 0.25, 0.01);
+}
+
+TEST(FastPimTest, MaskInterfaceAgreesWithMatrixInterface)
+{
+    FastPimMatcher a(0, 10);
+    FastPimMatcher b(0, 10);  // same seed: identical draw sequence
+    Xoshiro256 rng(11);
+    for (int t = 0; t < 50; ++t) {
+        auto req = RequestMatrix::bernoulli(12, 0.5, rng);
+        uint64_t cols[64] = {};
+        for (PortId j = 0; j < 12; ++j)
+            for (PortId i = 0; i < 12; ++i)
+                if (req.has(i, j))
+                    cols[j] |= 1ULL << i;
+        Matching via_matrix = a.match(req);
+        int out_to_in[64];
+        b.matchMasks(cols, 12, out_to_in);
+        for (PortId j = 0; j < 12; ++j) {
+            PortId expect = via_matrix.inputOf(j);
+            EXPECT_EQ(out_to_in[j], expect == kNoPort ? -1 : expect);
+        }
+    }
+}
+
+TEST(FastPimTest, RejectsOversizedAndRectangular)
+{
+    FastPimMatcher pim;
+    RequestMatrix big(65);
+    EXPECT_THROW(pim.match(big), UsageError);
+    RequestMatrix rect(4, 8);
+    EXPECT_THROW(pim.match(rect), UsageError);
+    EXPECT_THROW(FastPimMatcher(-1), UsageError);
+}
+
+}  // namespace
+}  // namespace an2

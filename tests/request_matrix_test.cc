@@ -1,0 +1,85 @@
+// Tests for the request matrix (an2/matching/request_matrix.h).
+#include "an2/matching/request_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace an2 {
+namespace {
+
+TEST(RequestMatrixTest, StartsEmpty)
+{
+    RequestMatrix req(4);
+    EXPECT_EQ(req.numEdges(), 0);
+    EXPECT_EQ(req.totalCells(), 0);
+    EXPECT_FALSE(req.has(0, 0));
+}
+
+TEST(RequestMatrixTest, SetIncrementDecrement)
+{
+    RequestMatrix req(4);
+    req.set(1, 2, 3);
+    EXPECT_TRUE(req.has(1, 2));
+    EXPECT_EQ(req.count(1, 2), 3);
+    req.increment(1, 2);
+    EXPECT_EQ(req.count(1, 2), 4);
+    req.decrement(1, 2);
+    EXPECT_EQ(req.count(1, 2), 3);
+    EXPECT_EQ(req.numEdges(), 1);
+    EXPECT_EQ(req.totalCells(), 3);
+}
+
+TEST(RequestMatrixTest, DecrementEmptyPanics)
+{
+    RequestMatrix req(2);
+    EXPECT_THROW(req.decrement(0, 0), InternalError);
+}
+
+TEST(RequestMatrixTest, NegativeCountRejected)
+{
+    RequestMatrix req(2);
+    EXPECT_THROW(req.set(0, 0, -1), UsageError);
+}
+
+TEST(RequestMatrixTest, ClearEmpties)
+{
+    RequestMatrix req(3);
+    req.set(0, 0, 2);
+    req.set(2, 1, 1);
+    req.clear();
+    EXPECT_EQ(req.totalCells(), 0);
+    EXPECT_EQ(req.numEdges(), 0);
+}
+
+TEST(RequestMatrixTest, RectangularDimensions)
+{
+    RequestMatrix req(2, 5);
+    EXPECT_EQ(req.numInputs(), 2);
+    EXPECT_EQ(req.numOutputs(), 5);
+    req.set(1, 4, 1);
+    EXPECT_TRUE(req.has(1, 4));
+}
+
+TEST(RequestMatrixTest, BernoulliDensityMatchesP)
+{
+    Xoshiro256 rng(1);
+    int edges = 0;
+    constexpr int kTrials = 200;
+    constexpr int kN = 16;
+    for (int t = 0; t < kTrials; ++t) {
+        auto req = RequestMatrix::bernoulli(kN, 0.25, rng);
+        edges += req.numEdges();
+    }
+    double density =
+        static_cast<double>(edges) / (kTrials * kN * kN);
+    EXPECT_NEAR(density, 0.25, 0.01);
+}
+
+TEST(RequestMatrixTest, BernoulliExtremes)
+{
+    Xoshiro256 rng(2);
+    EXPECT_EQ(RequestMatrix::bernoulli(8, 0.0, rng).numEdges(), 0);
+    EXPECT_EQ(RequestMatrix::bernoulli(8, 1.0, rng).numEdges(), 64);
+}
+
+}  // namespace
+}  // namespace an2

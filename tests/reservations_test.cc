@@ -1,0 +1,79 @@
+// Tests for the reservation matrix (an2/cbr/reservations.h).
+#include "an2/cbr/reservations.h"
+
+#include <gtest/gtest.h>
+
+namespace an2 {
+namespace {
+
+TEST(ReservationMatrixTest, StartsEmptyAndFeasible)
+{
+    ReservationMatrix res(4, 100);
+    EXPECT_TRUE(res.feasible());
+    EXPECT_EQ(res.total(), 0);
+    EXPECT_EQ(res.inputSlack(0), 100);
+    EXPECT_EQ(res.outputSlack(3), 100);
+}
+
+TEST(ReservationMatrixTest, AddTracksLoads)
+{
+    ReservationMatrix res(4, 10);
+    res.add(0, 2, 4);
+    res.add(1, 2, 3);
+    EXPECT_EQ(res.reserved(0, 2), 4);
+    EXPECT_EQ(res.inputLoad(0), 4);
+    EXPECT_EQ(res.outputLoad(2), 7);
+    EXPECT_EQ(res.outputSlack(2), 3);
+    EXPECT_EQ(res.total(), 7);
+}
+
+TEST(ReservationMatrixTest, CanAddRespectsBothLinks)
+{
+    ReservationMatrix res(2, 10);
+    res.add(0, 0, 8);
+    EXPECT_TRUE(res.canAdd(0, 1, 2));
+    EXPECT_FALSE(res.canAdd(0, 1, 3));  // input 0 exhausted
+    EXPECT_FALSE(res.canAdd(1, 0, 3));  // output 0 exhausted
+    EXPECT_TRUE(res.canAdd(1, 1, 10));
+}
+
+TEST(ReservationMatrixTest, OverCommitRejected)
+{
+    ReservationMatrix res(2, 5);
+    EXPECT_THROW(res.add(0, 0, 6), UsageError);
+    res.add(0, 0, 5);
+    EXPECT_THROW(res.add(0, 1, 1), UsageError);
+}
+
+TEST(ReservationMatrixTest, RemoveReleasesCapacity)
+{
+    ReservationMatrix res(2, 5);
+    res.add(0, 0, 5);
+    res.remove(0, 0, 2);
+    EXPECT_EQ(res.reserved(0, 0), 3);
+    EXPECT_TRUE(res.canAdd(0, 1, 2));
+    EXPECT_THROW(res.remove(0, 0, 4), UsageError);
+}
+
+TEST(ReservationMatrixTest, FullAllocationFeasible)
+{
+    // A doubly-stochastic-like pattern saturating every link.
+    constexpr int kN = 4;
+    constexpr int kF = 8;
+    ReservationMatrix res(kN, kF);
+    for (int i = 0; i < kN; ++i)
+        for (int j = 0; j < kN; ++j)
+            res.add(i, j, kF / kN);
+    EXPECT_TRUE(res.feasible());
+    EXPECT_EQ(res.inputSlack(0), 0);
+    EXPECT_FALSE(res.canAdd(0, 0, 1));
+}
+
+TEST(ReservationMatrixTest, InvalidConstruction)
+{
+    EXPECT_THROW(ReservationMatrix(0, 10), UsageError);
+    EXPECT_THROW(ReservationMatrix(4, 0), UsageError);
+}
+
+}  // namespace
+}  // namespace an2

@@ -1,0 +1,93 @@
+// Tests for the single-switch simulation harness (an2/sim/simulator.h).
+#include "an2/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "an2/matching/pim.h"
+#include "an2/sim/iq_switch.h"
+#include "an2/sim/oq_switch.h"
+#include "an2/sim/traffic.h"
+
+namespace an2 {
+namespace {
+
+TEST(SimulatorTest, OfferedLoadTracksGenerator)
+{
+    OutputQueuedSwitch sw(8);
+    UniformTraffic traffic(8, 0.4, 1);
+    SimConfig cfg;
+    cfg.slots = 20'000;
+    cfg.warmup = 2'000;
+    SimResult res = runSimulation(sw, traffic, cfg);
+    EXPECT_NEAR(res.offered, 0.4, 0.01);
+    EXPECT_EQ(res.measured_slots, 18'000);
+}
+
+TEST(SimulatorTest, ThroughputMatchesOfferedUnderLowLoad)
+{
+    OutputQueuedSwitch sw(8);
+    UniformTraffic traffic(8, 0.3, 2);
+    SimConfig cfg;
+    cfg.slots = 20'000;
+    cfg.warmup = 2'000;
+    SimResult res = runSimulation(sw, traffic, cfg);
+    EXPECT_NEAR(res.throughput, res.offered, 0.01);
+}
+
+TEST(SimulatorTest, CallbackSeesEveryDeliveredCell)
+{
+    InputQueuedSwitch sw({.n = 4}, std::make_unique<PimMatcher>());
+    UniformTraffic traffic(4, 0.5, 3);
+    int64_t seen = 0;
+    SimConfig cfg;
+    cfg.slots = 5'000;
+    cfg.warmup = 0;
+    cfg.on_delivered = [&](const Cell&, SlotTime) { ++seen; };
+    SimResult res = runSimulation(sw, traffic, cfg);
+    EXPECT_EQ(seen, res.delivered);
+    EXPECT_GT(seen, 0);
+}
+
+TEST(SimulatorTest, PerConnectionCountsSumToDelivered)
+{
+    InputQueuedSwitch sw({.n = 4}, std::make_unique<PimMatcher>());
+    UniformTraffic traffic(4, 0.6, 4);
+    SimConfig cfg;
+    cfg.slots = 10'000;
+    cfg.warmup = 1'000;
+    SimResult res = runSimulation(sw, traffic, cfg);
+    int64_t total = 0;
+    for (const auto& [conn, count] : res.per_connection)
+        total += count;
+    EXPECT_EQ(total, res.delivered);
+    int64_t per_flow_total = 0;
+    for (const auto& [flow, count] : res.per_flow)
+        per_flow_total += count;
+    EXPECT_EQ(per_flow_total, res.delivered);
+}
+
+TEST(SimulatorTest, MaxOccupancyTracked)
+{
+    OutputQueuedSwitch sw(4);
+    PeriodicBurstTraffic traffic(4, 1.0, 5);  // 4 cells/slot to one output
+    SimConfig cfg;
+    cfg.slots = 100;
+    cfg.warmup = 0;
+    SimResult res = runSimulation(sw, traffic, cfg);
+    EXPECT_GE(res.max_occupancy, 3);
+}
+
+TEST(SimulatorTest, InvalidConfigRejected)
+{
+    OutputQueuedSwitch sw(4);
+    UniformTraffic traffic(4, 0.5, 6);
+    SimConfig bad;
+    bad.slots = 0;
+    EXPECT_THROW(runSimulation(sw, traffic, bad), UsageError);
+    bad.slots = 10;
+    bad.warmup = 10;
+    EXPECT_THROW(runSimulation(sw, traffic, bad), UsageError);
+}
+
+}  // namespace
+}  // namespace an2

@@ -1,0 +1,207 @@
+// Tests for the Slepian-Duguid incremental scheduler
+// (an2/cbr/slepian_duguid.h), including the Figure 6/7 worked example and
+// randomized property sweeps.
+#include "an2/cbr/slepian_duguid.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "an2/base/rng.h"
+
+namespace an2 {
+namespace {
+
+/** Assert the schedule realizes its reservations and is conflict-free. */
+void
+expectConsistent(const SlepianDuguidScheduler& sd)
+{
+    EXPECT_TRUE(sd.schedule().realizes(sd.reservations()));
+}
+
+TEST(SlepianDuguidTest, SingleReservationPlaced)
+{
+    SlepianDuguidScheduler sd(4, 3);
+    EXPECT_TRUE(sd.addReservation(1, 2, 2));
+    EXPECT_EQ(sd.reservations().reserved(1, 2), 2);
+    expectConsistent(sd);
+}
+
+TEST(SlepianDuguidTest, RejectsOverCommitWithoutChange)
+{
+    SlepianDuguidScheduler sd(4, 3);
+    EXPECT_TRUE(sd.addReservation(0, 0, 3));
+    EXPECT_FALSE(sd.addReservation(0, 1, 1));  // input 0 full
+    EXPECT_FALSE(sd.addReservation(1, 0, 1));  // output 0 full
+    EXPECT_EQ(sd.reservations().total(), 3);
+    expectConsistent(sd);
+}
+
+TEST(SlepianDuguidTest, Figure6and7Example)
+{
+    // Build the Figure 6 reservations, then add the Figure 7 reservation
+    // of one cell/frame from input 2 to output 4 (1-based; (1,3) here).
+    SlepianDuguidScheduler sd(4, 3);
+    EXPECT_TRUE(sd.addReservation(0, 0, 2));
+    EXPECT_TRUE(sd.addReservation(0, 1, 1));
+    EXPECT_TRUE(sd.addReservation(1, 0, 1));
+    EXPECT_TRUE(sd.addReservation(1, 2, 1));
+    EXPECT_TRUE(sd.addReservation(2, 2, 2));
+    EXPECT_TRUE(sd.addReservation(2, 3, 1));
+    EXPECT_TRUE(sd.addReservation(3, 1, 1));
+    EXPECT_TRUE(sd.addReservation(3, 3, 1));
+    expectConsistent(sd);
+
+    // The switch is nearly full; the new flow forces swap chains.
+    EXPECT_TRUE(sd.addReservation(1, 3, 1));
+    expectConsistent(sd);
+    EXPECT_EQ(sd.reservations().reserved(1, 3), 1);
+
+    // Now input 1 and output 3 are saturated.
+    EXPECT_FALSE(sd.addReservation(1, 1, 1));
+    EXPECT_FALSE(sd.addReservation(0, 3, 1));
+}
+
+TEST(SlepianDuguidTest, FullySaturatedSwitchSchedulable)
+{
+    // 100% reservation: every input and output completely committed
+    // (the Slepian-Duguid theorem's boundary case, §4).
+    constexpr int kN = 8;
+    constexpr int kF = 16;
+    SlepianDuguidScheduler sd(kN, kF);
+    for (int i = 0; i < kN; ++i)
+        for (int j = 0; j < kN; ++j)
+            EXPECT_TRUE(sd.addReservation(i, (i + j) % kN, kF / kN));
+    expectConsistent(sd);
+    EXPECT_EQ(sd.schedule().totalAssignments(), kN * kF);
+}
+
+TEST(SlepianDuguidTest, RemoveFreesSlots)
+{
+    SlepianDuguidScheduler sd(4, 4);
+    EXPECT_TRUE(sd.addReservation(0, 1, 3));
+    sd.removeReservation(0, 1, 2);
+    EXPECT_EQ(sd.reservations().reserved(0, 1), 1);
+    expectConsistent(sd);
+    EXPECT_TRUE(sd.addReservation(0, 2, 3));
+    expectConsistent(sd);
+}
+
+TEST(SlepianDuguidTest, RemoveTooMuchRejected)
+{
+    SlepianDuguidScheduler sd(4, 4);
+    sd.addReservation(0, 1, 2);
+    EXPECT_THROW(sd.removeReservation(0, 1, 3), UsageError);
+}
+
+TEST(SlepianDuguidTest, InterleavedAddRemoveStaysConsistent)
+{
+    SlepianDuguidScheduler sd(6, 12);
+    Xoshiro256 rng(31);
+    for (int step = 0; step < 400; ++step) {
+        auto i = static_cast<PortId>(rng.nextBelow(6));
+        auto j = static_cast<PortId>(rng.nextBelow(6));
+        if (rng.nextBernoulli(0.6)) {
+            int k = static_cast<int>(rng.nextBelow(3)) + 1;
+            sd.addReservation(i, j, k);  // may legitimately fail
+        } else {
+            int have = sd.reservations().reserved(i, j);
+            if (have > 0)
+                sd.removeReservation(i, j, 1);
+        }
+    }
+    expectConsistent(sd);
+}
+
+// Property sweep: random feasible reservation matrices must always yield
+// a realizing schedule, across sizes, frame lengths, and fill levels.
+using SdParam = std::tuple<int, int, double, uint64_t>;
+
+class SlepianDuguidSweep : public ::testing::TestWithParam<SdParam>
+{
+};
+
+TEST_P(SlepianDuguidSweep, RandomFeasibleMatricesAlwaysSchedulable)
+{
+    auto [n, frame, fill, seed] = GetParam();
+    Xoshiro256 rng(seed);
+    for (int trial = 0; trial < 10; ++trial) {
+        SlepianDuguidScheduler sd(n, frame);
+        // Add random reservations until the target fill is reached or
+        // requests start failing.
+        int target = static_cast<int>(fill * n * frame);
+        int added = 0;
+        int attempts = 0;
+        while (added < target && attempts < 20 * target) {
+            ++attempts;
+            auto i = static_cast<PortId>(rng.nextBelow(
+                static_cast<uint64_t>(n)));
+            auto j = static_cast<PortId>(rng.nextBelow(
+                static_cast<uint64_t>(n)));
+            int k = static_cast<int>(rng.nextBelow(4)) + 1;
+            if (sd.reservations().canAdd(i, j, k)) {
+                ASSERT_TRUE(sd.addReservation(i, j, k));
+                added += k;
+            }
+        }
+        EXPECT_TRUE(sd.schedule().realizes(sd.reservations()))
+            << "n=" << n << " frame=" << frame << " fill=" << fill;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SlepianDuguidSweep,
+    ::testing::Combine(::testing::Values(2, 4, 8, 16),
+                       ::testing::Values(3, 16, 50),
+                       ::testing::Values(0.5, 0.9, 1.0),
+                       ::testing::Values(7ULL, 1234ULL)));
+
+TEST(SlepianDuguidTest, SpreadPlacementStillRealizesReservations)
+{
+    SlepianDuguidScheduler sd(8, 32, SlotPlacement::Spread);
+    Xoshiro256 rng(77);
+    for (int step = 0; step < 200; ++step) {
+        auto i = static_cast<PortId>(rng.nextBelow(8));
+        auto j = static_cast<PortId>(rng.nextBelow(8));
+        int k = static_cast<int>(rng.nextBelow(4)) + 1;
+        sd.addReservation(i, j, k);  // may fail when full; fine
+    }
+    expectConsistent(sd);
+}
+
+TEST(SlepianDuguidTest, SpreadPlacementReducesJitter)
+{
+    // 4 cells/frame in a 64-slot frame: ideal gap is 16 slots. FirstFit
+    // packs them at the front (gap 61); Spread lands near the ideal.
+    SlepianDuguidScheduler first_fit(4, 64, SlotPlacement::FirstFit);
+    SlepianDuguidScheduler spread(4, 64, SlotPlacement::Spread);
+    ASSERT_TRUE(first_fit.addReservation(0, 1, 4));
+    ASSERT_TRUE(spread.addReservation(0, 1, 4));
+    EXPECT_GE(first_fit.maxGap(0, 1), 60);
+    EXPECT_LE(spread.maxGap(0, 1), 20);
+}
+
+TEST(SlepianDuguidTest, MaxGapOnEmptyPairIsFrame)
+{
+    SlepianDuguidScheduler sd(4, 10);
+    EXPECT_EQ(sd.maxGap(0, 0), 10);
+    sd.addReservation(0, 0, 1);
+    EXPECT_EQ(sd.maxGap(0, 0), 10);  // single cell: full cycle back
+}
+
+TEST(SlepianDuguidTest, SwapCountStaysPolynomial)
+{
+    // The paper cites O(k*N) steps per reservation; verify the swap
+    // counter stays far below quadratic blowup for a full 16x16 load.
+    constexpr int kN = 16;
+    constexpr int kF = 32;
+    SlepianDuguidScheduler sd(kN, kF);
+    for (int i = 0; i < kN; ++i)
+        for (int j = 0; j < kN; ++j)
+            ASSERT_TRUE(sd.addReservation(i, (i + j) % kN, kF / kN));
+    // kN*kF = 512 placements, each bounded by a 2N-step chain.
+    EXPECT_LE(sd.totalSwaps(), 512 * 2 * kN);
+}
+
+}  // namespace
+}  // namespace an2

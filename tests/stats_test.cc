@@ -1,0 +1,165 @@
+// Tests for statistics collection (an2/base/stats.h).
+#include "an2/base/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace an2 {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_TRUE(std::isinf(s.min()));
+    EXPECT_TRUE(std::isinf(s.max()));
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation)
+{
+    std::vector<double> xs = {1.0, 4.0, 4.0, 7.5, -2.0, 10.0, 3.25};
+    RunningStats s;
+    for (double x : xs)
+        s.add(x);
+    double mean = 0.0;
+    for (double x : xs)
+        mean += x;
+    mean /= static_cast<double>(xs.size());
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= static_cast<double>(xs.size() - 1);
+
+    EXPECT_EQ(s.count(), static_cast<int64_t>(xs.size()));
+    EXPECT_NEAR(s.mean(), mean, 1e-12);
+    EXPECT_NEAR(s.variance(), var, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+    EXPECT_EQ(s.min(), -2.0);
+    EXPECT_EQ(s.max(), 10.0);
+    EXPECT_NEAR(s.sum(), mean * static_cast<double>(xs.size()), 1e-9);
+}
+
+TEST(RunningStatsTest, SingleSampleVarianceZero)
+{
+    RunningStats s;
+    s.add(5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.mean(), 5.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsCombinedStream)
+{
+    RunningStats a;
+    RunningStats b;
+    RunningStats all;
+    for (int i = 0; i < 100; ++i) {
+        double x = std::sin(i) * 10.0;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides)
+{
+    RunningStats a;
+    RunningStats empty;
+    a.add(1.0);
+    a.add(3.0);
+    RunningStats c = a;
+    c.merge(empty);
+    EXPECT_EQ(c.count(), 2);
+    EXPECT_NEAR(c.mean(), 2.0, 1e-12);
+    RunningStats d = empty;
+    d.merge(a);
+    EXPECT_EQ(d.count(), 2);
+    EXPECT_NEAR(d.mean(), 2.0, 1e-12);
+}
+
+TEST(HistogramTest, RejectsBadConstruction)
+{
+    EXPECT_THROW(Histogram(0.0, 10), UsageError);
+    EXPECT_THROW(Histogram(1.0, 0), UsageError);
+}
+
+TEST(HistogramTest, BinsAndOverflow)
+{
+    Histogram h(2.0, 3);  // bins [0,2) [2,4) [4,6), overflow beyond
+    h.add(0.5);
+    h.add(1.9);
+    h.add(2.0);
+    h.add(5.9);
+    h.add(6.0);
+    h.add(100.0);
+    EXPECT_EQ(h.count(), 6);
+    EXPECT_EQ(h.binCount(0), 2);
+    EXPECT_EQ(h.binCount(1), 1);
+    EXPECT_EQ(h.binCount(2), 1);
+    EXPECT_EQ(h.overflow(), 2);
+}
+
+TEST(HistogramTest, NegativeSamplesClampToFirstBin)
+{
+    Histogram h(1.0, 4);
+    h.add(-3.0);
+    EXPECT_EQ(h.binCount(0), 1);
+}
+
+TEST(HistogramTest, QuantileInterpolates)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+    EXPECT_NEAR(h.quantile(1.0), 100.0, 1.0);
+}
+
+TEST(HistogramTest, QuantileOfEmptyThrows)
+{
+    Histogram h(1.0, 4);
+    EXPECT_THROW(h.quantile(0.5), UsageError);
+}
+
+TEST(HistogramTest, QuantileRangeChecked)
+{
+    Histogram h(1.0, 4);
+    h.add(1.0);
+    EXPECT_THROW(h.quantile(-0.1), UsageError);
+    EXPECT_THROW(h.quantile(1.1), UsageError);
+}
+
+TEST(JainIndexTest, PerfectFairnessIsOne)
+{
+    EXPECT_DOUBLE_EQ(jainFairnessIndex({5.0, 5.0, 5.0, 5.0}), 1.0);
+}
+
+TEST(JainIndexTest, MaximallyUnfairIsOneOverN)
+{
+    EXPECT_NEAR(jainFairnessIndex({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+}
+
+TEST(JainIndexTest, EmptyAndZeroAreFair)
+{
+    EXPECT_DOUBLE_EQ(jainFairnessIndex({}), 1.0);
+    EXPECT_DOUBLE_EQ(jainFairnessIndex({0.0, 0.0}), 1.0);
+}
+
+TEST(JainIndexTest, KnownMixedValue)
+{
+    // (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+    EXPECT_NEAR(jainFairnessIndex({1.0, 2.0, 3.0}), 36.0 / 42.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace an2

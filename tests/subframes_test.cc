@@ -1,0 +1,145 @@
+// Tests for subdivided frames (an2/cbr/subframes.h) — the §4 future-work
+// latency/granularity trade-off.
+#include "an2/cbr/subframes.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "an2/matching/pim.h"
+#include "an2/sim/iq_switch.h"
+
+namespace an2 {
+namespace {
+
+TEST(SubframeTest, ConstructionValidatesDivisibility)
+{
+    EXPECT_NO_THROW(SubframeScheduler(4, 100, 4));
+    EXPECT_THROW(SubframeScheduler(4, 100, 3), UsageError);
+    EXPECT_THROW(SubframeScheduler(4, 100, 0), UsageError);
+}
+
+TEST(SubframeTest, FrameReservationPlacedAcrossSubframes)
+{
+    SubframeScheduler ss(4, 40, 4);
+    EXPECT_TRUE(ss.addFrameReservation(0, 1, 10));
+    EXPECT_EQ(ss.reservedPerFrame(0, 1), 10);
+    EXPECT_EQ(ss.schedule().slotsFor(0, 1), 10);
+}
+
+TEST(SubframeTest, SubframeReservationInEverySubframe)
+{
+    SubframeScheduler ss(4, 40, 4);
+    EXPECT_TRUE(ss.addSubframeReservation(0, 1, 2));
+    EXPECT_EQ(ss.reservedPerFrame(0, 1), 8);  // 2 per subframe * 4
+    // Each 10-slot subframe carries exactly 2 cells of the pair.
+    for (int s = 0; s < 4; ++s) {
+        int in_sub = 0;
+        for (int slot = s * 10; slot < (s + 1) * 10; ++slot)
+            if (ss.schedule().outputAt(slot, 0) == 1)
+                ++in_sub;
+        EXPECT_EQ(in_sub, 2) << "subframe " << s;
+    }
+}
+
+TEST(SubframeTest, SubframeClassTightensWorstGap)
+{
+    // Same bandwidth (8 cells / 40-slot frame), two classes: frame class
+    // may bunch cells; subframe class guarantees service every 10 slots.
+    SubframeScheduler frame_class(4, 40, 4, SlotPlacement::FirstFit);
+    ASSERT_TRUE(frame_class.addFrameReservation(0, 1, 8));
+    SubframeScheduler sub_class(4, 40, 4, SlotPlacement::FirstFit);
+    ASSERT_TRUE(sub_class.addSubframeReservation(0, 1, 2));
+    EXPECT_LE(sub_class.maxGap(0, 1), 2 * 10);
+    EXPECT_GE(frame_class.maxGap(0, 1), sub_class.maxGap(0, 1));
+}
+
+TEST(SubframeTest, GranularityIsCoarserForSubframeClass)
+{
+    // Subframe class can only allocate multiples of m cells/frame; the
+    // smallest non-zero reservation is m cells.
+    SubframeScheduler ss(4, 40, 4);
+    EXPECT_TRUE(ss.addSubframeReservation(0, 1, 1));
+    EXPECT_EQ(ss.reservedPerFrame(0, 1), 4);  // granule of 4 cells/frame
+    // Frame class can still add single cells.
+    EXPECT_TRUE(ss.addFrameReservation(2, 3, 1));
+    EXPECT_EQ(ss.reservedPerFrame(2, 3), 1);
+}
+
+TEST(SubframeTest, RejectsWhenSubframeFull)
+{
+    SubframeScheduler ss(2, 8, 4);  // 2-slot subframes
+    EXPECT_TRUE(ss.addSubframeReservation(0, 0, 2));  // input 0 full
+    EXPECT_FALSE(ss.addSubframeReservation(0, 1, 1));
+    EXPECT_FALSE(ss.addFrameReservation(0, 1, 1));
+    EXPECT_TRUE(ss.addFrameReservation(1, 1, 8));
+}
+
+TEST(SubframeTest, FrameReservationRejectionLeavesNoResidue)
+{
+    SubframeScheduler ss(2, 8, 2);
+    ASSERT_TRUE(ss.addFrameReservation(0, 0, 6));
+    // Only 2 cells of capacity remain for (0,1): min slack per subframe.
+    EXPECT_FALSE(ss.addFrameReservation(0, 1, 3));
+    EXPECT_EQ(ss.reservedPerFrame(0, 1), 0);
+    EXPECT_TRUE(ss.addFrameReservation(0, 1, 2));
+}
+
+TEST(SubframeTest, MixedClassesShareTheFrame)
+{
+    SubframeScheduler ss(4, 64, 4);
+    EXPECT_TRUE(ss.addSubframeReservation(0, 1, 3));  // 12/frame, low lat.
+    EXPECT_TRUE(ss.addFrameReservation(0, 2, 20));
+    EXPECT_TRUE(ss.addFrameReservation(1, 1, 30));
+    EXPECT_EQ(ss.schedule().totalAssignments(), 12 + 20 + 30);
+    // Conflict-freedom is enforced structurally by FrameSchedule::assign.
+}
+
+TEST(SubframeTest, CombinedScheduleDrivesSwitchWithTightService)
+{
+    // End to end: a subframe-class flow through the IQ switch is served
+    // within every subframe even under saturating datagram load.
+    constexpr int kFrame = 32;
+    constexpr int kSub = 4;
+    SubframeScheduler ss(4, kFrame, kSub);
+    ASSERT_TRUE(ss.addSubframeReservation(1, 2, 1));
+    InputQueuedSwitch sw({.n = 4},
+                         std::make_unique<PimMatcher>(
+                             PimConfig{.iterations = 4, .seed = 4}),
+                         &ss.schedule());
+    Xoshiro256 rng(5);
+    SlotTime last_service = -1;
+    SlotTime worst_gap = 0;
+    int64_t seq = 0;
+    for (SlotTime slot = 0; slot < 200 * kFrame; ++slot) {
+        Cell c;
+        c.flow = 7;
+        c.input = 1;
+        c.output = 2;
+        c.cls = TrafficClass::CBR;
+        c.seq = seq++;
+        c.inject_slot = slot;
+        sw.acceptCell(c);
+        for (PortId i = 0; i < 4; ++i) {
+            auto j = static_cast<PortId>(rng.nextBelow(4));
+            Cell v;
+            v.flow = 100 + i * 4 + j;
+            v.input = i;
+            v.output = j;
+            v.inject_slot = slot;
+            sw.acceptCell(v);
+        }
+        for (const Cell& d : sw.runSlot(slot)) {
+            if (d.flow != 7)
+                continue;
+            if (last_service >= 0)
+                worst_gap = std::max(worst_gap, slot - last_service);
+            last_service = slot;
+        }
+    }
+    // One cell per 8-slot subframe: never more than 2 subframes apart.
+    EXPECT_LE(worst_gap, 2 * (kFrame / kSub));
+}
+
+}  // namespace
+}  // namespace an2

@@ -1,0 +1,117 @@
+// Tests for Appendix B frame timing bounds (an2/cbr/timing.h).
+#include "an2/cbr/timing.h"
+
+#include <gtest/gtest.h>
+
+#include "an2/base/error.h"
+
+namespace an2 {
+namespace {
+
+FrameTiming
+sampleTiming()
+{
+    // 100-slot switch frames, 104-slot controller frames, 1 time unit per
+    // slot, 1% clock tolerance, link latency of 5 units.
+    return makeFrameTiming(100, 104, 1.0, 0.01, 5.0);
+}
+
+TEST(TimingTest, MakeFrameTimingComputesBounds)
+{
+    FrameTiming t = sampleTiming();
+    EXPECT_NEAR(t.f_s_min, 100.0 / 1.01, 1e-9);
+    EXPECT_NEAR(t.f_s_max, 100.0 / 0.99, 1e-9);
+    EXPECT_NEAR(t.f_c_min, 104.0 / 1.01, 1e-9);
+    EXPECT_NEAR(t.f_c_max, 104.0 / 0.99, 1e-9);
+    EXPECT_TRUE(t.valid());
+}
+
+TEST(TimingTest, InsufficientPaddingRejected)
+{
+    // 1% tolerance needs > 100 * 2*0.01/0.99 ~ 2.02 padding slots; a
+    // controller frame of 102 slots is too short.
+    EXPECT_THROW(makeFrameTiming(100, 102, 1.0, 0.01, 5.0), UsageError);
+}
+
+TEST(TimingTest, MinControllerPaddingIsSufficientAndTight)
+{
+    for (double tol : {0.0, 1e-5, 1e-4, 1e-3, 0.01, 0.05}) {
+        for (int frame : {10, 100, 1000}) {
+            int pad = minControllerPadding(frame, tol);
+            EXPECT_GE(pad, 1);
+            // Sufficient:
+            FrameTiming t =
+                makeFrameTiming(frame, frame + pad, 1.0, tol, 0.0);
+            EXPECT_TRUE(t.valid());
+            // Tight (one less slot fails) whenever tolerance > 0:
+            if (tol > 0.0 && pad > 1) {
+                EXPECT_THROW(
+                    makeFrameTiming(frame, frame + pad - 1, 1.0, tol, 0.0),
+                    UsageError);
+            }
+        }
+    }
+}
+
+TEST(TimingTest, LatencyBoundFormula)
+{
+    FrameTiming t = sampleTiming();
+    // Formula 3: L <= 2p(F_s-max + l).
+    EXPECT_NEAR(latencyBound(t, 3), 2.0 * 3 * (t.f_s_max + 5.0), 1e-9);
+    EXPECT_EQ(latencyBound(t, 0), 0.0);
+}
+
+TEST(TimingTest, LatencyBoundMonotoneInPathLength)
+{
+    FrameTiming t = sampleTiming();
+    for (int p = 1; p < 10; ++p)
+        EXPECT_GT(latencyBound(t, p), latencyBound(t, p - 1));
+}
+
+TEST(TimingTest, MaxActiveFramesPositiveAndGrowing)
+{
+    FrameTiming t = sampleTiming();
+    EXPECT_GE(maxActiveFrames(t, 1), 1.0);
+    EXPECT_GE(maxActiveFrames(t, 8), maxActiveFrames(t, 1));
+}
+
+TEST(TimingTest, BufferBoundAtLeastFourFrames)
+{
+    // Formula 5 has the additive constant 4; with zero drift the bound is
+    // exactly 4 frames' worth per reserved cell.
+    FrameTiming t = makeFrameTiming(100, 101, 1.0, 0.0, 5.0);
+    EXPECT_NEAR(bufferBound(t, 4), 4.0, 1e-9);
+
+    // With drift, the bound exceeds 4 and grows with path length.
+    FrameTiming d = sampleTiming();
+    EXPECT_GT(bufferBound(d, 1), 4.0);
+    EXPECT_GT(bufferBound(d, 8), bufferBound(d, 1));
+}
+
+TEST(TimingTest, PaperScaleParametersGiveSmallBounds)
+{
+    // AN2-scale: 1000-slot frames (~0.42 ms), 100 ppm clocks, 10 us link
+    // latency, 8 hops, 1% controller padding (10 slots). The paper says
+    // "four or five frames of buffers are sufficient" for such values;
+    // padding beyond the bare minimum is what keeps the bound small.
+    double slot_us = 0.424;
+    FrameTiming t = makeFrameTiming(1000, 1010, slot_us, 1e-4, 10.0);
+    EXPECT_LE(bufferBound(t, 8), 5.0);
+    // End-to-end latency bound within ~7 ms for 8 hops.
+    EXPECT_LE(latencyBound(t, 8), 7000.0);
+}
+
+TEST(TimingTest, InvalidArgumentsRejected)
+{
+    EXPECT_THROW(makeFrameTiming(0, 10, 1.0, 0.0, 0.0), UsageError);
+    EXPECT_THROW(makeFrameTiming(10, 5, 1.0, 0.0, 0.0), UsageError);
+    EXPECT_THROW(makeFrameTiming(10, 12, -1.0, 0.0, 0.0), UsageError);
+    EXPECT_THROW(makeFrameTiming(10, 12, 1.0, 1.5, 0.0), UsageError);
+    EXPECT_THROW(makeFrameTiming(10, 12, 1.0, 0.0, -1.0), UsageError);
+    FrameTiming t = sampleTiming();
+    EXPECT_THROW(latencyBound(t, -1), UsageError);
+    EXPECT_THROW(minControllerPadding(0, 0.01), UsageError);
+}
+
+}  // namespace
+}  // namespace an2

@@ -1,0 +1,157 @@
+// Tests for the virtual clock baseline (an2/sim/virtual_clock.h).
+#include "an2/sim/virtual_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "an2/base/error.h"
+
+namespace an2 {
+namespace {
+
+Cell
+cellFor(FlowId flow, PortId in, PortId out, SlotTime slot, int64_t seq = 0)
+{
+    Cell c;
+    c.flow = flow;
+    c.input = in;
+    c.output = out;
+    c.arrival_slot = slot;
+    c.inject_slot = slot;
+    c.seq = seq;
+    return c;
+}
+
+TEST(VirtualClockTest, SingleCellForwarded)
+{
+    VirtualClockSwitch sw(4);
+    sw.acceptCell(cellFor(1, 0, 2, 0));
+    auto departed = sw.runSlot(0);
+    ASSERT_EQ(departed.size(), 1u);
+    EXPECT_EQ(departed[0].output, 2);
+    EXPECT_EQ(sw.bufferedCells(), 0);
+}
+
+TEST(VirtualClockTest, RatesDivideContendedLink)
+{
+    // Two backlogged flows into output 0, rates 0.75 and 0.25: over time
+    // the link divides ~3:1.
+    VirtualClockSwitch sw(2);
+    sw.setFlowRate(10, 0.75);
+    sw.setFlowRate(20, 0.25);
+    std::map<FlowId, int> served;
+    int64_t seq_a = 0;
+    int64_t seq_b = 0;
+    for (SlotTime slot = 0; slot < 4000; ++slot) {
+        // Keep both flows backlogged (inject one cell per flow per slot;
+        // queue grows but priorities decide service order).
+        sw.acceptCell(cellFor(10, 0, 0, slot, seq_a++));
+        sw.acceptCell(cellFor(20, 1, 0, slot, seq_b++));
+        for (const Cell& d : sw.runSlot(slot))
+            ++served[d.flow];
+    }
+    double share_a = served[10] / 4000.0;
+    EXPECT_NEAR(share_a, 0.75, 0.02);
+}
+
+TEST(VirtualClockTest, EqualRatesShareEqually)
+{
+    VirtualClockSwitch sw(2);
+    sw.setFlowRate(1, 0.5);
+    sw.setFlowRate(2, 0.5);
+    std::map<FlowId, int> served;
+    for (SlotTime slot = 0; slot < 2000; ++slot) {
+        sw.acceptCell(cellFor(1, 0, 0, slot));
+        sw.acceptCell(cellFor(2, 1, 0, slot));
+        for (const Cell& d : sw.runSlot(slot))
+            ++served[d.flow];
+    }
+    EXPECT_NEAR(served[1] / 2000.0, 0.5, 0.03);
+}
+
+TEST(VirtualClockTest, BurstCannotStarveAtRateFlow)
+{
+    // Flow 1 sends exactly at its 0.5 rate. Flow 2, idle so far, dumps a
+    // 200-cell burst. Because virtual clocks advance by 1/rate per cell,
+    // the burst spends its priority quickly and flow 1 keeps receiving
+    // its entitled half of the link (Zhang 1991; the paper's Section 5.1
+    // comparison point).
+    VirtualClockSwitch sw(2);
+    sw.setFlowRate(1, 0.5);
+    sw.setFlowRate(2, 0.5);
+    for (SlotTime slot = 0; slot < 1000; ++slot) {
+        if (slot % 2 == 0)
+            sw.acceptCell(cellFor(1, 0, 0, slot));
+        sw.runSlot(slot);
+    }
+    Cell burst = cellFor(2, 1, 0, 1000);
+    for (int k = 0; k < 200; ++k)
+        sw.acceptCell(burst);
+    std::map<FlowId, int> served;
+    for (SlotTime slot = 1000; slot < 1400; ++slot) {
+        if (slot % 2 == 0)
+            sw.acceptCell(cellFor(1, 0, 0, slot));
+        for (const Cell& d : sw.runSlot(slot))
+            ++served[d.flow];
+    }
+    // Flow 1 keeps at least ~90% of its entitled 200 services.
+    EXPECT_GE(served[1], 180);
+    // The burst drains in the leftover capacity.
+    EXPECT_GE(served[2], 150);
+}
+
+TEST(VirtualClockTest, OverRateFlowAccumulatesDebt)
+{
+    // A flow that sent far above its rate while alone is deprioritized
+    // once a competitor appears -- the rate-monitoring property Section
+    // 5.3 credits the virtual clock approach with (and notes statistical
+    // matching lacks).
+    VirtualClockSwitch sw(2);
+    sw.setFlowRate(1, 0.5);
+    sw.setFlowRate(2, 0.5);
+    for (SlotTime slot = 0; slot < 500; ++slot) {
+        sw.acceptCell(cellFor(1, 0, 0, slot));  // 2x its rate
+        sw.runSlot(slot);
+    }
+    std::map<FlowId, int> served;
+    for (SlotTime slot = 500; slot < 700; ++slot) {
+        sw.acceptCell(cellFor(1, 0, 0, slot));
+        sw.acceptCell(cellFor(2, 1, 0, slot));
+        for (const Cell& d : sw.runSlot(slot))
+            ++served[d.flow];
+    }
+    EXPECT_GT(served[2], served[1]);
+}
+
+TEST(VirtualClockTest, WorkConservingAcrossOutputs)
+{
+    VirtualClockSwitch sw(4);
+    for (PortId j = 0; j < 4; ++j)
+        sw.acceptCell(cellFor(j, 0, j, 0));
+    EXPECT_EQ(sw.runSlot(0).size(), 4u);
+}
+
+TEST(VirtualClockTest, FifoWithinFlow)
+{
+    VirtualClockSwitch sw(2);
+    sw.setFlowRate(5, 0.5);
+    for (int s = 0; s < 6; ++s)
+        sw.acceptCell(cellFor(5, 0, 0, 0, s));
+    for (int s = 0; s < 6; ++s) {
+        auto departed = sw.runSlot(s);
+        ASSERT_EQ(departed.size(), 1u);
+        EXPECT_EQ(departed[0].seq, s);
+    }
+}
+
+TEST(VirtualClockTest, InvalidRatesRejected)
+{
+    VirtualClockSwitch sw(2);
+    EXPECT_THROW(sw.setFlowRate(1, 0.0), UsageError);
+    EXPECT_THROW(sw.setFlowRate(1, 1.5), UsageError);
+    EXPECT_THROW(sw.setDefaultRate(-1.0), UsageError);
+}
+
+}  // namespace
+}  // namespace an2
