@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_policies.dir/bench_ablation_policies.cc.o"
+  "CMakeFiles/bench_ablation_policies.dir/bench_ablation_policies.cc.o.d"
+  "bench_ablation_policies"
+  "bench_ablation_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

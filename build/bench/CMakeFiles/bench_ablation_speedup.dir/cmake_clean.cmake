@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_speedup.dir/bench_ablation_speedup.cc.o"
+  "CMakeFiles/bench_ablation_speedup.dir/bench_ablation_speedup.cc.o.d"
+  "bench_ablation_speedup"
+  "bench_ablation_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendixA.dir/bench_appendixA.cc.o"
+  "CMakeFiles/bench_appendixA.dir/bench_appendixA.cc.o.d"
+  "bench_appendixA"
+  "bench_appendixA.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendixA.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

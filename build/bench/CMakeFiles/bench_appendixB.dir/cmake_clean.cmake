@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendixB.dir/bench_appendixB.cc.o"
+  "CMakeFiles/bench_appendixB.dir/bench_appendixB.cc.o.d"
+  "bench_appendixB"
+  "bench_appendixB.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendixB.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendixC.dir/bench_appendixC.cc.o"
+  "CMakeFiles/bench_appendixC.dir/bench_appendixC.cc.o.d"
+  "bench_appendixC"
+  "bench_appendixC.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendixC.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

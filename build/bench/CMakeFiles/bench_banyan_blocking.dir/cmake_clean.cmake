@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_banyan_blocking.dir/bench_banyan_blocking.cc.o"
+  "CMakeFiles/bench_banyan_blocking.dir/bench_banyan_blocking.cc.o.d"
+  "bench_banyan_blocking"
+  "bench_banyan_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_banyan_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

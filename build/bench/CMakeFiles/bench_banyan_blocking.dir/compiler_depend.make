@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_banyan_blocking.
+# This may be replaced when dependencies are built.

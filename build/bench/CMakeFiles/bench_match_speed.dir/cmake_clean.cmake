@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_match_speed.dir/bench_match_speed.cc.o"
+  "CMakeFiles/bench_match_speed.dir/bench_match_speed.cc.o.d"
+  "bench_match_speed"
+  "bench_match_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_match_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_maximal_vs_maximum.dir/bench_maximal_vs_maximum.cc.o"
+  "CMakeFiles/bench_maximal_vs_maximum.dir/bench_maximal_vs_maximum.cc.o.d"
+  "bench_maximal_vs_maximum"
+  "bench_maximal_vs_maximum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_maximal_vs_maximum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

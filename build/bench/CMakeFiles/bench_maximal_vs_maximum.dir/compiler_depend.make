@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_maximal_vs_maximum.
+# This may be replaced when dependencies are built.

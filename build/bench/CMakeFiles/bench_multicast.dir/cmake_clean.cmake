@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multicast.dir/bench_multicast.cc.o"
+  "CMakeFiles/bench_multicast.dir/bench_multicast.cc.o.d"
+  "bench_multicast"
+  "bench_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subframes.dir/bench_subframes.cc.o"
+  "CMakeFiles/bench_subframes.dir/bench_subframes.cc.o.d"
+  "bench_subframes"
+  "bench_subframes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subframes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

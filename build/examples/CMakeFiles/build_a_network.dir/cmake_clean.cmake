@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_a_network.dir/build_a_network.cpp.o"
+  "CMakeFiles/build_a_network.dir/build_a_network.cpp.o.d"
+  "build_a_network"
+  "build_a_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_a_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

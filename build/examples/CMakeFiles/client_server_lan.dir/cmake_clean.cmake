@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_server_lan.dir/client_server_lan.cpp.o"
+  "CMakeFiles/client_server_lan.dir/client_server_lan.cpp.o.d"
+  "client_server_lan"
+  "client_server_lan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_server_lan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fair_sharing.dir/fair_sharing.cpp.o"
+  "CMakeFiles/fair_sharing.dir/fair_sharing.cpp.o.d"
+  "fair_sharing"
+  "fair_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fair_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

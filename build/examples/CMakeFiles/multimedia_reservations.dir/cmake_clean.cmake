@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimedia_reservations.dir/multimedia_reservations.cpp.o"
+  "CMakeFiles/multimedia_reservations.dir/multimedia_reservations.cpp.o.d"
+  "multimedia_reservations"
+  "multimedia_reservations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimedia_reservations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_explorer.dir/switch_explorer.cpp.o"
+  "CMakeFiles/switch_explorer.dir/switch_explorer.cpp.o.d"
+  "switch_explorer"
+  "switch_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

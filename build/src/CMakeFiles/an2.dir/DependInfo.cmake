@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/an2/base/error.cc" "src/CMakeFiles/an2.dir/an2/base/error.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/base/error.cc.o.d"
+  "/root/repo/src/an2/base/rng.cc" "src/CMakeFiles/an2.dir/an2/base/rng.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/base/rng.cc.o.d"
+  "/root/repo/src/an2/base/stats.cc" "src/CMakeFiles/an2.dir/an2/base/stats.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/base/stats.cc.o.d"
+  "/root/repo/src/an2/cbr/admission.cc" "src/CMakeFiles/an2.dir/an2/cbr/admission.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/cbr/admission.cc.o.d"
+  "/root/repo/src/an2/cbr/frame_schedule.cc" "src/CMakeFiles/an2.dir/an2/cbr/frame_schedule.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/cbr/frame_schedule.cc.o.d"
+  "/root/repo/src/an2/cbr/reservations.cc" "src/CMakeFiles/an2.dir/an2/cbr/reservations.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/cbr/reservations.cc.o.d"
+  "/root/repo/src/an2/cbr/slepian_duguid.cc" "src/CMakeFiles/an2.dir/an2/cbr/slepian_duguid.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/cbr/slepian_duguid.cc.o.d"
+  "/root/repo/src/an2/cbr/subframes.cc" "src/CMakeFiles/an2.dir/an2/cbr/subframes.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/cbr/subframes.cc.o.d"
+  "/root/repo/src/an2/cbr/timing.cc" "src/CMakeFiles/an2.dir/an2/cbr/timing.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/cbr/timing.cc.o.d"
+  "/root/repo/src/an2/cell/flow.cc" "src/CMakeFiles/an2.dir/an2/cell/flow.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/cell/flow.cc.o.d"
+  "/root/repo/src/an2/fabric/batcher_banyan.cc" "src/CMakeFiles/an2.dir/an2/fabric/batcher_banyan.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/fabric/batcher_banyan.cc.o.d"
+  "/root/repo/src/an2/fabric/cost_model.cc" "src/CMakeFiles/an2.dir/an2/fabric/cost_model.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/fabric/cost_model.cc.o.d"
+  "/root/repo/src/an2/fabric/crossbar.cc" "src/CMakeFiles/an2.dir/an2/fabric/crossbar.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/fabric/crossbar.cc.o.d"
+  "/root/repo/src/an2/matching/fill_in.cc" "src/CMakeFiles/an2.dir/an2/matching/fill_in.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/matching/fill_in.cc.o.d"
+  "/root/repo/src/an2/matching/hopcroft_karp.cc" "src/CMakeFiles/an2.dir/an2/matching/hopcroft_karp.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/matching/hopcroft_karp.cc.o.d"
+  "/root/repo/src/an2/matching/islip.cc" "src/CMakeFiles/an2.dir/an2/matching/islip.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/matching/islip.cc.o.d"
+  "/root/repo/src/an2/matching/matching.cc" "src/CMakeFiles/an2.dir/an2/matching/matching.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/matching/matching.cc.o.d"
+  "/root/repo/src/an2/matching/multicast.cc" "src/CMakeFiles/an2.dir/an2/matching/multicast.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/matching/multicast.cc.o.d"
+  "/root/repo/src/an2/matching/pim.cc" "src/CMakeFiles/an2.dir/an2/matching/pim.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/matching/pim.cc.o.d"
+  "/root/repo/src/an2/matching/pim_fast.cc" "src/CMakeFiles/an2.dir/an2/matching/pim_fast.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/matching/pim_fast.cc.o.d"
+  "/root/repo/src/an2/matching/request_matrix.cc" "src/CMakeFiles/an2.dir/an2/matching/request_matrix.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/matching/request_matrix.cc.o.d"
+  "/root/repo/src/an2/matching/serial_greedy.cc" "src/CMakeFiles/an2.dir/an2/matching/serial_greedy.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/matching/serial_greedy.cc.o.d"
+  "/root/repo/src/an2/matching/statistical.cc" "src/CMakeFiles/an2.dir/an2/matching/statistical.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/matching/statistical.cc.o.d"
+  "/root/repo/src/an2/matching/windowed_fifo.cc" "src/CMakeFiles/an2.dir/an2/matching/windowed_fifo.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/matching/windowed_fifo.cc.o.d"
+  "/root/repo/src/an2/network/clock.cc" "src/CMakeFiles/an2.dir/an2/network/clock.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/network/clock.cc.o.d"
+  "/root/repo/src/an2/network/controller.cc" "src/CMakeFiles/an2.dir/an2/network/controller.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/network/controller.cc.o.d"
+  "/root/repo/src/an2/network/link.cc" "src/CMakeFiles/an2.dir/an2/network/link.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/network/link.cc.o.d"
+  "/root/repo/src/an2/network/net_switch.cc" "src/CMakeFiles/an2.dir/an2/network/net_switch.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/network/net_switch.cc.o.d"
+  "/root/repo/src/an2/network/network.cc" "src/CMakeFiles/an2.dir/an2/network/network.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/network/network.cc.o.d"
+  "/root/repo/src/an2/queueing/flow_queue.cc" "src/CMakeFiles/an2.dir/an2/queueing/flow_queue.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/queueing/flow_queue.cc.o.d"
+  "/root/repo/src/an2/queueing/output_queue.cc" "src/CMakeFiles/an2.dir/an2/queueing/output_queue.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/queueing/output_queue.cc.o.d"
+  "/root/repo/src/an2/queueing/voq.cc" "src/CMakeFiles/an2.dir/an2/queueing/voq.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/queueing/voq.cc.o.d"
+  "/root/repo/src/an2/sim/fifo_switch.cc" "src/CMakeFiles/an2.dir/an2/sim/fifo_switch.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/sim/fifo_switch.cc.o.d"
+  "/root/repo/src/an2/sim/iq_switch.cc" "src/CMakeFiles/an2.dir/an2/sim/iq_switch.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/sim/iq_switch.cc.o.d"
+  "/root/repo/src/an2/sim/metrics.cc" "src/CMakeFiles/an2.dir/an2/sim/metrics.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/sim/metrics.cc.o.d"
+  "/root/repo/src/an2/sim/oq_switch.cc" "src/CMakeFiles/an2.dir/an2/sim/oq_switch.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/sim/oq_switch.cc.o.d"
+  "/root/repo/src/an2/sim/simulator.cc" "src/CMakeFiles/an2.dir/an2/sim/simulator.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/sim/simulator.cc.o.d"
+  "/root/repo/src/an2/sim/traffic.cc" "src/CMakeFiles/an2.dir/an2/sim/traffic.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/sim/traffic.cc.o.d"
+  "/root/repo/src/an2/sim/virtual_clock.cc" "src/CMakeFiles/an2.dir/an2/sim/virtual_clock.cc.o" "gcc" "src/CMakeFiles/an2.dir/an2/sim/virtual_clock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liban2.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batcher_banyan_test.dir/batcher_banyan_test.cc.o"
+  "CMakeFiles/batcher_banyan_test.dir/batcher_banyan_test.cc.o.d"
+  "batcher_banyan_test"
+  "batcher_banyan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batcher_banyan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossbar_test.dir/crossbar_test.cc.o"
+  "CMakeFiles/crossbar_test.dir/crossbar_test.cc.o.d"
+  "crossbar_test"
+  "crossbar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossbar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifo_switch_test.dir/fifo_switch_test.cc.o"
+  "CMakeFiles/fifo_switch_test.dir/fifo_switch_test.cc.o.d"
+  "fifo_switch_test"
+  "fifo_switch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifo_switch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fill_in_test.dir/fill_in_test.cc.o"
+  "CMakeFiles/fill_in_test.dir/fill_in_test.cc.o.d"
+  "fill_in_test"
+  "fill_in_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fill_in_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

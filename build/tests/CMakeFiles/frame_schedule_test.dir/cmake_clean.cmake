@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_schedule_test.dir/frame_schedule_test.cc.o"
+  "CMakeFiles/frame_schedule_test.dir/frame_schedule_test.cc.o.d"
+  "frame_schedule_test"
+  "frame_schedule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

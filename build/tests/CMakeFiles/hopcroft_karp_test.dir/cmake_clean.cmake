@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hopcroft_karp_test.dir/hopcroft_karp_test.cc.o"
+  "CMakeFiles/hopcroft_karp_test.dir/hopcroft_karp_test.cc.o.d"
+  "hopcroft_karp_test"
+  "hopcroft_karp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hopcroft_karp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_switch_test.dir/iq_switch_test.cc.o"
+  "CMakeFiles/iq_switch_test.dir/iq_switch_test.cc.o.d"
+  "iq_switch_test"
+  "iq_switch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_switch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

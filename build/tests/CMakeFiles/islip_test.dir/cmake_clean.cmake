@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/islip_test.dir/islip_test.cc.o"
+  "CMakeFiles/islip_test.dir/islip_test.cc.o.d"
+  "islip_test"
+  "islip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/islip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcher_conformance_test.dir/matcher_conformance_test.cc.o"
+  "CMakeFiles/matcher_conformance_test.dir/matcher_conformance_test.cc.o.d"
+  "matcher_conformance_test"
+  "matcher_conformance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcher_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

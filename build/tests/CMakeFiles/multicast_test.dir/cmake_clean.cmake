@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicast_test.dir/multicast_test.cc.o"
+  "CMakeFiles/multicast_test.dir/multicast_test.cc.o.d"
+  "multicast_test"
+  "multicast_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_nodes_test.dir/net_nodes_test.cc.o"
+  "CMakeFiles/net_nodes_test.dir/net_nodes_test.cc.o.d"
+  "net_nodes_test"
+  "net_nodes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_nodes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

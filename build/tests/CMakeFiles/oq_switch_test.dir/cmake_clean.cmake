@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oq_switch_test.dir/oq_switch_test.cc.o"
+  "CMakeFiles/oq_switch_test.dir/oq_switch_test.cc.o.d"
+  "oq_switch_test"
+  "oq_switch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oq_switch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_fast_test.dir/pim_fast_test.cc.o"
+  "CMakeFiles/pim_fast_test.dir/pim_fast_test.cc.o.d"
+  "pim_fast_test"
+  "pim_fast_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_fast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_test.dir/pim_test.cc.o"
+  "CMakeFiles/pim_test.dir/pim_test.cc.o.d"
+  "pim_test"
+  "pim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/request_matrix_test.dir/request_matrix_test.cc.o"
+  "CMakeFiles/request_matrix_test.dir/request_matrix_test.cc.o.d"
+  "request_matrix_test"
+  "request_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/request_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

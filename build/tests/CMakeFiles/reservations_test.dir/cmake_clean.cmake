@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reservations_test.dir/reservations_test.cc.o"
+  "CMakeFiles/reservations_test.dir/reservations_test.cc.o.d"
+  "reservations_test"
+  "reservations_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reservations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

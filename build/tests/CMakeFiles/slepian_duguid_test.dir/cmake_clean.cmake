@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slepian_duguid_test.dir/slepian_duguid_test.cc.o"
+  "CMakeFiles/slepian_duguid_test.dir/slepian_duguid_test.cc.o.d"
+  "slepian_duguid_test"
+  "slepian_duguid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slepian_duguid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statistical_test.dir/statistical_test.cc.o"
+  "CMakeFiles/statistical_test.dir/statistical_test.cc.o.d"
+  "statistical_test"
+  "statistical_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statistical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subframes_test.dir/subframes_test.cc.o"
+  "CMakeFiles/subframes_test.dir/subframes_test.cc.o.d"
+  "subframes_test"
+  "subframes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subframes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_conformance_test.dir/switch_conformance_test.cc.o"
+  "CMakeFiles/switch_conformance_test.dir/switch_conformance_test.cc.o.d"
+  "switch_conformance_test"
+  "switch_conformance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_test.dir/timing_test.cc.o"
+  "CMakeFiles/timing_test.dir/timing_test.cc.o.d"
+  "timing_test"
+  "timing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windowed_fifo_test.dir/windowed_fifo_test.cc.o"
+  "CMakeFiles/windowed_fifo_test.dir/windowed_fifo_test.cc.o.d"
+  "windowed_fifo_test"
+  "windowed_fifo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windowed_fifo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
