@@ -9,81 +9,77 @@
  * a modest delay gap. The paper's wall-clock claim — an average delay
  * under 13 us at 95% load with gigabit links — is checked by converting
  * slots to microseconds (424 ns per 53-byte cell at 1 Gb/s).
+ *
+ * Runs on the parallel deterministic sweep harness: `--threads N`
+ * changes wall-clock only, never results; `--json PATH` emits the
+ * an2.sweep.v1 document (see EXPERIMENTS.md).
  */
 #include <cstdio>
 
 #include "an2/base/types.h"
-#include "an2/sim/fifo_switch.h"
-#include "an2/sim/oq_switch.h"
-#include "an2/sim/traffic.h"
-#include "bench_common.h"
-
-namespace {
-
-using namespace an2;
-using namespace an2::bench;
-
-constexpr int kN = 16;
-
-struct Row
-{
-    double load;
-    double fifo;
-    double pim;
-    double oq;
-    double fifo_tput;
-};
-
-Row
-runLoad(double load)
-{
-    SimConfig cfg = standardSimConfig();
-    Row row{};
-    row.load = load;
-    {
-        FifoSwitch sw(kN, 101);
-        UniformTraffic traffic(kN, load, 201);
-        SimResult r = runSimulation(sw, traffic, cfg);
-        row.fifo = r.mean_delay;
-        row.fifo_tput = r.throughput;
-    }
-    {
-        InputQueuedSwitch sw({.n = kN}, makePim(4, 102));
-        UniformTraffic traffic(kN, load, 201);
-        row.pim = runSimulation(sw, traffic, cfg).mean_delay;
-    }
-    {
-        OutputQueuedSwitch sw(kN);
-        UniformTraffic traffic(kN, load, 201);
-        row.oq = runSimulation(sw, traffic, cfg).mean_delay;
-    }
-    return row;
-}
-
-}  // namespace
+#include "sweep_specs.h"
 
 int
-main()
+main(int argc, char** argv)
 {
-    an2::bench::banner(
-        "Figure 3 -- mean queueing delay vs offered load, uniform workload",
-        "Anderson et al. 1992, Figure 3 (16x16 switch)");
-    std::printf("  delay in cell slots; FIFO throughput shown to expose"
-                " saturation\n\n");
-    std::printf("  load     FIFO        PIM(4)      OutputQ     "
-                "[FIFO tput]\n");
-    double pim_95 = 0.0;
-    for (int i = 0; i < kLoadSweepSize; ++i) {
-        Row row = runLoad(kLoadSweep[i]);
-        std::printf("  %4.2f  %9.2f   %9.2f   %9.2f      %5.3f\n", row.load,
-                    row.fifo, row.pim, row.oq, row.fifo_tput);
-        if (row.load == 0.95)
-            pim_95 = row.pim;
+    using namespace an2;
+    using namespace an2::bench;
+
+    SweepCli cli;
+    std::string err;
+    if (!parseSweepCli(argc, argv, cli, err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        printSweepCliHelp(argv[0], /*with_experiment=*/false);
+        return 2;
     }
-    std::printf("\n  PIM(4) delay at 95%% load: %.1f slots = %.1f us at"
-                " 1 Gb/s (paper: < 13 us)\n",
-                pim_95, slotsToMicros(pim_95));
-    std::printf("  (FIFO delay at loads beyond ~0.6 grows with simulation"
-                " length: saturated.)\n");
+    if (cli.help) {
+        printSweepCliHelp(argv[0], /*with_experiment=*/false);
+        return 0;
+    }
+
+    harness::SweepSpec spec = fig3Spec();
+    applyCli(cli, spec);
+
+    // With --json - the document owns stdout; keep the table off it.
+    const bool table = cli.json_path != "-";
+    if (table) {
+        banner("Figure 3 -- mean queueing delay vs offered load, uniform "
+               "workload",
+               "Anderson et al. 1992, Figure 3 (16x16 switch)");
+        std::printf("  delay in cell slots; FIFO throughput shown to expose"
+                    " saturation\n\n");
+        std::printf("  load     FIFO        PIM(4)      OutputQ     "
+                    "[FIFO tput]\n");
+    }
+
+    harness::SweepResult res = runSweepWithProgress(spec, cli.threads);
+    auto cells = harness::aggregate(spec, res);
+
+    if (table) {
+        double pim_95 = 0.0;
+        for (double load : spec.loads) {
+            const harness::CellSummary* fifo = findCell(cells, "FIFO", load);
+            const harness::CellSummary* pim = findCell(cells, "PIM(4)", load);
+            const harness::CellSummary* oq =
+                findCell(cells, "OutputQueued", load);
+            std::printf("  %4.2f  %9.2f   %9.2f   %9.2f      %5.3f\n", load,
+                        fifo->mean_delay.mean, pim->mean_delay.mean,
+                        oq->mean_delay.mean, fifo->throughput.mean);
+            if (load == 0.95)
+                pim_95 = pim->mean_delay.mean;
+        }
+        std::printf("\n  PIM(4) delay at 95%% load: %.1f slots = %.1f us at"
+                    " 1 Gb/s (paper: < 13 us)\n",
+                    pim_95, slotsToMicros(pim_95));
+        std::printf("  (FIFO delay at loads beyond ~0.6 grows with simulation"
+                    " length: saturated.)\n");
+        if (spec.replicates > 1)
+            std::printf("  (%d replicates per cell; stddev/CI95 in the JSON"
+                        " output)\n",
+                        spec.replicates);
+    }
+
+    if (!cli.json_path.empty() && !writeSweepJson(cli.json_path, spec, cells))
+        return 1;
     return 0;
 }

@@ -6,57 +6,54 @@
  * load axis is the offered load on a *server* link. The paper's claim:
  * same qualitative ordering as Figure 3, with PIM even closer to output
  * queueing than in the uniform case.
+ *
+ * Runs on the parallel deterministic sweep harness: `--threads N`
+ * changes wall-clock only, never results; `--json PATH` emits the
+ * an2.sweep.v1 document (see EXPERIMENTS.md).
  */
 #include <cstdio>
 
-#include "an2/sim/fifo_switch.h"
-#include "an2/sim/oq_switch.h"
-#include "an2/sim/traffic.h"
-#include "bench_common.h"
-
-namespace {
-
-using namespace an2;
-using namespace an2::bench;
-
-constexpr int kN = 16;
-constexpr int kServers = 4;
-
-}  // namespace
+#include "sweep_specs.h"
 
 int
-main()
+main(int argc, char** argv)
 {
-    an2::bench::banner(
-        "Figure 4 -- delay vs offered load, client-server workload",
-        "Anderson et al. 1992, Figure 4 (16x16, 4 servers, 5% ratio)");
-    std::printf("  load = offered load on a server link; delay in slots\n\n");
-    std::printf("  load     FIFO        PIM(4)      OutputQ\n");
-    SimConfig cfg = standardSimConfig();
-    for (int i = 0; i < kLoadSweepSize; ++i) {
-        double load = kLoadSweep[i];
-        double fifo_delay;
-        double pim_delay;
-        double oq_delay;
-        {
-            FifoSwitch sw(kN, 301);
-            ClientServerTraffic traffic(kN, kServers, load, 401);
-            fifo_delay = runSimulation(sw, traffic, cfg).mean_delay;
-        }
-        {
-            InputQueuedSwitch sw({.n = kN}, makePim(4, 302));
-            ClientServerTraffic traffic(kN, kServers, load, 401);
-            pim_delay = runSimulation(sw, traffic, cfg).mean_delay;
-        }
-        {
-            OutputQueuedSwitch sw(kN);
-            ClientServerTraffic traffic(kN, kServers, load, 401);
-            oq_delay = runSimulation(sw, traffic, cfg).mean_delay;
-        }
-        std::printf("  %4.2f  %9.2f   %9.2f   %9.2f\n", load, fifo_delay,
-                    pim_delay, oq_delay);
+    using namespace an2;
+    using namespace an2::bench;
+
+    SweepCli cli;
+    std::string err;
+    if (!parseSweepCli(argc, argv, cli, err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        printSweepCliHelp(argv[0], /*with_experiment=*/false);
+        return 2;
     }
-    std::printf("\n  Expected: FIFO head-of-line limited; PIM close to"
-                " OutputQ (closer than Fig 3).\n");
+    if (cli.help) {
+        printSweepCliHelp(argv[0], /*with_experiment=*/false);
+        return 0;
+    }
+
+    harness::SweepSpec spec = fig4Spec();
+    applyCli(cli, spec);
+
+    // With --json - the document owns stdout; keep the table off it.
+    const bool table = cli.json_path != "-";
+    if (table) {
+        banner("Figure 4 -- delay vs offered load, client-server workload",
+               "Anderson et al. 1992, Figure 4 (16x16, 4 servers, 5% ratio)");
+        std::printf("  load = offered load on a server link; delay in"
+                    " slots\n\n");
+    }
+
+    harness::SweepResult res = runSweepWithProgress(spec, cli.threads);
+    auto cells = harness::aggregate(spec, res);
+    if (table) {
+        printDelayTable(spec, cells);
+        std::printf("\n  Expected: FIFO head-of-line limited; PIM close to"
+                    " OutputQ (closer than Fig 3).\n");
+    }
+
+    if (!cli.json_path.empty() && !writeSweepJson(cli.json_path, spec, cells))
+        return 1;
     return 0;
 }

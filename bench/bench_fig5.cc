@@ -4,55 +4,57 @@
  * under the uniform workload (16x16). The paper's findings: even one
  * iteration beats FIFO queueing; four iterations are within 0.5% of
  * running to completion.
+ *
+ * Runs on the parallel deterministic sweep harness: `--threads N`
+ * changes wall-clock only, never results; `--json PATH` emits the
+ * an2.sweep.v1 document (see EXPERIMENTS.md).
  */
 #include <cstdio>
-#include <vector>
 
-#include "an2/sim/fifo_switch.h"
-#include "an2/sim/traffic.h"
-#include "bench_common.h"
-
-namespace {
-
-using namespace an2;
-using namespace an2::bench;
-
-constexpr int kN = 16;
-
-}  // namespace
+#include "sweep_specs.h"
 
 int
-main()
+main(int argc, char** argv)
 {
-    an2::bench::banner(
-        "Figure 5 -- PIM delay vs offered load for 1..4 iterations",
-        "Anderson et al. 1992, Figure 5 (uniform workload, 16x16)");
-    std::printf("  delay in cell slots; 'inf' = run to completion\n\n");
-    std::printf("  load   PIM(1)      PIM(2)      PIM(3)      PIM(4)      "
-                "PIM(inf)    FIFO\n");
-    SimConfig cfg = standardSimConfig();
-    const int iteration_choices[] = {1, 2, 3, 4, 0};
-    double pim4_99 = 0.0;
-    double piminf_99 = 0.0;
-    for (int i = 0; i < kLoadSweepSize; ++i) {
-        double load = kLoadSweep[i];
-        std::printf("  %4.2f", load);
-        for (int iters : iteration_choices) {
-            InputQueuedSwitch sw({.n = kN}, makePim(iters, 500 + iters));
-            UniformTraffic traffic(kN, load, 601);
-            double delay = runSimulation(sw, traffic, cfg).mean_delay;
-            std::printf("  %9.2f ", delay);
-            if (load == 0.99 && iters == 4)
-                pim4_99 = delay;
-            if (load == 0.99 && iters == 0)
-                piminf_99 = delay;
-        }
-        FifoSwitch fifo(kN, 700);
-        UniformTraffic traffic(kN, load, 601);
-        std::printf("  %9.2f\n", runSimulation(fifo, traffic, cfg).mean_delay);
+    using namespace an2;
+    using namespace an2::bench;
+
+    SweepCli cli;
+    std::string err;
+    if (!parseSweepCli(argc, argv, cli, err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        printSweepCliHelp(argv[0], /*with_experiment=*/false);
+        return 2;
     }
-    std::printf("\n  PIM(4) vs PIM(complete) at 99%% load: %.2f vs %.2f"
-                " slots (paper: within 0.5%%)\n",
-                pim4_99, piminf_99);
+    if (cli.help) {
+        printSweepCliHelp(argv[0], /*with_experiment=*/false);
+        return 0;
+    }
+
+    harness::SweepSpec spec = fig5Spec();
+    applyCli(cli, spec);
+
+    // With --json - the document owns stdout; keep the table off it.
+    const bool table = cli.json_path != "-";
+    if (table) {
+        banner("Figure 5 -- PIM delay vs offered load for 1..4 iterations",
+               "Anderson et al. 1992, Figure 5 (uniform workload, 16x16)");
+        std::printf("  delay in cell slots; 'inf' = run to completion\n\n");
+    }
+
+    harness::SweepResult res = runSweepWithProgress(spec, cli.threads);
+    auto cells = harness::aggregate(spec, res);
+    if (table) {
+        printDelayTable(spec, cells);
+        const harness::CellSummary* pim4 = findCell(cells, "PIM(4)", 0.99);
+        const harness::CellSummary* piminf = findCell(cells, "PIM(inf)", 0.99);
+        if (pim4 && piminf)
+            std::printf("\n  PIM(4) vs PIM(complete) at 99%% load: %.2f vs"
+                        " %.2f slots (paper: within 0.5%%)\n",
+                        pim4->mean_delay.mean, piminf->mean_delay.mean);
+    }
+
+    if (!cli.json_path.empty() && !writeSweepJson(cli.json_path, spec, cells))
+        return 1;
     return 0;
 }

@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Harness sweep specifications for the paper's delay-vs-load experiments
+ * (Figures 3-5), shared by the `an2_sweep` CLI and the per-figure bench
+ * binaries, plus the small command-line vocabulary they all speak
+ * (`--json`, `--threads`, `--replicates`, ...).
+ */
+#ifndef AN2_BENCH_SWEEP_SPECS_H
+#define AN2_BENCH_SWEEP_SPECS_H
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "an2/harness/aggregate.h"
+#include "an2/harness/sweep.h"
+#include "an2/sim/fifo_switch.h"
+#include "an2/sim/oq_switch.h"
+#include "bench_common.h"
+
+namespace an2::bench {
+
+// ---------------------------------------------------------------------------
+// Architecture and workload factories
+
+inline harness::ArchSpec
+fifoArch()
+{
+    return {"FIFO", [](int n, uint64_t seed) -> std::unique_ptr<SwitchModel> {
+                return std::make_unique<FifoSwitch>(n, seed);
+            }};
+}
+
+/** PIM input-queued switch; `iterations` 0 means run to completion. */
+inline harness::ArchSpec
+pimArch(int iterations)
+{
+    std::string name = iterations > 0
+                           ? "PIM(" + std::to_string(iterations) + ")"
+                           : "PIM(inf)";
+    return {std::move(name),
+            [iterations](int n, uint64_t seed) -> std::unique_ptr<SwitchModel> {
+                return std::make_unique<InputQueuedSwitch>(
+                    IqSwitchConfig{.n = n}, makePim(iterations, seed));
+            }};
+}
+
+inline harness::ArchSpec
+oqArch()
+{
+    return {"OutputQueued",
+            [](int n, uint64_t) -> std::unique_ptr<SwitchModel> {
+                return std::make_unique<OutputQueuedSwitch>(n);
+            }};
+}
+
+inline harness::TrafficFactory
+uniformWorkload()
+{
+    return [](int n, double load, uint64_t seed) {
+        return std::make_unique<UniformTraffic>(n, load, seed);
+    };
+}
+
+inline harness::TrafficFactory
+clientServerWorkload(int servers)
+{
+    return [servers](int n, double load, uint64_t seed) {
+        return std::make_unique<ClientServerTraffic>(n, servers, load, seed);
+    };
+}
+
+// ---------------------------------------------------------------------------
+// The paper's experiments as sweep specs
+
+/** Figure 3: FIFO vs PIM(4) vs output queueing, uniform workload. */
+inline harness::SweepSpec
+fig3Spec()
+{
+    harness::SweepSpec spec;
+    spec.name = "fig3";
+    spec.description =
+        "mean queueing delay vs offered load, uniform workload, 16x16";
+    spec.workload = "uniform";
+    spec.archs = {fifoArch(), pimArch(4), oqArch()};
+    spec.loads.assign(kLoadSweep, kLoadSweep + kLoadSweepSize);
+    spec.base_seed = 1003;
+    spec.make_traffic = uniformWorkload();
+    return spec;
+}
+
+/** Figure 4: same comparison under the client-server workload. */
+inline harness::SweepSpec
+fig4Spec()
+{
+    harness::SweepSpec spec;
+    spec.name = "fig4";
+    spec.description = "delay vs offered server-link load, client-server "
+                       "workload, 16x16, 4 servers, 5% client-client ratio";
+    spec.workload = "client-server(4)";
+    spec.archs = {fifoArch(), pimArch(4), oqArch()};
+    spec.loads.assign(kLoadSweep, kLoadSweep + kLoadSweepSize);
+    spec.base_seed = 1004;
+    spec.make_traffic = clientServerWorkload(4);
+    return spec;
+}
+
+/** Figure 5: PIM iteration count 1..4 and to-completion, plus FIFO. */
+inline harness::SweepSpec
+fig5Spec()
+{
+    harness::SweepSpec spec;
+    spec.name = "fig5";
+    spec.description =
+        "PIM delay vs offered load for 1..4 iterations, uniform, 16x16";
+    spec.workload = "uniform";
+    spec.archs = {pimArch(1), pimArch(2), pimArch(3), pimArch(4), pimArch(0),
+                  fifoArch()};
+    spec.loads.assign(kLoadSweep, kLoadSweep + kLoadSweepSize);
+    spec.base_seed = 1005;
+    spec.make_traffic = uniformWorkload();
+    return spec;
+}
+
+/** Registry entry for `an2_sweep --experiment NAME`. */
+struct Experiment
+{
+    const char* name;
+    const char* blurb;
+    harness::SweepSpec (*make)();
+};
+
+inline const std::vector<Experiment>&
+experiments()
+{
+    static const std::vector<Experiment> kExperiments = {
+        {"fig3", "Figure 3: FIFO vs PIM(4) vs OutputQ, uniform", fig3Spec},
+        {"fig4", "Figure 4: FIFO vs PIM(4) vs OutputQ, client-server",
+         fig4Spec},
+        {"fig5", "Figure 5: PIM iterations 1..4/inf vs FIFO, uniform",
+         fig5Spec},
+    };
+    return kExperiments;
+}
+
+inline const Experiment*
+findExperiment(const std::string& name)
+{
+    for (const Experiment& e : experiments())
+        if (name == e.name)
+            return &e;
+    return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Shared command line
+
+/** Options common to `an2_sweep` and the harness-backed bench binaries. */
+struct SweepCli
+{
+    std::string experiment;       ///< an2_sweep only
+    std::string json_path;        ///< write sweep JSON here if non-empty
+    int threads = 0;              ///< 0 = hardware concurrency
+    int replicates = 0;           ///< 0 = keep spec default
+    long long slots = 0;          ///< 0 = keep spec default
+    long long warmup = -1;        ///< -1 = keep spec default
+    uint64_t seed = 0;
+    bool seed_set = false;
+    std::vector<double> loads;    ///< empty = keep spec default
+    int size = 0;                 ///< 0 = keep spec default
+    bool list = false;
+    bool help = false;
+};
+
+inline void
+printSweepCliHelp(const char* prog, bool with_experiment)
+{
+    std::printf("usage: %s [options]\n", prog);
+    if (with_experiment) {
+        std::printf("  --experiment NAME   experiment to run "
+                    "(--list shows them)\n");
+        std::printf("  --list              list available experiments\n");
+    }
+    std::printf("  --json PATH         write results as an2.sweep.v1 JSON\n");
+    std::printf("  --threads N         worker threads "
+                "(default: hardware concurrency;\n"
+                "                      results are identical for any N)\n");
+    std::printf("  --replicates R      independent replicates per cell\n");
+    std::printf("  --slots S           slots per run\n");
+    std::printf("  --warmup W          warmup slots excluded from metrics\n");
+    std::printf("  --seed X            base seed for deterministic "
+                "seeding\n");
+    std::printf("  --loads A,B,...     override the load axis\n");
+    std::printf("  --size N            override the switch size\n");
+    std::printf("  --help              this message\n");
+}
+
+inline bool
+parseLoadList(const char* arg, std::vector<double>& out, std::string& err)
+{
+    out.clear();
+    const char* p = arg;
+    while (*p) {
+        char* end = nullptr;
+        double v = std::strtod(p, &end);
+        if (end == p || v <= 0.0 || v > 1.0) {
+            err = std::string("bad load list: ") + arg;
+            return false;
+        }
+        out.push_back(v);
+        p = end;
+        if (*p == ',')
+            ++p;
+        else if (*p) {
+            err = std::string("bad load list: ") + arg;
+            return false;
+        }
+    }
+    if (out.empty()) {
+        err = "empty load list";
+        return false;
+    }
+    return true;
+}
+
+inline bool
+parseSweepCli(int argc, char** argv, SweepCli& cli, std::string& err)
+{
+    auto need = [&](int& i) -> const char* {
+        if (i + 1 >= argc) {
+            err = std::string(argv[i]) + " needs an argument";
+            return nullptr;
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char* a = argv[i];
+        const char* v = nullptr;
+        if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) {
+            cli.help = true;
+        } else if (!std::strcmp(a, "--list")) {
+            cli.list = true;
+        } else if (!std::strcmp(a, "--experiment")) {
+            if (!(v = need(i)))
+                return false;
+            cli.experiment = v;
+        } else if (!std::strcmp(a, "--json")) {
+            if (!(v = need(i)))
+                return false;
+            cli.json_path = v;
+        } else if (!std::strcmp(a, "--threads")) {
+            if (!(v = need(i)))
+                return false;
+            cli.threads = std::atoi(v);
+            if (cli.threads < 0) {
+                err = "--threads must be >= 0";
+                return false;
+            }
+        } else if (!std::strcmp(a, "--replicates")) {
+            if (!(v = need(i)))
+                return false;
+            cli.replicates = std::atoi(v);
+            if (cli.replicates <= 0) {
+                err = "--replicates must be positive";
+                return false;
+            }
+        } else if (!std::strcmp(a, "--slots")) {
+            if (!(v = need(i)))
+                return false;
+            cli.slots = std::atoll(v);
+            if (cli.slots <= 0) {
+                err = "--slots must be positive";
+                return false;
+            }
+        } else if (!std::strcmp(a, "--warmup")) {
+            if (!(v = need(i)))
+                return false;
+            cli.warmup = std::atoll(v);
+            if (cli.warmup < 0) {
+                err = "--warmup must be non-negative";
+                return false;
+            }
+        } else if (!std::strcmp(a, "--seed")) {
+            if (!(v = need(i)))
+                return false;
+            cli.seed = std::strtoull(v, nullptr, 0);
+            cli.seed_set = true;
+        } else if (!std::strcmp(a, "--loads")) {
+            if (!(v = need(i)))
+                return false;
+            if (!parseLoadList(v, cli.loads, err))
+                return false;
+        } else if (!std::strcmp(a, "--size")) {
+            if (!(v = need(i)))
+                return false;
+            cli.size = std::atoi(v);
+            if (cli.size <= 0) {
+                err = "--size must be positive";
+                return false;
+            }
+        } else {
+            err = std::string("unknown option: ") + a;
+            return false;
+        }
+    }
+    return true;
+}
+
+inline void
+applyCli(const SweepCli& cli, harness::SweepSpec& spec)
+{
+    if (cli.replicates > 0)
+        spec.replicates = cli.replicates;
+    if (cli.slots > 0)
+        spec.slots = cli.slots;
+    if (cli.warmup >= 0)
+        spec.warmup = cli.warmup;
+    if (cli.seed_set)
+        spec.base_seed = cli.seed;
+    if (!cli.loads.empty())
+        spec.loads = cli.loads;
+    if (cli.size > 0)
+        spec.sizes = {cli.size};
+}
+
+// ---------------------------------------------------------------------------
+// Execution and reporting helpers
+
+/** Run the sweep with a live run-counter on stderr; reports wall time. */
+inline harness::SweepResult
+runSweepWithProgress(const harness::SweepSpec& spec, int threads,
+                     double* wall_seconds = nullptr)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    // The carriage-return ticker is for humans; skip it when stderr is
+    // piped (e.g. into bench_output.txt).
+    std::function<void(int, int)> progress;
+    if (isatty(fileno(stderr)))
+        progress = [](int done, int total) {
+            std::fprintf(stderr, "\r  [%d/%d] runs complete", done, total);
+            if (done == total)
+                std::fprintf(stderr, "\n");
+        };
+    harness::SweepResult res = harness::runSweep(spec, threads, progress);
+    auto t1 = std::chrono::steady_clock::now();
+    double secs = std::chrono::duration<double>(t1 - t0).count();
+    if (wall_seconds)
+        *wall_seconds = secs;
+    std::fprintf(stderr, "  %zu runs in %.2f s on %d thread(s)\n",
+                 res.grid.size(), secs, res.threads_used);
+    return res;
+}
+
+/** Cell lookup by (arch name, load); size defaults to the spec's first. */
+inline const harness::CellSummary*
+findCell(const std::vector<harness::CellSummary>& cells,
+         const std::string& arch, double load)
+{
+    for (const harness::CellSummary& c : cells)
+        if (c.arch == arch && c.load == load)
+            return &c;
+    return nullptr;
+}
+
+/** Print the classic delay-vs-load table (archs as columns) from cells. */
+inline void
+printDelayTable(const harness::SweepSpec& spec,
+                const std::vector<harness::CellSummary>& cells)
+{
+    std::printf("  load");
+    for (const harness::ArchSpec& a : spec.archs)
+        std::printf("  %10s", a.name.c_str());
+    std::printf("\n");
+    for (double load : spec.loads) {
+        std::printf("  %4.2f", load);
+        for (const harness::ArchSpec& a : spec.archs) {
+            const harness::CellSummary* c = findCell(cells, a.name, load);
+            std::printf("  %10.2f", c ? c->mean_delay.mean : -1.0);
+        }
+        std::printf("\n");
+    }
+    if (spec.replicates > 1)
+        std::printf("\n  (%d replicates per cell; stddev/CI95 in the JSON "
+                    "output)\n",
+                    spec.replicates);
+}
+
+/** Write sweep JSON to `path` ("-" = stdout); returns false on I/O error. */
+inline bool
+writeSweepJson(const std::string& path, const harness::SweepSpec& spec,
+               const std::vector<harness::CellSummary>& cells)
+{
+    std::string doc = harness::sweepToJson(spec, cells);
+    if (path == "-") {
+        std::fwrite(doc.data(), 1, doc.size(), stdout);
+        return true;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        std::fprintf(stderr, "error: cannot open %s for writing\n",
+                     path.c_str());
+        return false;
+    }
+    size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    bool ok = (n == doc.size()) && std::fclose(f) == 0;
+    if (ok)
+        std::fprintf(stderr, "  wrote %s (%zu bytes)\n", path.c_str(),
+                     doc.size());
+    else
+        std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+    return ok;
+}
+
+}  // namespace an2::bench
+
+#endif  // AN2_BENCH_SWEEP_SPECS_H

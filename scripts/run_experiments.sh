@@ -1,15 +1,44 @@
 #!/usr/bin/env bash
 # Build an2sim, run the full test suite, and regenerate every paper
 # table/figure (writes test_output.txt and bench_output.txt at the repo
-# root). Usage: scripts/run_experiments.sh [build-dir]
+# root). Experiments ported onto the sweep harness additionally emit
+# machine-readable an2.sweep.v1 JSON, merged into BENCH_sweeps.json.
+# Usage: scripts/run_experiments.sh [build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
+THREADS="$(nproc)"
 
-cmake -B "$BUILD" -G Ninja
-cmake --build "$BUILD" -j"$(nproc)"
+# Prefer Ninja on first configure; an already-configured build dir keeps
+# its generator (CMake refuses to switch generators in place).
+if [ -f "$BUILD/CMakeCache.txt" ]; then
+    cmake -B "$BUILD"
+else
+    cmake -B "$BUILD" -G Ninja
+fi
+cmake --build "$BUILD" -j"$THREADS"
 
 ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+
+# Harness sweeps: parallel execution plus one JSON trace per experiment
+# (deterministic — identical bytes for any THREADS value).
+SWEEPS=(fig3 fig4 fig5)
+mkdir -p "$BUILD/sweeps"
+for exp in "${SWEEPS[@]}"; do
+    "$BUILD/bench/an2_sweep" --experiment "$exp" --threads "$THREADS" \
+        --json "$BUILD/sweeps/$exp.json"
+done
+
+# Merge the per-experiment documents into one trajectory file.
+if command -v jq > /dev/null; then
+    jq -s '{schema: "an2.sweeps.v1", sweeps: .}' \
+        $(for e in "${SWEEPS[@]}"; do echo "$BUILD/sweeps/$e.json"; done) \
+        > BENCH_sweeps.json
+    echo "Wrote BENCH_sweeps.json" \
+         "($(jq '.sweeps | length' BENCH_sweeps.json) sweeps)"
+else
+    echo "jq not found; per-experiment JSON left in $BUILD/sweeps/"
+fi
 
 {
     for b in "$BUILD"/bench/bench_*; do

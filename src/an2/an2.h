@@ -13,6 +13,7 @@
  *  - cbr:       reservations, Slepian-Duguid schedules, subframes,
  *               admission control, Appendix B timing bounds
  *  - sim:       slot-synchronous switch simulator and workloads
+ *  - harness:   parallel deterministic experiment sweeps + JSON results
  *  - network:   multi-hop simulator with drifting clocks
  */
 #ifndef AN2_AN2_H
@@ -63,6 +64,10 @@
 #include "an2/sim/switch.h"
 #include "an2/sim/traffic.h"
 #include "an2/sim/virtual_clock.h"
+
+#include "an2/harness/aggregate.h"
+#include "an2/harness/json_writer.h"
+#include "an2/harness/sweep.h"
 
 #include "an2/network/clock.h"
 #include "an2/network/controller.h"

@@ -1,0 +1,162 @@
+#include "an2/harness/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "an2/base/error.h"
+#include "an2/harness/json_writer.h"
+
+namespace an2::harness {
+
+Aggregate
+summarize(const RunningStats& s)
+{
+    Aggregate a;
+    a.n = s.count();
+    a.mean = s.mean();
+    a.stddev = s.stddev();
+    a.ci95 = s.count() >= 2
+                 ? 1.96 * s.stddev() / std::sqrt(static_cast<double>(s.count()))
+                 : 0.0;
+    a.min = s.count() > 0 ? s.min() : 0.0;
+    a.max = s.count() > 0 ? s.max() : 0.0;
+    return a;
+}
+
+std::vector<CellSummary>
+aggregate(const SweepSpec& spec, const SweepResult& result)
+{
+    AN2_REQUIRE(result.grid.size() == result.results.size(),
+                "sweep result is incomplete");
+
+    struct CellAccum
+    {
+        RunningStats mean_delay;
+        RunningStats p99_delay;
+        RunningStats throughput;
+        RunningStats offered;
+        int64_t injected = 0;
+        int64_t delivered = 0;
+        int max_occupancy = 0;
+    };
+
+    const size_t cell_count =
+        spec.archs.size() * spec.sizes.size() * spec.loads.size();
+    std::vector<CellAccum> accums(cell_count);
+
+    // The grid is replicate-minor, so a run's cell is run_index / R.
+    for (size_t i = 0; i < result.grid.size(); ++i) {
+        const SimResult& r = result.results[i];
+        CellAccum& acc =
+            accums[i / static_cast<size_t>(spec.replicates)];
+        acc.mean_delay.add(r.mean_delay);
+        acc.p99_delay.add(r.p99_delay);
+        acc.throughput.add(r.throughput);
+        acc.offered.add(r.offered);
+        acc.injected += r.injected;
+        acc.delivered += r.delivered;
+        acc.max_occupancy = std::max(acc.max_occupancy, r.max_occupancy);
+    }
+
+    std::vector<CellSummary> cells;
+    cells.reserve(cell_count);
+    size_t c = 0;
+    for (const ArchSpec& arch : spec.archs) {
+        for (int n : spec.sizes) {
+            for (double load : spec.loads) {
+                const CellAccum& acc = accums[c++];
+                CellSummary cell;
+                cell.arch = arch.name;
+                cell.size = n;
+                cell.load = load;
+                cell.replicates = spec.replicates;
+                cell.mean_delay = summarize(acc.mean_delay);
+                cell.p99_delay = summarize(acc.p99_delay);
+                cell.throughput = summarize(acc.throughput);
+                cell.offered = summarize(acc.offered);
+                cell.injected = acc.injected;
+                cell.delivered = acc.delivered;
+                cell.max_occupancy = acc.max_occupancy;
+                cells.push_back(std::move(cell));
+            }
+        }
+    }
+    return cells;
+}
+
+namespace {
+
+void
+writeAggregate(JsonWriter& w, const char* name, const Aggregate& a)
+{
+    w.key(name).beginObject();
+    w.key("mean").value(a.mean);
+    w.key("stddev").value(a.stddev);
+    w.key("ci95").value(a.ci95);
+    w.key("min").value(a.min);
+    w.key("max").value(a.max);
+    w.endObject();
+}
+
+}  // namespace
+
+std::string
+sweepToJson(const SweepSpec& spec, const std::vector<CellSummary>& cells)
+{
+    JsonWriter w;
+    w.beginObject();
+
+    w.key("meta").beginObject();
+    w.key("schema").value("an2.sweep.v1");
+    w.key("experiment").value(spec.name);
+    w.key("description").value(spec.description);
+    w.key("workload").value(spec.workload);
+    w.key("slots").value(static_cast<int64_t>(spec.slots));
+    w.key("warmup").value(static_cast<int64_t>(spec.warmup));
+    w.key("replicates").value(spec.replicates);
+    w.key("base_seed").value(std::to_string(spec.base_seed));
+    w.key("seeding")
+        .value("seed(i, stream) = splitmix64(base_seed + phi64*(2i + stream "
+               "+ 1)); switch: stream 0, i = run_index; traffic: stream 1, "
+               "i = (size_idx*|loads| + load_idx)*replicates + replicate "
+               "(common random numbers across architectures)");
+    w.endObject();
+
+    w.key("axes").beginObject();
+    w.key("arch").beginArray();
+    for (const ArchSpec& a : spec.archs)
+        w.value(a.name);
+    w.endArray();
+    w.key("size").beginArray();
+    for (int n : spec.sizes)
+        w.value(n);
+    w.endArray();
+    w.key("load").beginArray();
+    for (double l : spec.loads)
+        w.value(l);
+    w.endArray();
+    w.endObject();
+
+    w.key("cells").beginArray();
+    for (const CellSummary& cell : cells) {
+        w.beginObject();
+        w.key("arch").value(cell.arch);
+        w.key("size").value(cell.size);
+        w.key("load").value(cell.load);
+        w.key("replicates").value(cell.replicates);
+        writeAggregate(w, "mean_delay", cell.mean_delay);
+        writeAggregate(w, "p99_delay", cell.p99_delay);
+        writeAggregate(w, "throughput", cell.throughput);
+        writeAggregate(w, "offered", cell.offered);
+        w.key("injected").value(cell.injected);
+        w.key("delivered").value(cell.delivered);
+        w.key("max_occupancy").value(cell.max_occupancy);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject();
+    return w.str();
+}
+
+}  // namespace an2::harness

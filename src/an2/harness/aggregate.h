@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Per-cell aggregation of sweep results across replicates, and the
+ * stable JSON schema (`{meta, axes, cells[]}`) the harness emits for
+ * the `BENCH_*.json` perf trajectory.
+ */
+#ifndef AN2_HARNESS_AGGREGATE_H
+#define AN2_HARNESS_AGGREGATE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "an2/base/stats.h"
+#include "an2/harness/sweep.h"
+
+namespace an2::harness {
+
+/** Summary of one scalar metric across a cell's replicates. */
+struct Aggregate
+{
+    int64_t n = 0;       ///< replicates
+    double mean = 0.0;
+    double stddev = 0.0; ///< unbiased sample stddev (0 for n < 2)
+    double ci95 = 0.0;   ///< 95% CI half-width: 1.96 * stddev / sqrt(n)
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/** Collapse a RunningStats accumulator into an Aggregate. */
+Aggregate summarize(const RunningStats& s);
+
+/** Aggregated results for one (arch, size, load) grid cell. */
+struct CellSummary
+{
+    std::string arch;
+    int size = 0;
+    double load = 0.0;
+    int replicates = 0;
+
+    Aggregate mean_delay;
+    Aggregate p99_delay;
+    Aggregate throughput;
+    Aggregate offered;
+
+    /** Totals across replicates. */
+    int64_t injected = 0;
+    int64_t delivered = 0;
+
+    /** Largest buffer occupancy seen in any replicate. */
+    int max_occupancy = 0;
+};
+
+/**
+ * Aggregate a sweep's per-run results into per-cell summaries using
+ * Welford accumulation over replicates. Cells are ordered exactly as
+ * the grid: arch-major, then size, then load.
+ */
+std::vector<CellSummary> aggregate(const SweepSpec& spec,
+                                   const SweepResult& result);
+
+/**
+ * Serialize a sweep to the harness JSON schema, deterministically:
+ *
+ *     {
+ *       "meta":  { schema, experiment, description, workload, slots,
+ *                  warmup, replicates, base_seed, seeding },
+ *       "axes":  { "arch": [...], "size": [...], "load": [...] },
+ *       "cells": [ { arch, size, load, replicates,
+ *                    mean_delay: {mean, stddev, ci95, min, max},
+ *                    p99_delay:  {...}, throughput: {...}, offered: {...},
+ *                    injected, delivered, max_occupancy }, ... ]
+ *     }
+ *
+ * base_seed is emitted as a decimal string (uint64 exceeds the exact
+ * range of JSON doubles). No timing or host data is included, so the
+ * document is byte-identical across thread counts and machines.
+ */
+std::string sweepToJson(const SweepSpec& spec,
+                        const std::vector<CellSummary>& cells);
+
+}  // namespace an2::harness
+
+#endif  // AN2_HARNESS_AGGREGATE_H

@@ -1,0 +1,220 @@
+#include "an2/harness/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "an2/base/error.h"
+
+namespace an2::harness {
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    // Shortest round-trip: the first precision whose output parses back
+    // to the identical bit pattern. "%.17g" always round-trips, so the
+    // loop terminates.
+    char buf[40];
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+JsonWriter&
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_ += '{';
+    push(Scope::Object);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endObject()
+{
+    pop(Scope::Object);
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_ += '[';
+    push(Scope::Array);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endArray()
+{
+    pop(Scope::Array);
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::key(const std::string& name)
+{
+    AN2_ASSERT(!stack_.empty() && stack_.back().scope == Scope::Object,
+               "JSON key outside an object");
+    AN2_ASSERT(!stack_.back().key_pending, "two JSON keys in a row");
+    if (!stack_.back().empty)
+        out_ += ',';
+    stack_.back().empty = false;
+    indent();
+    out_ += '"';
+    out_ += jsonEscape(name);
+    out_ += "\": ";
+    stack_.back().key_pending = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(const std::string& s)
+{
+    beforeValue();
+    out_ += '"';
+    out_ += jsonEscape(s);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(const char* s)
+{
+    return value(std::string(s));
+}
+
+JsonWriter&
+JsonWriter::value(double v)
+{
+    beforeValue();
+    out_ += jsonNumber(v);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(int64_t v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(bool b)
+{
+    beforeValue();
+    out_ += b ? "true" : "false";
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::null()
+{
+    beforeValue();
+    out_ += "null";
+    return *this;
+}
+
+std::string
+JsonWriter::str() const
+{
+    AN2_ASSERT(stack_.empty() && root_done_, "unfinished JSON document");
+    return out_ + "\n";
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (stack_.empty()) {
+        AN2_ASSERT(!root_done_, "second root value in JSON document");
+        root_done_ = true;
+        return;
+    }
+    Frame& top = stack_.back();
+    if (top.scope == Scope::Object) {
+        AN2_ASSERT(top.key_pending, "JSON object value without a key");
+        top.key_pending = false;
+    } else {
+        if (!top.empty)
+            out_ += ',';
+        top.empty = false;
+        indent();
+    }
+}
+
+void
+JsonWriter::indent()
+{
+    out_ += '\n';
+    out_.append(2 * stack_.size(), ' ');
+}
+
+void
+JsonWriter::push(Scope s)
+{
+    stack_.push_back(Frame{s});
+}
+
+void
+JsonWriter::pop(Scope s)
+{
+    AN2_ASSERT(!stack_.empty() && stack_.back().scope == s,
+               "mismatched JSON end");
+    AN2_ASSERT(!stack_.back().key_pending, "JSON key without a value");
+    bool was_empty = stack_.back().empty;
+    stack_.pop_back();
+    if (!was_empty)
+        indent();
+}
+
+}  // namespace an2::harness

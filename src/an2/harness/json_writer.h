@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A tiny dependency-free JSON emitter for the experiment harness.
+ *
+ * Output is fully deterministic: keys appear in insertion order, doubles
+ * are printed with the shortest representation that round-trips, and no
+ * wall-clock or environment data is ever emitted. Two runs of the same
+ * sweep therefore produce byte-identical documents regardless of thread
+ * count or machine.
+ */
+#ifndef AN2_HARNESS_JSON_WRITER_H
+#define AN2_HARNESS_JSON_WRITER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace an2::harness {
+
+/** Escape `s` for embedding inside a JSON string (quotes not added). */
+std::string jsonEscape(const std::string& s);
+
+/**
+ * Shortest decimal representation of `v` that parses back to exactly the
+ * same double (tries increasing precision, 1..17 significant digits).
+ * Non-finite values map to "null" (JSON has no NaN/Inf).
+ */
+std::string jsonNumber(double v);
+
+/**
+ * Streaming JSON document builder with 2-space pretty printing.
+ *
+ * Usage:
+ *     JsonWriter w;
+ *     w.beginObject().key("answer").value(42).endObject();
+ *     std::string doc = w.str();
+ *
+ * Structural misuse (a value where a key is required, unbalanced
+ * begin/end, reading an unfinished document) trips an AN2_ASSERT.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter& beginObject();
+    JsonWriter& endObject();
+    JsonWriter& beginArray();
+    JsonWriter& endArray();
+
+    /** Emit an object key; must be inside an object, before its value. */
+    JsonWriter& key(const std::string& name);
+
+    JsonWriter& value(const std::string& s);
+    JsonWriter& value(const char* s);
+    JsonWriter& value(double v);
+    JsonWriter& value(int64_t v);
+    JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
+    JsonWriter& value(bool b);
+    JsonWriter& null();
+
+    /** The finished document; all scopes must be closed. */
+    std::string str() const;
+
+  private:
+    enum class Scope { Object, Array };
+
+    void beforeValue();
+    void indent();
+    void push(Scope s);
+    void pop(Scope s);
+
+    struct Frame
+    {
+        Scope scope;
+        bool empty = true;
+        bool key_pending = false;  ///< object scope: key emitted, value due
+    };
+
+    std::string out_;
+    std::vector<Frame> stack_;
+    bool root_done_ = false;
+};
+
+}  // namespace an2::harness
+
+#endif  // AN2_HARNESS_JSON_WRITER_H

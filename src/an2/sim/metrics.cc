@@ -4,10 +4,20 @@
 
 namespace an2 {
 
-MetricsCollector::MetricsCollector(SlotTime warmup_slots, int delay_hist_bins)
-    : warmup_(warmup_slots), delay_hist_(1.0, delay_hist_bins)
+MetricsCollector::MetricsCollector(SlotTime warmup_slots, int ports,
+                                   int delay_hist_bins)
+    : warmup_(warmup_slots), delay_hist_(1.0, delay_hist_bins),
+      per_connection_(checkPorts(ports), ports)
 {
     AN2_REQUIRE(warmup_slots >= 0, "warmup must be non-negative");
+}
+
+int
+MetricsCollector::checkPorts(int ports)
+{
+    AN2_REQUIRE(ports > 0, "metrics need a positive port count, got "
+                               << ports);
+    return ports;
 }
 
 void
@@ -29,7 +39,7 @@ MetricsCollector::noteDelivered(const Cell& cell, SlotTime slot)
     // initial transient cannot bias them.
     if (slot >= warmup_) {
         ++delivered_;
-        ++per_connection_[{cell.input, cell.output}];
+        ++per_connection_(cell.input, cell.output);
         ++per_flow_[cell.flow];
     }
     if (cell.inject_slot >= warmup_) {

@@ -8,8 +8,8 @@
 
 #include <cstdint>
 #include <map>
-#include <utility>
 
+#include "an2/base/matrix.h"
 #include "an2/base/stats.h"
 #include "an2/base/types.h"
 #include "an2/cell/cell.h"
@@ -23,11 +23,14 @@ class MetricsCollector
     /**
      * @param warmup_slots Cells injected before this slot are ignored,
      *        eliminating the initial transient (paper §3.5 does the same).
+     * @param ports Switch size N; per-connection counts are kept in a
+     *        dense N x N matrix (a map lookup per delivered cell was the
+     *        collector's hot path).
      * @param delay_hist_bins Number of 1-slot histogram bins for delay
      *        quantiles; delays beyond this land in the overflow bucket.
      */
-    explicit MetricsCollector(SlotTime warmup_slots,
-                              int delay_hist_bins = 16384);
+    MetricsCollector(SlotTime warmup_slots, int ports,
+                     int delay_hist_bins = 16384);
 
     /** Record a cell injected into the switch. */
     void noteInjected(const Cell& cell);
@@ -56,9 +59,11 @@ class MetricsCollector
     /** Largest total buffer occupancy observed. */
     int maxOccupancy() const { return max_occupancy_; }
 
-    /** Measured cells delivered per (input, output) connection. */
-    const std::map<std::pair<PortId, PortId>, int64_t>&
-    deliveredPerConnection() const
+    /**
+     * Measured cells delivered per (input, output) connection, as a
+     * dense ports x ports matrix indexed [input][output].
+     */
+    const Matrix<int64_t>& deliveredPerConnection() const
     {
         return per_connection_;
     }
@@ -73,13 +78,15 @@ class MetricsCollector
     SlotTime warmupSlots() const { return warmup_; }
 
   private:
+    static int checkPorts(int ports);
+
     SlotTime warmup_;
     int64_t injected_ = 0;
     int64_t delivered_ = 0;
     RunningStats delay_;
     Histogram delay_hist_;
     int max_occupancy_ = 0;
-    std::map<std::pair<PortId, PortId>, int64_t> per_connection_;
+    Matrix<int64_t> per_connection_;
     std::map<FlowId, int64_t> per_flow_;
 };
 

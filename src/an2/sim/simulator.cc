@@ -8,11 +8,17 @@ SimResult
 runSimulation(SwitchModel& sw, TrafficGenerator& traffic,
               const SimConfig& config)
 {
-    AN2_REQUIRE(config.slots > 0, "simulation needs at least one slot");
-    AN2_REQUIRE(config.warmup >= 0 && config.warmup < config.slots,
-                "warmup must be shorter than the simulation");
+    AN2_REQUIRE(config.slots > 0, "simulation needs at least one slot, got "
+                                      << config.slots);
+    AN2_REQUIRE(config.warmup >= 0,
+                "warmup must be non-negative, got " << config.warmup);
+    AN2_REQUIRE(config.warmup < config.slots,
+                "warmup (" << config.warmup
+                           << ") must be shorter than the simulation ("
+                           << config.slots
+                           << " slots); no slots would be measured");
 
-    MetricsCollector metrics(config.warmup);
+    MetricsCollector metrics(config.warmup, sw.size());
     int64_t injected_total = 0;
     int64_t delivered_total = 0;
 

@@ -9,8 +9,8 @@
 
 #include <functional>
 #include <map>
-#include <utility>
 
+#include "an2/base/matrix.h"
 #include "an2/base/types.h"
 #include "an2/sim/metrics.h"
 #include "an2/sim/switch.h"
@@ -53,8 +53,11 @@ struct SimResult
     /** Peak total buffer occupancy. */
     int max_occupancy = 0;
 
-    /** Delivered cells per (input, output) connection (post-warmup). */
-    std::map<std::pair<PortId, PortId>, int64_t> per_connection;
+    /**
+     * Delivered cells per (input, output) connection (post-warmup),
+     * as a dense N x N matrix indexed [input][output].
+     */
+    Matrix<int64_t> per_connection;
 
     /** Delivered cells per flow (post-warmup). */
     std::map<FlowId, int64_t> per_flow;

@@ -1,0 +1,357 @@
+// Tests for the experiment-sweep subsystem (an2/harness/*): grid
+// expansion, deterministic seeding, thread-count invariance of the JSON
+// output, Welford aggregation, and the JSON emitter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "an2/base/error.h"
+#include "an2/harness/aggregate.h"
+#include "an2/harness/json_writer.h"
+#include "an2/harness/sweep.h"
+#include "an2/matching/pim.h"
+#include "an2/sim/iq_switch.h"
+#include "an2/sim/oq_switch.h"
+#include "an2/sim/traffic.h"
+
+namespace an2::harness {
+namespace {
+
+SweepSpec
+smallSpec()
+{
+    SweepSpec spec;
+    spec.name = "test";
+    spec.description = "unit-test sweep";
+    spec.workload = "uniform";
+    spec.archs = {
+        {"OutputQueued",
+         [](int n, uint64_t) -> std::unique_ptr<SwitchModel> {
+             return std::make_unique<OutputQueuedSwitch>(n);
+         }},
+        {"PIM(2)",
+         [](int n, uint64_t seed) -> std::unique_ptr<SwitchModel> {
+             PimConfig cfg;
+             cfg.iterations = 2;
+             cfg.seed = seed;
+             return std::make_unique<InputQueuedSwitch>(
+                 IqSwitchConfig{.n = n}, std::make_unique<PimMatcher>(cfg));
+         }},
+    };
+    spec.sizes = {4, 8};
+    spec.loads = {0.3, 0.6};
+    spec.replicates = 3;
+    spec.base_seed = 42;
+    spec.slots = 2'000;
+    spec.warmup = 200;
+    spec.make_traffic = [](int n, double load, uint64_t seed) {
+        return std::make_unique<UniformTraffic>(n, load, seed);
+    };
+    return spec;
+}
+
+// ------------------------------------------------------------------ sweep
+
+TEST(SweepTest, GridExpansionOrderAndSeeds)
+{
+    SweepSpec spec = smallSpec();
+    std::vector<RunPoint> grid = expandGrid(spec);
+    ASSERT_EQ(grid.size(), 2u * 2u * 2u * 3u);
+    // Arch-major, then size, then load, then replicate.
+    EXPECT_EQ(grid[0].arch_index, 0);
+    EXPECT_EQ(grid[0].size_index, 0);
+    EXPECT_EQ(grid[0].load_index, 0);
+    EXPECT_EQ(grid[0].replicate, 0);
+    EXPECT_EQ(grid[1].replicate, 1);
+    EXPECT_EQ(grid[3].load_index, 1);
+    EXPECT_EQ(grid[6].size_index, 1);
+    EXPECT_EQ(grid[12].arch_index, 1);
+    for (size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_EQ(grid[i].run_index, static_cast<int>(i));
+        // Switch seeds are pure functions of (base_seed, run_index) and
+        // unique; traffic seeds key off the workload coordinate so the
+        // two architectures face identical arrivals at each cell.
+        EXPECT_EQ(grid[i].switch_seed, runSeed(42, grid[i].run_index, 0));
+        int workload = (grid[i].size_index * 2 + grid[i].load_index) * 3 +
+                       grid[i].replicate;
+        EXPECT_EQ(grid[i].traffic_seed, runSeed(42, workload, 1));
+        EXPECT_NE(grid[i].switch_seed, grid[i].traffic_seed);
+        for (size_t j = 0; j < i; ++j)
+            EXPECT_NE(grid[i].switch_seed, grid[j].switch_seed);
+    }
+    // Common random numbers: run 0 (arch 0) and run 12 (arch 1) share
+    // the same (size, load, replicate) coordinate, hence the same
+    // traffic stream.
+    EXPECT_EQ(grid[0].traffic_seed, grid[12].traffic_seed);
+    EXPECT_NE(grid[0].switch_seed, grid[12].switch_seed);
+}
+
+TEST(SweepTest, CommonRandomNumbersPairArchitectures)
+{
+    // Two "architectures" that are byte-identical models must produce
+    // byte-identical results at every cell, because they see the same
+    // arrivals. This is what makes cross-architecture deltas paired.
+    SweepSpec spec = smallSpec();
+    auto oq = [](int n, uint64_t) -> std::unique_ptr<SwitchModel> {
+        return std::make_unique<OutputQueuedSwitch>(n);
+    };
+    spec.archs = {{"A", oq}, {"B", oq}};
+    spec.replicates = 1;
+    SweepResult res = runSweep(spec, 2);
+    std::vector<CellSummary> cells = aggregate(spec, res);
+    ASSERT_EQ(cells.size(), 8u);
+    for (size_t i = 0; i < 4; ++i) {
+        EXPECT_DOUBLE_EQ(cells[i].mean_delay.mean,
+                         cells[i + 4].mean_delay.mean);
+        EXPECT_EQ(cells[i].delivered, cells[i + 4].delivered);
+    }
+}
+
+TEST(SweepTest, InvalidSpecsRejected)
+{
+    SweepSpec spec = smallSpec();
+    spec.archs.clear();
+    EXPECT_THROW(expandGrid(spec), UsageError);
+
+    spec = smallSpec();
+    spec.loads.clear();
+    EXPECT_THROW(expandGrid(spec), UsageError);
+
+    spec = smallSpec();
+    spec.replicates = 0;
+    EXPECT_THROW(expandGrid(spec), UsageError);
+
+    spec = smallSpec();
+    spec.make_traffic = nullptr;
+    EXPECT_THROW(expandGrid(spec), UsageError);
+
+    spec = smallSpec();
+    spec.sizes = {0};
+    EXPECT_THROW(expandGrid(spec), UsageError);
+}
+
+TEST(SweepTest, RunErrorsPropagateToCaller)
+{
+    SweepSpec spec = smallSpec();
+    spec.warmup = spec.slots;  // every run invalid: zero measured slots
+    EXPECT_THROW(runSweep(spec, 2), UsageError);
+}
+
+TEST(SweepTest, ThreadCountInvariance)
+{
+    // The acceptance property of the whole subsystem: the same spec must
+    // produce a byte-identical JSON document at 1 and 8 threads.
+    SweepSpec spec = smallSpec();
+
+    SweepResult serial = runSweep(spec, 1);
+    SweepResult parallel = runSweep(spec, 8);
+    ASSERT_EQ(serial.results.size(), parallel.results.size());
+    for (size_t i = 0; i < serial.results.size(); ++i) {
+        EXPECT_EQ(serial.results[i].mean_delay, parallel.results[i].mean_delay);
+        EXPECT_EQ(serial.results[i].delivered, parallel.results[i].delivered);
+        EXPECT_EQ(serial.results[i].per_connection,
+                  parallel.results[i].per_connection);
+    }
+
+    std::string json1 = sweepToJson(spec, aggregate(spec, serial));
+    std::string json8 = sweepToJson(spec, aggregate(spec, parallel));
+    EXPECT_EQ(json1, json8);
+}
+
+TEST(SweepTest, ProgressReachesTotal)
+{
+    SweepSpec spec = smallSpec();
+    spec.replicates = 1;
+    int last = 0;
+    int calls = 0;
+    SweepResult res = runSweep(spec, 2, [&](int done, int total) {
+        EXPECT_EQ(total, 8);
+        last = std::max(last, done);
+        ++calls;
+    });
+    EXPECT_EQ(last, 8);
+    EXPECT_EQ(calls, 8);
+    EXPECT_EQ(res.results.size(), 8u);
+}
+
+// -------------------------------------------------------------- aggregate
+
+TEST(AggregateTest, WelfordMatchesHandComputedValues)
+{
+    // One arch, one size, one load, three replicates with known outputs:
+    // feed synthetic SimResults straight into aggregate().
+    SweepSpec spec = smallSpec();
+    spec.archs.resize(1);
+    spec.sizes = {4};
+    spec.loads = {0.5};
+    spec.replicates = 3;
+
+    SweepResult fake;
+    fake.grid = expandGrid(spec);
+    fake.results.resize(3);
+    const double delays[3] = {2.0, 4.0, 9.0};
+    for (int i = 0; i < 3; ++i) {
+        fake.results[i].mean_delay = delays[i];
+        fake.results[i].p99_delay = 10.0 * delays[i];
+        fake.results[i].throughput = 0.5;
+        fake.results[i].offered = 0.5;
+        fake.results[i].injected = 100 + i;
+        fake.results[i].delivered = 90 + i;
+        fake.results[i].max_occupancy = 7 * (i + 1);
+    }
+
+    std::vector<CellSummary> cells = aggregate(spec, fake);
+    ASSERT_EQ(cells.size(), 1u);
+    const CellSummary& c = cells[0];
+    EXPECT_EQ(c.replicates, 3);
+    // Hand-computed: mean = 5, unbiased variance = ((−3)² + (−1)² + 4²)/2
+    // = 13, stddev = sqrt(13), ci95 = 1.96·sqrt(13)/sqrt(3).
+    EXPECT_DOUBLE_EQ(c.mean_delay.mean, 5.0);
+    EXPECT_NEAR(c.mean_delay.stddev, std::sqrt(13.0), 1e-12);
+    EXPECT_NEAR(c.mean_delay.ci95, 1.96 * std::sqrt(13.0) / std::sqrt(3.0),
+                1e-12);
+    EXPECT_DOUBLE_EQ(c.mean_delay.min, 2.0);
+    EXPECT_DOUBLE_EQ(c.mean_delay.max, 9.0);
+    EXPECT_DOUBLE_EQ(c.p99_delay.mean, 50.0);
+    EXPECT_DOUBLE_EQ(c.throughput.mean, 0.5);
+    EXPECT_DOUBLE_EQ(c.throughput.stddev, 0.0);
+    EXPECT_EQ(c.injected, 100 + 101 + 102);
+    EXPECT_EQ(c.delivered, 90 + 91 + 92);
+    EXPECT_EQ(c.max_occupancy, 21);
+}
+
+TEST(AggregateTest, SingleReplicateHasZeroCi)
+{
+    RunningStats s;
+    s.add(3.5);
+    Aggregate a = summarize(s);
+    EXPECT_EQ(a.n, 1);
+    EXPECT_DOUBLE_EQ(a.mean, 3.5);
+    EXPECT_DOUBLE_EQ(a.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(a.ci95, 0.0);
+    EXPECT_DOUBLE_EQ(a.min, 3.5);
+    EXPECT_DOUBLE_EQ(a.max, 3.5);
+}
+
+TEST(AggregateTest, CellOrderMatchesAxes)
+{
+    SweepSpec spec = smallSpec();
+    SweepResult res = runSweep(spec, 4);
+    std::vector<CellSummary> cells = aggregate(spec, res);
+    ASSERT_EQ(cells.size(), 8u);  // 2 archs x 2 sizes x 2 loads
+    EXPECT_EQ(cells[0].arch, "OutputQueued");
+    EXPECT_EQ(cells[0].size, 4);
+    EXPECT_DOUBLE_EQ(cells[0].load, 0.3);
+    EXPECT_DOUBLE_EQ(cells[1].load, 0.6);
+    EXPECT_EQ(cells[2].size, 8);
+    EXPECT_EQ(cells[4].arch, "PIM(2)");
+    // Sanity: OQ at 30% load on a 4-port switch delivers what's offered.
+    EXPECT_NEAR(cells[0].throughput.mean, cells[0].offered.mean, 0.02);
+}
+
+// ------------------------------------------------------------ json writer
+
+TEST(JsonWriterTest, EscapingGoldenString)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(jsonEscape("tab\there\nnewline"), "tab\\there\\nnewline");
+    EXPECT_EQ(jsonEscape(std::string("nul\x01") + "\x1f!"),
+              "nul\\u0001\\u001f!");
+    EXPECT_EQ(jsonEscape("\b\f\r"), "\\b\\f\\r");
+}
+
+TEST(JsonWriterTest, NumbersShortestRoundTrip)
+{
+    EXPECT_EQ(jsonNumber(0.2), "0.2");
+    EXPECT_EQ(jsonNumber(0.95), "0.95");
+    EXPECT_EQ(jsonNumber(1.0), "1");
+    EXPECT_EQ(jsonNumber(-3.25), "-3.25");
+    EXPECT_EQ(jsonNumber(1.0 / 3.0), "0.3333333333333333");
+    // Round trip: parse back to the identical double.
+    double ugly = 123456.789012345;
+    EXPECT_EQ(std::strtod(jsonNumber(ugly).c_str(), nullptr), ugly);
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()), "null");
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+}
+
+TEST(JsonWriterTest, DocumentGolden)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("name").value("a\"b");
+    w.key("n").value(3);
+    w.key("x").value(0.5);
+    w.key("ok").value(true);
+    w.key("none").null();
+    w.key("list").beginArray().value(1).value(2).endArray();
+    w.key("empty").beginObject().endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\n"
+                       "  \"name\": \"a\\\"b\",\n"
+                       "  \"n\": 3,\n"
+                       "  \"x\": 0.5,\n"
+                       "  \"ok\": true,\n"
+                       "  \"none\": null,\n"
+                       "  \"list\": [\n"
+                       "    1,\n"
+                       "    2\n"
+                       "  ],\n"
+                       "  \"empty\": {}\n"
+                       "}\n");
+}
+
+TEST(JsonWriterTest, StructuralMisuseAsserts)
+{
+    {
+        JsonWriter w;
+        w.beginObject();
+        EXPECT_THROW(w.value(1), InternalError);  // value without key
+    }
+    {
+        JsonWriter w;
+        w.beginArray();
+        EXPECT_THROW(w.key("k"), InternalError);  // key inside array
+    }
+    {
+        JsonWriter w;
+        w.beginObject();
+        EXPECT_THROW(w.str(), InternalError);  // unfinished document
+    }
+    {
+        JsonWriter w;
+        w.beginObject();
+        w.key("k");
+        EXPECT_THROW(w.endObject(), InternalError);  // key without value
+    }
+}
+
+TEST(JsonWriterTest, SweepSchemaShape)
+{
+    SweepSpec spec = smallSpec();
+    spec.archs.resize(1);
+    spec.sizes = {4};
+    spec.loads = {0.3};
+    spec.replicates = 2;
+    SweepResult res = runSweep(spec, 1);
+    std::string json = sweepToJson(spec, aggregate(spec, res));
+
+    // Stable schema markers (consumed by the BENCH_*.json trajectory).
+    EXPECT_NE(json.find("\"schema\": \"an2.sweep.v1\""), std::string::npos);
+    EXPECT_NE(json.find("\"experiment\": \"test\""), std::string::npos);
+    EXPECT_NE(json.find("\"base_seed\": \"42\""), std::string::npos);
+    EXPECT_NE(json.find("\"axes\""), std::string::npos);
+    EXPECT_NE(json.find("\"cells\""), std::string::npos);
+    EXPECT_NE(json.find("\"mean_delay\""), std::string::npos);
+    EXPECT_NE(json.find("\"ci95\""), std::string::npos);
+    EXPECT_EQ(json.find("wall"), std::string::npos);  // no timing data
+}
+
+}  // namespace
+}  // namespace an2::harness

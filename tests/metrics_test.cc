@@ -19,7 +19,7 @@ cellAt(FlowId flow, PortId in, PortId out, SlotTime inject)
 
 TEST(MetricsTest, WarmupCellsExcluded)
 {
-    MetricsCollector m(100);
+    MetricsCollector m(100, 4);
     Cell early = cellAt(0, 0, 1, 50);
     Cell late = cellAt(0, 0, 1, 150);
     m.noteInjected(early);
@@ -33,7 +33,7 @@ TEST(MetricsTest, WarmupCellsExcluded)
 
 TEST(MetricsTest, DelayStatsAndQuantiles)
 {
-    MetricsCollector m(0);
+    MetricsCollector m(0, 4);
     for (int d = 0; d < 100; ++d) {
         Cell c = cellAt(0, 0, 0, 0);
         m.noteInjected(c);
@@ -46,21 +46,23 @@ TEST(MetricsTest, DelayStatsAndQuantiles)
 
 TEST(MetricsTest, PerConnectionAndPerFlowCounts)
 {
-    MetricsCollector m(0);
+    MetricsCollector m(0, 4);
     Cell a = cellAt(7, 1, 2, 0);
     Cell b = cellAt(8, 1, 3, 0);
     m.noteDelivered(a, 1);
     m.noteDelivered(a, 2);
     m.noteDelivered(b, 3);
-    EXPECT_EQ(m.deliveredPerConnection().at({1, 2}), 2);
-    EXPECT_EQ(m.deliveredPerConnection().at({1, 3}), 1);
+    EXPECT_EQ(m.deliveredPerConnection().at(1, 2), 2);
+    EXPECT_EQ(m.deliveredPerConnection().at(1, 3), 1);
+    EXPECT_EQ(m.deliveredPerConnection().at(0, 0), 0);
+    EXPECT_EQ(m.deliveredPerConnection().total(), 3);
     EXPECT_EQ(m.deliveredPerFlow().at(7), 2);
     EXPECT_EQ(m.deliveredPerFlow().at(8), 1);
 }
 
 TEST(MetricsTest, OccupancyPeakSticky)
 {
-    MetricsCollector m(0);
+    MetricsCollector m(0, 4);
     m.noteOccupancy(3);
     m.noteOccupancy(10);
     m.noteOccupancy(4);
@@ -69,14 +71,20 @@ TEST(MetricsTest, OccupancyPeakSticky)
 
 TEST(MetricsTest, NegativeDelayPanics)
 {
-    MetricsCollector m(0);
+    MetricsCollector m(0, 4);
     Cell c = cellAt(0, 0, 0, 10);
     EXPECT_THROW(m.noteDelivered(c, 5), InternalError);
 }
 
 TEST(MetricsTest, NegativeWarmupRejected)
 {
-    EXPECT_THROW(MetricsCollector(-1), UsageError);
+    EXPECT_THROW(MetricsCollector(-1, 4), UsageError);
+}
+
+TEST(MetricsTest, NonPositivePortCountRejected)
+{
+    EXPECT_THROW(MetricsCollector(0, 0), UsageError);
+    EXPECT_THROW(MetricsCollector(0, -3), UsageError);
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "an2/matching/pim.h"
 #include "an2/sim/iq_switch.h"
 #include "an2/sim/oq_switch.h"
@@ -56,10 +58,9 @@ TEST(SimulatorTest, PerConnectionCountsSumToDelivered)
     cfg.slots = 10'000;
     cfg.warmup = 1'000;
     SimResult res = runSimulation(sw, traffic, cfg);
-    int64_t total = 0;
-    for (const auto& [conn, count] : res.per_connection)
-        total += count;
-    EXPECT_EQ(total, res.delivered);
+    EXPECT_EQ(res.per_connection.rows(), 4);
+    EXPECT_EQ(res.per_connection.cols(), 4);
+    EXPECT_EQ(res.per_connection.total(), res.delivered);
     int64_t per_flow_total = 0;
     for (const auto& [flow, count] : res.per_flow)
         per_flow_total += count;
@@ -84,9 +85,34 @@ TEST(SimulatorTest, InvalidConfigRejected)
     SimConfig bad;
     bad.slots = 0;
     EXPECT_THROW(runSimulation(sw, traffic, bad), UsageError);
+    bad.slots = -5;
+    EXPECT_THROW(runSimulation(sw, traffic, bad), UsageError);
+    bad.slots = 10;
+    bad.warmup = -1;
+    EXPECT_THROW(runSimulation(sw, traffic, bad), UsageError);
+}
+
+TEST(SimulatorTest, WarmupCoveringWholeRunRejected)
+{
+    // warmup >= slots would leave zero measured slots (and divide the
+    // throughput by a non-positive denominator); it must be refused
+    // with a clear configuration error, not produce garbage.
+    OutputQueuedSwitch sw(4);
+    UniformTraffic traffic(4, 0.5, 7);
+    SimConfig bad;
     bad.slots = 10;
     bad.warmup = 10;
     EXPECT_THROW(runSimulation(sw, traffic, bad), UsageError);
+    bad.warmup = 11;
+    EXPECT_THROW(runSimulation(sw, traffic, bad), UsageError);
+    try {
+        runSimulation(sw, traffic, bad);
+        FAIL() << "expected UsageError";
+    } catch (const UsageError& e) {
+        EXPECT_NE(std::string(e.what()).find("warmup"), std::string::npos);
+    }
+    bad.warmup = 9;  // one measured slot: valid again
+    EXPECT_NO_THROW(runSimulation(sw, traffic, bad));
 }
 
 }  // namespace
