@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compare a bench_slot_loop run against the committed hot-path baseline.
+
+Usage:
+    scripts/check_bench.py RUN.json [--baseline BENCH_hotpath.json]
+                           [--threshold 0.30]
+
+RUN.json is an `an2.sweep.v1` document emitted by
+`bench_slot_loop --json`; the baseline is the repo's committed
+`BENCH_hotpath.json` (its `after` cells are the reference). For every
+architecture present in both, the script compares mean slots/sec and
+prints a WARNING when the run is more than `threshold` below the
+baseline.
+
+The exit code is always 0: wall-clock rates on shared CI runners are
+too noisy for a hard gate, so regressions warn rather than fail.
+Investigate a warning by rerunning locally with the full slot budget
+(see "Performance methodology" in EXPERIMENTS.md).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_cells(path, key=None):
+    with open(path) as f:
+        doc = json.load(f)
+    cells = doc[key] if key else doc["cells"]
+    return {c["arch"]: c["slots_per_sec"]["mean"] for c in cells}
+
+
+def main():
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser = argparse.ArgumentParser(
+        description="Warn (never fail) on slots/sec regressions.")
+    parser.add_argument("run", help="an2.sweep.v1 JSON from bench_slot_loop")
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(repo_root, "BENCH_hotpath.json"),
+        help="committed baseline (default: repo BENCH_hotpath.json)")
+    parser.add_argument(
+        "--threshold", type=float, default=0.30,
+        help="warn when slots/sec drops more than this fraction (0.30)")
+    args = parser.parse_args()
+
+    run = load_cells(args.run)
+    baseline = load_cells(args.baseline, key="after")
+
+    warned = False
+    for arch in sorted(baseline):
+        if arch not in run:
+            print(f"  {arch:20s}  (not in this run, skipped)")
+            continue
+        base, now = baseline[arch], run[arch]
+        ratio = now / base
+        line = (f"  {arch:20s}  baseline {base:12,.0f}  "
+                f"run {now:12,.0f}  ({ratio:5.2f}x)")
+        if ratio < 1.0 - args.threshold:
+            print(f"WARNING: slots/sec regression >"
+                  f"{args.threshold:.0%} vs committed baseline:")
+            print(line)
+            warned = True
+        else:
+            print(line)
+    for arch in sorted(set(run) - set(baseline)):
+        print(f"  {arch:20s}  (no baseline, skipped)")
+
+    if warned:
+        print("\nPerf smoke saw a possible regression (non-fatal; CI "
+              "runners are noisy).\nRerun locally with the full budget: "
+              "./build/bench/bench_slot_loop --json out.json")
+    else:
+        print("\nPerf smoke OK: no architecture regressed beyond "
+              f"{args.threshold:.0%} of the committed baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

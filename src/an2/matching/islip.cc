@@ -1,10 +1,18 @@
 #include "an2/matching/islip.h"
 
 #include "an2/base/error.h"
+#include "an2/matching/wordset.h"
 
 namespace an2 {
 
-IslipMatcher::IslipMatcher(int iterations) : iterations_(iterations)
+namespace {
+
+constexpr int kMaxFastPorts = 1024;
+
+}  // namespace
+
+IslipMatcher::IslipMatcher(int iterations, MatcherBackend backend)
+    : iterations_(iterations), backend_(backend)
 {
     AN2_REQUIRE(iterations >= 1, "iSLIP needs at least one iteration");
 }
@@ -25,6 +33,14 @@ IslipMatcher::reset()
 Matching
 IslipMatcher::match(const RequestMatrix& req)
 {
+    Matching m(req.numInputs(), req.numOutputs());
+    matchInto(req, m);
+    return m;
+}
+
+void
+IslipMatcher::matchInto(const RequestMatrix& req, Matching& out)
+{
     const int n_in = req.numInputs();
     const int n_out = req.numOutputs();
     if (grant_ptr_.empty()) {
@@ -34,62 +50,144 @@ IslipMatcher::match(const RequestMatrix& req)
     AN2_REQUIRE(static_cast<int>(grant_ptr_.size()) == n_out &&
                     static_cast<int>(accept_ptr_.size()) == n_in,
                 "request matrix size changed without reset()");
+    out.reset(n_in, n_out);
 
-    Matching m(n_in, n_out);
-    for (int it = 0; it < iterations_; ++it) {
-        // Grant phase: each unmatched output grants to the requesting
-        // unmatched input nearest at-or-after its pointer.
-        std::vector<std::vector<PortId>> grants_to(
-            static_cast<size_t>(n_in));
-        for (PortId j = 0; j < n_out; ++j) {
-            if (m.isOutputSaturated(j))
-                continue;
-            int best_dist = n_in;
-            PortId pick = kNoPort;
-            for (PortId i = 0; i < n_in; ++i) {
-                if (m.isInputMatched(i) || !req.has(i, j))
-                    continue;
-                int dist = (i - grant_ptr_[static_cast<size_t>(j)] + n_in) %
-                           n_in;
-                if (dist < best_dist) {
-                    best_dist = dist;
-                    pick = i;
-                }
-            }
-            if (pick != kNoPort)
-                grants_to[static_cast<size_t>(pick)].push_back(j);
-        }
-
-        // Accept phase: each input accepts the granting output nearest
-        // at-or-after its pointer. Pointers move only for matches made in
-        // the first iteration (the standard iSLIP rule, which guarantees
-        // that the most recently served connection has lowest priority).
-        int added = 0;
-        for (PortId i = 0; i < n_in; ++i) {
-            const auto& grants = grants_to[static_cast<size_t>(i)];
-            if (grants.empty())
-                continue;
-            int best_dist = n_out;
-            PortId chosen = grants.front();
-            for (PortId j : grants) {
-                int dist = (j - accept_ptr_[static_cast<size_t>(i)] + n_out) %
-                           n_out;
-                if (dist < best_dist) {
-                    best_dist = dist;
-                    chosen = j;
-                }
-            }
-            m.add(i, chosen);
-            ++added;
-            if (it == 0) {
-                accept_ptr_[static_cast<size_t>(i)] = (chosen + 1) % n_out;
-                grant_ptr_[static_cast<size_t>(chosen)] = (i + 1) % n_in;
-            }
-        }
-        if (added == 0)
-            break;
+    bool fast = backend_ != MatcherBackend::Reference &&
+                n_in <= kMaxFastPorts && n_out <= kMaxFastPorts;
+    if (backend_ == MatcherBackend::WordParallel) {
+        AN2_REQUIRE(fast, "word-parallel iSLIP supports at most 1024 ports");
     }
-    return m;
+    if (fast) {
+        col_words_ = req.colWords();
+        row_words_ = req.rowWords();
+        free_in_.resize(static_cast<size_t>(col_words_));
+        free_out_.resize(static_cast<size_t>(row_words_));
+        granted_.resize(static_cast<size_t>(col_words_));
+        requesters_.resize(static_cast<size_t>(col_words_));
+        grant_rows_.resize(static_cast<size_t>(n_in) *
+                           static_cast<size_t>(row_words_));
+        wordset::fillFirst(free_in_.data(), col_words_, n_in);
+        wordset::fillFirst(free_out_.data(), row_words_, n_out);
+        for (int it = 0; it < iterations_; ++it)
+            if (runIterationFast(req, out, it) == 0)
+                break;
+    } else {
+        for (int it = 0; it < iterations_; ++it)
+            if (runIteration(req, out, it) == 0)
+                break;
+    }
+}
+
+int
+IslipMatcher::runIteration(const RequestMatrix& req, Matching& m, int it)
+{
+    const int n_in = req.numInputs();
+    const int n_out = req.numOutputs();
+
+    // Grant phase: each unmatched output grants to the requesting
+    // unmatched input nearest at-or-after its pointer.
+    std::vector<std::vector<PortId>> grants_to(static_cast<size_t>(n_in));
+    for (PortId j = 0; j < n_out; ++j) {
+        if (m.isOutputSaturated(j))
+            continue;
+        int best_dist = n_in;
+        PortId pick = kNoPort;
+        for (PortId i = 0; i < n_in; ++i) {
+            if (m.isInputMatched(i) || !req.has(i, j))
+                continue;
+            int dist = (i - grant_ptr_[static_cast<size_t>(j)] + n_in) %
+                       n_in;
+            if (dist < best_dist) {
+                best_dist = dist;
+                pick = i;
+            }
+        }
+        if (pick != kNoPort)
+            grants_to[static_cast<size_t>(pick)].push_back(j);
+    }
+
+    // Accept phase: each input accepts the granting output nearest
+    // at-or-after its pointer. Pointers move only for matches made in
+    // the first iteration (the standard iSLIP rule, which guarantees
+    // that the most recently served connection has lowest priority).
+    int added = 0;
+    for (PortId i = 0; i < n_in; ++i) {
+        const auto& grants = grants_to[static_cast<size_t>(i)];
+        if (grants.empty())
+            continue;
+        int best_dist = n_out;
+        PortId chosen = grants.front();
+        for (PortId j : grants) {
+            int dist = (j - accept_ptr_[static_cast<size_t>(i)] + n_out) %
+                       n_out;
+            if (dist < best_dist) {
+                best_dist = dist;
+                chosen = j;
+            }
+        }
+        m.add(i, chosen);
+        ++added;
+        if (it == 0) {
+            accept_ptr_[static_cast<size_t>(i)] = (chosen + 1) % n_out;
+            grant_ptr_[static_cast<size_t>(chosen)] = (i + 1) % n_in;
+        }
+    }
+    return added;
+}
+
+int
+IslipMatcher::runIterationFast(const RequestMatrix& req, Matching& m, int it)
+{
+    using namespace wordset;
+    const int n_in = req.numInputs();
+    const int n_out = req.numOutputs();
+    const int cw = col_words_;
+    const int rw = row_words_;
+    uint64_t* granted = granted_.data();
+    uint64_t* reqsters = requesters_.data();
+
+    // Grant phase: "nearest at-or-after the pointer" is a circular
+    // first-set-bit search over (requesters & free inputs).
+    clearAll(granted, cw);
+    forEachSet(free_out_.data(), rw, [&](int j) {
+        const uint64_t* col = req.colMask(j);
+        uint64_t any = 0;
+        for (int w = 0; w < cw; ++w) {
+            reqsters[w] = col[w] & free_in_[static_cast<size_t>(w)];
+            any |= reqsters[w];
+        }
+        if (any == 0)
+            return;
+        int pick = firstSetAtOrAfter(reqsters, cw, n_in,
+                                     grant_ptr_[static_cast<size_t>(j)]);
+        uint64_t* row = grant_rows_.data() +
+                        static_cast<size_t>(pick) * static_cast<size_t>(rw);
+        if (!testBit(granted, pick)) {
+            setBit(granted, pick);
+            clearAll(row, rw);
+        }
+        setBit(row, j);
+    });
+    if (!anySet(granted, cw))
+        return 0;
+
+    // Accept phase; pointer-update rule identical to the scalar core.
+    int added = 0;
+    forEachSet(granted, cw, [&](int i) {
+        uint64_t* row = grant_rows_.data() +
+                        static_cast<size_t>(i) * static_cast<size_t>(rw);
+        int chosen = firstSetAtOrAfter(row, rw, n_out,
+                                       accept_ptr_[static_cast<size_t>(i)]);
+        m.add(i, chosen);
+        ++added;
+        if (it == 0) {
+            accept_ptr_[static_cast<size_t>(i)] = (chosen + 1) % n_out;
+            grant_ptr_[static_cast<size_t>(chosen)] = (i + 1) % n_in;
+        }
+        clearBit(free_in_.data(), i);
+        clearBit(free_out_.data(), chosen);
+    });
+    return added;
 }
 
 }  // namespace an2

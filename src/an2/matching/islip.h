@@ -13,6 +13,7 @@
 #ifndef AN2_MATCHING_ISLIP_H
 #define AN2_MATCHING_ISLIP_H
 
+#include <cstdint>
 #include <vector>
 
 #include "an2/matching/matcher.h"
@@ -23,17 +24,40 @@ namespace an2 {
 class IslipMatcher final : public Matcher
 {
   public:
-    /** @param iterations Grant/accept rounds per slot (>= 1). */
-    explicit IslipMatcher(int iterations = 4);
+    /**
+     * @param iterations Grant/accept rounds per slot (>= 1).
+     * @param backend Implementation core; Auto uses the word-parallel
+     *                core up to 1024 ports (identical matchings — the
+     *                algorithm is deterministic given the pointers).
+     */
+    explicit IslipMatcher(int iterations = 4,
+                          MatcherBackend backend = MatcherBackend::Auto);
 
     Matching match(const RequestMatrix& req) override;
+    void matchInto(const RequestMatrix& req, Matching& out) override;
     std::string name() const override;
     void reset() override;
 
   private:
+    /** One scalar grant/accept round; returns matches added. */
+    int runIteration(const RequestMatrix& req, Matching& m, int it);
+
+    /** One word-parallel round; identical decisions to runIteration. */
+    int runIterationFast(const RequestMatrix& req, Matching& m, int it);
+
     int iterations_;
+    MatcherBackend backend_;
     std::vector<int> grant_ptr_;   ///< per-output rotating grant pointer
     std::vector<int> accept_ptr_;  ///< per-input rotating accept pointer
+
+    // Word-parallel scratch, reused across slots.
+    int col_words_ = 0;
+    int row_words_ = 0;
+    std::vector<uint64_t> free_in_;     ///< unmatched inputs
+    std::vector<uint64_t> free_out_;    ///< unmatched outputs
+    std::vector<uint64_t> granted_;     ///< inputs granted this round
+    std::vector<uint64_t> requesters_;  ///< per-output scratch
+    std::vector<uint64_t> grant_rows_;  ///< outputs granting each input
 };
 
 }  // namespace an2

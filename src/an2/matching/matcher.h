@@ -14,6 +14,22 @@
 
 namespace an2 {
 
+/**
+ * Which implementation core a matcher runs on. The word-parallel cores
+ * produce bit-identical matchings to the reference (scalar) cores — they
+ * consume PRNG draws and rotate pointers in exactly the same order — so
+ * Auto is always safe; Reference exists for differential testing and for
+ * configurations the fast cores do not cover (e.g. output capacity > 1).
+ */
+enum class MatcherBackend {
+    /** Word-parallel when the configuration allows, reference otherwise. */
+    Auto,
+    /** Always the scalar reference implementation. */
+    Reference,
+    /** Require the word-parallel core (errors if unsupported). */
+    WordParallel,
+};
+
 /** A switch-scheduling algorithm: request matrix in, legal matching out. */
 class Matcher
 {
@@ -26,6 +42,17 @@ class Matcher
      * calls (round-robin pointers, PRNG state).
      */
     virtual Matching match(const RequestMatrix& req) = 0;
+
+    /**
+     * Compute the matching for one slot into `out` (re-dimensioned as
+     * needed). The hot-path entry point: implementations that override it
+     * perform no heap allocation in steady state; the default simply
+     * wraps match().
+     */
+    virtual void matchInto(const RequestMatrix& req, Matching& out)
+    {
+        out = match(req);
+    }
 
     /** Human-readable algorithm name for reports. */
     virtual std::string name() const = 0;

@@ -18,6 +18,21 @@ Matching::Matching(int n_inputs, int n_outputs, int output_capacity)
 }
 
 void
+Matching::reset(int n_inputs, int n_outputs, int output_capacity)
+{
+    AN2_REQUIRE(n_inputs > 0 && n_outputs > 0,
+                "matching must have positive dimensions");
+    AN2_REQUIRE(output_capacity >= 1, "output capacity must be >= 1");
+    in2out_.assign(static_cast<size_t>(n_inputs), kNoPort);
+    out2ins_.resize(static_cast<size_t>(n_outputs));
+    for (auto& ins : out2ins_)
+        ins.clear();  // keeps each inner vector's capacity
+    out_degree_.assign(static_cast<size_t>(n_outputs), 0);
+    output_capacity_ = output_capacity;
+    size_ = 0;
+}
+
+void
 Matching::add(PortId i, PortId j)
 {
     AN2_REQUIRE(i >= 0 && i < numInputs(), "input " << i << " out of range");

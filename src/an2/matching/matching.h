@@ -32,6 +32,13 @@ class Matching
     /** Square n x n matching with unit output capacity. */
     explicit Matching(int n) : Matching(n, n, 1) {}
 
+    /**
+     * Empty the matching and re-dimension it, preserving allocated
+     * capacity when the dimensions are unchanged — the per-slot reuse
+     * path of the switch hot loop (no heap traffic in steady state).
+     */
+    void reset(int n_inputs, int n_outputs, int output_capacity = 1);
+
     int numInputs() const { return static_cast<int>(in2out_.size()); }
     int numOutputs() const
     {

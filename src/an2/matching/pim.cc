@@ -2,7 +2,16 @@
 
 #include <algorithm>
 
+#include "an2/matching/wordset.h"
+
 namespace an2 {
+
+namespace {
+
+/** Largest port count the word-parallel core dispatches for. */
+constexpr int kMaxFastPorts = 1024;
+
+}  // namespace
 
 PimMatcher::PimMatcher(const PimConfig& config, std::unique_ptr<Rng> rng)
     : config_(config),
@@ -34,11 +43,78 @@ PimMatcher::reset()
     accept_ptr_.clear();
 }
 
+bool
+PimMatcher::useFastCore(const RequestMatrix& req) const
+{
+    if (config_.backend == MatcherBackend::Reference)
+        return false;
+    const bool supported = config_.output_capacity == 1 &&
+                           req.numInputs() <= kMaxFastPorts &&
+                           req.numOutputs() <= kMaxFastPorts;
+    if (config_.backend == MatcherBackend::WordParallel) {
+        AN2_REQUIRE(supported, "word-parallel PIM requires unit output "
+                               "capacity and at most 1024 ports");
+    }
+    return supported;
+}
+
+void
+PimMatcher::ensureAcceptPtrs(int n_in)
+{
+    if (accept_ptr_.empty())
+        accept_ptr_.assign(static_cast<size_t>(n_in), 0);
+    AN2_REQUIRE(static_cast<int>(accept_ptr_.size()) == n_in,
+                "request matrix size changed without reset()");
+}
+
+void
+PimMatcher::prepareFastState(const RequestMatrix& req)
+{
+    const int n_in = req.numInputs();
+    const int n_out = req.numOutputs();
+    col_words_ = req.colWords();
+    row_words_ = req.rowWords();
+    free_in_.resize(static_cast<size_t>(col_words_));
+    free_out_.resize(static_cast<size_t>(row_words_));
+    granted_.resize(static_cast<size_t>(col_words_));
+    requesters_.resize(static_cast<size_t>(col_words_));
+    grant_rows_.resize(static_cast<size_t>(n_in) *
+                       static_cast<size_t>(row_words_));
+    wordset::fillFirst(free_in_.data(), col_words_, n_in);
+    wordset::fillFirst(free_out_.data(), row_words_, n_out);
+}
+
 Matching
 PimMatcher::match(const RequestMatrix& req)
 {
-    PimRunStats stats;
-    return matchDetailed(req, stats, config_.iterations);
+    Matching m(req.numInputs(), req.numOutputs(), config_.output_capacity);
+    matchInto(req, m);
+    return m;
+}
+
+void
+PimMatcher::matchInto(const RequestMatrix& req, Matching& out)
+{
+    const int n_in = req.numInputs();
+    const int n_out = req.numOutputs();
+    out.reset(n_in, n_out, config_.output_capacity);
+    ensureAcceptPtrs(n_in);
+
+    // An iteration with unresolved requests always adds at least one match
+    // (some output grants, some input accepts), so "no progress" implies
+    // maximality and the loop terminates for iterations == 0.
+    if (useFastCore(req)) {
+        prepareFastState(req);
+        for (int it = 0;
+             config_.iterations == 0 || it < config_.iterations; ++it)
+            if (runIterationFast(req, out) == 0)
+                break;
+    } else {
+        for (int it = 0;
+             config_.iterations == 0 || it < config_.iterations; ++it)
+            if (runIteration(req, out) == 0)
+                break;
+    }
 }
 
 Matching
@@ -48,17 +124,14 @@ PimMatcher::matchDetailed(const RequestMatrix& req, PimRunStats& stats,
     const int n_in = req.numInputs();
     const int n_out = req.numOutputs();
     Matching m(n_in, n_out, config_.output_capacity);
-    if (accept_ptr_.empty())
-        accept_ptr_.assign(static_cast<size_t>(n_in), 0);
-    AN2_REQUIRE(static_cast<int>(accept_ptr_.size()) == n_in,
-                "request matrix size changed without reset()");
+    ensureAcceptPtrs(n_in);
 
     stats = PimRunStats{};
-    // An iteration with unresolved requests always adds at least one match
-    // (some output grants, some input accepts), so "no progress" implies
-    // maximality and the loop below terminates for max_iterations == 0.
+    const bool fast = useFastCore(req);
+    if (fast)
+        prepareFastState(req);
     for (int it = 0; max_iterations == 0 || it < max_iterations; ++it) {
-        int added = runIteration(req, m);
+        int added = fast ? runIterationFast(req, m) : runIteration(req, m);
         ++stats.iterations_run;
         stats.matches_after_iteration.push_back(m.size());
         if (added == 0)
@@ -134,6 +207,70 @@ PimMatcher::runIteration(const RequestMatrix& req, Matching& m)
         m.add(i, chosen);
         ++added;
     }
+    return added;
+}
+
+int
+PimMatcher::runIterationFast(const RequestMatrix& req, Matching& m)
+{
+    using namespace wordset;
+    const int n_out = req.numOutputs();
+    const int cw = col_words_;
+    const int rw = row_words_;
+    uint64_t* granted = granted_.data();
+    uint64_t* reqsters = requesters_.data();
+
+    // Grant phase: every free output with free requesters grants one
+    // uniformly. The draw sequence matches the scalar core exactly —
+    // outputs visited in ascending order, one nextBelow(#requesters)
+    // draw per granting output.
+    clearAll(granted, cw);
+    forEachSet(free_out_.data(), rw, [&](int j) {
+        const uint64_t* col = req.colMask(j);
+        uint64_t any = 0;
+        for (int w = 0; w < cw; ++w) {
+            reqsters[w] = col[w] & free_in_[static_cast<size_t>(w)];
+            any |= reqsters[w];
+        }
+        if (any == 0)
+            return;
+        int cnt = popcountAll(reqsters, cw);
+        int pick = selectBit(
+            reqsters, cw,
+            static_cast<int>(rng_->nextBelow(static_cast<uint64_t>(cnt))));
+        uint64_t* row = grant_rows_.data() +
+                        static_cast<size_t>(pick) * static_cast<size_t>(rw);
+        if (!testBit(granted, pick)) {
+            setBit(granted, pick);
+            clearAll(row, rw);
+        }
+        setBit(row, j);
+    });
+    if (!anySet(granted, cw))
+        return 0;
+
+    // Accept phase: every granted input accepts one grant — uniformly at
+    // random, or the first at/after its round-robin pointer.
+    int added = 0;
+    forEachSet(granted, cw, [&](int i) {
+        uint64_t* row = grant_rows_.data() +
+                        static_cast<size_t>(i) * static_cast<size_t>(rw);
+        int chosen;
+        if (config_.accept == AcceptPolicy::Random) {
+            int cnt = popcountAll(row, rw);
+            chosen = selectBit(row, rw,
+                               static_cast<int>(rng_->nextBelow(
+                                   static_cast<uint64_t>(cnt))));
+        } else {
+            chosen = firstSetAtOrAfter(row, rw, n_out,
+                                       accept_ptr_[static_cast<size_t>(i)]);
+            accept_ptr_[static_cast<size_t>(i)] = (chosen + 1) % n_out;
+        }
+        m.add(i, chosen);
+        clearBit(free_in_.data(), i);
+        clearBit(free_out_.data(), chosen);
+        ++added;
+    });
     return added;
 }
 

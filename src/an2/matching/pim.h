@@ -23,6 +23,7 @@
 #ifndef AN2_MATCHING_PIM_H
 #define AN2_MATCHING_PIM_H
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -60,6 +61,14 @@ struct PimConfig
 
     /** PRNG seed for the default xoshiro256** engine. */
     uint64_t seed = 1;
+
+    /**
+     * Implementation core. Auto uses the word-parallel core (bit-identical
+     * results, same PRNG draw sequence) whenever output_capacity == 1 and
+     * the switch fits 1024 ports; larger capacities fall back to the
+     * scalar reference core.
+     */
+    MatcherBackend backend = MatcherBackend::Auto;
 };
 
 /** Per-call diagnostics from PimMatcher::matchDetailed. */
@@ -89,6 +98,7 @@ class PimMatcher final : public Matcher
                         std::unique_ptr<Rng> rng = nullptr);
 
     Matching match(const RequestMatrix& req) override;
+    void matchInto(const RequestMatrix& req, Matching& out) override;
     std::string name() const override;
     void reset() override;
 
@@ -104,12 +114,35 @@ class PimMatcher final : public Matcher
                            int max_iterations);
 
   private:
-    /** One request/grant/accept round; returns matches added. */
+    /** True when this request matrix runs on the word-parallel core. */
+    bool useFastCore(const RequestMatrix& req) const;
+
+    /** Validate/initialize the per-input accept pointers for n inputs. */
+    void ensureAcceptPtrs(int n_in);
+
+    /** Size and initialize the word-parallel scratch for `req`. */
+    void prepareFastState(const RequestMatrix& req);
+
+    /** One scalar request/grant/accept round; returns matches added. */
     int runIteration(const RequestMatrix& req, Matching& m);
+
+    /** One word-parallel round; bit-identical to runIteration. */
+    int runIterationFast(const RequestMatrix& req, Matching& m);
 
     PimConfig config_;
     std::unique_ptr<Rng> rng_;
     std::vector<int> accept_ptr_;  ///< per-input round-robin pointer
+
+    // Word-parallel scratch, reused across slots (no steady-state heap
+    // traffic). Column masks run over inputs (col_words_ words); grant
+    // rows run over outputs (row_words_ words).
+    int col_words_ = 0;
+    int row_words_ = 0;
+    std::vector<uint64_t> free_in_;     ///< unmatched inputs
+    std::vector<uint64_t> free_out_;    ///< unsaturated outputs
+    std::vector<uint64_t> granted_;     ///< inputs granted this round
+    std::vector<uint64_t> requesters_;  ///< per-output scratch
+    std::vector<uint64_t> grant_rows_;  ///< outputs granting each input
 };
 
 }  // namespace an2

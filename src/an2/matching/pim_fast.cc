@@ -3,30 +3,38 @@
 #include <bit>
 
 #include "an2/base/error.h"
+#include "an2/matching/wordset.h"
 
 namespace an2 {
 
 namespace {
 
-/** Index of the k-th (0-based) set bit of mask; mask must have > k bits. */
-int
-selectBit(uint64_t mask, int k)
-{
-    while (k-- > 0)
-        mask &= mask - 1;  // clear lowest set bit
-    return std::countr_zero(mask);
-}
-
-/** Uniformly random set-bit index of a non-empty mask. */
+/**
+ * Uniformly random set-bit index of a non-empty single-word mask. Skips
+ * the PRNG draw for singleton sets — an intentional semantic difference
+ * from PimMatcher's reference core, pinned by the pim_fast golden tests.
+ */
 int
 randomBit(uint64_t mask, Rng& rng)
 {
     int bits = std::popcount(mask);
     if (bits == 1)
         return std::countr_zero(mask);
-    return selectBit(mask,
-                     static_cast<int>(rng.nextBelow(
-                         static_cast<uint64_t>(bits))));
+    return wordset::selectBit64(mask,
+                                static_cast<int>(rng.nextBelow(
+                                    static_cast<uint64_t>(bits))));
+}
+
+/** Multi-word randomBit with the same singleton-skip semantics. */
+int
+randomBitWords(const uint64_t* w, int n_words, Rng& rng)
+{
+    int bits = wordset::popcountAll(w, n_words);
+    if (bits == 1)
+        return wordset::firstSet(w, n_words);
+    return wordset::selectBit(w, n_words,
+                              static_cast<int>(rng.nextBelow(
+                                  static_cast<uint64_t>(bits))));
 }
 
 }  // namespace
@@ -50,7 +58,7 @@ FastPimMatcher::name() const
 void
 FastPimMatcher::matchMasks(const uint64_t* cols, int n, int* out_to_in)
 {
-    AN2_REQUIRE(n >= 1 && n <= 64, "FastPIM supports 1..64 ports");
+    AN2_REQUIRE(n >= 1 && n <= 64, "matchMasks supports 1..64 ports");
     uint64_t free_inputs = n == 64 ? ~0ULL : (1ULL << n) - 1;
     for (int j = 0; j < n; ++j)
         out_to_in[j] = -1;
@@ -90,25 +98,72 @@ FastPimMatcher::matchMasks(const uint64_t* cols, int n, int* out_to_in)
 Matching
 FastPimMatcher::match(const RequestMatrix& req)
 {
+    Matching m(req.numInputs(), req.numOutputs());
+    matchInto(req, m);
+    return m;
+}
+
+void
+FastPimMatcher::matchInto(const RequestMatrix& req, Matching& out)
+{
+    using namespace wordset;
     const int n_in = req.numInputs();
     const int n_out = req.numOutputs();
     AN2_REQUIRE(n_in == n_out, "FastPIM expects a square switch");
-    AN2_REQUIRE(n_in >= 1 && n_in <= 64, "FastPIM supports 1..64 ports");
-    uint64_t cols[64];
-    for (PortId j = 0; j < n_out; ++j) {
-        uint64_t mask = 0;
-        for (PortId i = 0; i < n_in; ++i)
-            if (req.has(i, j))
-                mask |= 1ULL << i;
-        cols[j] = mask;
+    AN2_REQUIRE(n_in >= 1 && n_in <= 1024,
+                "FastPIM supports 1..1024 ports");
+    out.reset(n_in, n_out);
+
+    const int cw = req.colWords();
+    const int rw = req.rowWords();
+    free_in_.resize(static_cast<size_t>(cw));
+    free_out_.resize(static_cast<size_t>(rw));
+    granted_.resize(static_cast<size_t>(cw));
+    requesters_.resize(static_cast<size_t>(cw));
+    grant_rows_.resize(static_cast<size_t>(n_in) *
+                       static_cast<size_t>(rw));
+    fillFirst(free_in_.data(), cw, n_in);
+    fillFirst(free_out_.data(), rw, n_out);
+    uint64_t* granted = granted_.data();
+    uint64_t* reqsters = requesters_.data();
+
+    // Word-for-word the matchMasks algorithm, over multi-word masks; it
+    // reads the RequestMatrix's incrementally-maintained column masks
+    // directly, so there is no per-slot matrix-to-mask conversion.
+    for (int it = 0; iterations_ == 0 || it < iterations_; ++it) {
+        clearAll(granted, cw);
+        forEachSet(free_out_.data(), rw, [&](int j) {
+            const uint64_t* col = req.colMask(j);
+            uint64_t any = 0;
+            for (int w = 0; w < cw; ++w) {
+                reqsters[w] = col[w] & free_in_[static_cast<size_t>(w)];
+                any |= reqsters[w];
+            }
+            if (any == 0)
+                return;
+            int pick = randomBitWords(reqsters, cw, rng_);
+            uint64_t* row = grant_rows_.data() +
+                            static_cast<size_t>(pick) *
+                                static_cast<size_t>(rw);
+            if (!testBit(granted, pick)) {
+                setBit(granted, pick);
+                clearAll(row, rw);
+            }
+            setBit(row, j);
+        });
+        if (!anySet(granted, cw))
+            break;
+
+        forEachSet(granted, cw, [&](int i) {
+            uint64_t* row = grant_rows_.data() +
+                            static_cast<size_t>(i) *
+                                static_cast<size_t>(rw);
+            int j = randomBitWords(row, rw, rng_);
+            out.add(i, j);
+            clearBit(free_in_.data(), i);
+            clearBit(free_out_.data(), j);
+        });
     }
-    int out_to_in[64];
-    matchMasks(cols, n_in, out_to_in);
-    Matching m(n_in, n_out);
-    for (PortId j = 0; j < n_out; ++j)
-        if (out_to_in[j] >= 0)
-            m.add(out_to_in[j], j);
-    return m;
 }
 
 }  // namespace an2

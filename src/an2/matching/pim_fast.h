@@ -1,31 +1,34 @@
 /**
  * @file
- * Bitmask-optimized parallel iterative matching for switches up to 64
- * ports — the software analogue of the paper's §3.3 observation that the
- * request/grant/accept wiring is one bit per port pair. Port sets are
- * uint64 masks; request columns, grant rows, and the matched-port sets
- * are updated with bitwise operations, making one iteration O(N) word
- * operations instead of O(N^2) scalar scans.
+ * Bitmask-optimized parallel iterative matching — the software analogue
+ * of the paper's §3.3 observation that the request/grant/accept wiring is
+ * one bit per port pair. Port sets are uint64 masks (multi-word for more
+ * than 64 ports, up to 1024); request columns, grant rows, and the
+ * matched-port sets are updated with bitwise operations, making one
+ * iteration O(N·N/64) word operations instead of O(N^2) scalar scans.
  *
  * Semantics match PimMatcher with AcceptPolicy::Random and unit output
  * capacity: identical legality/maximality guarantees and statistically
  * identical behaviour (grants and accepts are uniform over the same
  * sets); the exact matchings differ because random draws are consumed in
- * a different order. The equivalence is pinned down by differential
- * tests rather than bit-identical replay.
+ * a different order — this core skips the draw for singleton sets. The
+ * equivalence is pinned down by differential tests rather than
+ * bit-identical replay. (PimMatcher's own word-parallel backend, by
+ * contrast, replays the reference draw sequence exactly.)
  */
 #ifndef AN2_MATCHING_PIM_FAST_H
 #define AN2_MATCHING_PIM_FAST_H
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "an2/base/rng.h"
 #include "an2/matching/matcher.h"
 
 namespace an2 {
 
-/** Bitmask PIM: N <= 64, random accept, unit output capacity. */
+/** Bitmask PIM: N <= 1024, random accept, unit output capacity. */
 class FastPimMatcher final : public Matcher
 {
   public:
@@ -36,13 +39,15 @@ class FastPimMatcher final : public Matcher
     explicit FastPimMatcher(int iterations = 4, uint64_t seed = 1);
 
     Matching match(const RequestMatrix& req) override;
+    void matchInto(const RequestMatrix& req, Matching& out) override;
     std::string name() const override;
 
     /**
-     * The fast path: request columns as bitmasks (cols[j] has bit i set
-     * when input i requests output j). Returns the matching as
+     * Single-word fast path: request columns as bitmasks (cols[j] has bit
+     * i set when input i requests output j). Returns the matching as
      * out_to_in[j] = input index or -1. Used directly by the speed
-     * benchmark; match() wraps it.
+     * benchmark; matchInto() runs the equivalent multi-word core on the
+     * RequestMatrix's own column masks.
      *
      * @param cols Request columns, `n` entries.
      * @param n Switch size (<= 64).
@@ -53,6 +58,13 @@ class FastPimMatcher final : public Matcher
   private:
     int iterations_;
     Xoshiro256 rng_;
+
+    // Multi-word scratch, reused across slots.
+    std::vector<uint64_t> free_in_;     ///< unmatched inputs
+    std::vector<uint64_t> free_out_;    ///< unmatched outputs
+    std::vector<uint64_t> granted_;     ///< inputs granted this round
+    std::vector<uint64_t> requesters_;  ///< per-output scratch
+    std::vector<uint64_t> grant_rows_;  ///< outputs granting each input
 };
 
 }  // namespace an2

@@ -1,9 +1,19 @@
 #include "an2/matching/request_matrix.h"
 
+#include <algorithm>
+
 namespace an2 {
 
 RequestMatrix::RequestMatrix(int n_inputs, int n_outputs)
-    : counts_(n_inputs, n_outputs, 0)
+    : counts_(n_inputs, n_outputs, 0),
+      row_words_(wordset::numWords(n_outputs)),
+      col_words_(wordset::numWords(n_inputs)),
+      row_masks_(static_cast<size_t>(n_inputs) *
+                     static_cast<size_t>(row_words_),
+                 0),
+      col_masks_(static_cast<size_t>(n_outputs) *
+                     static_cast<size_t>(col_words_),
+                 0)
 {
     AN2_REQUIRE(n_inputs > 0 && n_outputs > 0,
                 "request matrix must have positive dimensions");
@@ -13,26 +23,67 @@ void
 RequestMatrix::set(PortId i, PortId j, int count)
 {
     AN2_REQUIRE(count >= 0, "request count must be non-negative");
-    counts_.at(i, j) = count;
+    int& cell = counts_.at(i, j);
+    const bool was = cell > 0;
+    const bool now = count > 0;
+    cell = count;
+    if (was == now)
+        return;
+    if (now) {
+        wordset::setBit(rowMaskMut(i), j);
+        wordset::setBit(colMaskMut(j), i);
+        ++edges_;
+    } else {
+        wordset::clearBit(rowMaskMut(i), j);
+        wordset::clearBit(colMaskMut(j), i);
+        --edges_;
+    }
 }
 
 void
 RequestMatrix::decrement(PortId i, PortId j)
 {
-    AN2_ASSERT(counts_.at(i, j) > 0,
+    int& cell = counts_.at(i, j);
+    AN2_ASSERT(cell > 0,
                "decrement of empty request cell (" << i << "," << j << ")");
-    --counts_.at(i, j);
+    if (--cell == 0) {
+        wordset::clearBit(rowMaskMut(i), j);
+        wordset::clearBit(colMaskMut(j), i);
+        --edges_;
+    }
 }
 
-int
-RequestMatrix::numEdges() const
+void
+RequestMatrix::clear()
 {
-    int edges = 0;
-    for (int i = 0; i < numInputs(); ++i)
-        for (int j = 0; j < numOutputs(); ++j)
-            if (has(i, j))
-                ++edges;
-    return edges;
+    counts_.fill(0);
+    std::fill(row_masks_.begin(), row_masks_.end(), 0);
+    std::fill(col_masks_.begin(), col_masks_.end(), 0);
+    edges_ = 0;
+}
+
+void
+RequestMatrix::clearRow(PortId i)
+{
+    uint64_t* row = rowMaskMut(i);
+    wordset::forEachSet(row, row_words_, [&](int j) {
+        counts_.at(i, j) = 0;
+        wordset::clearBit(colMaskMut(j), i);
+        --edges_;
+    });
+    wordset::clearAll(row, row_words_);
+}
+
+void
+RequestMatrix::clearColumn(PortId j)
+{
+    uint64_t* col = colMaskMut(j);
+    wordset::forEachSet(col, col_words_, [&](int i) {
+        counts_.at(i, j) = 0;
+        wordset::clearBit(rowMaskMut(i), j);
+        --edges_;
+    });
+    wordset::clearAll(col, col_words_);
 }
 
 RequestMatrix

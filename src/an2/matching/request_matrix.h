@@ -7,13 +7,26 @@
  * one cell queued for output j. The RequestMatrix records the number of
  * queued cells per pair; schedulers only care whether it is non-zero, but
  * counts are kept for diagnostics and weighted policies.
+ *
+ * Alongside the dense counts the matrix maintains, incrementally on every
+ * mutation, the bit-parallel view the fast matcher backends consume: a
+ * row mask per input (bit j set when input i requests output j), a column
+ * mask per output (bit i set when input i requests output j), and the
+ * edge count. This mirrors the AN2 hardware, where the request state is
+ * literally one wire per port pair (§3.3), and lets a switch patch the
+ * matrix as cells arrive and depart instead of rebuilding O(N^2) state
+ * every slot.
  */
 #ifndef AN2_MATCHING_REQUEST_MATRIX_H
 #define AN2_MATCHING_REQUEST_MATRIX_H
 
+#include <cstdint>
+#include <vector>
+
 #include "an2/base/matrix.h"
 #include "an2/base/rng.h"
 #include "an2/base/types.h"
+#include "an2/matching/wordset.h"
 
 namespace an2 {
 
@@ -45,14 +58,40 @@ class RequestMatrix
     /** Remove one queued cell for (i,j); count must be positive. */
     void decrement(PortId i, PortId j);
 
-    /** Number of (i,j) pairs with at least one request. */
-    int numEdges() const;
+    /** Number of (i,j) pairs with at least one request (O(1)). */
+    int numEdges() const { return edges_; }
 
     /** Total queued cells across all pairs. */
     int totalCells() const { return counts_.total(); }
 
     /** Clear all requests. */
-    void clear() { counts_.fill(0); }
+    void clear();
+
+    /** Zero every request from input i (counts and masks). */
+    void clearRow(PortId i);
+
+    /** Zero every request to output j (counts and masks). */
+    void clearColumn(PortId j);
+
+    /** Words per row mask (over outputs). */
+    int rowWords() const { return row_words_; }
+
+    /** Words per column mask (over inputs). */
+    int colWords() const { return col_words_; }
+
+    /** Row mask of input i: bit j set iff has(i, j). */
+    const uint64_t* rowMask(PortId i) const
+    {
+        return row_masks_.data() +
+               static_cast<size_t>(i) * static_cast<size_t>(row_words_);
+    }
+
+    /** Column mask of output j: bit i set iff has(i, j). */
+    const uint64_t* colMask(PortId j) const
+    {
+        return col_masks_.data() +
+               static_cast<size_t>(j) * static_cast<size_t>(col_words_);
+    }
 
     /**
      * Generate a random pattern: each pair independently has one request
@@ -61,7 +100,24 @@ class RequestMatrix
     static RequestMatrix bernoulli(int n, double p, Rng& rng);
 
   private:
+    uint64_t* rowMaskMut(PortId i)
+    {
+        return row_masks_.data() +
+               static_cast<size_t>(i) * static_cast<size_t>(row_words_);
+    }
+
+    uint64_t* colMaskMut(PortId j)
+    {
+        return col_masks_.data() +
+               static_cast<size_t>(j) * static_cast<size_t>(col_words_);
+    }
+
     Matrix<int> counts_;
+    int row_words_;
+    int col_words_;
+    std::vector<uint64_t> row_masks_;  ///< numInputs x row_words_
+    std::vector<uint64_t> col_masks_;  ///< numOutputs x col_words_
+    int edges_ = 0;
 };
 
 }  // namespace an2

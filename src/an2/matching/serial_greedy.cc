@@ -1,12 +1,23 @@
 #include "an2/matching/serial_greedy.h"
 
 #include <numeric>
-#include <vector>
+
+#include "an2/base/error.h"
+#include "an2/matching/wordset.h"
 
 namespace an2 {
 
-SerialGreedyMatcher::SerialGreedyMatcher(bool randomize, uint64_t seed)
-    : randomize_(randomize), rng_(std::make_unique<Xoshiro256>(seed))
+namespace {
+
+constexpr int kMaxFastPorts = 1024;
+
+}  // namespace
+
+SerialGreedyMatcher::SerialGreedyMatcher(bool randomize, uint64_t seed,
+                                         MatcherBackend backend)
+    : randomize_(randomize),
+      backend_(backend),
+      rng_(std::make_unique<Xoshiro256>(seed))
 {
 }
 
@@ -19,28 +30,76 @@ SerialGreedyMatcher::name() const
 Matching
 SerialGreedyMatcher::match(const RequestMatrix& req)
 {
+    Matching m(req.numInputs(), req.numOutputs());
+    matchInto(req, m);
+    return m;
+}
+
+void
+SerialGreedyMatcher::matchInto(const RequestMatrix& req, Matching& out)
+{
     const int n_in = req.numInputs();
     const int n_out = req.numOutputs();
-    Matching m(n_in, n_out);
+    out.reset(n_in, n_out);
 
-    std::vector<PortId> input_order(static_cast<size_t>(n_in));
-    std::iota(input_order.begin(), input_order.end(), 0);
+    input_order_.resize(static_cast<size_t>(n_in));
+    std::iota(input_order_.begin(), input_order_.end(), 0);
     if (randomize_)
-        rng_->shuffle(input_order);
+        rng_->shuffle(input_order_);
+
+    bool fast = backend_ != MatcherBackend::Reference &&
+                n_in <= kMaxFastPorts && n_out <= kMaxFastPorts;
+    if (backend_ == MatcherBackend::WordParallel) {
+        AN2_REQUIRE(fast,
+                    "word-parallel greedy supports at most 1024 ports");
+    }
+
+    if (fast) {
+        using namespace wordset;
+        const int rw = req.rowWords();
+        free_out_.resize(static_cast<size_t>(rw));
+        candidates_.resize(static_cast<size_t>(rw));
+        fillFirst(free_out_.data(), rw, n_out);
+        for (PortId i : input_order_) {
+            const uint64_t* row = req.rowMask(i);
+            uint64_t any = 0;
+            for (int w = 0; w < rw; ++w) {
+                candidates_[static_cast<size_t>(w)] =
+                    row[w] & free_out_[static_cast<size_t>(w)];
+                any |= candidates_[static_cast<size_t>(w)];
+            }
+            if (any == 0)
+                continue;
+            // Same choice as the scalar core: the k-th candidate in
+            // ascending output order, with one PRNG draw per matched
+            // input (or the lowest index when not randomizing).
+            int j;
+            if (randomize_) {
+                int cnt = popcountAll(candidates_.data(), rw);
+                j = selectBit(candidates_.data(), rw,
+                              static_cast<int>(rng_->nextBelow(
+                                  static_cast<uint64_t>(cnt))));
+            } else {
+                j = firstSet(candidates_.data(), rw);
+            }
+            out.add(i, j);
+            clearBit(free_out_.data(), j);
+        }
+        return;
+    }
 
     std::vector<PortId> candidates;
-    for (PortId i : input_order) {
+    for (PortId i : input_order_) {
         candidates.clear();
         for (PortId j = 0; j < n_out; ++j)
-            if (req.has(i, j) && !m.isOutputSaturated(j))
+            if (req.has(i, j) && !out.isOutputSaturated(j))
                 candidates.push_back(j);
         if (candidates.empty())
             continue;
         PortId j = randomize_ ? candidates[rng_->nextBelow(candidates.size())]
                               : candidates.front();
-        m.add(i, j);
+        out.add(i, j);
     }
-    return m;
 }
 
 }  // namespace an2

@@ -10,7 +10,9 @@
 #ifndef AN2_MATCHING_SERIAL_GREEDY_H
 #define AN2_MATCHING_SERIAL_GREEDY_H
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "an2/base/rng.h"
 #include "an2/matching/matcher.h"
@@ -25,15 +27,27 @@ class SerialGreedyMatcher final : public Matcher
      * @param randomize Visit inputs and outputs in random order (fairer);
      *                  when false, lowest index wins every tie.
      * @param seed PRNG seed used when randomizing.
+     * @param backend Implementation core; Auto uses the word-parallel
+     *                core up to 1024 ports (bit-identical matchings —
+     *                same shuffle and same PRNG draw per input).
      */
-    explicit SerialGreedyMatcher(bool randomize = true, uint64_t seed = 1);
+    explicit SerialGreedyMatcher(bool randomize = true, uint64_t seed = 1,
+                                 MatcherBackend backend =
+                                     MatcherBackend::Auto);
 
     Matching match(const RequestMatrix& req) override;
+    void matchInto(const RequestMatrix& req, Matching& out) override;
     std::string name() const override;
 
   private:
     bool randomize_;
+    MatcherBackend backend_;
     std::unique_ptr<Rng> rng_;
+
+    // Reused scratch (no steady-state heap traffic).
+    std::vector<PortId> input_order_;
+    std::vector<uint64_t> free_out_;    ///< unsaturated outputs
+    std::vector<uint64_t> candidates_;  ///< per-input scratch
 };
 
 }  // namespace an2

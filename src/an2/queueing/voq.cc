@@ -1,12 +1,14 @@
 #include "an2/queueing/voq.h"
 
 #include "an2/base/error.h"
+#include "an2/matching/wordset.h"
 
 namespace an2 {
 
 InputBuffer::InputBuffer(int n_outputs)
     : n_outputs_(n_outputs), eligible_(static_cast<size_t>(n_outputs)),
-      cells_per_output_(static_cast<size_t>(n_outputs), 0)
+      cells_per_output_(static_cast<size_t>(n_outputs), 0),
+      occ_(static_cast<size_t>(wordset::numWords(n_outputs)), 0)
 {
     AN2_REQUIRE(n_outputs > 0, "input buffer needs at least one output");
 }
@@ -39,7 +41,8 @@ InputBuffer::enqueueAs(FlowId queue_key, const Cell& cell)
                          << " but cell claims output " << cell.output);
     st.cells.push_back(cell);
     ++total_cells_;
-    ++cells_per_output_[static_cast<size_t>(cell.output)];
+    if (++cells_per_output_[static_cast<size_t>(cell.output)] == 1)
+        wordset::setBit(occ_.data(), cell.output);
     if (!st.eligible_listed) {
         eligible_[static_cast<size_t>(cell.output)].push_back(queue_key);
         st.eligible_listed = true;
@@ -63,13 +66,22 @@ int
 InputBuffer::eligibleFlowsFor(PortId j) const
 {
     AN2_REQUIRE(j >= 0 && j < n_outputs_, "output " << j << " out of range");
+    const auto& list = eligible_[static_cast<size_t>(j)];
     int n = 0;
-    for (FlowId f : eligible_[static_cast<size_t>(j)]) {
-        auto it = flows_.find(f);
+    for (size_t k = 0; k < list.size(); ++k) {
+        auto it = flows_.find(list.at(k));
         if (it != flows_.end() && !it->second.cells.empty())
             ++n;
     }
     return n;
+}
+
+void
+InputBuffer::noteDequeued(PortId j)
+{
+    --total_cells_;
+    if (--cells_per_output_[static_cast<size_t>(j)] == 0)
+        wordset::clearBit(occ_.data(), j);
 }
 
 Cell
@@ -90,8 +102,7 @@ InputBuffer::dequeueFor(PortId j)
         }
         Cell c = st.cells.front();
         st.cells.pop_front();
-        --total_cells_;
-        --cells_per_output_[static_cast<size_t>(j)];
+        noteDequeued(j);
         if (!st.cells.empty()) {
             list.push_back(f);  // round-robin: rotate to the back
         } else {
@@ -115,8 +126,7 @@ InputBuffer::dequeueFlow(FlowId f)
     PerFlow& st = flowState(f);
     Cell c = st.cells.front();
     st.cells.pop_front();
-    --total_cells_;
-    --cells_per_output_[static_cast<size_t>(c.output)];
+    noteDequeued(c.output);
     // If the flow is now empty, its eligible-list entry (if any) becomes
     // stale and is discarded lazily by dequeueFor().
     return c;

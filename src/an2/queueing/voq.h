@@ -15,10 +15,12 @@
 #ifndef AN2_QUEUEING_VOQ_H
 #define AN2_QUEUEING_VOQ_H
 
+#include <cstdint>
 #include <deque>
 #include <unordered_map>
 #include <vector>
 
+#include "an2/base/ring.h"
 #include "an2/cell/cell.h"
 #include "an2/cell/flow.h"
 
@@ -56,6 +58,17 @@ class InputBuffer
     /** Total buffered cells at this input. */
     int totalCells() const { return total_cells_; }
 
+    /**
+     * Occupancy bitmask: bit j set iff some cell is queued for output j.
+     * Maintained incrementally on enqueue/dequeue; this is the input's
+     * request row, read directly by the switch to patch its persistent
+     * request matrix instead of rescanning every (input, output) pair.
+     */
+    const uint64_t* occupancyMask() const { return occ_.data(); }
+
+    /** Number of 64-bit words in occupancyMask(). */
+    int occupancyWords() const { return static_cast<int>(occ_.size()); }
+
     /** Number of distinct eligible flows for output j. */
     int eligibleFlowsFor(PortId j) const;
 
@@ -84,16 +97,21 @@ class InputBuffer
 
     PerFlow& flowState(FlowId f);
 
-    /** Remove flow f from output j's eligible list. */
-    void delist(FlowId f, PortId j);
+    /** Record one fewer cell for output j, keeping occ_ in sync. */
+    void noteDequeued(PortId j);
 
     int n_outputs_;
     int total_cells_ = 0;
     std::unordered_map<FlowId, PerFlow> flows_;
-    /** Round-robin eligible-flow list per output. */
-    std::vector<std::deque<FlowId>> eligible_;
+    /**
+     * Round-robin eligible-flow list per output. A ring (not a deque)
+     * so steady-state rotation never allocates.
+     */
+    std::vector<RingQueue<FlowId>> eligible_;
     /** Cells queued per output, maintained incrementally. */
     std::vector<int> cells_per_output_;
+    /** Bit j set iff cells_per_output_[j] > 0. */
+    std::vector<uint64_t> occ_;
 };
 
 }  // namespace an2

@@ -26,9 +26,10 @@ FifoSwitch::acceptCell(const Cell& cell)
     queues_[static_cast<size_t>(cell.input)].push_back(cell);
 }
 
-std::vector<Cell>
+const std::vector<Cell>&
 FifoSwitch::runSlot(SlotTime)
 {
+    departed_.clear();
     // Expose the first `window` destinations of each FIFO.
     std::vector<std::vector<PortId>> window_dests(static_cast<size_t>(n_));
     for (PortId i = 0; i < n_; ++i) {
@@ -44,7 +45,6 @@ FifoSwitch::runSlot(SlotTime)
                                                rng_);
     crossbar_.configure(res.matching);
 
-    std::vector<Cell> departed;
     for (PortId i = 0; i < n_; ++i) {
         int pos = res.positions[static_cast<size_t>(i)];
         if (pos < 0)
@@ -55,9 +55,9 @@ FifoSwitch::runSlot(SlotTime)
         Cell c = q[static_cast<size_t>(pos)];
         q.erase(q.begin() + pos);
         crossbar_.forward(c);
-        departed.push_back(c);
+        departed_.push_back(c);
     }
-    return departed;
+    return departed_;
 }
 
 int

@@ -35,7 +35,7 @@ class FifoSwitch final : public SwitchModel
     FifoSwitch(int n, uint64_t seed, int window = 1, int rounds = 1);
 
     void acceptCell(const Cell& cell) override;
-    std::vector<Cell> runSlot(SlotTime slot) override;
+    const std::vector<Cell>& runSlot(SlotTime slot) override;
     int bufferedCells() const override;
     std::string name() const override;
     int size() const override { return n_; }
@@ -47,6 +47,7 @@ class FifoSwitch final : public SwitchModel
     std::vector<std::deque<Cell>> queues_;
     Crossbar crossbar_;
     Xoshiro256 rng_;
+    std::vector<Cell> departed_;  ///< runSlot return buffer, reused
 };
 
 }  // namespace an2

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "an2/base/error.h"
+#include "an2/matching/wordset.h"
 
 namespace an2 {
 
@@ -10,7 +11,15 @@ InputQueuedSwitch::InputQueuedSwitch(const IqSwitchConfig& config,
                                      std::unique_ptr<Matcher> matcher,
                                      const FrameSchedule* cbr_schedule)
     : config_(config), matcher_(std::move(matcher)),
-      cbr_schedule_(cbr_schedule), crossbar_(config.n)
+      cbr_schedule_(cbr_schedule), crossbar_(config.n), vbr_req_(config.n),
+      masked_req_(config.n), busy_words_(wordset::numWords(config.n)),
+      in_busy_(static_cast<size_t>(busy_words_), 0),
+      out_busy_(static_cast<size_t>(busy_words_), 0),
+      next_in_(static_cast<size_t>(busy_words_), 0),
+      next_out_(static_cast<size_t>(busy_words_), 0),
+      vbr_match_(config.n, config.n),
+      combined_(config.n, config.n, config.output_speedup),
+      pending_vbr_(config.n, config.n)
 {
     AN2_REQUIRE(config_.n > 0, "switch size must be positive");
     AN2_REQUIRE(config_.output_speedup >= 1, "speedup must be >= 1");
@@ -29,6 +38,8 @@ InputQueuedSwitch::InputQueuedSwitch(const IqSwitchConfig& config,
     }
     if (config_.output_speedup > 1)
         out_queues_.resize(static_cast<size_t>(config_.n));
+    forwarded_.reserve(static_cast<size_t>(config_.n) *
+                       static_cast<size_t>(config_.output_speedup));
 }
 
 std::string
@@ -57,17 +68,17 @@ InputQueuedSwitch::acceptCell(const Cell& cell)
         cbr_bufs_[static_cast<size_t>(cell.input)].enqueue(cell);
     } else {
         vbr_bufs_[static_cast<size_t>(cell.input)].enqueue(cell);
+        // Patch the persistent request matrix; the matching dequeue-side
+        // decrement happens in forwardVbr().
+        vbr_req_.increment(cell.input, cell.output);
     }
 }
 
-std::vector<Cell>
-InputQueuedSwitch::serveCbr(SlotTime slot, std::vector<bool>& in_busy,
-                            std::vector<bool>& out_busy)
+int
+InputQueuedSwitch::serveCbr(SlotTime slot)
 {
-    std::vector<Cell> forwarded;
-    if (cbr_schedule_ == nullptr)
-        return forwarded;
     int fs = static_cast<int>(slot % cbr_schedule_->frameSlots());
+    int served = 0;
     for (PortId i = 0; i < config_.n; ++i) {
         PortId j = cbr_schedule_->outputAt(fs, i);
         if (j == kNoPort)
@@ -75,137 +86,152 @@ InputQueuedSwitch::serveCbr(SlotTime slot, std::vector<bool>& in_busy,
         auto& buf = cbr_bufs_[static_cast<size_t>(i)];
         if (!buf.hasCellFor(j))
             continue;  // idle reservation: the slot falls to VBR
-        Cell c = buf.dequeueFor(j);
-        in_busy[static_cast<size_t>(i)] = true;
-        out_busy[static_cast<size_t>(j)] = true;
-        forwarded.push_back(c);
+        forwarded_.push_back(buf.dequeueFor(j));
+        wordset::setBit(in_busy_.data(), i);
+        wordset::setBit(out_busy_.data(), j);
         ++cbr_forwarded_;
+        ++served;
     }
-    return forwarded;
+    return served;
 }
 
-void
-InputQueuedSwitch::predictCbrBusy(SlotTime slot, std::vector<bool>& in_busy,
-                                  std::vector<bool>& out_busy) const
+bool
+InputQueuedSwitch::predictCbrBusy(SlotTime slot)
 {
     // Ports the frame schedule will claim in `slot`, predicted from the
     // CBR cells queued right now (CBR buffers only drain at their own
     // scheduled slots, so a cell present now is still present then; a
     // cell arriving later makes the prediction optimistic, and the
     // transmit path re-checks with CBR priority).
-    if (cbr_schedule_ == nullptr)
-        return;
     int fs = static_cast<int>(slot % cbr_schedule_->frameSlots());
+    bool any = false;
     for (PortId i = 0; i < config_.n; ++i) {
         PortId j = cbr_schedule_->outputAt(fs, i);
         if (j == kNoPort || !cbr_bufs_[static_cast<size_t>(i)].hasCellFor(j))
             continue;
-        in_busy[static_cast<size_t>(i)] = true;
-        out_busy[static_cast<size_t>(j)] = true;
+        wordset::setBit(next_in_.data(), i);
+        wordset::setBit(next_out_.data(), j);
+        any = true;
     }
+    return any;
 }
 
-Matching
-InputQueuedSwitch::computeVbrMatch(const std::vector<bool>& in_busy,
-                                   const std::vector<bool>& out_busy)
+void
+InputQueuedSwitch::computeVbrMatch(const uint64_t* in_busy,
+                                   const uint64_t* out_busy, bool any_busy,
+                                   Matching& out)
 {
-    const int n = config_.n;
-    RequestMatrix req(n);
-    for (PortId i = 0; i < n; ++i) {
-        if (in_busy[static_cast<size_t>(i)])
-            continue;
-        const auto& buf = vbr_bufs_[static_cast<size_t>(i)];
-        if (buf.totalCells() == 0)
-            continue;
-        for (PortId j = 0; j < n; ++j) {
-            if (out_busy[static_cast<size_t>(j)])
-                continue;
-            int count = buf.cellCountFor(j);
-            if (count > 0)
-                req.set(i, j, count);
-        }
+    const RequestMatrix* req = &vbr_req_;
+    if (any_busy) {
+        // Copy-assign reuses masked_req_'s capacity (same dimensions
+        // every slot), then strip the CBR-claimed ports.
+        masked_req_ = vbr_req_;
+        wordset::forEachSet(in_busy, busy_words_,
+                            [&](int i) { masked_req_.clearRow(i); });
+        wordset::forEachSet(out_busy, busy_words_,
+                            [&](int j) { masked_req_.clearColumn(j); });
+        req = &masked_req_;
     }
-    Matching m = matcher_->match(req);
-    AN2_ASSERT(m.isLegalFor(req), "matcher returned illegal match");
-    return m;
+    matcher_->matchInto(*req, out);
+    AN2_ASSERT(out.isLegalFor(*req), "matcher returned illegal match");
 }
 
-std::vector<Cell>
+void
+InputQueuedSwitch::forwardVbr(SlotTime slot, PortId i, PortId j)
+{
+    AN2_ASSERT(vbr_bufs_[static_cast<size_t>(i)].hasCellFor(j),
+               "pipelined matching references a vanished cell");
+    Cell c = vbr_bufs_[static_cast<size_t>(i)].dequeueFor(j);
+    vbr_req_.decrement(i, j);
+    ++vbr_forwarded_;
+    if (cbr_schedule_ != nullptr) {
+        int fs = static_cast<int>(slot % cbr_schedule_->frameSlots());
+        if (cbr_schedule_->outputAt(fs, i) == j)
+            ++vbr_in_cbr_slots_;
+    }
+    forwarded_.push_back(c);
+}
+
+const std::vector<Cell>&
 InputQueuedSwitch::runSlot(SlotTime slot)
 {
     const int n = config_.n;
+    forwarded_.clear();
 
     // Phase 1: CBR service from the frame schedule.
-    std::vector<bool> in_busy(static_cast<size_t>(n), false);
-    std::vector<bool> out_busy(static_cast<size_t>(n), false);
-    std::vector<Cell> forwarded = serveCbr(slot, in_busy, out_busy);
+    bool cbr_busy = false;
+    if (cbr_schedule_ != nullptr) {
+        wordset::clearAll(in_busy_.data(), busy_words_);
+        wordset::clearAll(out_busy_.data(), busy_words_);
+        cbr_busy = serveCbr(slot) > 0;
+    }
+    const size_t n_cbr = forwarded_.size();
 
     // Phase 2: the VBR matching for this slot — computed now, or (in
-    // pipelined mode) taken from the previous slot's computation.
-    std::vector<std::pair<PortId, PortId>> vbr_pairs;
+    // pipelined mode) taken from the previous slot's computation — is
+    // merged with the CBR pairings into the crossbar setting.
+    combined_.reset(n, n, config_.output_speedup);
+    for (size_t k = 0; k < n_cbr; ++k)
+        combined_.add(forwarded_[k].input, forwarded_[k].output);
     if (!config_.pipelined) {
-        for (auto [i, j] : computeVbrMatch(in_busy, out_busy).pairs())
-            vbr_pairs.emplace_back(i, j);
-    } else if (pending_vbr_ != nullptr) {
-        for (auto [i, j] : pending_vbr_->pairs()) {
+        computeVbrMatch(in_busy_.data(), out_busy_.data(), cbr_busy,
+                        vbr_match_);
+        for (PortId i = 0; i < n; ++i) {
+            PortId j = vbr_match_.outputOf(i);
+            if (j == kNoPort)
+                continue;
+            combined_.add(i, j);
+            forwardVbr(slot, i, j);
+        }
+    } else if (has_pending_) {
+        for (PortId i = 0; i < n; ++i) {
+            PortId j = pending_vbr_.outputOf(i);
+            if (j == kNoPort)
+                continue;
             // A CBR cell that arrived after the matching was computed
             // reclaims its scheduled ports: CBR has priority.
-            if (in_busy[static_cast<size_t>(i)] ||
-                out_busy[static_cast<size_t>(j)])
+            if (cbr_busy && (wordset::testBit(in_busy_.data(), i) ||
+                             wordset::testBit(out_busy_.data(), j)))
                 continue;
-            vbr_pairs.emplace_back(i, j);
+            combined_.add(i, j);
+            forwardVbr(slot, i, j);
         }
     }
 
-    // Phase 3: forward across the crossbar.
-    Matching combined(n, n, config_.output_speedup);
-    for (const Cell& c : forwarded)
-        combined.add(c.input, c.output);
-    std::vector<Cell> vbr_cells;
-    for (auto [i, j] : vbr_pairs) {
-        combined.add(i, j);
-        AN2_ASSERT(vbr_bufs_[static_cast<size_t>(i)].hasCellFor(j),
-                   "pipelined matching references a vanished cell");
-        Cell c = vbr_bufs_[static_cast<size_t>(i)].dequeueFor(j);
-        ++vbr_forwarded_;
-        if (cbr_schedule_ != nullptr) {
-            int fs = static_cast<int>(slot % cbr_schedule_->frameSlots());
-            if (cbr_schedule_->outputAt(fs, i) == j)
-                ++vbr_in_cbr_slots_;
-        }
-        vbr_cells.push_back(c);
-    }
-    crossbar_.configure(combined);
-    for (const Cell& c : forwarded)
+    // Phase 3: forward across the crossbar (CBR cells first, then VBR,
+    // exactly the order they were appended to forwarded_).
+    crossbar_.configure(combined_);
+    for (const Cell& c : forwarded_)
         crossbar_.forward(c);
-    for (const Cell& c : vbr_cells)
-        crossbar_.forward(c);
-    forwarded.insert(forwarded.end(), vbr_cells.begin(), vbr_cells.end());
 
     // Pipelined mode: while this slot's cells cross the fabric, the
     // scheduler computes the matching the *next* slot will use.
     if (config_.pipelined) {
-        std::vector<bool> next_in(static_cast<size_t>(n), false);
-        std::vector<bool> next_out(static_cast<size_t>(n), false);
-        predictCbrBusy(slot + 1, next_in, next_out);
-        pending_vbr_ =
-            std::make_unique<Matching>(computeVbrMatch(next_in, next_out));
+        bool any_next = false;
+        if (cbr_schedule_ != nullptr) {
+            wordset::clearAll(next_in_.data(), busy_words_);
+            wordset::clearAll(next_out_.data(), busy_words_);
+            any_next = predictCbrBusy(slot + 1);
+        }
+        computeVbrMatch(next_in_.data(), next_out_.data(), any_next,
+                        pending_vbr_);
+        has_pending_ = true;
     }
 
     // Departures: direct with a plain crossbar; via output queues with a
     // replicated fabric (one cell leaves each output link per slot).
     if (config_.output_speedup == 1)
-        return forwarded;
+        return forwarded_;
 
-    for (const Cell& c : forwarded)
+    for (const Cell& c : forwarded_)
         out_queues_[static_cast<size_t>(c.output)].push(c);
-    std::vector<Cell> departed;
+    departed_.clear();
     for (auto& q : out_queues_) {
         q.noteOccupancy();
         if (!q.empty())
-            departed.push_back(q.pop());
+            departed_.push_back(q.pop());
     }
-    return departed;
+    return departed_;
 }
 
 int

@@ -14,6 +14,12 @@
  *
  * With output_speedup k > 1 (replicated fabric, §3.1) up to k cells reach
  * an output per slot and drain through an output queue at one per slot.
+ *
+ * The scheduling input is a persistent RequestMatrix patched as cells
+ * arrive and depart (one increment per enqueue, one decrement per
+ * dequeue), mirroring the hardware's per-port-pair request wires; the
+ * O(N^2) per-slot rebuild of earlier revisions is gone, and steady-state
+ * runSlot() performs no heap allocation.
  */
 #ifndef AN2_SIM_IQ_SWITCH_H
 #define AN2_SIM_IQ_SWITCH_H
@@ -69,7 +75,7 @@ class InputQueuedSwitch final : public SwitchModel
                       const FrameSchedule* cbr_schedule = nullptr);
 
     void acceptCell(const Cell& cell) override;
-    std::vector<Cell> runSlot(SlotTime slot) override;
+    const std::vector<Cell>& runSlot(SlotTime slot) override;
     int bufferedCells() const override;
     std::string name() const override;
     int size() const override { return config_.n; }
@@ -89,18 +95,27 @@ class InputQueuedSwitch final : public SwitchModel
     /** The VBR scheduler. */
     Matcher& matcher() { return *matcher_; }
 
+    /** The persistent VBR request matrix (patched incrementally). */
+    const RequestMatrix& vbrRequests() const { return vbr_req_; }
+
   private:
-    /** Serve the frame schedule's pairings for `slot`; returns cells. */
-    std::vector<Cell> serveCbr(SlotTime slot, std::vector<bool>& in_busy,
-                               std::vector<bool>& out_busy);
+    /** Serve the frame schedule's pairings for `slot` into forwarded_,
+        marking claimed ports in in_busy_/out_busy_; returns count. */
+    int serveCbr(SlotTime slot);
 
-    /** Predict the ports the frame schedule will claim in `slot`. */
-    void predictCbrBusy(SlotTime slot, std::vector<bool>& in_busy,
-                        std::vector<bool>& out_busy) const;
+    /** Predict the ports the frame schedule will claim in `slot`,
+        marking them in next_in_/next_out_; returns true if any. */
+    bool predictCbrBusy(SlotTime slot);
 
-    /** Compute a VBR matching avoiding the given busy ports. */
-    Matching computeVbrMatch(const std::vector<bool>& in_busy,
-                             const std::vector<bool>& out_busy);
+    /** Dequeue the VBR cell behind pairing (i,j) and log statistics. */
+    void forwardVbr(SlotTime slot, PortId i, PortId j);
+
+    /**
+     * Compute a VBR matching into `out`, excluding the ports whose bits
+     * are set in the given busy masks (`any_busy` false = all free).
+     */
+    void computeVbrMatch(const uint64_t* in_busy, const uint64_t* out_busy,
+                         bool any_busy, Matching& out);
 
     IqSwitchConfig config_;
     std::unique_ptr<Matcher> matcher_;
@@ -109,8 +124,31 @@ class InputQueuedSwitch final : public SwitchModel
     std::vector<InputBuffer> cbr_bufs_;
     std::vector<OutputQueue> out_queues_;  ///< used when speedup > 1
     Crossbar crossbar_;
+
+    /**
+     * Requests for the VBR scheduler: count(i,j) = VBR cells queued at
+     * input i for output j. Incremented in acceptCell, decremented as
+     * cells cross the fabric — never rebuilt.
+     */
+    RequestMatrix vbr_req_;
+    /** Scratch copy of vbr_req_ with CBR-claimed ports cleared. */
+    RequestMatrix masked_req_;
+
+    // Per-slot scratch, reused so steady-state slots never allocate.
+    int busy_words_;                   ///< words per port bitmask
+    std::vector<uint64_t> in_busy_;    ///< inputs claimed by CBR
+    std::vector<uint64_t> out_busy_;   ///< outputs claimed by CBR
+    std::vector<uint64_t> next_in_;    ///< predicted busy, next slot
+    std::vector<uint64_t> next_out_;   ///< predicted busy, next slot
+    Matching vbr_match_;               ///< matcher output buffer
+    Matching combined_;                ///< CBR + VBR crossbar setting
+    std::vector<Cell> forwarded_;      ///< cells crossing this slot
+    std::vector<Cell> departed_;       ///< runSlot return (speedup > 1)
+
     /** Pipelined mode: the matching precomputed for the next slot. */
-    std::unique_ptr<Matching> pending_vbr_;
+    Matching pending_vbr_;
+    bool has_pending_ = false;
+
     int64_t cbr_forwarded_ = 0;
     int64_t vbr_forwarded_ = 0;
     int64_t vbr_in_cbr_slots_ = 0;

@@ -19,16 +19,16 @@ OutputQueuedSwitch::acceptCell(const Cell& cell)
     queues_[static_cast<size_t>(cell.output)].push(cell);
 }
 
-std::vector<Cell>
+const std::vector<Cell>&
 OutputQueuedSwitch::runSlot(SlotTime)
 {
-    std::vector<Cell> departed;
+    departed_.clear();
     for (auto& q : queues_) {
         q.noteOccupancy();
         if (!q.empty())
-            departed.push_back(q.pop());
+            departed_.push_back(q.pop());
     }
-    return departed;
+    return departed_;
 }
 
 int

@@ -24,7 +24,7 @@ class OutputQueuedSwitch final : public SwitchModel
     explicit OutputQueuedSwitch(int n);
 
     void acceptCell(const Cell& cell) override;
-    std::vector<Cell> runSlot(SlotTime slot) override;
+    const std::vector<Cell>& runSlot(SlotTime slot) override;
     int bufferedCells() const override;
     std::string name() const override { return "OutputQueued"; }
     int size() const override { return n_; }
@@ -32,6 +32,7 @@ class OutputQueuedSwitch final : public SwitchModel
   private:
     int n_;
     std::vector<OutputQueue> queues_;
+    std::vector<Cell> departed_;  ///< runSlot return buffer, reused
 };
 
 }  // namespace an2

@@ -31,7 +31,7 @@ runSimulation(SwitchModel& sw, TrafficGenerator& traffic,
             metrics.noteInjected(c);
             ++injected_total;
         }
-        std::vector<Cell> departed = sw.runSlot(slot);
+        const std::vector<Cell>& departed = sw.runSlot(slot);
         for (const Cell& c : departed) {
             metrics.noteDelivered(c, slot);
             ++delivered_total;

@@ -28,9 +28,12 @@ class SwitchModel
 
     /**
      * Schedule and forward for slot `slot`; returns the departing cells.
-     * Called once per slot, after all of the slot's arrivals.
+     * Called once per slot, after all of the slot's arrivals. The
+     * reference points at a buffer owned by the switch and is valid until
+     * the next runSlot() call — implementations reuse it so that
+     * steady-state slots perform no heap allocation.
      */
-    virtual std::vector<Cell> runSlot(SlotTime slot) = 0;
+    virtual const std::vector<Cell>& runSlot(SlotTime slot) = 0;
 
     /** Cells currently buffered anywhere in the switch. */
     virtual int bufferedCells() const = 0;

@@ -45,18 +45,18 @@ VirtualClockSwitch::acceptCell(const Cell& cell)
     ++buffered_;
 }
 
-std::vector<Cell>
+const std::vector<Cell>&
 VirtualClockSwitch::runSlot(SlotTime)
 {
-    std::vector<Cell> departed;
+    departed_.clear();
     for (auto& q : queues_) {
         if (q.empty())
             continue;
-        departed.push_back(q.top().cell);
+        departed_.push_back(q.top().cell);
         q.pop();
         --buffered_;
     }
-    return departed;
+    return departed_;
 }
 
 int

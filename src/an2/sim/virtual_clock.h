@@ -37,7 +37,7 @@ class VirtualClockSwitch final : public SwitchModel
     void setDefaultRate(double rate);
 
     void acceptCell(const Cell& cell) override;
-    std::vector<Cell> runSlot(SlotTime slot) override;
+    const std::vector<Cell>& runSlot(SlotTime slot) override;
     int bufferedCells() const override;
     std::string name() const override { return "VirtualClock(OQ)"; }
     int size() const override { return n_; }
@@ -66,6 +66,7 @@ class VirtualClockSwitch final : public SwitchModel
     std::map<FlowId, double> rates_;
     std::map<FlowId, double> virtual_clock_;
     std::vector<MinHeap> queues_;
+    std::vector<Cell> departed_;  ///< runSlot return buffer, reused
     int buffered_ = 0;
     int64_t arrivals_seen_ = 0;
 };

@@ -3,6 +3,7 @@
 // graceful handling of degenerate patterns — across a common sweep.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <functional>
 #include <memory>
 #include <string>
@@ -195,13 +196,195 @@ TEST_P(MatcherConformanceTest, RepeatedCallsStayLegal)
 INSTANTIATE_TEST_SUITE_P(
     AllMatchers, MatcherConformanceTest,
     ::testing::Combine(::testing::Range(0, 10),  // factory index
-                       ::testing::Values(2, 5, 8, 16)),
+                       ::testing::Values(2, 5, 8, 16, 80)),
     [](const ::testing::TestParamInfo<::testing::tuple<int, int>>& info) {
         return allFactories()[static_cast<size_t>(
                                   ::testing::get<0>(info.param))]
                    .label +
                "_n" + std::to_string(::testing::get<1>(info.param));
     });
+
+// ---------------------------------------------------------------------------
+// Backend equivalence: the word-parallel cores must be byte-identical to
+// the scalar reference cores — same matchings from the same seeds — for
+// every deterministic-given-the-draws algorithm (PIM consumes one PRNG
+// draw per decision in the same order; iSLIP and fixed-order greedy draw
+// nothing).
+// ---------------------------------------------------------------------------
+
+void
+expectIdenticalMatchings(const Matching& a, const Matching& b,
+                         const std::string& context)
+{
+    ASSERT_EQ(a.numInputs(), b.numInputs()) << context;
+    EXPECT_EQ(a.size(), b.size()) << context;
+    for (PortId i = 0; i < a.numInputs(); ++i)
+        EXPECT_EQ(a.outputOf(i), b.outputOf(i)) << context << " input " << i;
+}
+
+/** Run `trials` random patterns through both matchers, expecting
+    byte-identical matchings from both match() and matchInto(). */
+void
+expectBackendsAgree(Matcher& reference, Matcher& fast, int n, int trials,
+                    uint64_t stream_seed)
+{
+    Xoshiro256 pattern_rng(stream_seed);
+    Matching buf(n, n);
+    for (int t = 0; t < trials; ++t) {
+        double p = 0.05 + 0.9 * pattern_rng.nextDouble();
+        auto req = RequestMatrix::bernoulli(n, p, pattern_rng);
+        Matching ref = reference.match(req);
+        // Alternate the fast entry points so both are pinned.
+        if (t % 2 == 0) {
+            fast.matchInto(req, buf);
+            expectIdenticalMatchings(ref, buf,
+                                     "n=" + std::to_string(n) + " t=" +
+                                         std::to_string(t));
+        } else {
+            expectIdenticalMatchings(ref, fast.match(req),
+                                     "n=" + std::to_string(n) + " t=" +
+                                         std::to_string(t));
+        }
+    }
+}
+
+TEST(MatcherBackendEquivalence, PimRandomAccept)
+{
+    for (int n : {3, 16, 64, 65, 100, 256}) {
+        PimMatcher ref(PimConfig{.iterations = 4, .seed = 11,
+                                 .backend = MatcherBackend::Reference});
+        PimMatcher fast(PimConfig{.iterations = 4, .seed = 11,
+                                  .backend = MatcherBackend::WordParallel});
+        expectBackendsAgree(ref, fast, n, n > 64 ? 40 : 150,
+                            static_cast<uint64_t>(1000 + n));
+    }
+}
+
+TEST(MatcherBackendEquivalence, PimRoundRobinAccept)
+{
+    for (int n : {5, 16, 64, 100}) {
+        PimConfig cfg{.iterations = 4, .seed = 21};
+        cfg.accept = AcceptPolicy::RoundRobin;
+        cfg.backend = MatcherBackend::Reference;
+        PimMatcher ref(cfg);
+        cfg.backend = MatcherBackend::WordParallel;
+        PimMatcher fast(cfg);
+        expectBackendsAgree(ref, fast, n, 100,
+                            static_cast<uint64_t>(2000 + n));
+    }
+}
+
+TEST(MatcherBackendEquivalence, PimToCompletion)
+{
+    for (int n : {8, 64, 128}) {
+        PimMatcher ref(PimConfig{.iterations = 0, .seed = 31,
+                                 .backend = MatcherBackend::Reference});
+        PimMatcher fast(PimConfig{.iterations = 0, .seed = 31,
+                                  .backend = MatcherBackend::WordParallel});
+        expectBackendsAgree(ref, fast, n, 60,
+                            static_cast<uint64_t>(3000 + n));
+    }
+}
+
+TEST(MatcherBackendEquivalence, Islip)
+{
+    for (int n : {3, 16, 64, 65, 100, 256}) {
+        IslipMatcher ref(4, MatcherBackend::Reference);
+        IslipMatcher fast(4, MatcherBackend::WordParallel);
+        expectBackendsAgree(ref, fast, n, n > 64 ? 40 : 150,
+                            static_cast<uint64_t>(4000 + n));
+    }
+}
+
+TEST(MatcherBackendEquivalence, GreedyRandomized)
+{
+    for (int n : {3, 16, 64, 100, 256}) {
+        SerialGreedyMatcher ref(true, 41, MatcherBackend::Reference);
+        SerialGreedyMatcher fast(true, 41, MatcherBackend::WordParallel);
+        expectBackendsAgree(ref, fast, n, n > 64 ? 40 : 150,
+                            static_cast<uint64_t>(5000 + n));
+    }
+}
+
+TEST(MatcherBackendEquivalence, GreedyFixedOrder)
+{
+    for (int n : {3, 16, 64, 100}) {
+        SerialGreedyMatcher ref(false, 1, MatcherBackend::Reference);
+        SerialGreedyMatcher fast(false, 1, MatcherBackend::WordParallel);
+        expectBackendsAgree(ref, fast, n, 100,
+                            static_cast<uint64_t>(6000 + n));
+    }
+}
+
+TEST(MatcherBackendEquivalence, WordParallelRejectsUnsupportedConfigs)
+{
+    PimConfig cfg;
+    cfg.output_capacity = 2;
+    cfg.backend = MatcherBackend::WordParallel;
+    PimMatcher pim(cfg);
+    RequestMatrix req(4);
+    req.set(0, 0, 1);
+    EXPECT_THROW(pim.match(req), UsageError);
+
+    // Auto silently falls back to the reference core instead.
+    cfg.backend = MatcherBackend::Auto;
+    PimMatcher pim_auto(cfg);
+    EXPECT_EQ(pim_auto.match(req).size(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// FastPIM (the standalone bitmask matcher) deliberately skips PRNG draws
+// for singleton sets, so it is statistically — not byte — equivalent to
+// PimMatcher: same legality/maximality guarantees and the same matching
+// size distribution over many seeded trials.
+// ---------------------------------------------------------------------------
+
+TEST(FastPimParity, LegalAndMaximalManyTrials)
+{
+    for (int n : {16, 80, 128}) {
+        FastPimMatcher fast(0, static_cast<uint64_t>(50 + n));
+        Xoshiro256 rng(static_cast<uint64_t>(60 + n));
+        for (int t = 0; t < 1000; ++t) {
+            auto req = RequestMatrix::bernoulli(n, 0.3, rng);
+            Matching m = fast.match(req);
+            ASSERT_TRUE(m.isLegalFor(req)) << "n=" << n << " t=" << t;
+            ASSERT_TRUE(m.isMaximalFor(req)) << "n=" << n << " t=" << t;
+        }
+    }
+}
+
+TEST(FastPimParity, MatchSizeDistributionTracksReference)
+{
+    // Identical request streams; compare the distribution of matching
+    // sizes (mean and second moment) over >= 1000 trials at several N.
+    for (int n : {16, 48, 80}) {
+        constexpr int kTrials = 1500;
+        PimMatcher ref(PimConfig{.iterations = 4,
+                                 .seed = static_cast<uint64_t>(70 + n)});
+        FastPimMatcher fast(4, static_cast<uint64_t>(80 + n));
+        Xoshiro256 rng_a(static_cast<uint64_t>(90 + n));
+        Xoshiro256 rng_b(static_cast<uint64_t>(90 + n));
+        double ref_sum = 0, ref_sq = 0, fast_sum = 0, fast_sq = 0;
+        for (int t = 0; t < kTrials; ++t) {
+            auto req_a = RequestMatrix::bernoulli(n, 0.25, rng_a);
+            auto req_b = RequestMatrix::bernoulli(n, 0.25, rng_b);
+            double r = ref.match(req_a).size();
+            double f = fast.match(req_b).size();
+            ref_sum += r;
+            ref_sq += r * r;
+            fast_sum += f;
+            fast_sq += f * f;
+        }
+        double ref_mean = ref_sum / kTrials;
+        double fast_mean = fast_sum / kTrials;
+        EXPECT_NEAR(fast_mean, ref_mean, 0.05 * n) << "n=" << n;
+        double ref_var = ref_sq / kTrials - ref_mean * ref_mean;
+        double fast_var = fast_sq / kTrials - fast_mean * fast_mean;
+        EXPECT_NEAR(std::sqrt(fast_var + 1), std::sqrt(ref_var + 1),
+                    0.5)
+            << "n=" << n;
+    }
+}
 
 }  // namespace
 }  // namespace an2

@@ -131,14 +131,32 @@ TEST(FastPimTest, MaskInterfaceAgreesWithMatrixInterface)
     }
 }
 
+TEST(FastPimTest, MultiWordSizesLegalAndMaximal)
+{
+    // Sizes past the single-word boundary run on the multi-word core.
+    FastPimMatcher pim(0, 12);
+    Xoshiro256 rng(13);
+    for (int n : {65, 100, 128, 256}) {
+        for (int t = 0; t < 5; ++t) {
+            auto req = RequestMatrix::bernoulli(n, 0.1, rng);
+            Matching m = pim.match(req);
+            EXPECT_TRUE(m.isLegalFor(req));
+            EXPECT_TRUE(m.isMaximalFor(req)) << "n=" << n;
+        }
+    }
+}
+
 TEST(FastPimTest, RejectsOversizedAndRectangular)
 {
     FastPimMatcher pim;
-    RequestMatrix big(65);
+    RequestMatrix big(1025);
     EXPECT_THROW(pim.match(big), UsageError);
     RequestMatrix rect(4, 8);
     EXPECT_THROW(pim.match(rect), UsageError);
     EXPECT_THROW(FastPimMatcher(-1), UsageError);
+    int out_to_in[64];
+    uint64_t cols[64] = {};
+    EXPECT_THROW(pim.matchMasks(cols, 65, out_to_in), UsageError);
 }
 
 }  // namespace

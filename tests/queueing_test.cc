@@ -2,6 +2,8 @@
 // input buffer with eligible-flow lists, and output queues.
 #include <gtest/gtest.h>
 
+#include "an2/base/ring.h"
+#include "an2/matching/wordset.h"
 #include "an2/queueing/flow_queue.h"
 #include "an2/queueing/output_queue.h"
 #include "an2/queueing/voq.h"
@@ -189,6 +191,86 @@ TEST(OutputQueueTest, PopEmptyPanics)
 {
     OutputQueue q;
     EXPECT_THROW(q.pop(), InternalError);
+}
+
+// ------------------------------------------------- InputBuffer occupancy
+
+TEST(InputBufferTest, OccupancyMaskTracksQueuedOutputs)
+{
+    InputBuffer buf(70);  // two mask words
+    EXPECT_EQ(buf.occupancyWords(), 2);
+    EXPECT_FALSE(wordset::anySet(buf.occupancyMask(), 2));
+
+    buf.enqueue(makeCell(1, 0, 3, 0));
+    buf.enqueue(makeCell(1, 0, 3, 1));
+    buf.enqueue(makeCell(2, 0, 68, 2));
+    EXPECT_TRUE(wordset::testBit(buf.occupancyMask(), 3));
+    EXPECT_TRUE(wordset::testBit(buf.occupancyMask(), 68));
+    EXPECT_EQ(wordset::popcountAll(buf.occupancyMask(), 2), 2);
+
+    // The bit stays while any cell remains, clears on the last dequeue.
+    buf.dequeueFor(3);
+    EXPECT_TRUE(wordset::testBit(buf.occupancyMask(), 3));
+    buf.dequeueFor(3);
+    EXPECT_FALSE(wordset::testBit(buf.occupancyMask(), 3));
+    buf.dequeueFor(68);
+    EXPECT_FALSE(wordset::anySet(buf.occupancyMask(), 2));
+}
+
+TEST(InputBufferTest, OccupancyMaskTracksDequeueFlow)
+{
+    InputBuffer buf(8);
+    buf.enqueue(makeCell(5, 0, 2, 0));
+    EXPECT_TRUE(wordset::testBit(buf.occupancyMask(), 2));
+    buf.dequeueFlow(5);
+    EXPECT_FALSE(wordset::testBit(buf.occupancyMask(), 2));
+}
+
+// ------------------------------------------------------------- RingQueue
+
+TEST(RingQueueTest, FifoOrderAcrossGrowth)
+{
+    RingQueue<int> q;
+    EXPECT_TRUE(q.empty());
+    for (int i = 0; i < 100; ++i)
+        q.push_back(i);
+    EXPECT_EQ(q.size(), 100u);
+    EXPECT_EQ(q.at(7), 7);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(q.front(), i);
+        q.pop_front();
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueueTest, RotationWrapsAroundStorage)
+{
+    // pop_front + push_back cycles far beyond the capacity: the head
+    // index must wrap without corrupting FIFO order.
+    RingQueue<int> q;
+    for (int i = 0; i < 5; ++i)
+        q.push_back(i);
+    for (int i = 5; i < 500; ++i) {
+        EXPECT_EQ(q.front(), i - 5);
+        q.pop_front();
+        q.push_back(i);
+    }
+    EXPECT_EQ(q.size(), 5u);
+    for (int i = 495; i < 500; ++i) {
+        EXPECT_EQ(q.front(), i);
+        q.pop_front();
+    }
+}
+
+TEST(RingQueueTest, ClearResetsWithoutShrinking)
+{
+    RingQueue<int> q;
+    for (int i = 0; i < 20; ++i)
+        q.push_back(i);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    q.push_back(42);
+    EXPECT_EQ(q.front(), 42);
 }
 
 }  // namespace

@@ -81,5 +81,97 @@ TEST(RequestMatrixTest, BernoulliExtremes)
     EXPECT_EQ(RequestMatrix::bernoulli(8, 1.0, rng).numEdges(), 64);
 }
 
+TEST(RequestMatrixTest, MasksTrackMutationsIncrementally)
+{
+    RequestMatrix req(70);  // two words per row and column
+    EXPECT_EQ(req.rowWords(), 2);
+    EXPECT_EQ(req.colWords(), 2);
+    EXPECT_EQ(req.numEdges(), 0);
+
+    req.set(3, 68, 2);
+    EXPECT_TRUE(wordset::testBit(req.rowMask(3), 68));
+    EXPECT_TRUE(wordset::testBit(req.colMask(68), 3));
+    EXPECT_EQ(req.numEdges(), 1);
+
+    // Count changes that stay positive do not change the masks or edges.
+    req.increment(3, 68);
+    EXPECT_EQ(req.count(3, 68), 3);
+    EXPECT_EQ(req.numEdges(), 1);
+    req.decrement(3, 68);
+    req.decrement(3, 68);
+    EXPECT_TRUE(wordset::testBit(req.rowMask(3), 68));
+    EXPECT_EQ(req.numEdges(), 1);
+
+    // The last cell clears the bit in both views.
+    req.decrement(3, 68);
+    EXPECT_FALSE(wordset::testBit(req.rowMask(3), 68));
+    EXPECT_FALSE(wordset::testBit(req.colMask(68), 3));
+    EXPECT_EQ(req.numEdges(), 0);
+}
+
+TEST(RequestMatrixTest, MasksMatchCountsOnRandomPatterns)
+{
+    Xoshiro256 rng(9);
+    for (int n : {5, 64, 100}) {
+        auto req = RequestMatrix::bernoulli(n, 0.3, rng);
+        int edges = 0;
+        for (PortId i = 0; i < n; ++i) {
+            for (PortId j = 0; j < n; ++j) {
+                EXPECT_EQ(wordset::testBit(req.rowMask(i), j),
+                          req.has(i, j));
+                EXPECT_EQ(wordset::testBit(req.colMask(j), i),
+                          req.has(i, j));
+                if (req.has(i, j))
+                    ++edges;
+            }
+        }
+        EXPECT_EQ(req.numEdges(), edges);
+    }
+}
+
+TEST(RequestMatrixTest, ClearRowAndColumn)
+{
+    RequestMatrix req(6);
+    for (PortId i = 0; i < 6; ++i)
+        for (PortId j = 0; j < 6; ++j)
+            req.set(i, j, 1 + static_cast<int>(i));
+    EXPECT_EQ(req.numEdges(), 36);
+
+    req.clearRow(2);
+    EXPECT_EQ(req.numEdges(), 30);
+    for (PortId j = 0; j < 6; ++j) {
+        EXPECT_EQ(req.count(2, j), 0);
+        EXPECT_FALSE(wordset::testBit(req.colMask(j), 2));
+    }
+
+    req.clearColumn(4);
+    EXPECT_EQ(req.numEdges(), 25);
+    for (PortId i = 0; i < 6; ++i) {
+        EXPECT_EQ(req.count(i, 4), 0);
+        EXPECT_FALSE(wordset::testBit(req.rowMask(i), 4));
+    }
+    // Clearing an already-clear line is a no-op.
+    req.clearRow(2);
+    req.clearColumn(4);
+    EXPECT_EQ(req.numEdges(), 25);
+}
+
+TEST(RequestMatrixTest, CopyAssignPreservesMaskView)
+{
+    RequestMatrix a(5);
+    a.set(1, 2, 3);
+    a.set(4, 0, 1);
+    RequestMatrix b(5);
+    b.set(0, 0, 9);
+    b = a;
+    EXPECT_EQ(b.numEdges(), 2);
+    EXPECT_FALSE(b.has(0, 0));
+    EXPECT_TRUE(wordset::testBit(b.rowMask(1), 2));
+    EXPECT_TRUE(wordset::testBit(b.colMask(0), 4));
+    b.clearRow(1);  // mutating the copy leaves the original intact
+    EXPECT_TRUE(a.has(1, 2));
+    EXPECT_EQ(a.numEdges(), 2);
+}
+
 }  // namespace
 }  // namespace an2

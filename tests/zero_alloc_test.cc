@@ -1,0 +1,141 @@
+// Verifies the hot-path guarantee: after warmup, InputQueuedSwitch's
+// runSlot() performs zero heap allocations. A global counting operator
+// new tracks every allocation; allocations are counted only inside the
+// runSlot() calls themselves (arrival-side enqueues may legitimately
+// grow buffers). This test must stay in its own binary: the replacement
+// operator new is program-wide.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "an2/matching/islip.h"
+#include "an2/matching/pim.h"
+#include "an2/matching/serial_greedy.h"
+#include "an2/sim/iq_switch.h"
+#include "an2/sim/traffic.h"
+
+namespace {
+
+std::atomic<size_t> g_allocations{0};
+
+}  // namespace
+
+void*
+operator new(std::size_t size)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void*
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace an2 {
+namespace {
+
+/** Drive `sw` on a uniform load-0.9 workload; count runSlot allocations
+    in slots [warmup, warmup + measured). */
+size_t
+allocationsDuringSteadyState(SwitchModel& sw, int warmup, int measured)
+{
+    UniformTraffic traffic(sw.size(), 0.9, 2026);
+    std::vector<Cell> arrivals;
+    size_t counted = 0;
+    for (SlotTime slot = 0; slot < warmup + measured; ++slot) {
+        arrivals.clear();
+        traffic.generate(slot, arrivals);
+        for (const Cell& c : arrivals)
+            sw.acceptCell(c);
+        size_t before = g_allocations.load(std::memory_order_relaxed);
+        const std::vector<Cell>& departed = sw.runSlot(slot);
+        size_t after = g_allocations.load(std::memory_order_relaxed);
+        (void)departed;
+        if (slot >= warmup)
+            counted += after - before;
+    }
+    return counted;
+}
+
+TEST(ZeroAllocTest, PimRunSlotSteadyStateIsAllocationFree)
+{
+    InputQueuedSwitch sw(IqSwitchConfig{.n = 16},
+                         std::make_unique<PimMatcher>(
+                             PimConfig{.iterations = 4, .seed = 1}));
+    EXPECT_EQ(allocationsDuringSteadyState(sw, 2000, 2000), 0u);
+}
+
+TEST(ZeroAllocTest, PipelinedPimRunSlotSteadyStateIsAllocationFree)
+{
+    InputQueuedSwitch sw(IqSwitchConfig{.n = 16, .pipelined = true},
+                         std::make_unique<PimMatcher>(
+                             PimConfig{.iterations = 4, .seed = 2}));
+    EXPECT_EQ(allocationsDuringSteadyState(sw, 2000, 2000), 0u);
+}
+
+TEST(ZeroAllocTest, IslipRunSlotSteadyStateIsAllocationFree)
+{
+    InputQueuedSwitch sw(IqSwitchConfig{.n = 16},
+                         std::make_unique<IslipMatcher>(4));
+    EXPECT_EQ(allocationsDuringSteadyState(sw, 2000, 2000), 0u);
+}
+
+TEST(ZeroAllocTest, GreedyRunSlotSteadyStateIsAllocationFree)
+{
+    InputQueuedSwitch sw(IqSwitchConfig{.n = 16},
+                         std::make_unique<SerialGreedyMatcher>(true, 3));
+    EXPECT_EQ(allocationsDuringSteadyState(sw, 2000, 2000), 0u);
+}
+
+TEST(ZeroAllocTest, MultiWordSwitchSteadyStateIsAllocationFree)
+{
+    // 80 ports: the busy masks and request rows span two words.
+    InputQueuedSwitch sw(IqSwitchConfig{.n = 80},
+                         std::make_unique<PimMatcher>(
+                             PimConfig{.iterations = 4, .seed = 4}));
+    EXPECT_EQ(allocationsDuringSteadyState(sw, 2000, 1000), 0u);
+}
+
+TEST(ZeroAllocTest, CountingAllocatorIsLive)
+{
+    // Sanity-check the instrument itself.
+    size_t before = g_allocations.load();
+    auto* v = new std::vector<int>(100);
+    size_t after = g_allocations.load();
+    delete v;
+    EXPECT_GT(after, before);
+}
+
+}  // namespace
+}  // namespace an2
