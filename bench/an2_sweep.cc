@@ -69,6 +69,9 @@ main(int argc, char** argv)
         if (!cli.json_path.empty() &&
             !writeSweepJson(cli.json_path, spec, cells))
             return 1;
+        if ((!cli.trace_path.empty() || !cli.snapshot_path.empty()) &&
+            !runObservedPoint(spec, cli))
+            return 1;
     } catch (const UsageError& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;

@@ -28,6 +28,7 @@
 #include "an2/harness/json_writer.h"
 #include "an2/matching/islip.h"
 #include "an2/matching/serial_greedy.h"
+#include "an2/obs/recorder.h"
 #include "an2/sim/fifo_switch.h"
 #include "an2/sim/oq_switch.h"
 #include "an2/sim/simulator.h"
@@ -147,6 +148,11 @@ struct ArchUnderTest
 {
     std::string name;
     std::function<std::unique_ptr<SwitchModel>(int n, uint64_t seed)> make;
+
+    /** 0 = probes unattached (the production configuration), 1 = a
+        Recorder attached with counters/histograms only, 2 = counters
+        plus a 64Ki-event trace ring. */
+    int obs_mode = 0;
 };
 
 std::vector<ArchUnderTest>
@@ -158,6 +164,22 @@ archsUnderTest()
                          return std::make_unique<InputQueuedSwitch>(
                              IqSwitchConfig{.n = n}, makePim(4, seed));
                      }});
+    // The same switch with the obs layer progressively engaged: the
+    // plain "PIM(4)" row above is the probes-compiled-in-but-unattached
+    // configuration the <3% hot-path budget applies to; these two price
+    // the attached tiers (see EXPERIMENTS.md "Observability").
+    archs.push_back({"PIM(4)+obs-counters",
+                     [](int n, uint64_t seed) {
+                         return std::make_unique<InputQueuedSwitch>(
+                             IqSwitchConfig{.n = n}, makePim(4, seed));
+                     },
+                     /*obs_mode=*/1});
+    archs.push_back({"PIM(4)+obs-trace",
+                     [](int n, uint64_t seed) {
+                         return std::make_unique<InputQueuedSwitch>(
+                             IqSwitchConfig{.n = n}, makePim(4, seed));
+                     },
+                     /*obs_mode=*/2});
     archs.push_back({"PIM(4)-pipelined", [](int n, uint64_t seed) {
                          return std::make_unique<InputQueuedSwitch>(
                              IqSwitchConfig{.n = n, .pipelined = true},
@@ -194,6 +216,15 @@ timeArch(const ArchUnderTest& arch, const Cli& cli)
     ArchTiming timing;
     timing.name = arch.name;
     for (int rep = 0; rep < cli.reps; ++rep) {
+        std::unique_ptr<obs::Recorder> rec;
+        if (arch.obs_mode > 0) {
+            obs::RecorderConfig rc;
+            rc.ports = cli.size;
+            if (arch.obs_mode >= 2)
+                rc.trace_capacity = 1u << 16;
+            rec = std::make_unique<obs::Recorder>(rc);
+            obs::attach(rec.get());
+        }
         auto sw = arch.make(cli.size,
                             cli.seed + static_cast<uint64_t>(rep) * 7919);
         UniformTraffic traffic(cli.size, cli.load,
@@ -219,6 +250,8 @@ timeArch(const ArchUnderTest& arch, const Cli& cli)
             delivered += static_cast<int64_t>(sw->runSlot(slot).size());
         }
         auto t1 = std::chrono::steady_clock::now();
+        if (rec)
+            obs::detach();
         double secs = std::chrono::duration<double>(t1 - t0).count();
         timing.slots_per_sec.add(static_cast<double>(cli.slots) / secs);
         timing.cells_per_sec.add(static_cast<double>(delivered) / secs);

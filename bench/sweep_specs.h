@@ -20,6 +20,8 @@
 
 #include "an2/harness/aggregate.h"
 #include "an2/harness/sweep.h"
+#include "an2/obs/recorder.h"
+#include "an2/obs/trace_export.h"
 #include "an2/sim/fifo_switch.h"
 #include "an2/sim/oq_switch.h"
 #include "bench_common.h"
@@ -176,6 +178,15 @@ struct SweepCli
     int size = 0;                 ///< 0 = keep spec default
     bool list = false;
     bool help = false;
+
+    // Observability (an2_sweep): re-run one grid point with a Recorder
+    // attached after the sweep. The sweep results themselves are
+    // untouched — worker threads never observe.
+    std::string trace_path;          ///< write an2.trace.v1 here
+    std::string snapshot_path;       ///< write an2.snapshot.v1 lines here
+    std::string trace_arch;          ///< arch to observe ("" = auto)
+    long long trace_capacity = 1 << 16;  ///< event-ring size
+    int snapshot_every = 0;          ///< 0 = default (1000) when snapshotting
 };
 
 inline void
@@ -198,6 +209,21 @@ printSweepCliHelp(const char* prog, bool with_experiment)
                 "seeding\n");
     std::printf("  --loads A,B,...     override the load axis\n");
     std::printf("  --size N            override the switch size\n");
+    if (with_experiment) {
+        std::printf("  --trace FILE        after the sweep, re-run one grid "
+                    "point with probes\n"
+                    "                      attached and write an an2.trace.v1 "
+                    "Chrome trace\n");
+        std::printf("  --trace-arch NAME   architecture to observe (default: "
+                    "first PIM arch)\n");
+        std::printf("  --trace-capacity N  event-ring capacity "
+                    "(default 65536, drop-oldest)\n");
+        std::printf("  --snapshot FILE     write an2.snapshot.v1 JSON-lines "
+                    "(VOQ heatmap,\n"
+                    "                      backlog, match-size histogram)\n");
+        std::printf("  --snapshot-every K  slots between snapshots "
+                    "(default 1000)\n");
+    }
     std::printf("  --help              this message\n");
 }
 
@@ -238,6 +264,14 @@ parseSweepCli(int argc, char** argv, SweepCli& cli, std::string& err)
             return nullptr;
         }
         return argv[++i];
+    };
+    // `--flag=value` form (the observability flags are documented this
+    // way); returns the value or nullptr if `arg` is not `flag=...`.
+    auto eqval = [](const char* arg, const char* flag) -> const char* {
+        size_t n = std::strlen(flag);
+        if (!std::strncmp(arg, flag, n) && arg[n] == '=')
+            return arg + n + 1;
+        return nullptr;
     };
     for (int i = 1; i < argc; ++i) {
         const char* a = argv[i];
@@ -302,6 +336,39 @@ parseSweepCli(int argc, char** argv, SweepCli& cli, std::string& err)
             cli.size = std::atoi(v);
             if (cli.size <= 0) {
                 err = "--size must be positive";
+                return false;
+            }
+        } else if (!std::strcmp(a, "--trace") ||
+                   (v = eqval(a, "--trace")) != nullptr) {
+            if (!v && !(v = need(i)))
+                return false;
+            cli.trace_path = v;
+        } else if (!std::strcmp(a, "--trace-arch") ||
+                   (v = eqval(a, "--trace-arch")) != nullptr) {
+            if (!v && !(v = need(i)))
+                return false;
+            cli.trace_arch = v;
+        } else if (!std::strcmp(a, "--trace-capacity") ||
+                   (v = eqval(a, "--trace-capacity")) != nullptr) {
+            if (!v && !(v = need(i)))
+                return false;
+            cli.trace_capacity = std::atoll(v);
+            if (cli.trace_capacity <= 0) {
+                err = "--trace-capacity must be positive";
+                return false;
+            }
+        } else if (!std::strcmp(a, "--snapshot") ||
+                   (v = eqval(a, "--snapshot")) != nullptr) {
+            if (!v && !(v = need(i)))
+                return false;
+            cli.snapshot_path = v;
+        } else if (!std::strcmp(a, "--snapshot-every") ||
+                   (v = eqval(a, "--snapshot-every")) != nullptr) {
+            if (!v && !(v = need(i)))
+                return false;
+            cli.snapshot_every = std::atoi(v);
+            if (cli.snapshot_every <= 0) {
+                err = "--snapshot-every must be positive";
                 return false;
             }
         } else {
@@ -414,6 +481,143 @@ writeSweepJson(const std::string& path, const harness::SweepSpec& spec,
                      doc.size());
     else
         std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+    return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Observed single runs (--trace / --snapshot)
+
+/** Write `doc` to `path` ("-" = stdout); returns false on I/O error. */
+inline bool
+writeTextFile(const std::string& path, const std::string& doc,
+              const char* what)
+{
+    if (path == "-") {
+        std::fwrite(doc.data(), 1, doc.size(), stdout);
+        return true;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        std::fprintf(stderr, "error: cannot open %s for writing\n",
+                     path.c_str());
+        return false;
+    }
+    size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    bool ok = (n == doc.size()) && std::fclose(f) == 0;
+    if (ok)
+        std::fprintf(stderr, "  wrote %s %s (%zu bytes)\n", what,
+                     path.c_str(), doc.size());
+    else
+        std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+    return ok;
+}
+
+/**
+ * Re-run one grid point of `spec` with an obs::Recorder attached and
+ * write the requested an2.trace.v1 / an2.snapshot.v1 files. The sweep
+ * proper never observes (worker threads run unattached), so this extra
+ * serial run is what `--trace` / `--snapshot` pay for.
+ *
+ * Point selection: the architecture named by `--trace-arch` (default:
+ * the first arch with probes, i.e. whose name starts with PIM/iSLIP/
+ * Greedy; else the first arch), at the first size, the highest load,
+ * replicate 0 — narrow with `--size` / `--loads` to steer it. Seeds
+ * come from the same expandGrid() derivation as the sweep, so the
+ * observed run is bit-identical to the corresponding sweep run.
+ */
+inline bool
+runObservedPoint(const harness::SweepSpec& spec, const SweepCli& cli)
+{
+    int arch = -1;
+    if (!cli.trace_arch.empty()) {
+        for (size_t k = 0; k < spec.archs.size(); ++k)
+            if (spec.archs[k].name == cli.trace_arch)
+                arch = static_cast<int>(k);
+        if (arch < 0) {
+            std::fprintf(stderr,
+                         "error: --trace-arch %s: not in this experiment "
+                         "(archs:",
+                         cli.trace_arch.c_str());
+            for (const harness::ArchSpec& a : spec.archs)
+                std::fprintf(stderr, " %s", a.name.c_str());
+            std::fprintf(stderr, ")\n");
+            return false;
+        }
+    } else {
+        for (size_t k = 0; k < spec.archs.size() && arch < 0; ++k) {
+            const std::string& nm = spec.archs[k].name;
+            if (nm.rfind("PIM", 0) == 0 || nm.rfind("iSLIP", 0) == 0 ||
+                nm.rfind("Greedy", 0) == 0)
+                arch = static_cast<int>(k);
+        }
+        if (arch < 0)
+            arch = 0;
+    }
+
+    const harness::RunPoint* pt = nullptr;
+    std::vector<harness::RunPoint> grid = harness::expandGrid(spec);
+    for (const harness::RunPoint& p : grid)
+        if (p.arch_index == arch && p.size_index == 0 &&
+            p.load_index == static_cast<int>(spec.loads.size()) - 1 &&
+            p.replicate == 0)
+            pt = &p;
+    if (!pt) {
+        std::fprintf(stderr, "error: empty sweep grid\n");
+        return false;
+    }
+
+    const int n = spec.sizes[0];
+    const double load = spec.loads[static_cast<size_t>(pt->load_index)];
+    obs::RecorderConfig rc;
+    rc.trace_capacity = cli.trace_path.empty()
+                            ? 0
+                            : static_cast<size_t>(cli.trace_capacity);
+    rc.snapshot_every =
+        cli.snapshot_path.empty()
+            ? 0
+            : (cli.snapshot_every > 0 ? cli.snapshot_every : 1000);
+    rc.ports = n;
+    obs::Recorder rec(rc);
+
+    std::fprintf(stderr,
+                 "  observing %s n=%d load=%.2f for %lld slots "
+                 "(run %d, switch seed %llu, traffic seed %llu)\n",
+                 spec.archs[static_cast<size_t>(arch)].name.c_str(), n,
+                 load, static_cast<long long>(spec.slots), pt->run_index,
+                 static_cast<unsigned long long>(pt->switch_seed),
+                 static_cast<unsigned long long>(pt->traffic_seed));
+
+    obs::attach(&rec);
+    auto sw = spec.archs[static_cast<size_t>(arch)].make(n,
+                                                         pt->switch_seed);
+    auto traffic = spec.make_traffic(n, load, pt->traffic_seed);
+    SimConfig sim;
+    sim.slots = spec.slots;
+    sim.warmup = spec.warmup;
+    runSimulation(*sw, *traffic, sim);
+    obs::detach();
+
+    std::fprintf(stderr, "  observed counters:\n");
+    for (int c = 0; c < static_cast<int>(obs::Counter::kCount); ++c)
+        std::fprintf(stderr, "    %-22s %lld\n",
+                     obs::counterName(static_cast<obs::Counter>(c)),
+                     static_cast<long long>(
+                         rec.counter(static_cast<obs::Counter>(c))));
+    if (rec.tracing() && rec.droppedEvents() > 0)
+        std::fprintf(stderr,
+                     "    (event ring dropped %lld oldest events; raise "
+                     "--trace-capacity to keep more)\n",
+                     static_cast<long long>(rec.droppedEvents()));
+
+    bool ok = true;
+    if (!cli.trace_path.empty())
+        ok = writeTextFile(cli.trace_path, obs::toChromeTraceJson(rec),
+                           "an2.trace.v1") &&
+             ok;
+    if (!cli.snapshot_path.empty())
+        ok = writeTextFile(cli.snapshot_path, rec.snapshotLines(),
+                           "an2.snapshot.v1") &&
+             ok;
     return ok;
 }
 

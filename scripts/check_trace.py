@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Validate an `an2.trace.v1` Chrome trace document.
+
+Usage:
+    scripts/check_trace.py TRACE.json [--snapshot SNAP.jsonl]
+
+TRACE.json is the document written by `an2_sweep --trace=FILE` (or
+`obs::toChromeTraceJson`). The script checks the schema banner, the
+structural invariants the exporter promises (balanced slot B/E spans,
+non-decreasing timestamps per thread, counter consistency, every
+dequeue preceded by the enqueue of the same cell when the ring did not
+drop), and — with `--snapshot` — each `an2.snapshot.v1` JSON line
+(square VOQ matrix, backlog >= VOQ column sums, histogram sized N+1).
+
+Exit code 0 when valid, 1 with a diagnostic on the first violation:
+unlike the perf smoke this IS a hard gate, because the trace format is
+deterministic and machine-independent.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_COUNTERS = [
+    "slots_run",
+    "cells_enqueued",
+    "cells_dequeued",
+    "cbr_cells_forwarded",
+    "match_iterations",
+    "productive_iterations",
+    "requests_seen",
+    "grants_issued",
+    "accepts_issued",
+    "keep_grant_retained",
+    "cbr_masked_inputs",
+    "cbr_masked_outputs",
+    "snapshots_taken",
+]
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}")
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("schema") != "an2.trace.v1":
+        fail(f"schema is {doc.get('schema')!r}, want 'an2.trace.v1'")
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        fail("missing otherData object")
+    counters = other.get("counters", {})
+    for name in REQUIRED_COUNTERS:
+        if name not in counters:
+            fail(f"counter {name!r} missing from otherData.counters")
+    dropped = other.get("dropped_events")
+    if not isinstance(dropped, int) or dropped < 0:
+        fail(f"bad dropped_events: {dropped!r}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("traceEvents is not a list")
+
+    open_slots = 0
+    last_ts = {}
+    live_cells = set()
+    enq = deq = 0
+    complete = dropped == 0
+    for k, e in enumerate(events):
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            if field not in e:
+                fail(f"event {k} missing {field!r}: {e}")
+        tid = e["tid"]
+        # Two documented exemptions from per-tid ts monotonicity (Chrome
+        # orders by ts, so the viewer is unaffected): counter samples
+        # ("C") are stamped at the slot-begin tick but emitted at slot
+        # end, and events recorded before the first beginSlot clamp into
+        # slot 0 out of order with that slot's own events.
+        ticks = other.get("slot_ticks", 1000)
+        if e["ph"] != "C" and e["ts"] >= ticks:
+            if e["ts"] < last_ts.get(tid, e["ts"]):
+                fail(f"event {k}: ts {e['ts']} decreases on tid {tid}")
+            last_ts[tid] = e["ts"]
+        if e["name"] == "slot":
+            if e["ph"] == "B":
+                if open_slots:
+                    fail(f"event {k}: nested slot begin")
+                open_slots += 1
+            elif e["ph"] == "E":
+                if not open_slots:
+                    fail(f"event {k}: slot end without begin")
+                open_slots -= 1
+        elif e["name"] == "enqueue":
+            enq += 1
+            cell = (e["args"]["flow"], e["args"]["seq"])
+            if complete:
+                if cell in live_cells:
+                    fail(f"event {k}: duplicate enqueue of {cell}")
+                live_cells.add(cell)
+        elif e["name"] == "dequeue":
+            deq += 1
+            cell = (e["args"]["flow"], e["args"]["seq"])
+            if complete:
+                if cell not in live_cells:
+                    fail(f"event {k}: dequeue of {cell} without a prior "
+                         f"enqueue")
+                live_cells.remove(cell)
+    # The ring keeps the newest events, so the stream may start inside a
+    # slot span; at most one span may be left open at either end.
+    if open_slots not in (0, 1):
+        fail(f"{open_slots} slot spans left open")
+    if complete:
+        if enq != counters["cells_enqueued"]:
+            fail(f"{enq} enqueue events vs counter "
+                 f"{counters['cells_enqueued']}")
+        if deq != counters["cells_dequeued"]:
+            fail(f"{deq} dequeue events vs counter "
+                 f"{counters['cells_dequeued']}")
+    if counters["cells_dequeued"] > counters["cells_enqueued"]:
+        fail("more cells dequeued than enqueued")
+    print(f"  trace ok: {len(events)} events, {enq} enqueues, "
+          f"{deq} dequeues, {dropped} dropped")
+
+
+def check_snapshots(path):
+    n_lines = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            if not line.strip():
+                continue
+            snap = json.loads(line)
+            where = f"{path}:{lineno}"
+            if snap.get("schema") != "an2.snapshot.v1":
+                fail(f"{where}: schema is {snap.get('schema')!r}")
+            n = snap["ports"]
+            voq = snap["voq"]
+            if len(voq) != n or any(len(row) != n for row in voq):
+                fail(f"{where}: VOQ matrix is not {n}x{n}")
+            backlog = snap["output_backlog"]
+            if len(backlog) != n:
+                fail(f"{where}: output_backlog has {len(backlog)} entries")
+            # backlog[j] = VOQ column j plus any output-queue residue
+            # (speedup > 1), so it can exceed but never undercut the
+            # column sum.
+            for j in range(n):
+                col = sum(voq[i][j] for i in range(n))
+                if backlog[j] < col:
+                    fail(f"{where}: backlog[{j}]={backlog[j]} below VOQ "
+                         f"column sum {col}")
+            hist = snap["match_size_hist"]
+            if len(hist) != n + 1:
+                fail(f"{where}: match_size_hist has {len(hist)} bins, "
+                     f"want {n + 1}")
+            if snap["buffered"] != sum(backlog):
+                fail(f"{where}: buffered={snap['buffered']} but backlog "
+                     f"sums to {sum(backlog)}")
+            n_lines += 1
+    if n_lines == 0:
+        fail(f"{path}: no snapshot lines")
+    print(f"  snapshots ok: {n_lines} lines")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Hard-validate an an2.trace.v1 document.")
+    parser.add_argument("trace", help="an2.trace.v1 JSON from --trace")
+    parser.add_argument("--snapshot",
+                        help="an2.snapshot.v1 JSON-lines from --snapshot")
+    args = parser.parse_args()
+    check_trace(args.trace)
+    if args.snapshot:
+        check_snapshots(args.snapshot)
+    print("Trace check OK.")
+
+
+if __name__ == "__main__":
+    main()

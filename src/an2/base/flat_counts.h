@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Open-addressing counter map for small integer keys, built for the
+ * metrics hot path: incrementing a key already present performs no heap
+ * allocation (a std::map node per first-touched flow was the last
+ * allocation left in the steady-state delivery path, see
+ * tests/zero_alloc_test.cc).
+ *
+ * The table doubles only when a *new* key pushes the load factor past
+ * 1/2, so sizing the constructor hint to the expected key population
+ * keeps the whole run allocation-free after warmup.
+ */
+#ifndef AN2_BASE_FLAT_COUNTS_H
+#define AN2_BASE_FLAT_COUNTS_H
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "an2/base/error.h"
+
+namespace an2 {
+
+/** Linear-probe hash map from int32 keys to int64 counts. */
+class FlatCounts
+{
+  public:
+    /** @param expected_keys Sizing hint; the table starts with capacity
+        for at least this many keys without rehashing. */
+    explicit FlatCounts(int expected_keys = 64)
+    {
+        size_t cap = 16;
+        while (cap < 2 * static_cast<size_t>(std::max(expected_keys, 1)))
+            cap <<= 1;
+        slots_.assign(cap, Slot{});
+    }
+
+    /** Count slot for `key`, inserted at zero when absent. */
+    int64_t& operator[](int32_t key)
+    {
+        if (2 * (used_ + 1) > slots_.size())
+            grow();
+        Slot* s = find(slots_, key);
+        if (!s->occupied) {
+            s->occupied = true;
+            s->key = key;
+            ++used_;
+        }
+        return s->count;
+    }
+
+    /** Distinct keys present. */
+    size_t size() const { return used_; }
+
+    /** Key capacity before the next rehash. */
+    size_t capacity() const { return slots_.size() / 2; }
+
+    /** The contents as an ordered map (reporting; allocates). */
+    std::map<int32_t, int64_t> toMap() const
+    {
+        std::map<int32_t, int64_t> out;
+        for (const Slot& s : slots_)
+            if (s.occupied)
+                out[s.key] = s.count;
+        return out;
+    }
+
+  private:
+    struct Slot
+    {
+        int64_t count = 0;
+        int32_t key = 0;
+        bool occupied = false;
+    };
+
+    /** First slot holding `key`, or the empty slot where it belongs. */
+    static Slot* find(std::vector<Slot>& slots, int32_t key)
+    {
+        // Fibonacci hashing spreads consecutive flow ids; capacity is a
+        // power of two so the mask replaces a modulo.
+        size_t mask = slots.size() - 1;
+        size_t idx =
+            (static_cast<uint64_t>(static_cast<uint32_t>(key)) *
+             UINT64_C(0x9e3779b97f4a7c15) >> 32) & mask;
+        while (slots[idx].occupied && slots[idx].key != key)
+            idx = (idx + 1) & mask;
+        return &slots[idx];
+    }
+
+    void grow()
+    {
+        std::vector<Slot> bigger(slots_.size() * 2);
+        for (const Slot& s : slots_) {
+            if (!s.occupied)
+                continue;
+            Slot* dst = find(bigger, s.key);
+            *dst = s;
+        }
+        slots_.swap(bigger);
+    }
+
+    std::vector<Slot> slots_;
+    size_t used_ = 0;
+};
+
+}  // namespace an2
+
+#endif  // AN2_BASE_FLAT_COUNTS_H

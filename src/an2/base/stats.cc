@@ -87,6 +87,11 @@ Histogram::quantile(double q) const
     auto target = static_cast<int64_t>(
         std::ceil(q * static_cast<double>(total_)));
     target = std::max<int64_t>(target, 1);
+    // Saturated: the quantile is among the overflow samples, whose values
+    // are unknown beyond "past the last bin". Report the overflow bucket's
+    // lower bound rather than pretending the samples sat in the last bin.
+    if (target > total_ - overflow_)
+        return bin_width_ * static_cast<double>(bins_.size());
     int64_t acc = 0;
     for (size_t b = 0; b < bins_.size(); ++b) {
         int64_t prev = acc;

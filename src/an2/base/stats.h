@@ -79,13 +79,20 @@ class Histogram
     /** Count in regular bin b. */
     int64_t binCount(int b) const;
 
-    /** Samples that fell beyond the last regular bin. */
-    int64_t overflow() const { return overflow_; }
+    /**
+     * Samples that fell beyond the last regular bin. A quantile that
+     * lands among these is saturated — callers reporting tail statistics
+     * should check this and widen the histogram when it is non-zero.
+     */
+    int64_t overflowCount() const { return overflow_; }
 
     /**
-     * Approximate quantile (q in [0,1]) by linear interpolation within the
-     * containing bin. Returns the upper range bound if the quantile lands
-     * in the overflow bucket. Requires at least one sample.
+     * Approximate quantile (q in [0,1]) by linear interpolation within
+     * the containing bin. A quantile landing in the overflow bucket
+     * returns the bucket's lower bound (binWidth() * numBins()) — a
+     * conservative *lower* bound on the true value, never an
+     * interpolated guess; overflowCount() tells callers it happened.
+     * Requires at least one sample.
      */
     double quantile(double q) const;
 

@@ -112,7 +112,7 @@ JsonWriter::key(const std::string& name)
     indent();
     out_ += '"';
     out_ += jsonEscape(name);
-    out_ += "\": ";
+    out_ += style_ == JsonStyle::Compact ? "\":" : "\": ";
     stack_.back().key_pending = true;
     return *this;
 }
@@ -195,6 +195,8 @@ JsonWriter::beforeValue()
 void
 JsonWriter::indent()
 {
+    if (style_ == JsonStyle::Compact)
+        return;
     out_ += '\n';
     out_.append(2 * stack_.size(), ' ');
 }

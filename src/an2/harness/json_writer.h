@@ -27,8 +27,18 @@ std::string jsonEscape(const std::string& s);
  */
 std::string jsonNumber(double v);
 
+/** Output layout of a JsonWriter document. */
+enum class JsonStyle {
+    /** 2-space indentation, one key/element per line (the default). */
+    Pretty,
+    /** No whitespace at all: one physical line, for JSON-lines sinks. */
+    Compact,
+};
+
 /**
- * Streaming JSON document builder with 2-space pretty printing.
+ * Streaming JSON document builder with 2-space pretty printing, or — for
+ * JSON-lines output such as the observability snapshots — a compact
+ * single-line mode.
  *
  * Usage:
  *     JsonWriter w;
@@ -41,6 +51,9 @@ std::string jsonNumber(double v);
 class JsonWriter
 {
   public:
+    JsonWriter() = default;
+    explicit JsonWriter(JsonStyle style) : style_(style) {}
+
     JsonWriter& beginObject();
     JsonWriter& endObject();
     JsonWriter& beginArray();
@@ -75,6 +88,7 @@ class JsonWriter
         bool key_pending = false;  ///< object scope: key emitted, value due
     };
 
+    JsonStyle style_ = JsonStyle::Pretty;
     std::string out_;
     std::vector<Frame> stack_;
     bool root_done_ = false;

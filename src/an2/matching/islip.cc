@@ -2,6 +2,7 @@
 
 #include "an2/base/error.h"
 #include "an2/matching/wordset.h"
+#include "an2/obs/recorder.h"
 
 namespace an2 {
 
@@ -83,6 +84,9 @@ IslipMatcher::runIteration(const RequestMatrix& req, Matching& m, int it)
 {
     const int n_in = req.numInputs();
     const int n_out = req.numOutputs();
+    obs::Recorder* const rec = obs::current();
+    int requests_seen = 0;
+    int grants_issued = 0;
 
     // Grant phase: each unmatched output grants to the requesting
     // unmatched input nearest at-or-after its pointer.
@@ -95,6 +99,8 @@ IslipMatcher::runIteration(const RequestMatrix& req, Matching& m, int it)
         for (PortId i = 0; i < n_in; ++i) {
             if (m.isInputMatched(i) || !req.has(i, j))
                 continue;
+            if (rec)
+                ++requests_seen;
             int dist = (i - grant_ptr_[static_cast<size_t>(j)] + n_in) %
                        n_in;
             if (dist < best_dist) {
@@ -102,8 +108,11 @@ IslipMatcher::runIteration(const RequestMatrix& req, Matching& m, int it)
                 pick = i;
             }
         }
-        if (pick != kNoPort)
+        if (pick != kNoPort) {
             grants_to[static_cast<size_t>(pick)].push_back(j);
+            if (rec)
+                ++grants_issued;
+        }
     }
 
     // Accept phase: each input accepts the granting output nearest
@@ -132,6 +141,9 @@ IslipMatcher::runIteration(const RequestMatrix& req, Matching& m, int it)
             grant_ptr_[static_cast<size_t>(chosen)] = (i + 1) % n_in;
         }
     }
+    if (rec)
+        rec->matchIteration(obs::MatchAlg::Islip, it, requests_seen,
+                            grants_issued, added, m.size());
     return added;
 }
 
@@ -145,6 +157,9 @@ IslipMatcher::runIterationFast(const RequestMatrix& req, Matching& m, int it)
     const int rw = row_words_;
     uint64_t* granted = granted_.data();
     uint64_t* reqsters = requesters_.data();
+    obs::Recorder* const rec = obs::current();
+    int requests_seen = 0;
+    int grants_issued = 0;
 
     // Grant phase: "nearest at-or-after the pointer" is a circular
     // first-set-bit search over (requesters & free inputs).
@@ -158,6 +173,10 @@ IslipMatcher::runIterationFast(const RequestMatrix& req, Matching& m, int it)
         }
         if (any == 0)
             return;
+        if (rec) {
+            requests_seen += popcountAll(reqsters, cw);
+            ++grants_issued;
+        }
         int pick = firstSetAtOrAfter(reqsters, cw, n_in,
                                      grant_ptr_[static_cast<size_t>(j)]);
         uint64_t* row = grant_rows_.data() +
@@ -168,8 +187,11 @@ IslipMatcher::runIterationFast(const RequestMatrix& req, Matching& m, int it)
         }
         setBit(row, j);
     });
-    if (!anySet(granted, cw))
+    if (!anySet(granted, cw)) {
+        if (rec)
+            rec->matchIteration(obs::MatchAlg::Islip, it, 0, 0, 0, m.size());
         return 0;
+    }
 
     // Accept phase; pointer-update rule identical to the scalar core.
     int added = 0;
@@ -187,6 +209,9 @@ IslipMatcher::runIterationFast(const RequestMatrix& req, Matching& m, int it)
         clearBit(free_in_.data(), i);
         clearBit(free_out_.data(), chosen);
     });
+    if (rec)
+        rec->matchIteration(obs::MatchAlg::Islip, it, requests_seen,
+                            grants_issued, added, m.size());
     return added;
 }
 

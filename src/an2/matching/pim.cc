@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "an2/matching/wordset.h"
+#include "an2/obs/recorder.h"
 
 namespace an2 {
 
@@ -107,12 +108,12 @@ PimMatcher::matchInto(const RequestMatrix& req, Matching& out)
         prepareFastState(req);
         for (int it = 0;
              config_.iterations == 0 || it < config_.iterations; ++it)
-            if (runIterationFast(req, out) == 0)
+            if (runIterationFast(req, out, it) == 0)
                 break;
     } else {
         for (int it = 0;
              config_.iterations == 0 || it < config_.iterations; ++it)
-            if (runIteration(req, out) == 0)
+            if (runIteration(req, out, it) == 0)
                 break;
     }
 }
@@ -131,7 +132,8 @@ PimMatcher::matchDetailed(const RequestMatrix& req, PimRunStats& stats,
     if (fast)
         prepareFastState(req);
     for (int it = 0; max_iterations == 0 || it < max_iterations; ++it) {
-        int added = fast ? runIterationFast(req, m) : runIteration(req, m);
+        int added = fast ? runIterationFast(req, m, it)
+                         : runIteration(req, m, it);
         ++stats.iterations_run;
         stats.matches_after_iteration.push_back(m.size());
         if (added == 0)
@@ -142,10 +144,13 @@ PimMatcher::matchDetailed(const RequestMatrix& req, PimRunStats& stats,
 }
 
 int
-PimMatcher::runIteration(const RequestMatrix& req, Matching& m)
+PimMatcher::runIteration(const RequestMatrix& req, Matching& m, int it)
 {
     const int n_in = req.numInputs();
     const int n_out = req.numOutputs();
+    obs::Recorder* const rec = obs::current();
+    int requests_seen = 0;
+    int grants_issued = 0;
 
     // Phase 1+2 (request + grant). Conceptually each unmatched input
     // broadcasts requests and each output chooses among them; we evaluate
@@ -166,9 +171,13 @@ PimMatcher::runIteration(const RequestMatrix& req, Matching& m)
                 requesters.push_back(i);
         if (requesters.empty())
             continue;
+        if (rec)
+            requests_seen += static_cast<int>(requesters.size());
         if (capacity_left == 1) {
             PortId pick = requesters[rng_->nextBelow(requesters.size())];
             grants_to[static_cast<size_t>(pick)].push_back(j);
+            if (rec)
+                ++grants_issued;
         } else {
             // Replicated-fabric generalization: grant up to k distinct
             // requesters, chosen uniformly without replacement.
@@ -178,6 +187,8 @@ PimMatcher::runIteration(const RequestMatrix& req, Matching& m)
             for (int g = 0; g < grants; ++g)
                 grants_to[static_cast<size_t>(requesters[static_cast<size_t>(g)])]
                     .push_back(j);
+            if (rec)
+                grants_issued += grants;
         }
     }
 
@@ -207,11 +218,14 @@ PimMatcher::runIteration(const RequestMatrix& req, Matching& m)
         m.add(i, chosen);
         ++added;
     }
+    if (rec)
+        rec->matchIteration(obs::MatchAlg::Pim, it, requests_seen,
+                            grants_issued, added, m.size());
     return added;
 }
 
 int
-PimMatcher::runIterationFast(const RequestMatrix& req, Matching& m)
+PimMatcher::runIterationFast(const RequestMatrix& req, Matching& m, int it)
 {
     using namespace wordset;
     const int n_out = req.numOutputs();
@@ -219,6 +233,9 @@ PimMatcher::runIterationFast(const RequestMatrix& req, Matching& m)
     const int rw = row_words_;
     uint64_t* granted = granted_.data();
     uint64_t* reqsters = requesters_.data();
+    obs::Recorder* const rec = obs::current();
+    int requests_seen = 0;
+    int grants_issued = 0;
 
     // Grant phase: every free output with free requesters grants one
     // uniformly. The draw sequence matches the scalar core exactly —
@@ -235,6 +252,10 @@ PimMatcher::runIterationFast(const RequestMatrix& req, Matching& m)
         if (any == 0)
             return;
         int cnt = popcountAll(reqsters, cw);
+        if (rec) {
+            requests_seen += cnt;
+            ++grants_issued;
+        }
         int pick = selectBit(
             reqsters, cw,
             static_cast<int>(rng_->nextBelow(static_cast<uint64_t>(cnt))));
@@ -246,8 +267,11 @@ PimMatcher::runIterationFast(const RequestMatrix& req, Matching& m)
         }
         setBit(row, j);
     });
-    if (!anySet(granted, cw))
+    if (!anySet(granted, cw)) {
+        if (rec)
+            rec->matchIteration(obs::MatchAlg::Pim, it, 0, 0, 0, m.size());
         return 0;
+    }
 
     // Accept phase: every granted input accepts one grant — uniformly at
     // random, or the first at/after its round-robin pointer.
@@ -271,6 +295,9 @@ PimMatcher::runIterationFast(const RequestMatrix& req, Matching& m)
         clearBit(free_out_.data(), chosen);
         ++added;
     });
+    if (rec)
+        rec->matchIteration(obs::MatchAlg::Pim, it, requests_seen,
+                            grants_issued, added, m.size());
     return added;
 }
 

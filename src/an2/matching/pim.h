@@ -123,11 +123,13 @@ class PimMatcher final : public Matcher
     /** Size and initialize the word-parallel scratch for `req`. */
     void prepareFastState(const RequestMatrix& req);
 
-    /** One scalar request/grant/accept round; returns matches added. */
-    int runIteration(const RequestMatrix& req, Matching& m);
+    /** One scalar request/grant/accept round; returns matches added.
+        `it` is the iteration index reported to the obs probe layer. */
+    int runIteration(const RequestMatrix& req, Matching& m, int it);
 
-    /** One word-parallel round; bit-identical to runIteration. */
-    int runIterationFast(const RequestMatrix& req, Matching& m);
+    /** One word-parallel round; bit-identical to runIteration, including
+        the per-iteration obs counters. */
+    int runIterationFast(const RequestMatrix& req, Matching& m, int it);
 
     PimConfig config_;
     std::unique_ptr<Rng> rng_;

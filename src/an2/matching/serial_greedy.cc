@@ -4,6 +4,7 @@
 
 #include "an2/base/error.h"
 #include "an2/matching/wordset.h"
+#include "an2/obs/recorder.h"
 
 namespace an2 {
 
@@ -47,6 +48,13 @@ SerialGreedyMatcher::matchInto(const RequestMatrix& req, Matching& out)
     if (randomize_)
         rng_->shuffle(input_order_);
 
+    // The single greedy pass reports as iteration 0 of the obs probe
+    // layer; requests are counted at the moment each input is visited
+    // (serial semantics), identically in both cores.
+    obs::Recorder* const rec = obs::current();
+    int requests_seen = 0;
+    int grants_issued = 0;
+
     bool fast = backend_ != MatcherBackend::Reference &&
                 n_in <= kMaxFastPorts && n_out <= kMaxFastPorts;
     if (backend_ == MatcherBackend::WordParallel) {
@@ -70,6 +78,10 @@ SerialGreedyMatcher::matchInto(const RequestMatrix& req, Matching& out)
             }
             if (any == 0)
                 continue;
+            if (rec) {
+                requests_seen += popcountAll(candidates_.data(), rw);
+                ++grants_issued;
+            }
             // Same choice as the scalar core: the k-th candidate in
             // ascending output order, with one PRNG draw per matched
             // input (or the lowest index when not randomizing).
@@ -85,6 +97,9 @@ SerialGreedyMatcher::matchInto(const RequestMatrix& req, Matching& out)
             out.add(i, j);
             clearBit(free_out_.data(), j);
         }
+        if (rec)
+            rec->matchIteration(obs::MatchAlg::Greedy, 0, requests_seen,
+                                grants_issued, out.size(), out.size());
         return;
     }
 
@@ -96,10 +111,17 @@ SerialGreedyMatcher::matchInto(const RequestMatrix& req, Matching& out)
                 candidates.push_back(j);
         if (candidates.empty())
             continue;
+        if (rec) {
+            requests_seen += static_cast<int>(candidates.size());
+            ++grants_issued;
+        }
         PortId j = randomize_ ? candidates[rng_->nextBelow(candidates.size())]
                               : candidates.front();
         out.add(i, j);
     }
+    if (rec)
+        rec->matchIteration(obs::MatchAlg::Greedy, 0, requests_seen,
+                            grants_issued, out.size(), out.size());
 }
 
 }  // namespace an2

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The zero-overhead probe layer: named monotonic counters, gauges, and
+ * fixed-size binary trace events that instrument the scheduler hot path
+ * without perturbing it.
+ *
+ * Design contract (enforced by tests/zero_alloc_test.cc and the CI
+ * perf-smoke bench row):
+ *
+ *  - Compiled out entirely under -DAN2_OBS_DISABLED: current() folds to a
+ *    constant nullptr, so every probe site is dead code.
+ *  - Enabled but *unattached* (no Recorder for this thread): each probe
+ *    costs one thread-local load plus one predictable branch. No work is
+ *    done to compute probe arguments on this path — instrumented code
+ *    fetches current() first and only derives counts when it is non-null.
+ *  - Attached: counters and gauges are plain array slots, trace events
+ *    land in a preallocated ring (drop-oldest) — zero heap allocations in
+ *    steady state. Only snapshot serialization (off by default) builds
+ *    strings.
+ *
+ * Attachment is per *thread* (thread_local), so the sweep harness's
+ * worker pool stays observation-free while a foreground traced run on
+ * another thread records. A Recorder must outlive its attachment.
+ */
+#ifndef AN2_OBS_PROBE_H
+#define AN2_OBS_PROBE_H
+
+#include <cstdint>
+
+#include "an2/base/types.h"
+
+namespace an2::obs {
+
+/**
+ * Monotonic counters, one slot each in the attached Recorder. The
+ * match-phase counters (RequestsSeen .. KeepGrantRetained) are defined
+ * identically for the Reference and WordParallel matcher backends; the
+ * obs conformance test pins the two to byte-identical values.
+ */
+enum class Counter : int {
+    /** runSlot() completions. */
+    SlotsRun = 0,
+    /** Cells accepted into input buffers. */
+    CellsEnqueued,
+    /** Cells dequeued toward the fabric (CBR + VBR). */
+    CellsDequeued,
+    /** CBR cells forwarded by the frame schedule. */
+    CbrCellsForwarded,
+    /** Matcher iterations executed (request/grant/accept rounds). */
+    MatchIterations,
+    /** Iterations that added at least one match. */
+    ProductiveIterations,
+    /** (free input, free output) request pairs seen by grant arbiters. */
+    RequestsSeen,
+    /** Grants issued by output arbiters. */
+    GrantsIssued,
+    /** Grants accepted by input arbiters (matches added). */
+    AcceptsIssued,
+    /** Matches retained from earlier iterations of the same slot (the
+        §3.3 keep-grant optimization, summed at each iteration end). */
+    KeepGrantRetained,
+    /** Input ports masked from VBR matching by CBR reservations. */
+    CbrMaskedInputs,
+    /** Output ports masked from VBR matching by CBR reservations. */
+    CbrMaskedOutputs,
+    /** Periodic state snapshots emitted. */
+    SnapshotsTaken,
+    kCount,
+};
+
+/** Point-in-time gauges (last written value wins). */
+enum class Gauge : int {
+    /** Total cells buffered in the switch at the last slot boundary. */
+    BufferedCells = 0,
+    /** Size of the most recent slot's VBR matching. */
+    LastMatchSize,
+    kCount,
+};
+
+/** Stable probe names for JSON export and reports. */
+const char* counterName(Counter c);
+const char* gaugeName(Gauge g);
+
+/** Binary trace event kinds recorded into the ring. */
+enum class EventType : uint8_t {
+    SlotBegin = 0,  ///< a=0 b=0 c=0 d=0
+    SlotEnd,        ///< a=cells forwarded, b=CBR forwarded, c=VBR match size
+    MatchIter,      ///< a=requests b=grants c=accepts d=total matched after
+    CbrMask,        ///< a=masked inputs, b=masked outputs
+    Enqueue,        ///< a=input b=output c=flow d=seq (low 32 bits)
+    Dequeue,        ///< a=input b=output c=flow d=seq (low 32 bits)
+};
+
+/** Which algorithm emitted a MatchIter event. */
+enum class MatchAlg : uint8_t {
+    Pim = 0,
+    Islip = 1,
+    Greedy = 2,
+};
+
+/**
+ * One fixed-size binary trace record. Plain POD so conformance tests can
+ * memcmp sequences and the ring is a flat preallocated array.
+ */
+struct Event
+{
+    SlotTime slot = 0;   ///< recorder's current slot when recorded
+    int32_t a = 0;
+    int32_t b = 0;
+    int32_t c = 0;
+    int32_t d = 0;
+    EventType type = EventType::SlotBegin;
+    uint8_t alg = 0;     ///< MatchAlg for MatchIter events
+    uint16_t iter = 0;   ///< iteration index for MatchIter events
+};
+
+class Recorder;
+
+#ifdef AN2_OBS_DISABLED
+
+/** Compiled out: probes fold to `if (nullptr)` and vanish. */
+constexpr Recorder*
+current()
+{
+    return nullptr;
+}
+
+inline void
+attach(Recorder*)
+{
+}
+
+inline void
+detach()
+{
+}
+
+#else
+
+namespace detail {
+extern thread_local Recorder* tls_recorder;
+}  // namespace detail
+
+/** The Recorder observing this thread, or nullptr (the common case). */
+inline Recorder*
+current()
+{
+    return detail::tls_recorder;
+}
+
+/** Attach `r` to this thread's probes; pass nullptr to detach. */
+void attach(Recorder* r);
+
+/** Detach this thread's Recorder (probes become no-ops again). */
+void detach();
+
+#endif  // AN2_OBS_DISABLED
+
+}  // namespace an2::obs
+
+#endif  // AN2_OBS_PROBE_H

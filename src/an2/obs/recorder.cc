@@ -1,0 +1,208 @@
+#include "an2/obs/recorder.h"
+
+#include <algorithm>
+
+#include "an2/base/error.h"
+#include "an2/obs/snapshot.h"
+
+namespace an2::obs {
+
+#ifndef AN2_OBS_DISABLED
+
+namespace detail {
+thread_local Recorder* tls_recorder = nullptr;
+}  // namespace detail
+
+void
+attach(Recorder* r)
+{
+    detail::tls_recorder = r;
+}
+
+void
+detach()
+{
+    detail::tls_recorder = nullptr;
+}
+
+#endif  // AN2_OBS_DISABLED
+
+const char*
+counterName(Counter c)
+{
+    switch (c) {
+      case Counter::SlotsRun:             return "slots_run";
+      case Counter::CellsEnqueued:        return "cells_enqueued";
+      case Counter::CellsDequeued:        return "cells_dequeued";
+      case Counter::CbrCellsForwarded:    return "cbr_cells_forwarded";
+      case Counter::MatchIterations:      return "match_iterations";
+      case Counter::ProductiveIterations: return "productive_iterations";
+      case Counter::RequestsSeen:         return "requests_seen";
+      case Counter::GrantsIssued:         return "grants_issued";
+      case Counter::AcceptsIssued:        return "accepts_issued";
+      case Counter::KeepGrantRetained:    return "keep_grant_retained";
+      case Counter::CbrMaskedInputs:      return "cbr_masked_inputs";
+      case Counter::CbrMaskedOutputs:     return "cbr_masked_outputs";
+      case Counter::SnapshotsTaken:       return "snapshots_taken";
+      case Counter::kCount:               break;
+    }
+    return "unknown";
+}
+
+const char*
+gaugeName(Gauge g)
+{
+    switch (g) {
+      case Gauge::BufferedCells: return "buffered_cells";
+      case Gauge::LastMatchSize: return "last_match_size";
+      case Gauge::kCount:        break;
+    }
+    return "unknown";
+}
+
+Recorder::Recorder(const RecorderConfig& config)
+    : counters_(static_cast<size_t>(Counter::kCount), 0),
+      gauges_(static_cast<size_t>(Gauge::kCount), 0),
+      capacity_(config.trace_capacity),
+      snapshot_every_(config.snapshot_every),
+      ports_(config.ports)
+{
+    AN2_REQUIRE(config.max_iterations > 0,
+                "iterations histogram needs at least one bin");
+    AN2_REQUIRE(config.snapshot_every >= 0,
+                "snapshot period must be non-negative");
+    AN2_REQUIRE(config.ports >= 0, "ports must be non-negative");
+    AN2_REQUIRE(config.snapshot_every == 0 || config.ports > 0,
+                "snapshots need the switch size (RecorderConfig::ports)");
+    ring_.resize(capacity_);
+    iter_hist_.assign(static_cast<size_t>(config.max_iterations), 0);
+    if (ports_ > 0) {
+        match_hist_.assign(static_cast<size_t>(ports_) + 1, 0);
+        voq_.assign(static_cast<size_t>(ports_) *
+                        static_cast<size_t>(ports_),
+                    0);
+        backlog_.assign(static_cast<size_t>(ports_), 0);
+    }
+}
+
+Recorder::~Recorder()
+{
+    if (current() == this)
+        detach();
+}
+
+const Event&
+Recorder::event(size_t k) const
+{
+    AN2_REQUIRE(k < size_, "event index out of range");
+    return ring_[(head_ + k) % capacity_];
+}
+
+void
+Recorder::record(EventType type, MatchAlg alg, uint16_t iter, int32_t a,
+                 int32_t b, int32_t c, int32_t d)
+{
+    if (capacity_ == 0)
+        return;
+    size_t pos;
+    if (size_ < capacity_) {
+        pos = (head_ + size_) % capacity_;
+        ++size_;
+    } else {
+        // Full: overwrite the oldest (drop-oldest keeps the most recent
+        // window, which is what a post-mortem wants).
+        pos = head_;
+        head_ = (head_ + 1) % capacity_;
+        ++dropped_;
+    }
+    Event& e = ring_[pos];
+    e.slot = slot_;
+    e.a = a;
+    e.b = b;
+    e.c = c;
+    e.d = d;
+    e.type = type;
+    e.alg = static_cast<uint8_t>(alg);
+    e.iter = iter;
+}
+
+void
+Recorder::beginSlot(SlotTime slot)
+{
+    slot_ = slot;
+    slot_productive_iters_ = 0;
+    record(EventType::SlotBegin, MatchAlg::Pim, 0, 0, 0, 0, 0);
+}
+
+void
+Recorder::endSlot(int forwarded, int cbr_forwarded, int match_size)
+{
+    add(Counter::SlotsRun, 1);
+    set(Gauge::LastMatchSize, match_size);
+    size_t ibin = std::min<size_t>(
+        static_cast<size_t>(std::max(slot_productive_iters_, 0)),
+        iter_hist_.size() - 1);
+    ++iter_hist_[ibin];
+    if (!match_hist_.empty()) {
+        size_t mbin = std::min<size_t>(
+            static_cast<size_t>(std::max(match_size, 0)),
+            match_hist_.size() - 1);
+        ++match_hist_[mbin];
+    }
+    record(EventType::SlotEnd, MatchAlg::Pim, 0, forwarded, cbr_forwarded,
+           match_size, 0);
+}
+
+void
+Recorder::matchIteration(MatchAlg alg, int iter, int requests, int grants,
+                         int accepts, int matched_total)
+{
+    add(Counter::MatchIterations, 1);
+    add(Counter::RequestsSeen, requests);
+    add(Counter::GrantsIssued, grants);
+    add(Counter::AcceptsIssued, accepts);
+    add(Counter::KeepGrantRetained, matched_total - accepts);
+    if (accepts > 0) {
+        add(Counter::ProductiveIterations, 1);
+        ++slot_productive_iters_;
+    }
+    record(EventType::MatchIter, alg, static_cast<uint16_t>(iter), requests,
+           grants, accepts, matched_total);
+}
+
+void
+Recorder::cbrMasked(int masked_inputs, int masked_outputs)
+{
+    add(Counter::CbrMaskedInputs, masked_inputs);
+    add(Counter::CbrMaskedOutputs, masked_outputs);
+    record(EventType::CbrMask, MatchAlg::Pim, 0, masked_inputs,
+           masked_outputs, 0, 0);
+}
+
+void
+Recorder::cellEnqueued(const Cell& cell)
+{
+    add(Counter::CellsEnqueued, 1);
+    record(EventType::Enqueue, MatchAlg::Pim, 0, cell.input, cell.output,
+           cell.flow, static_cast<int32_t>(cell.seq));
+}
+
+void
+Recorder::cellDequeued(const Cell& cell)
+{
+    add(Counter::CellsDequeued, 1);
+    record(EventType::Dequeue, MatchAlg::Pim, 0, cell.input, cell.output,
+           cell.flow, static_cast<int32_t>(cell.seq));
+}
+
+void
+Recorder::commitSnapshot(SlotTime slot, int buffered_cells)
+{
+    AN2_REQUIRE(snapshotsEnabled(), "snapshots were not configured");
+    add(Counter::SnapshotsTaken, 1);
+    snapshot_jsonl_ +=
+        snapshotLine(slot, ports_, voq_.data(), backlog_.data(),
+                     buffered_cells, match_hist_);
+}
+
+}  // namespace an2::obs

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * The observation sink behind the probe layer: a counter/gauge registry,
+ * a fixed-capacity binary event ring (drop-oldest), per-slot convergence
+ * and match-size histograms, and periodic state snapshots.
+ *
+ * Everything touched from the switch hot loop is preallocated in the
+ * constructor; beginSlot/endSlot/matchIteration/cell events perform no
+ * heap allocation (proved by tests/zero_alloc_test.cc with a recorder
+ * attached). Snapshot serialization is the one exception — it appends
+ * JSON lines to a string — and runs only every `snapshot_every` slots
+ * when explicitly enabled.
+ */
+#ifndef AN2_OBS_RECORDER_H
+#define AN2_OBS_RECORDER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "an2/base/types.h"
+#include "an2/cell/cell.h"
+#include "an2/obs/probe.h"
+
+namespace an2::obs {
+
+/** Construction-time sizing for a Recorder. */
+struct RecorderConfig
+{
+    /** Event-ring capacity in events; 0 disables event tracing (counters
+        and histograms still accumulate). Oldest events are dropped once
+        full; droppedEvents() reports how many. */
+    size_t trace_capacity = 0;
+
+    /** Emit a state snapshot every K slots (at slots K-1, 2K-1, ...);
+        0 disables snapshots. Requires `ports`. */
+    int snapshot_every = 0;
+
+    /** Switch size N; sizes the snapshot VOQ matrix and the match-size
+        histogram. Required when snapshot_every > 0. */
+    int ports = 0;
+
+    /** Bins of the iterations-to-convergence histogram (counts clamp
+        into the last bin). */
+    int max_iterations = 64;
+};
+
+/** Collects probe output for one observed thread. */
+class Recorder
+{
+  public:
+    Recorder() : Recorder(RecorderConfig{}) {}
+    explicit Recorder(const RecorderConfig& config);
+
+    /** Detaches itself if still the thread's current recorder. */
+    ~Recorder();
+
+    Recorder(const Recorder&) = delete;
+    Recorder& operator=(const Recorder&) = delete;
+
+    // ---- counters and gauges -------------------------------------------
+
+    void add(Counter c, int64_t delta)
+    {
+        counters_[static_cast<size_t>(c)] += delta;
+    }
+
+    void set(Gauge g, int64_t value)
+    {
+        gauges_[static_cast<size_t>(g)] = value;
+    }
+
+    int64_t counter(Counter c) const
+    {
+        return counters_[static_cast<size_t>(c)];
+    }
+
+    int64_t gauge(Gauge g) const
+    {
+        return gauges_[static_cast<size_t>(g)];
+    }
+
+    // ---- slot lifecycle (called by the switch) --------------------------
+
+    /** Mark the start of `slot`; stamps subsequent events. */
+    void beginSlot(SlotTime slot);
+
+    /**
+     * Mark the end of the current slot.
+     * @param forwarded Cells that crossed the fabric this slot.
+     * @param cbr_forwarded CBR subset of `forwarded`.
+     * @param match_size Size of the slot's VBR matching.
+     */
+    void endSlot(int forwarded, int cbr_forwarded, int match_size);
+
+    /** Slot stamped on new events (-1 before the first beginSlot). */
+    SlotTime currentSlot() const { return slot_; }
+
+    // ---- matcher probes --------------------------------------------------
+
+    /**
+     * Record one request/grant/accept iteration. `matched_total` is the
+     * matching size after the iteration; `matched_total - accepts` is
+     * the keep-grant retention (matches held from earlier iterations).
+     */
+    void matchIteration(MatchAlg alg, int iter, int requests, int grants,
+                        int accepts, int matched_total);
+
+    /** Record CBR frame-reservation masking of the VBR request matrix. */
+    void cbrMasked(int masked_inputs, int masked_outputs);
+
+    // ---- queue probes ----------------------------------------------------
+
+    void cellEnqueued(const Cell& cell);
+    void cellDequeued(const Cell& cell);
+
+    // ---- event ring ------------------------------------------------------
+
+    bool tracing() const { return capacity_ > 0; }
+
+    /** Events currently retained (<= capacity). */
+    size_t eventCount() const { return size_; }
+
+    /** The k-th oldest retained event, k in [0, eventCount()). */
+    const Event& event(size_t k) const;
+
+    /** Events overwritten because the ring was full. */
+    int64_t droppedEvents() const { return dropped_; }
+
+    // ---- histograms ------------------------------------------------------
+
+    /**
+     * Histogram of productive matcher iterations per completed slot
+     * (index = iterations that added a match; the paper's
+     * iterations-to-convergence distribution when the matcher runs to
+     * completion). Final bin also holds all larger counts.
+     */
+    const std::vector<int64_t>& iterationsPerSlotHistogram() const
+    {
+        return iter_hist_;
+    }
+
+    /** Histogram of VBR match size per completed slot (index = size,
+        sized ports+1; empty when ports == 0). */
+    const std::vector<int64_t>& matchSizeHistogram() const
+    {
+        return match_hist_;
+    }
+
+    // ---- snapshots -------------------------------------------------------
+
+    bool snapshotsEnabled() const { return snapshot_every_ > 0; }
+
+    /** True when the switch should fill and commit a snapshot at `slot`. */
+    bool snapshotDue(SlotTime slot) const
+    {
+        return snapshot_every_ > 0 &&
+               (slot + 1) % snapshot_every_ == 0;
+    }
+
+    int ports() const { return ports_; }
+
+    /** VOQ occupancy scratch (ports x ports, row-major by input); the
+        switch fills every entry before commitSnapshot(). */
+    int32_t* voqMatrix() { return voq_.data(); }
+
+    /** Per-output backlog scratch (ports entries). */
+    int32_t* outputBacklog() { return backlog_.data(); }
+
+    /** Serialize the filled scratch as one an2.snapshot.v1 JSON line. */
+    void commitSnapshot(SlotTime slot, int buffered_cells);
+
+    /** Accumulated snapshot JSON lines (one document per line). */
+    const std::string& snapshotLines() const { return snapshot_jsonl_; }
+
+  private:
+    void record(EventType type, MatchAlg alg, uint16_t iter, int32_t a,
+                int32_t b, int32_t c, int32_t d);
+
+    std::vector<int64_t> counters_;
+    std::vector<int64_t> gauges_;
+
+    std::vector<Event> ring_;
+    size_t capacity_ = 0;
+    size_t head_ = 0;  ///< index of the oldest retained event
+    size_t size_ = 0;
+    int64_t dropped_ = 0;
+
+    SlotTime slot_ = -1;
+    int slot_productive_iters_ = 0;
+    std::vector<int64_t> iter_hist_;
+    std::vector<int64_t> match_hist_;
+
+    int snapshot_every_ = 0;
+    int ports_ = 0;
+    std::vector<int32_t> voq_;
+    std::vector<int32_t> backlog_;
+    std::string snapshot_jsonl_;
+};
+
+// ---- inline probe helpers (the instrumented-code entry points) -----------
+//
+// Each helper is one current() load and one branch when unattached;
+// under AN2_OBS_DISABLED current() is a constant nullptr and the helper
+// disappears entirely. Probe arguments that are costly to derive must be
+// computed behind an explicit current() check at the call site instead.
+
+inline void
+count(Counter c, int64_t delta = 1)
+{
+    if (Recorder* r = current())
+        r->add(c, delta);
+}
+
+inline void
+setGauge(Gauge g, int64_t value)
+{
+    if (Recorder* r = current())
+        r->set(g, value);
+}
+
+inline void
+slotBegin(SlotTime slot)
+{
+    if (Recorder* r = current())
+        r->beginSlot(slot);
+}
+
+inline void
+slotEnd(int forwarded, int cbr_forwarded, int match_size)
+{
+    if (Recorder* r = current())
+        r->endSlot(forwarded, cbr_forwarded, match_size);
+}
+
+inline void
+cellEnqueued(const Cell& cell)
+{
+    if (Recorder* r = current())
+        r->cellEnqueued(cell);
+}
+
+inline void
+cellDequeued(const Cell& cell)
+{
+    if (Recorder* r = current())
+        r->cellDequeued(cell);
+}
+
+}  // namespace an2::obs
+
+#endif  // AN2_OBS_RECORDER_H

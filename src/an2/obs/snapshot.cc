@@ -1,0 +1,41 @@
+#include "an2/obs/snapshot.h"
+
+#include "an2/base/error.h"
+#include "an2/harness/json_writer.h"
+
+namespace an2::obs {
+
+std::string
+snapshotLine(SlotTime slot, int ports, const int32_t* voq,
+             const int32_t* backlog, int buffered_cells,
+             const std::vector<int64_t>& match_hist)
+{
+    AN2_REQUIRE(ports > 0, "snapshot needs a positive port count");
+    harness::JsonWriter w(harness::JsonStyle::Compact);
+    w.beginObject();
+    w.key("schema").value("an2.snapshot.v1");
+    w.key("slot").value(static_cast<int64_t>(slot));
+    w.key("ports").value(ports);
+    w.key("buffered").value(buffered_cells);
+    w.key("voq").beginArray();
+    for (int i = 0; i < ports; ++i) {
+        w.beginArray();
+        for (int j = 0; j < ports; ++j)
+            w.value(voq[static_cast<size_t>(i) * static_cast<size_t>(ports) +
+                        static_cast<size_t>(j)]);
+        w.endArray();
+    }
+    w.endArray();
+    w.key("output_backlog").beginArray();
+    for (int j = 0; j < ports; ++j)
+        w.value(backlog[static_cast<size_t>(j)]);
+    w.endArray();
+    w.key("match_size_hist").beginArray();
+    for (int64_t n : match_hist)
+        w.value(n);
+    w.endArray();
+    w.endObject();
+    return w.str();  // str() appends the newline: one line per snapshot
+}
+
+}  // namespace an2::obs

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * an2.snapshot.v1 — periodic switch-state snapshots as JSON lines.
+ *
+ * Every snapshot is one compact JSON document on one physical line:
+ *
+ *   {"schema":"an2.snapshot.v1","slot":S,"ports":N,"buffered":B,
+ *    "voq":[[..N..],..N rows..],"output_backlog":[..N..],
+ *    "match_size_hist":[..N+1..]}
+ *
+ *  - voq            dense N x N VOQ occupancy heatmap, row = input port,
+ *                   column = output port (cells queued for that pair,
+ *                   CBR + VBR).
+ *  - output_backlog cells destined to each output (VOQ column sums plus
+ *                   any output-queue occupancy under speedup > 1).
+ *  - match_size_hist cumulative histogram of VBR match size per slot
+ *                   since the recorder was created (index = size).
+ *
+ * Lines stream into a `.jsonl` file via `an2_sweep --snapshot`; each
+ * parses independently, so a consumer can tail a running simulation.
+ */
+#ifndef AN2_OBS_SNAPSHOT_H
+#define AN2_OBS_SNAPSHOT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "an2/base/types.h"
+
+namespace an2::obs {
+
+/**
+ * Serialize one snapshot as a single JSON line (trailing newline
+ * included). `voq` is ports x ports row-major; `backlog` has `ports`
+ * entries; `match_hist` is indexed by match size.
+ */
+std::string snapshotLine(SlotTime slot, int ports, const int32_t* voq,
+                         const int32_t* backlog, int buffered_cells,
+                         const std::vector<int64_t>& match_hist);
+
+}  // namespace an2::obs
+
+#endif  // AN2_OBS_SNAPSHOT_H

@@ -1,0 +1,168 @@
+#include "an2/obs/trace_export.h"
+
+#include <algorithm>
+
+#include "an2/harness/json_writer.h"
+
+namespace an2::obs {
+
+namespace {
+
+using harness::JsonWriter;
+
+/** Deterministic timestamp for an event: slot base + in-slot offset that
+    reflects the pipeline order (begin, mask, matcher, forward, arrivals,
+    end). Slots before the first beginSlot clamp to slot 0. */
+int64_t
+eventTs(const Event& e)
+{
+    int64_t base = std::max<int64_t>(e.slot, 0) * kSlotTicks;
+    switch (e.type) {
+      case EventType::SlotBegin:
+        return base;
+      case EventType::CbrMask:
+        return base + 100;
+      case EventType::MatchIter:
+        // One tick per iteration keeps to-completion runs ordered while
+        // staying inside the slot span.
+        return base + 200 + std::min<int64_t>(e.iter, 600);
+      case EventType::Dequeue:
+        return base + 900;
+      case EventType::Enqueue:
+        // Arrivals are buffered between runSlot calls; they carry the
+        // slot of the preceding boundary.
+        return base + 950;
+      case EventType::SlotEnd:
+        return base + kSlotTicks;
+    }
+    return base;
+}
+
+const char*
+matchIterName(uint8_t alg)
+{
+    switch (static_cast<MatchAlg>(alg)) {
+      case MatchAlg::Pim:    return "pim.iter";
+      case MatchAlg::Islip:  return "islip.iter";
+      case MatchAlg::Greedy: return "greedy.pass";
+    }
+    return "match.iter";
+}
+
+/** Common prefix of every trace event: name, phase, ts, pid, tid. */
+void
+eventHead(JsonWriter& w, const char* name, const char* ph, int64_t ts,
+          int tid)
+{
+    w.beginObject();
+    w.key("name").value(name);
+    w.key("ph").value(ph);
+    w.key("ts").value(ts);
+    w.key("pid").value(0);
+    w.key("tid").value(tid);
+}
+
+void
+writeEvent(JsonWriter& w, const Event& e)
+{
+    const int64_t ts = eventTs(e);
+    switch (e.type) {
+      case EventType::SlotBegin:
+        eventHead(w, "slot", "B", ts, 0);
+        w.key("args").beginObject();
+        w.key("slot").value(static_cast<int64_t>(e.slot));
+        w.endObject();
+        w.endObject();
+        break;
+      case EventType::SlotEnd:
+        eventHead(w, "slot", "E", ts, 0);
+        w.key("args").beginObject();
+        w.key("forwarded").value(e.a);
+        w.key("cbr").value(e.b);
+        w.key("match_size").value(e.c);
+        w.endObject();
+        w.endObject();
+        // A parallel counter series makes the match-size trajectory
+        // directly plottable in the viewer.
+        eventHead(w, "match_size", "C", ts - kSlotTicks, 0);
+        w.key("args").beginObject();
+        w.key("size").value(e.c);
+        w.endObject();
+        w.endObject();
+        break;
+      case EventType::MatchIter:
+        eventHead(w, matchIterName(e.alg), "i", ts, 1);
+        w.key("s").value("t");
+        w.key("args").beginObject();
+        w.key("iter").value(static_cast<int>(e.iter));
+        w.key("requests").value(e.a);
+        w.key("grants").value(e.b);
+        w.key("accepts").value(e.c);
+        w.key("matched").value(e.d);
+        w.key("kept").value(e.d - e.c);
+        w.endObject();
+        w.endObject();
+        break;
+      case EventType::CbrMask:
+        eventHead(w, "cbr_mask", "i", ts, 0);
+        w.key("s").value("t");
+        w.key("args").beginObject();
+        w.key("inputs").value(e.a);
+        w.key("outputs").value(e.b);
+        w.endObject();
+        w.endObject();
+        break;
+      case EventType::Enqueue:
+      case EventType::Dequeue:
+        eventHead(w, e.type == EventType::Enqueue ? "enqueue" : "dequeue",
+                  "i", ts, 2);
+        w.key("s").value("t");
+        w.key("args").beginObject();
+        w.key("input").value(e.a);
+        w.key("output").value(e.b);
+        w.key("flow").value(e.c);
+        w.key("seq").value(e.d);
+        w.endObject();
+        w.endObject();
+        break;
+    }
+}
+
+}  // namespace
+
+std::string
+toChromeTraceJson(const Recorder& recorder)
+{
+    // Compact: trace documents can hold millions of events, and the
+    // viewers do not care about whitespace.
+    JsonWriter w(harness::JsonStyle::Compact);
+    w.beginObject();
+    w.key("schema").value("an2.trace.v1");
+    w.key("displayTimeUnit").value("ms");
+    w.key("otherData").beginObject();
+    w.key("slot_ticks").value(kSlotTicks);
+    w.key("dropped_events").value(recorder.droppedEvents());
+    w.key("counters").beginObject();
+    for (int c = 0; c < static_cast<int>(Counter::kCount); ++c)
+        w.key(counterName(static_cast<Counter>(c)))
+            .value(recorder.counter(static_cast<Counter>(c)));
+    w.endObject();
+    w.key("gauges").beginObject();
+    for (int g = 0; g < static_cast<int>(Gauge::kCount); ++g)
+        w.key(gaugeName(static_cast<Gauge>(g)))
+            .value(recorder.gauge(static_cast<Gauge>(g)));
+    w.endObject();
+    w.key("iterations_per_slot_hist").beginArray();
+    for (int64_t n : recorder.iterationsPerSlotHistogram())
+        w.value(n);
+    w.endArray();
+    w.endObject();
+    w.key("traceEvents").beginArray();
+    for (size_t k = 0; k < recorder.eventCount(); ++k)
+        writeEvent(w, recorder.event(k));
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+}  // namespace an2::obs

@@ -4,6 +4,7 @@
 
 #include "an2/base/error.h"
 #include "an2/matching/wordset.h"
+#include "an2/obs/recorder.h"
 
 namespace an2 {
 
@@ -72,6 +73,7 @@ InputQueuedSwitch::acceptCell(const Cell& cell)
         // decrement happens in forwardVbr().
         vbr_req_.increment(cell.input, cell.output);
     }
+    obs::cellEnqueued(cell);
 }
 
 int
@@ -87,6 +89,8 @@ InputQueuedSwitch::serveCbr(SlotTime slot)
         if (!buf.hasCellFor(j))
             continue;  // idle reservation: the slot falls to VBR
         forwarded_.push_back(buf.dequeueFor(j));
+        obs::cellDequeued(forwarded_.back());
+        obs::count(obs::Counter::CbrCellsForwarded);
         wordset::setBit(in_busy_.data(), i);
         wordset::setBit(out_busy_.data(), j);
         ++cbr_forwarded_;
@@ -131,6 +135,9 @@ InputQueuedSwitch::computeVbrMatch(const uint64_t* in_busy,
         wordset::forEachSet(out_busy, busy_words_,
                             [&](int j) { masked_req_.clearColumn(j); });
         req = &masked_req_;
+        if (obs::Recorder* rec = obs::current())
+            rec->cbrMasked(wordset::popcountAll(in_busy, busy_words_),
+                           wordset::popcountAll(out_busy, busy_words_));
     }
     matcher_->matchInto(*req, out);
     AN2_ASSERT(out.isLegalFor(*req), "matcher returned illegal match");
@@ -142,6 +149,7 @@ InputQueuedSwitch::forwardVbr(SlotTime slot, PortId i, PortId j)
     AN2_ASSERT(vbr_bufs_[static_cast<size_t>(i)].hasCellFor(j),
                "pipelined matching references a vanished cell");
     Cell c = vbr_bufs_[static_cast<size_t>(i)].dequeueFor(j);
+    obs::cellDequeued(c);
     vbr_req_.decrement(i, j);
     ++vbr_forwarded_;
     if (cbr_schedule_ != nullptr) {
@@ -157,6 +165,7 @@ InputQueuedSwitch::runSlot(SlotTime slot)
 {
     const int n = config_.n;
     forwarded_.clear();
+    obs::slotBegin(slot);
 
     // Phase 1: CBR service from the frame schedule.
     bool cbr_busy = false;
@@ -220,18 +229,55 @@ InputQueuedSwitch::runSlot(SlotTime slot)
 
     // Departures: direct with a plain crossbar; via output queues with a
     // replicated fabric (one cell leaves each output link per slot).
-    if (config_.output_speedup == 1)
-        return forwarded_;
-
-    for (const Cell& c : forwarded_)
-        out_queues_[static_cast<size_t>(c.output)].push(c);
-    departed_.clear();
-    for (auto& q : out_queues_) {
-        q.noteOccupancy();
-        if (!q.empty())
-            departed_.push_back(q.pop());
+    const std::vector<Cell>* result = &forwarded_;
+    if (config_.output_speedup > 1) {
+        for (const Cell& c : forwarded_)
+            out_queues_[static_cast<size_t>(c.output)].push(c);
+        departed_.clear();
+        for (auto& q : out_queues_) {
+            q.noteOccupancy();
+            if (!q.empty())
+                departed_.push_back(q.pop());
+        }
+        result = &departed_;
     }
-    return departed_;
+
+    // Slot-boundary probes; the periodic snapshot samples the post-slot
+    // queue state.
+    if (obs::Recorder* rec = obs::current()) {
+        rec->endSlot(static_cast<int>(forwarded_.size()),
+                     static_cast<int>(n_cbr),
+                     combined_.size() - static_cast<int>(n_cbr));
+        if (rec->snapshotDue(slot))
+            takeSnapshot(*rec, slot);
+    }
+    return *result;
+}
+
+void
+InputQueuedSwitch::takeSnapshot(obs::Recorder& rec, SlotTime slot) const
+{
+    AN2_REQUIRE(rec.ports() == config_.n,
+                "recorder snapshot ports do not match the switch size");
+    const int n = config_.n;
+    int32_t* voq = rec.voqMatrix();
+    int32_t* backlog = rec.outputBacklog();
+    for (PortId j = 0; j < n; ++j)
+        backlog[j] = out_queues_.empty()
+                         ? 0
+                         : static_cast<int32_t>(
+                               out_queues_[static_cast<size_t>(j)].size());
+    for (PortId i = 0; i < n; ++i) {
+        for (PortId j = 0; j < n; ++j) {
+            int32_t cells =
+                vbr_bufs_[static_cast<size_t>(i)].cellCountFor(j) +
+                cbr_bufs_[static_cast<size_t>(i)].cellCountFor(j);
+            voq[static_cast<size_t>(i) * static_cast<size_t>(n) +
+                static_cast<size_t>(j)] = cells;
+            backlog[j] += cells;
+        }
+    }
+    rec.commitSnapshot(slot, bufferedCells());
 }
 
 int

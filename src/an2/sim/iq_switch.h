@@ -37,6 +37,10 @@
 
 namespace an2 {
 
+namespace obs {
+class Recorder;
+}  // namespace obs
+
 /** Configuration for an InputQueuedSwitch. */
 struct IqSwitchConfig
 {
@@ -116,6 +120,10 @@ class InputQueuedSwitch final : public SwitchModel
      */
     void computeVbrMatch(const uint64_t* in_busy, const uint64_t* out_busy,
                          bool any_busy, Matching& out);
+
+    /** Fill the recorder's VOQ/backlog scratch with the current queue
+        state and commit one snapshot line for `slot`. */
+    void takeSnapshot(obs::Recorder& rec, SlotTime slot) const;
 
     IqSwitchConfig config_;
     std::unique_ptr<Matcher> matcher_;

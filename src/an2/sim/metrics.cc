@@ -7,7 +7,8 @@ namespace an2 {
 MetricsCollector::MetricsCollector(SlotTime warmup_slots, int ports,
                                    int delay_hist_bins)
     : warmup_(warmup_slots), delay_hist_(1.0, delay_hist_bins),
-      per_connection_(checkPorts(ports), ports)
+      per_connection_(checkPorts(ports), ports),
+      per_flow_(std::max(128, 2 * ports * ports))
 {
     AN2_REQUIRE(warmup_slots >= 0, "warmup must be non-negative");
 }

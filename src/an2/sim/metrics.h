@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 
+#include "an2/base/flat_counts.h"
 #include "an2/base/matrix.h"
 #include "an2/base/stats.h"
 #include "an2/base/types.h"
@@ -68,10 +69,10 @@ class MetricsCollector
         return per_connection_;
     }
 
-    /** Measured cells delivered per flow. */
-    const std::map<FlowId, int64_t>& deliveredPerFlow() const
+    /** Measured cells delivered per flow (materialized per call). */
+    std::map<FlowId, int64_t> deliveredPerFlow() const
     {
-        return per_flow_;
+        return per_flow_.toMap();
     }
 
     /** First slot at which measurement starts. */
@@ -87,7 +88,13 @@ class MetricsCollector
     Histogram delay_hist_;
     int max_occupancy_ = 0;
     Matrix<int64_t> per_connection_;
-    std::map<FlowId, int64_t> per_flow_;
+    /**
+     * Per-flow delivery counts in a presized flat table: incrementing a
+     * flow seen before costs no allocation (a std::map here allocated a
+     * node on first touch of each flow mid-run). Sized for ~2 flows per
+     * connection; rarer populations rehash once and stay flat after.
+     */
+    FlatCounts per_flow_;
 };
 
 }  // namespace an2

@@ -1,6 +1,7 @@
 #include "an2/sim/simulator.h"
 
 #include "an2/base/error.h"
+#include "an2/obs/recorder.h"
 
 namespace an2 {
 
@@ -38,7 +39,9 @@ runSimulation(SwitchModel& sw, TrafficGenerator& traffic,
             if (config.on_delivered)
                 config.on_delivered(c, slot);
         }
-        metrics.noteOccupancy(sw.bufferedCells());
+        int buffered = sw.bufferedCells();
+        metrics.noteOccupancy(buffered);
+        obs::setGauge(obs::Gauge::BufferedCells, buffered);
     }
 
     AN2_ASSERT(injected_total == delivered_total + sw.bufferedCells(),

@@ -307,6 +307,26 @@ TEST(JsonWriterTest, DocumentGolden)
                        "}\n");
 }
 
+TEST(JsonWriterTest, CompactStyleGolden)
+{
+    // The same document as DocumentGolden, emitted on one physical line
+    // with no whitespace — the JSON-lines mode used by obs snapshots and
+    // trace export.
+    JsonWriter w(JsonStyle::Compact);
+    w.beginObject();
+    w.key("name").value("a\"b");
+    w.key("n").value(3);
+    w.key("x").value(0.5);
+    w.key("ok").value(true);
+    w.key("none").null();
+    w.key("list").beginArray().value(1).value(2).endArray();
+    w.key("empty").beginObject().endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"name\":\"a\\\"b\",\"n\":3,\"x\":0.5,"
+                       "\"ok\":true,\"none\":null,\"list\":[1,2],"
+                       "\"empty\":{}}\n");
+}
+
 TEST(JsonWriterTest, StructuralMisuseAsserts)
 {
     {

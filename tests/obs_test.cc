@@ -1,0 +1,285 @@
+// Unit tests for the observability layer (an2/obs): probe attachment,
+// counter/gauge registry, the drop-oldest event ring, per-slot
+// histograms, and snapshot sampling through InputQueuedSwitch.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "an2/matching/pim.h"
+#include "an2/obs/recorder.h"
+#include "an2/obs/snapshot.h"
+#include "an2/sim/iq_switch.h"
+#include "an2/sim/simulator.h"
+#include "an2/sim/traffic.h"
+
+// Tests that route observations through attached probes cannot see
+// anything when the layer is compiled out.
+#ifdef AN2_OBS_DISABLED
+#define SKIP_IF_OBS_DISABLED() \
+    GTEST_SKIP() << "obs layer compiled out (AN2_OBS_DISABLED)"
+#else
+#define SKIP_IF_OBS_DISABLED() (void)0
+#endif
+
+namespace an2::obs {
+namespace {
+
+Cell
+vbrCell(FlowId flow, PortId in, PortId out, int64_t seq = 0)
+{
+    Cell c;
+    c.flow = flow;
+    c.input = in;
+    c.output = out;
+    c.seq = seq;
+    return c;
+}
+
+TEST(ProbeTest, UnattachedByDefault)
+{
+    EXPECT_EQ(current(), nullptr);
+    // Probes through the helpers are harmless no-ops when unattached.
+    count(Counter::SlotsRun);
+    setGauge(Gauge::BufferedCells, 7);
+    slotBegin(3);
+    slotEnd(1, 0, 1);
+}
+
+TEST(ProbeTest, AttachDetachRoundTrip)
+{
+    SKIP_IF_OBS_DISABLED();
+    Recorder rec;
+    attach(&rec);
+    EXPECT_EQ(current(), &rec);
+    count(Counter::SlotsRun, 5);
+    detach();
+    EXPECT_EQ(current(), nullptr);
+    EXPECT_EQ(rec.counter(Counter::SlotsRun), 5);
+}
+
+TEST(ProbeTest, RecorderDetachesItselfOnDestruction)
+{
+    SKIP_IF_OBS_DISABLED();
+    {
+        Recorder rec;
+        attach(&rec);
+        EXPECT_EQ(current(), &rec);
+    }
+    EXPECT_EQ(current(), nullptr);
+}
+
+TEST(ProbeTest, AllCountersAndGaugesAreNamed)
+{
+    for (int c = 0; c < static_cast<int>(Counter::kCount); ++c)
+        EXPECT_STRNE(counterName(static_cast<Counter>(c)), "unknown");
+    for (int g = 0; g < static_cast<int>(Gauge::kCount); ++g)
+        EXPECT_STRNE(gaugeName(static_cast<Gauge>(g)), "unknown");
+}
+
+TEST(RecorderTest, CountersAndGauges)
+{
+    Recorder rec;
+    rec.add(Counter::CellsEnqueued, 3);
+    rec.add(Counter::CellsEnqueued, 2);
+    rec.set(Gauge::BufferedCells, 10);
+    rec.set(Gauge::BufferedCells, 4);  // last write wins
+    EXPECT_EQ(rec.counter(Counter::CellsEnqueued), 5);
+    EXPECT_EQ(rec.counter(Counter::CellsDequeued), 0);
+    EXPECT_EQ(rec.gauge(Gauge::BufferedCells), 4);
+}
+
+TEST(RecorderTest, ZeroCapacityRingRecordsNothing)
+{
+    Recorder rec;  // trace_capacity defaults to 0
+    EXPECT_FALSE(rec.tracing());
+    rec.beginSlot(0);
+    rec.cellEnqueued(vbrCell(1, 0, 1));
+    rec.endSlot(0, 0, 0);
+    EXPECT_EQ(rec.eventCount(), 0u);
+    EXPECT_EQ(rec.droppedEvents(), 0);
+    // Counters still accumulate without a ring.
+    EXPECT_EQ(rec.counter(Counter::SlotsRun), 1);
+    EXPECT_EQ(rec.counter(Counter::CellsEnqueued), 1);
+}
+
+TEST(RecorderTest, RingDropsOldestWhenFull)
+{
+    Recorder rec(RecorderConfig{.trace_capacity = 3});
+    ASSERT_TRUE(rec.tracing());
+    for (int k = 0; k < 5; ++k)
+        rec.cellEnqueued(vbrCell(k, 0, 1, k));
+    EXPECT_EQ(rec.eventCount(), 3u);
+    EXPECT_EQ(rec.droppedEvents(), 2);
+    // The three *most recent* events survive, oldest first.
+    EXPECT_EQ(rec.event(0).c, 2);
+    EXPECT_EQ(rec.event(1).c, 3);
+    EXPECT_EQ(rec.event(2).c, 4);
+}
+
+TEST(RecorderTest, EventsCarryTheCurrentSlot)
+{
+    Recorder rec(RecorderConfig{.trace_capacity = 16});
+    rec.cellEnqueued(vbrCell(1, 0, 1));  // before any slot: stamped -1
+    rec.beginSlot(42);
+    rec.cellDequeued(vbrCell(1, 0, 1));
+    EXPECT_EQ(rec.event(0).slot, -1);
+    EXPECT_EQ(rec.event(1).type, EventType::SlotBegin);
+    EXPECT_EQ(rec.event(1).slot, 42);
+    EXPECT_EQ(rec.event(2).slot, 42);
+}
+
+TEST(RecorderTest, MatchIterationCounterDerivation)
+{
+    Recorder rec;
+    rec.beginSlot(0);
+    // Iteration 0: 10 requests, 4 grants, 3 accepts, 3 matched total.
+    rec.matchIteration(MatchAlg::Pim, 0, 10, 4, 3, 3);
+    // Iteration 1: 4 requests, 2 grants, 1 accept, 4 matched total — the
+    // 3 earlier matches are keep-grant retentions.
+    rec.matchIteration(MatchAlg::Pim, 1, 4, 2, 1, 4);
+    // Iteration 2: nothing left.
+    rec.matchIteration(MatchAlg::Pim, 2, 0, 0, 0, 4);
+    rec.endSlot(4, 0, 4);
+
+    EXPECT_EQ(rec.counter(Counter::MatchIterations), 3);
+    EXPECT_EQ(rec.counter(Counter::ProductiveIterations), 2);
+    EXPECT_EQ(rec.counter(Counter::RequestsSeen), 14);
+    EXPECT_EQ(rec.counter(Counter::GrantsIssued), 6);
+    EXPECT_EQ(rec.counter(Counter::AcceptsIssued), 4);
+    EXPECT_EQ(rec.counter(Counter::KeepGrantRetained), 0 + 3 + 4);
+    EXPECT_EQ(rec.gauge(Gauge::LastMatchSize), 4);
+}
+
+TEST(RecorderTest, IterationsPerSlotHistogram)
+{
+    Recorder rec(RecorderConfig{.max_iterations = 4});
+    // Slot with 2 productive iterations.
+    rec.beginSlot(0);
+    rec.matchIteration(MatchAlg::Pim, 0, 5, 3, 2, 2);
+    rec.matchIteration(MatchAlg::Pim, 1, 2, 1, 1, 3);
+    rec.matchIteration(MatchAlg::Pim, 2, 0, 0, 0, 3);
+    rec.endSlot(3, 0, 3);
+    // Idle slot: 0 productive iterations.
+    rec.beginSlot(1);
+    rec.endSlot(0, 0, 0);
+    // Slot overflowing the histogram clamps into the last bin.
+    rec.beginSlot(2);
+    for (int it = 0; it < 9; ++it)
+        rec.matchIteration(MatchAlg::Pim, it, 2, 1, 1, it + 1);
+    rec.endSlot(9, 0, 9);
+
+    const auto& h = rec.iterationsPerSlotHistogram();
+    ASSERT_EQ(h.size(), 4u);
+    EXPECT_EQ(h[0], 1);
+    EXPECT_EQ(h[1], 0);
+    EXPECT_EQ(h[2], 1);
+    EXPECT_EQ(h[3], 1);  // the 9-iteration slot, clamped
+}
+
+TEST(RecorderTest, MatchSizeHistogramNeedsPorts)
+{
+    Recorder without;
+    without.beginSlot(0);
+    without.endSlot(2, 0, 2);
+    EXPECT_TRUE(without.matchSizeHistogram().empty());
+
+    Recorder with(RecorderConfig{.ports = 4});
+    with.beginSlot(0);
+    with.endSlot(2, 0, 2);
+    with.beginSlot(1);
+    with.endSlot(4, 0, 4);
+    const auto& h = with.matchSizeHistogram();
+    ASSERT_EQ(h.size(), 5u);
+    EXPECT_EQ(h[2], 1);
+    EXPECT_EQ(h[4], 1);
+}
+
+TEST(RecorderTest, SnapshotDueSchedule)
+{
+    Recorder off;
+    EXPECT_FALSE(off.snapshotsEnabled());
+    EXPECT_FALSE(off.snapshotDue(0));
+
+    Recorder on(RecorderConfig{.snapshot_every = 4, .ports = 2});
+    EXPECT_TRUE(on.snapshotsEnabled());
+    EXPECT_FALSE(on.snapshotDue(0));
+    EXPECT_TRUE(on.snapshotDue(3));
+    EXPECT_FALSE(on.snapshotDue(4));
+    EXPECT_TRUE(on.snapshotDue(7));
+}
+
+TEST(RecorderTest, SnapshotsRequirePorts)
+{
+    EXPECT_THROW(Recorder(RecorderConfig{.snapshot_every = 8}),
+                 UsageError);
+}
+
+TEST(SnapshotTest, LineFormat)
+{
+    const int32_t voq[4] = {1, 0, 2, 3};
+    const int32_t backlog[2] = {3, 3};
+    std::string line = snapshotLine(9, 2, voq, backlog, 6, {4, 1, 1});
+    EXPECT_EQ(line,
+              "{\"schema\":\"an2.snapshot.v1\",\"slot\":9,\"ports\":2,"
+              "\"buffered\":6,\"voq\":[[1,0],[2,3]],"
+              "\"output_backlog\":[3,3],\"match_size_hist\":[4,1,1]}\n");
+}
+
+TEST(SwitchSnapshotTest, PeriodicSnapshotsThroughRunSlot)
+{
+    SKIP_IF_OBS_DISABLED();
+    const int n = 4;
+    Recorder rec(RecorderConfig{.snapshot_every = 4, .ports = n});
+    attach(&rec);
+    InputQueuedSwitch sw(IqSwitchConfig{.n = n},
+                         std::make_unique<PimMatcher>(
+                             PimConfig{.iterations = 4, .seed = 9}));
+    UniformTraffic traffic(n, 0.8, 11);
+    std::vector<Cell> arrivals;
+    for (SlotTime slot = 0; slot < 8; ++slot) {
+        arrivals.clear();
+        traffic.generate(slot, arrivals);
+        for (const Cell& c : arrivals)
+            sw.acceptCell(c);
+        sw.runSlot(slot);
+    }
+    detach();
+
+    EXPECT_EQ(rec.counter(Counter::SnapshotsTaken), 2);
+    // Two JSON lines, each tagged with the snapshot schema.
+    const std::string& lines = rec.snapshotLines();
+    size_t first_nl = lines.find('\n');
+    ASSERT_NE(first_nl, std::string::npos);
+    EXPECT_EQ(lines.find("\"schema\":\"an2.snapshot.v1\""), 1u);
+    EXPECT_NE(lines.find("\"schema\":\"an2.snapshot.v1\"", first_nl),
+              std::string::npos);
+    EXPECT_EQ(lines.back(), '\n');
+    EXPECT_NE(lines.find("\"slot\":3"), std::string::npos);
+    EXPECT_NE(lines.find("\"slot\":7"), std::string::npos);
+}
+
+TEST(SimulatorTest, BufferedCellsGaugeTracksSwitch)
+{
+    SKIP_IF_OBS_DISABLED();
+    const int n = 4;
+    Recorder rec;
+    attach(&rec);
+    InputQueuedSwitch sw(IqSwitchConfig{.n = n},
+                         std::make_unique<PimMatcher>(
+                             PimConfig{.iterations = 4, .seed = 13}));
+    UniformTraffic traffic(n, 0.9, 17);
+    SimConfig cfg;
+    cfg.slots = 50;
+    cfg.warmup = 10;
+    runSimulation(sw, traffic, cfg);
+    detach();
+    EXPECT_EQ(rec.gauge(Gauge::BufferedCells), sw.bufferedCells());
+    EXPECT_EQ(rec.counter(Counter::SlotsRun), 50);
+    EXPECT_EQ(rec.counter(Counter::CellsEnqueued) -
+                  rec.counter(Counter::CellsDequeued),
+              sw.bufferedCells());
+}
+
+}  // namespace
+}  // namespace an2::obs

@@ -1,0 +1,154 @@
+// Tests for the an2.trace.v1 Chrome trace exporter: a byte-exact golden
+// document for a seeded 4x4 PIM run, structural invariants of the JSON,
+// and the enqueue/dequeue pairing property (every dequeue is preceded by
+// the enqueue of the same cell).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "an2/matching/pim.h"
+#include "an2/obs/recorder.h"
+#include "an2/obs/trace_export.h"
+#include "an2/sim/iq_switch.h"
+#include "an2/sim/traffic.h"
+
+#ifndef AN2_TEST_GOLDEN_DIR
+#define AN2_TEST_GOLDEN_DIR "tests/golden"
+#endif
+
+// With the obs layer compiled out the trace is empty.
+#ifdef AN2_OBS_DISABLED
+#define SKIP_IF_OBS_DISABLED() \
+    GTEST_SKIP() << "obs layer compiled out (AN2_OBS_DISABLED)"
+#else
+#define SKIP_IF_OBS_DISABLED() (void)0
+#endif
+
+namespace an2::obs {
+namespace {
+
+/** Drive a seeded switch with a recorder attached for `slots` slots. */
+void
+runTraced(Recorder& rec, int n, double load, uint64_t traffic_seed,
+          uint64_t pim_seed, int slots)
+{
+    attach(&rec);
+    InputQueuedSwitch sw(
+        IqSwitchConfig{.n = n},
+        std::make_unique<PimMatcher>(
+            PimConfig{.iterations = 4, .seed = pim_seed}));
+    UniformTraffic traffic(n, load, traffic_seed);
+    std::vector<Cell> arrivals;
+    for (SlotTime slot = 0; slot < slots; ++slot) {
+        arrivals.clear();
+        traffic.generate(slot, arrivals);
+        for (const Cell& c : arrivals)
+            sw.acceptCell(c);
+        sw.runSlot(slot);
+    }
+    detach();
+}
+
+TEST(TraceExportTest, GoldenFourByFourPimRun)
+{
+    SKIP_IF_OBS_DISABLED();
+    Recorder rec(RecorderConfig{.trace_capacity = 4096, .ports = 4});
+    runTraced(rec, 4, 0.6, 7, 3, 12);
+    std::string doc = toChromeTraceJson(rec);
+
+    const std::string path =
+        std::string(AN2_TEST_GOLDEN_DIR) + "/trace_4x4_pim.json";
+    if (std::getenv("AN2_REGEN_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << doc;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden " << path
+        << " (run with AN2_REGEN_GOLDEN=1 to create it)";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(doc, golden.str())
+        << "an2.trace.v1 output changed; if intentional, regenerate with "
+           "AN2_REGEN_GOLDEN=1";
+}
+
+TEST(TraceExportTest, DocumentStructure)
+{
+    SKIP_IF_OBS_DISABLED();
+    Recorder rec(RecorderConfig{.trace_capacity = 4096, .ports = 4});
+    runTraced(rec, 4, 0.6, 7, 3, 12);
+    std::string doc = toChromeTraceJson(rec);
+
+    // One physical line (compact mode) carrying the schema banner and
+    // every counter by name.
+    EXPECT_EQ(doc.find("{\"schema\":\"an2.trace.v1\""), 0u);
+    EXPECT_EQ(doc.find('\n'), doc.size() - 1);
+    for (int c = 0; c < static_cast<int>(Counter::kCount); ++c) {
+        std::string key =
+            std::string("\"") + counterName(static_cast<Counter>(c)) +
+            "\":";
+        EXPECT_NE(doc.find(key), std::string::npos) << key;
+    }
+    EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(doc.find("\"name\":\"slot\",\"ph\":\"B\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"name\":\"pim.iter\""), std::string::npos);
+    EXPECT_NE(doc.find("\"name\":\"enqueue\""), std::string::npos);
+    EXPECT_NE(doc.find("\"name\":\"dequeue\""), std::string::npos);
+}
+
+TEST(TraceExportTest, DeterministicAcrossRuns)
+{
+    Recorder a(RecorderConfig{.trace_capacity = 4096, .ports = 4});
+    runTraced(a, 4, 0.6, 7, 3, 12);
+    Recorder b(RecorderConfig{.trace_capacity = 4096, .ports = 4});
+    runTraced(b, 4, 0.6, 7, 3, 12);
+    EXPECT_EQ(toChromeTraceJson(a), toChromeTraceJson(b));
+}
+
+TEST(TraceEventsTest, EveryDequeuePairsWithPriorEnqueue)
+{
+    SKIP_IF_OBS_DISABLED();
+    // Capacity large enough that nothing is dropped: the property only
+    // holds over the complete event stream.
+    Recorder rec(RecorderConfig{.trace_capacity = 1u << 18, .ports = 16});
+    runTraced(rec, 16, 0.85, 101, 5, 400);
+    ASSERT_EQ(rec.droppedEvents(), 0);
+
+    // Cell identity is (flow, seq): flows are unique per (input, output)
+    // pair under UniformTraffic and seq increments per flow.
+    std::set<std::pair<int32_t, int32_t>> buffered;
+    int64_t enq = 0;
+    int64_t deq = 0;
+    for (size_t k = 0; k < rec.eventCount(); ++k) {
+        const Event& e = rec.event(k);
+        if (e.type == EventType::Enqueue) {
+            ++enq;
+            auto inserted = buffered.insert({e.c, e.d}).second;
+            EXPECT_TRUE(inserted)
+                << "duplicate enqueue of flow " << e.c << " seq " << e.d;
+        } else if (e.type == EventType::Dequeue) {
+            ++deq;
+            auto erased = buffered.erase({e.c, e.d});
+            EXPECT_EQ(erased, 1u)
+                << "dequeue without prior enqueue: flow " << e.c
+                << " seq " << e.d;
+        }
+    }
+    EXPECT_GT(deq, 0);
+    EXPECT_EQ(enq, rec.counter(Counter::CellsEnqueued));
+    EXPECT_EQ(deq, rec.counter(Counter::CellsDequeued));
+    EXPECT_EQ(enq - deq, static_cast<int64_t>(buffered.size()));
+}
+
+}  // namespace
+}  // namespace an2::obs

@@ -104,7 +104,7 @@ TEST(HistogramTest, BinsAndOverflow)
     EXPECT_EQ(h.binCount(0), 2);
     EXPECT_EQ(h.binCount(1), 1);
     EXPECT_EQ(h.binCount(2), 1);
-    EXPECT_EQ(h.overflow(), 2);
+    EXPECT_EQ(h.overflowCount(), 2);
 }
 
 TEST(HistogramTest, NegativeSamplesClampToFirstBin)
@@ -123,6 +123,32 @@ TEST(HistogramTest, QuantileInterpolates)
     EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
     EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
     EXPECT_NEAR(h.quantile(1.0), 100.0, 1.0);
+}
+
+TEST(HistogramTest, QuantileInOverflowReturnsBucketLowerBound)
+{
+    Histogram h(1.0, 4);  // regular range [0, 4), overflow beyond
+    h.add(0.5);
+    h.add(1.5);
+    h.add(50.0);
+    h.add(60.0);
+    // The median is still among the regular samples...
+    EXPECT_NEAR(h.quantile(0.5), 2.0, 1e-12);
+    // ...but any quantile past them is saturated and must report the
+    // overflow bucket's lower bound, not an interpolated last-bin value.
+    EXPECT_DOUBLE_EQ(h.quantile(0.75), 4.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+    EXPECT_EQ(h.overflowCount(), 2);
+}
+
+TEST(HistogramTest, AllSamplesOverflowing)
+{
+    Histogram h(2.0, 3);  // regular range [0, 6)
+    h.add(10.0);
+    h.add(20.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.01), 6.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 6.0);
+    EXPECT_EQ(h.overflowCount(), 2);
 }
 
 TEST(HistogramTest, QuantileOfEmptyThrows)

@@ -14,8 +14,18 @@
 #include "an2/matching/islip.h"
 #include "an2/matching/pim.h"
 #include "an2/matching/serial_greedy.h"
+#include "an2/obs/recorder.h"
 #include "an2/sim/iq_switch.h"
+#include "an2/sim/metrics.h"
 #include "an2/sim/traffic.h"
+
+// The attached-recorder assertions need the probes compiled in.
+#ifdef AN2_OBS_DISABLED
+#define SKIP_IF_OBS_DISABLED() \
+    GTEST_SKIP() << "obs layer compiled out (AN2_OBS_DISABLED)"
+#else
+#define SKIP_IF_OBS_DISABLED() (void)0
+#endif
 
 namespace {
 
@@ -125,6 +135,66 @@ TEST(ZeroAllocTest, MultiWordSwitchSteadyStateIsAllocationFree)
                          std::make_unique<PimMatcher>(
                              PimConfig{.iterations = 4, .seed = 4}));
     EXPECT_EQ(allocationsDuringSteadyState(sw, 2000, 1000), 0u);
+}
+
+TEST(ZeroAllocTest, AttachedRecorderSteadyStateIsAllocationFree)
+{
+    SKIP_IF_OBS_DISABLED();
+    // Full observation enabled — counters, histograms, and the event ring
+    // (small enough that drop-oldest wraps constantly) — must add zero
+    // heap traffic to the steady-state slot loop.
+    obs::Recorder rec(
+        obs::RecorderConfig{.trace_capacity = 512, .ports = 16});
+    obs::attach(&rec);
+    InputQueuedSwitch sw(IqSwitchConfig{.n = 16},
+                         std::make_unique<PimMatcher>(
+                             PimConfig{.iterations = 4, .seed = 5}));
+    size_t allocs = allocationsDuringSteadyState(sw, 2000, 2000);
+    obs::detach();
+    EXPECT_EQ(allocs, 0u);
+    EXPECT_EQ(rec.counter(obs::Counter::SlotsRun), 4000);
+    EXPECT_GT(rec.counter(obs::Counter::MatchIterations), 0);
+    EXPECT_EQ(rec.eventCount(), 512u);
+    EXPECT_GT(rec.droppedEvents(), 0);
+}
+
+TEST(ZeroAllocTest, AttachedRecorderIslipCountersAllocationFree)
+{
+    SKIP_IF_OBS_DISABLED();
+    // The iSLIP probes (rec-guarded popcounts in the word-parallel core)
+    // must stay allocation-free too.
+    obs::Recorder rec(obs::RecorderConfig{.trace_capacity = 256});
+    obs::attach(&rec);
+    InputQueuedSwitch sw(IqSwitchConfig{.n = 16},
+                         std::make_unique<IslipMatcher>(4));
+    size_t allocs = allocationsDuringSteadyState(sw, 2000, 2000);
+    obs::detach();
+    EXPECT_EQ(allocs, 0u);
+    EXPECT_GT(rec.counter(obs::Counter::RequestsSeen), 0);
+}
+
+TEST(ZeroAllocTest, MetricsDeliverySteadyStateIsAllocationFree)
+{
+    // Delivery bookkeeping (delay stats + per-connection matrix +
+    // per-flow counts) must not allocate once the collector is built —
+    // the per-flow map previously allocated a node on each flow's first
+    // delivery mid-run.
+    MetricsCollector m(0, 16);
+    Cell c;
+    size_t before = g_allocations.load(std::memory_order_relaxed);
+    for (int round = 0; round < 3; ++round) {
+        for (int f = 0; f < 256; ++f) {
+            c.flow = f;
+            c.input = f % 16;
+            c.output = (f / 16) % 16;
+            c.inject_slot = 10;
+            m.noteDelivered(c, 12);
+        }
+    }
+    size_t after = g_allocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u);
+    EXPECT_EQ(m.delivered(), 3 * 256);
+    EXPECT_EQ(m.deliveredPerFlow().at(0), 3);
 }
 
 TEST(ZeroAllocTest, CountingAllocatorIsLive)
