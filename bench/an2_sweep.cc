@@ -58,6 +58,8 @@ main(int argc, char** argv)
     if (table) {
         banner("an2_sweep -- " + spec.name + ": " + spec.description,
                "harness sweep (" + spec.workload + " workload)");
+        if (!spec.faults.empty())
+            std::printf("  fault plan: %s\n", spec.faults.str().c_str());
         std::printf("  mean queueing delay in cell slots\n\n");
     }
 

@@ -18,7 +18,9 @@
 #include <string>
 #include <vector>
 
+#include "an2/fault/injector.h"
 #include "an2/harness/aggregate.h"
+#include "an2/harness/cli.h"
 #include "an2/harness/sweep.h"
 #include "an2/obs/recorder.h"
 #include "an2/obs/trace_export.h"
@@ -161,240 +163,14 @@ findExperiment(const std::string& name)
 }
 
 // ---------------------------------------------------------------------------
-// Shared command line
+// Shared command line — the strict parser lives in an2/harness/cli.h;
+// re-exported here so the bench binaries keep their unqualified names.
 
-/** Options common to `an2_sweep` and the harness-backed bench binaries. */
-struct SweepCli
-{
-    std::string experiment;       ///< an2_sweep only
-    std::string json_path;        ///< write sweep JSON here if non-empty
-    int threads = 0;              ///< 0 = hardware concurrency
-    int replicates = 0;           ///< 0 = keep spec default
-    long long slots = 0;          ///< 0 = keep spec default
-    long long warmup = -1;        ///< -1 = keep spec default
-    uint64_t seed = 0;
-    bool seed_set = false;
-    std::vector<double> loads;    ///< empty = keep spec default
-    int size = 0;                 ///< 0 = keep spec default
-    bool list = false;
-    bool help = false;
-
-    // Observability (an2_sweep): re-run one grid point with a Recorder
-    // attached after the sweep. The sweep results themselves are
-    // untouched — worker threads never observe.
-    std::string trace_path;          ///< write an2.trace.v1 here
-    std::string snapshot_path;       ///< write an2.snapshot.v1 lines here
-    std::string trace_arch;          ///< arch to observe ("" = auto)
-    long long trace_capacity = 1 << 16;  ///< event-ring size
-    int snapshot_every = 0;          ///< 0 = default (1000) when snapshotting
-};
-
-inline void
-printSweepCliHelp(const char* prog, bool with_experiment)
-{
-    std::printf("usage: %s [options]\n", prog);
-    if (with_experiment) {
-        std::printf("  --experiment NAME   experiment to run "
-                    "(--list shows them)\n");
-        std::printf("  --list              list available experiments\n");
-    }
-    std::printf("  --json PATH         write results as an2.sweep.v1 JSON\n");
-    std::printf("  --threads N         worker threads "
-                "(default: hardware concurrency;\n"
-                "                      results are identical for any N)\n");
-    std::printf("  --replicates R      independent replicates per cell\n");
-    std::printf("  --slots S           slots per run\n");
-    std::printf("  --warmup W          warmup slots excluded from metrics\n");
-    std::printf("  --seed X            base seed for deterministic "
-                "seeding\n");
-    std::printf("  --loads A,B,...     override the load axis\n");
-    std::printf("  --size N            override the switch size\n");
-    if (with_experiment) {
-        std::printf("  --trace FILE        after the sweep, re-run one grid "
-                    "point with probes\n"
-                    "                      attached and write an an2.trace.v1 "
-                    "Chrome trace\n");
-        std::printf("  --trace-arch NAME   architecture to observe (default: "
-                    "first PIM arch)\n");
-        std::printf("  --trace-capacity N  event-ring capacity "
-                    "(default 65536, drop-oldest)\n");
-        std::printf("  --snapshot FILE     write an2.snapshot.v1 JSON-lines "
-                    "(VOQ heatmap,\n"
-                    "                      backlog, match-size histogram)\n");
-        std::printf("  --snapshot-every K  slots between snapshots "
-                    "(default 1000)\n");
-    }
-    std::printf("  --help              this message\n");
-}
-
-inline bool
-parseLoadList(const char* arg, std::vector<double>& out, std::string& err)
-{
-    out.clear();
-    const char* p = arg;
-    while (*p) {
-        char* end = nullptr;
-        double v = std::strtod(p, &end);
-        if (end == p || v <= 0.0 || v > 1.0) {
-            err = std::string("bad load list: ") + arg;
-            return false;
-        }
-        out.push_back(v);
-        p = end;
-        if (*p == ',')
-            ++p;
-        else if (*p) {
-            err = std::string("bad load list: ") + arg;
-            return false;
-        }
-    }
-    if (out.empty()) {
-        err = "empty load list";
-        return false;
-    }
-    return true;
-}
-
-inline bool
-parseSweepCli(int argc, char** argv, SweepCli& cli, std::string& err)
-{
-    auto need = [&](int& i) -> const char* {
-        if (i + 1 >= argc) {
-            err = std::string(argv[i]) + " needs an argument";
-            return nullptr;
-        }
-        return argv[++i];
-    };
-    // `--flag=value` form (the observability flags are documented this
-    // way); returns the value or nullptr if `arg` is not `flag=...`.
-    auto eqval = [](const char* arg, const char* flag) -> const char* {
-        size_t n = std::strlen(flag);
-        if (!std::strncmp(arg, flag, n) && arg[n] == '=')
-            return arg + n + 1;
-        return nullptr;
-    };
-    for (int i = 1; i < argc; ++i) {
-        const char* a = argv[i];
-        const char* v = nullptr;
-        if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) {
-            cli.help = true;
-        } else if (!std::strcmp(a, "--list")) {
-            cli.list = true;
-        } else if (!std::strcmp(a, "--experiment")) {
-            if (!(v = need(i)))
-                return false;
-            cli.experiment = v;
-        } else if (!std::strcmp(a, "--json")) {
-            if (!(v = need(i)))
-                return false;
-            cli.json_path = v;
-        } else if (!std::strcmp(a, "--threads")) {
-            if (!(v = need(i)))
-                return false;
-            cli.threads = std::atoi(v);
-            if (cli.threads < 0) {
-                err = "--threads must be >= 0";
-                return false;
-            }
-        } else if (!std::strcmp(a, "--replicates")) {
-            if (!(v = need(i)))
-                return false;
-            cli.replicates = std::atoi(v);
-            if (cli.replicates <= 0) {
-                err = "--replicates must be positive";
-                return false;
-            }
-        } else if (!std::strcmp(a, "--slots")) {
-            if (!(v = need(i)))
-                return false;
-            cli.slots = std::atoll(v);
-            if (cli.slots <= 0) {
-                err = "--slots must be positive";
-                return false;
-            }
-        } else if (!std::strcmp(a, "--warmup")) {
-            if (!(v = need(i)))
-                return false;
-            cli.warmup = std::atoll(v);
-            if (cli.warmup < 0) {
-                err = "--warmup must be non-negative";
-                return false;
-            }
-        } else if (!std::strcmp(a, "--seed")) {
-            if (!(v = need(i)))
-                return false;
-            cli.seed = std::strtoull(v, nullptr, 0);
-            cli.seed_set = true;
-        } else if (!std::strcmp(a, "--loads")) {
-            if (!(v = need(i)))
-                return false;
-            if (!parseLoadList(v, cli.loads, err))
-                return false;
-        } else if (!std::strcmp(a, "--size")) {
-            if (!(v = need(i)))
-                return false;
-            cli.size = std::atoi(v);
-            if (cli.size <= 0) {
-                err = "--size must be positive";
-                return false;
-            }
-        } else if (!std::strcmp(a, "--trace") ||
-                   (v = eqval(a, "--trace")) != nullptr) {
-            if (!v && !(v = need(i)))
-                return false;
-            cli.trace_path = v;
-        } else if (!std::strcmp(a, "--trace-arch") ||
-                   (v = eqval(a, "--trace-arch")) != nullptr) {
-            if (!v && !(v = need(i)))
-                return false;
-            cli.trace_arch = v;
-        } else if (!std::strcmp(a, "--trace-capacity") ||
-                   (v = eqval(a, "--trace-capacity")) != nullptr) {
-            if (!v && !(v = need(i)))
-                return false;
-            cli.trace_capacity = std::atoll(v);
-            if (cli.trace_capacity <= 0) {
-                err = "--trace-capacity must be positive";
-                return false;
-            }
-        } else if (!std::strcmp(a, "--snapshot") ||
-                   (v = eqval(a, "--snapshot")) != nullptr) {
-            if (!v && !(v = need(i)))
-                return false;
-            cli.snapshot_path = v;
-        } else if (!std::strcmp(a, "--snapshot-every") ||
-                   (v = eqval(a, "--snapshot-every")) != nullptr) {
-            if (!v && !(v = need(i)))
-                return false;
-            cli.snapshot_every = std::atoi(v);
-            if (cli.snapshot_every <= 0) {
-                err = "--snapshot-every must be positive";
-                return false;
-            }
-        } else {
-            err = std::string("unknown option: ") + a;
-            return false;
-        }
-    }
-    return true;
-}
-
-inline void
-applyCli(const SweepCli& cli, harness::SweepSpec& spec)
-{
-    if (cli.replicates > 0)
-        spec.replicates = cli.replicates;
-    if (cli.slots > 0)
-        spec.slots = cli.slots;
-    if (cli.warmup >= 0)
-        spec.warmup = cli.warmup;
-    if (cli.seed_set)
-        spec.base_seed = cli.seed;
-    if (!cli.loads.empty())
-        spec.loads = cli.loads;
-    if (cli.size > 0)
-        spec.sizes = {cli.size};
-}
+using harness::SweepCli;
+using harness::applyCli;
+using harness::parseLoadList;
+using harness::parseSweepCli;
+using harness::printSweepCliHelp;
 
 // ---------------------------------------------------------------------------
 // Execution and reporting helpers
@@ -594,6 +370,16 @@ runObservedPoint(const harness::SweepSpec& spec, const SweepCli& cli)
     SimConfig sim;
     sim.slots = spec.slots;
     sim.warmup = spec.warmup;
+    // Same fault scenario and fault seed as the corresponding sweep
+    // run, so the observed run (and its trace's fault spans) replays
+    // that run exactly.
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (!spec.faults.empty()) {
+        spec.faults.validatePorts(n);
+        injector = std::make_unique<fault::FaultInjector>(n, spec.faults,
+                                                          pt->fault_seed);
+        sim.faults = injector.get();
+    }
     runSimulation(*sw, *traffic, sim);
     obs::detach();
 

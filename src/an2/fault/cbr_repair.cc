@@ -1,0 +1,159 @@
+#include "an2/fault/cbr_repair.h"
+
+#include "an2/fault/invariants.h"
+#include "an2/obs/recorder.h"
+
+namespace an2::fault {
+
+CbrRepairEngine::CbrRepairEngine(SlepianDuguidScheduler& sched,
+                                 AdmissionController& adm, int n,
+                                 int ops_per_slot)
+    : sched_(sched), adm_(adm), n_(n), ops_per_slot_(ops_per_slot),
+      in_live_(static_cast<size_t>(n), 1),
+      out_live_(static_cast<size_t>(n), 1), path_(2, 0)
+{
+    AN2_REQUIRE(n > 0, "repair engine needs a positive switch size");
+    AN2_REQUIRE(ops_per_slot >= 1, "repair budget must be >= 1 op/slot");
+    if (adm_.numLinks() == 0) {
+        for (int l = 0; l < 2 * n; ++l)
+            adm_.addLink();
+    }
+    AN2_REQUIRE(adm_.numLinks() >= 2 * n,
+                "admission database has " << adm_.numLinks()
+                                          << " links; need 2n = " << 2 * n);
+}
+
+bool
+CbrRepairEngine::book(PortId i, PortId j, int k)
+{
+    AN2_REQUIRE(i >= 0 && i < n_ && j >= 0 && j < n_,
+                "booking (" << i << "," << j << ") outside the " << n_
+                            << "-port switch");
+    AN2_REQUIRE(k > 0, "booking must reserve at least one cell/frame");
+    AN2_REQUIRE(portsLive({i, j, k, false, false}),
+                "cannot book through a dead port (" << i << "," << j << ")");
+    path_[0] = inputLink(i);
+    path_[1] = outputLink(j);
+    if (!adm_.admit(path_, k))
+        return false;
+    bool placed = sched_.addReservation(i, j, k);
+    AN2_ASSERT(placed, "admitted reservation (" << i << "," << j << "," << k
+                                                << ") failed to place");
+    bookings_.push_back({i, j, k, true, false});
+    InvariantChecker::checkScheduleRealizes(sched_.schedule(),
+                                            sched_.reservations(),
+                                            "CbrRepairEngine::book");
+    return true;
+}
+
+void
+CbrRepairEngine::revokeThrough(bool is_input, PortId port)
+{
+    bool touched = false;
+    for (Booking& b : bookings_) {
+        if (!b.placed || (is_input ? b.in : b.out) != port)
+            continue;
+        sched_.removeReservation(b.in, b.out, b.k);
+        path_[0] = inputLink(b.in);
+        path_[1] = outputLink(b.out);
+        adm_.release(path_, b.k);
+        b.placed = false;
+        b.rebook_failed = false;
+        ++stats_.revoked;
+        obs::count(obs::Counter::CbrReservationsRevoked);
+        touched = true;
+    }
+    if (touched) {
+        ++stats_.repair_events;
+        InvariantChecker::checkScheduleRealizes(
+            sched_.schedule(), sched_.reservations(),
+            "CbrRepairEngine::revokeThrough");
+    }
+}
+
+void
+CbrRepairEngine::onPortDown(bool is_input, PortId port, SlotTime)
+{
+    (is_input ? in_live_ : out_live_)[static_cast<size_t>(port)] = 0;
+    // Revocation is immediate: the control processor reacts within the
+    // slot, so the schedule never pairs a dead port.
+    revokeThrough(is_input, port);
+}
+
+void
+CbrRepairEngine::onPortUp(bool is_input, PortId port, SlotTime slot)
+{
+    (is_input ? in_live_ : out_live_)[static_cast<size_t>(port)] = 1;
+    bool work = false;
+    for (Booking& b : bookings_) {
+        if (b.placed || !portsLive(b))
+            continue;
+        b.rebook_failed = false;  // capacity may have freed up; retry
+        work = true;
+    }
+    if (work && !pending_) {
+        pending_ = true;
+        repair_started_ = slot;
+        ++stats_.repair_events;
+    }
+}
+
+void
+CbrRepairEngine::slotWork(SlotTime slot)
+{
+    if (!pending_)
+        return;
+    int ops = 0;
+    bool remaining = false;
+    for (Booking& b : bookings_) {
+        if (b.placed || b.rebook_failed || !portsLive(b))
+            continue;
+        if (ops >= ops_per_slot_) {
+            remaining = true;
+            break;
+        }
+        ++ops;
+        path_[0] = inputLink(b.in);
+        path_[1] = outputLink(b.out);
+        if (!adm_.admit(path_, b.k)) {
+            b.rebook_failed = true;
+            ++stats_.rebook_failed;
+            continue;
+        }
+        bool placed = sched_.addReservation(b.in, b.out, b.k);
+        AN2_ASSERT(placed, "re-admitted reservation failed to place");
+        b.placed = true;
+        ++stats_.rebooked;
+        obs::count(obs::Counter::CbrReservationsRebooked);
+    }
+    if (ops > 0)
+        InvariantChecker::checkScheduleRealizes(sched_.schedule(),
+                                                sched_.reservations(),
+                                                "CbrRepairEngine::slotWork");
+    if (!remaining) {
+        pending_ = false;
+        stats_.last_repair_latency = slot - repair_started_ + 1;
+        if (stats_.last_repair_latency > stats_.max_repair_latency)
+            stats_.max_repair_latency = stats_.last_repair_latency;
+    }
+}
+
+int
+CbrRepairEngine::placedBookings() const
+{
+    int placed = 0;
+    for (const Booking& b : bookings_)
+        placed += b.placed ? 1 : 0;
+    return placed;
+}
+
+bool
+CbrRepairEngine::fullyRepaired() const
+{
+    for (const Booking& b : bookings_)
+        if (!b.placed && portsLive(b) && !b.rebook_failed)
+            return false;
+    return true;
+}
+
+}  // namespace an2::fault

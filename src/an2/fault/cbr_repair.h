@@ -1,0 +1,144 @@
+/**
+ * @file
+ * CBR schedule repair under port failures (graceful degradation of the
+ * paper's §4 reserved-traffic machinery).
+ *
+ * The repair engine owns the control-plane view of a switch's CBR
+ * bookings: each booking is a (input, output, cells/frame) reservation
+ * admitted through the AdmissionController (input link i, output link
+ * n + j) and placed into the frame schedule by the incremental
+ * Slepian-Duguid scheduler.
+ *
+ * On a port-down event every booking crossing that port is revoked
+ * immediately — removeReservation() plus admission release — so the
+ * frame schedule never pairs a dead port and the freed slots fall to
+ * VBR traffic. On port-up the revoked bookings are re-placed
+ * incrementally (addReservation swap chains), at most `ops_per_slot`
+ * placements per slot to model a bounded control processor; the engine
+ * measures the repair latency in slots from the revival to the last
+ * re-placement. Every still-feasible reservation is re-placed; ones
+ * whose admission capacity was consumed in the meantime are counted as
+ * failed.
+ *
+ * After every mutation the engine checks (AN2_CHECK) that the frame
+ * schedule still realizes the reservation matrix exactly.
+ */
+#ifndef AN2_FAULT_CBR_REPAIR_H
+#define AN2_FAULT_CBR_REPAIR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "an2/base/types.h"
+#include "an2/cbr/admission.h"
+#include "an2/cbr/slepian_duguid.h"
+#include "an2/fault/injector.h"
+
+namespace an2::fault {
+
+/** Counters the repair engine accumulates across a run. */
+struct RepairStats
+{
+    /** Bookings revoked by port failures. */
+    int64_t revoked = 0;
+
+    /** Bookings successfully re-placed after revivals. */
+    int64_t rebooked = 0;
+
+    /** Re-placement attempts rejected by admission control. */
+    int64_t rebook_failed = 0;
+
+    /** Port-down/up events that touched at least one booking. */
+    int64_t repair_events = 0;
+
+    /** Latency in slots of the most recent completed repair (revival to
+        last re-placement), or -1 when no repair has completed. */
+    SlotTime last_repair_latency = -1;
+
+    /** Largest completed repair latency. */
+    SlotTime max_repair_latency = -1;
+};
+
+/** Revokes and re-places CBR reservations as ports fail and revive. */
+class CbrRepairEngine final : public FaultListener
+{
+  public:
+    /**
+     * @param sched The switch's incremental frame scheduler.
+     * @param adm Admission database. If empty, 2n links are registered
+     *        (input link i, output link n + j); otherwise it must
+     *        already hold at least 2n links with that layout.
+     * @param n Switch size.
+     * @param ops_per_slot Re-placements performed per slot during
+     *        repair (the control-processor budget; >= 1).
+     */
+    CbrRepairEngine(SlepianDuguidScheduler& sched, AdmissionController& adm,
+                    int n, int ops_per_slot = 4);
+
+    /**
+     * Admit and place a booking of k cells/frame from i to j.
+     * @return false when admission control rejects it (no state change).
+     */
+    bool book(PortId i, PortId j, int k);
+
+    // ---- FaultListener ------------------------------------------------
+
+    void onPortDown(bool is_input, PortId port, SlotTime slot) override;
+    void onPortUp(bool is_input, PortId port, SlotTime slot) override;
+    void slotWork(SlotTime slot) override;
+
+    // ---- introspection ------------------------------------------------
+
+    const RepairStats& stats() const { return stats_; }
+
+    /** Registered bookings (placed or revoked). */
+    int bookings() const { return static_cast<int>(bookings_.size()); }
+
+    /** Bookings currently placed in the schedule. */
+    int placedBookings() const;
+
+    /** True when every booking whose ports are live is placed. */
+    bool fullyRepaired() const;
+
+    /** True when a repair is in progress (revoked feasible bookings
+        remain to be re-placed). */
+    bool repairPending() const { return pending_; }
+
+    LinkId inputLink(PortId i) const { return i; }
+    LinkId outputLink(PortId j) const { return n_ + j; }
+
+  private:
+    struct Booking
+    {
+        PortId in = 0;
+        PortId out = 0;
+        int k = 0;
+        bool placed = false;
+        bool rebook_failed = false;  ///< admission refused; don't retry
+                                     ///< until the next port event
+    };
+
+    bool portsLive(const Booking& b) const
+    {
+        return in_live_[static_cast<size_t>(b.in)] != 0 &&
+               out_live_[static_cast<size_t>(b.out)] != 0;
+    }
+
+    void revokeThrough(bool is_input, PortId port);
+
+    SlepianDuguidScheduler& sched_;
+    AdmissionController& adm_;
+    int n_;
+    int ops_per_slot_;
+    std::vector<Booking> bookings_;
+    std::vector<uint8_t> in_live_;
+    std::vector<uint8_t> out_live_;
+    std::vector<LinkId> path_;  ///< scratch {in link, out link}
+    bool pending_ = false;
+    SlotTime repair_started_ = -1;
+    RepairStats stats_;
+};
+
+}  // namespace an2::fault
+
+#endif  // AN2_FAULT_CBR_REPAIR_H

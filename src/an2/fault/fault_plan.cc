@@ -1,0 +1,192 @@
+#include "an2/fault/fault_plan.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "an2/base/error.h"
+#include "an2/base/parse.h"
+
+namespace an2::fault {
+
+const char*
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::InputDown:  return "in_down";
+      case FaultKind::InputUp:    return "in_up";
+      case FaultKind::OutputDown: return "out_down";
+      case FaultKind::OutputUp:   return "out_up";
+      case FaultKind::LinkDown:   return "link_down";
+      case FaultKind::LinkUp:     return "link_up";
+    }
+    return "unknown";
+}
+
+namespace {
+
+bool
+isPortKind(FaultKind kind)
+{
+    return kind != FaultKind::LinkDown && kind != FaultKind::LinkUp;
+}
+
+bool
+kindFromName(const std::string& name, FaultKind& out)
+{
+    static constexpr FaultKind kKinds[] = {
+        FaultKind::InputDown,  FaultKind::InputUp,  FaultKind::OutputDown,
+        FaultKind::OutputUp,   FaultKind::LinkDown, FaultKind::LinkUp,
+    };
+    for (FaultKind k : kKinds) {
+        if (name == faultKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Shortest-round-trip decimal for a probability in [0, 1]. */
+std::string
+probString(double p)
+{
+    char buf[64];
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof buf, "%.*g", prec, p);
+        double back = 0.0;
+        std::sscanf(buf, "%lf", &back);
+        if (back == p)
+            break;
+    }
+    return buf;
+}
+
+/** Parse one comma-separated token into `plan`. */
+void
+parseToken(const std::string& tok, FaultPlan& plan)
+{
+    const size_t open = tok.find('(');
+    const size_t close = tok.find(')');
+    AN2_REQUIRE(open != std::string::npos && close != std::string::npos &&
+                    open > 0 && close > open + 1,
+                "malformed fault token '" << tok
+                                          << "' (want KIND(ARG)[@SLOT])");
+    const std::string name = tok.substr(0, open);
+    const std::string arg = tok.substr(open + 1, close - open - 1);
+    const std::string rest = tok.substr(close + 1);
+
+    if (name == "drop" || name == "corrupt") {
+        AN2_REQUIRE(rest.empty(), "unexpected suffix '"
+                                      << rest << "' in fault token '" << tok
+                                      << "'");
+        double p = 0.0;
+        AN2_REQUIRE(parseDouble(arg, p) && p >= 0.0 && p <= 1.0,
+                    "fault token '" << tok << "': probability '" << arg
+                                    << "' is not in [0, 1]");
+        (name == "drop" ? plan.drop_prob : plan.corrupt_prob) = p;
+        return;
+    }
+
+    FaultKind kind;
+    AN2_REQUIRE(kindFromName(name, kind),
+                "unknown fault kind '" << name << "' in token '" << tok
+                                       << "'");
+    FaultEvent ev;
+    ev.kind = kind;
+    AN2_REQUIRE(parseInt(arg, ev.target) && ev.target >= 0,
+                "fault token '" << tok << "': target '" << arg
+                                << "' is not a non-negative integer");
+    AN2_REQUIRE(!rest.empty() && rest[0] == '@',
+                "fault token '" << tok << "' is missing '@SLOT'");
+    int64_t slot = 0;
+    AN2_REQUIRE(parseInt64(rest.substr(1), slot) && slot >= 0,
+                "fault token '" << tok << "': slot '" << rest.substr(1)
+                                << "' is not a non-negative integer");
+    ev.slot = slot;
+    plan.events.push_back(ev);
+}
+
+}  // namespace
+
+int
+FaultPlan::maxPortTarget() const
+{
+    int max = -1;
+    for (const FaultEvent& e : events)
+        if (isPortKind(e.kind))
+            max = std::max(max, e.target);
+    return max;
+}
+
+int
+FaultPlan::maxLinkTarget() const
+{
+    int max = -1;
+    for (const FaultEvent& e : events)
+        if (!isPortKind(e.kind))
+            max = std::max(max, e.target);
+    return max;
+}
+
+FaultPlan
+FaultPlan::parse(const std::string& spec)
+{
+    FaultPlan plan;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string tok = spec.substr(pos, comma - pos);
+        AN2_REQUIRE(!tok.empty(),
+                    "empty fault token in spec '" << spec << "'");
+        parseToken(tok, plan);
+        pos = comma + 1;
+    }
+    // Stable: same-slot events keep their textual order, so a spec is a
+    // total order of effects and replays identically.
+    std::stable_sort(plan.events.begin(), plan.events.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                         return a.slot < b.slot;
+                     });
+    return plan;
+}
+
+std::string
+FaultPlan::str() const
+{
+    std::string out;
+    char buf[96];
+    for (const FaultEvent& e : events) {
+        if (!out.empty())
+            out += ',';
+        std::snprintf(buf, sizeof buf, "%s(%d)@%lld", faultKindName(e.kind),
+                      e.target, static_cast<long long>(e.slot));
+        out += buf;
+    }
+    if (drop_prob > 0.0) {
+        if (!out.empty())
+            out += ',';
+        out += "drop(" + probString(drop_prob) + ")";
+    }
+    if (corrupt_prob > 0.0) {
+        if (!out.empty())
+            out += ',';
+        out += "corrupt(" + probString(corrupt_prob) + ")";
+    }
+    return out;
+}
+
+void
+FaultPlan::validatePorts(int n) const
+{
+    for (const FaultEvent& e : events)
+        if (isPortKind(e.kind))
+            AN2_REQUIRE(e.target < n, "fault event "
+                                          << faultKindName(e.kind) << "("
+                                          << e.target
+                                          << ") targets a port outside the "
+                                          << n << "-port switch");
+}
+
+}  // namespace an2::fault

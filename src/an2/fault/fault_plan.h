@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Declarative fault scenarios for deterministic replay.
+ *
+ * A FaultPlan is the full description of everything that will go wrong
+ * in a run: scripted port/link state transitions pinned to exact slots,
+ * plus per-cell probabilistic loss and corruption rates whose draws come
+ * from a PRNG seeded through the harness's splitmix64 derivation. A
+ * (seed, plan) pair therefore replays byte-identically — the same cells
+ * are lost, the same ports die at the same slots — on any machine and
+ * any thread count.
+ *
+ * Plans have a compact text form, used by `an2_sweep --faults` and the
+ * sweep JSON meta:
+ *
+ *     out_down(3)@4000,out_up(3)@8000,drop(0.001),corrupt(0.0005)
+ *
+ * Scripted events are `KIND(TARGET)@SLOT` with KIND one of in_down,
+ * in_up, out_down, out_up, link_down, link_up; probabilistic modes are
+ * `drop(P)` and `corrupt(P)` with P in [0, 1]. parse() rejects malformed
+ * specs with a UsageError naming the offending token.
+ */
+#ifndef AN2_FAULT_FAULT_PLAN_H
+#define AN2_FAULT_FAULT_PLAN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "an2/base/types.h"
+
+namespace an2::fault {
+
+/** The kinds of scripted fault transition. */
+enum class FaultKind : uint8_t {
+    InputDown = 0,  ///< input port dies: its arrivals are lost
+    InputUp,        ///< input port revives
+    OutputDown,     ///< output port dies: nothing can be forwarded to it
+    OutputUp,       ///< output port revives
+    LinkDown,       ///< network link goes down: cells in flight are lost
+    LinkUp,         ///< network link comes back up
+};
+
+/** Spec-form name of a fault kind ("in_down", "link_up", ...). */
+const char* faultKindName(FaultKind kind);
+
+/** One scripted transition: apply `kind` to `target` at slot `slot`. */
+struct FaultEvent
+{
+    SlotTime slot = 0;
+    FaultKind kind = FaultKind::InputDown;
+    int target = 0;  ///< port id for port events, link index for link events
+};
+
+/** A complete, replayable fault scenario. */
+struct FaultPlan
+{
+    /** Scripted transitions, sorted by slot (same-slot order preserved
+        from the spec text). */
+    std::vector<FaultEvent> events;
+
+    /** Per-arriving-cell probability of loss in flight. */
+    double drop_prob = 0.0;
+
+    /** Per-arriving-cell probability of header corruption; a corrupted
+        cell is discarded by the HEC check at ingress, like loss but
+        counted separately. */
+    double corrupt_prob = 0.0;
+
+    /** True when the plan injects nothing at all. */
+    bool empty() const
+    {
+        return events.empty() && drop_prob == 0.0 && corrupt_prob == 0.0;
+    }
+
+    /** True when the plan needs PRNG draws (drop/corrupt modes). */
+    bool probabilistic() const
+    {
+        return drop_prob > 0.0 || corrupt_prob > 0.0;
+    }
+
+    /** Largest port id named by a port event, or -1 when none. */
+    int maxPortTarget() const;
+
+    /** Largest link index named by a link event, or -1 when none. */
+    int maxLinkTarget() const;
+
+    /**
+     * Parse the compact text form. Throws UsageError naming the
+     * offending token on any malformed input; an empty spec string
+     * yields an empty plan.
+     */
+    static FaultPlan parse(const std::string& spec);
+
+    /** Canonical spec string: parse(str()) round-trips. */
+    std::string str() const;
+
+    /** Throw UsageError when a port event names a port outside [0, n). */
+    void validatePorts(int n) const;
+};
+
+}  // namespace an2::fault
+
+#endif  // AN2_FAULT_FAULT_PLAN_H

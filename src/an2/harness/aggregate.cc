@@ -38,6 +38,9 @@ aggregate(const SweepSpec& spec, const SweepResult& result)
         int64_t injected = 0;
         int64_t delivered = 0;
         int max_occupancy = 0;
+        int64_t fault_dropped = 0;
+        int64_t fault_corrupted = 0;
+        int64_t switch_dropped = 0;
     };
 
     const size_t cell_count =
@@ -56,6 +59,9 @@ aggregate(const SweepSpec& spec, const SweepResult& result)
         acc.injected += r.injected;
         acc.delivered += r.delivered;
         acc.max_occupancy = std::max(acc.max_occupancy, r.max_occupancy);
+        acc.fault_dropped += r.fault_dropped;
+        acc.fault_corrupted += r.fault_corrupted;
+        acc.switch_dropped += r.switch_dropped;
     }
 
     std::vector<CellSummary> cells;
@@ -77,6 +83,9 @@ aggregate(const SweepSpec& spec, const SweepResult& result)
                 cell.injected = acc.injected;
                 cell.delivered = acc.delivered;
                 cell.max_occupancy = acc.max_occupancy;
+                cell.fault_dropped = acc.fault_dropped;
+                cell.fault_corrupted = acc.fault_corrupted;
+                cell.switch_dropped = acc.switch_dropped;
                 cells.push_back(std::move(cell));
             }
         }
@@ -120,6 +129,9 @@ sweepToJson(const SweepSpec& spec, const std::vector<CellSummary>& cells)
                "+ 1)); switch: stream 0, i = run_index; traffic: stream 1, "
                "i = (size_idx*|loads| + load_idx)*replicates + replicate "
                "(common random numbers across architectures)");
+    const bool faulted = !spec.faults.empty();
+    if (faulted)
+        w.key("faults").value(spec.faults.str());
     w.endObject();
 
     w.key("axes").beginObject();
@@ -151,6 +163,11 @@ sweepToJson(const SweepSpec& spec, const std::vector<CellSummary>& cells)
         w.key("injected").value(cell.injected);
         w.key("delivered").value(cell.delivered);
         w.key("max_occupancy").value(cell.max_occupancy);
+        if (faulted) {
+            w.key("fault_dropped").value(cell.fault_dropped);
+            w.key("fault_corrupted").value(cell.fault_corrupted);
+            w.key("switch_dropped").value(cell.switch_dropped);
+        }
         w.endObject();
     }
     w.endArray();

@@ -49,6 +49,12 @@ struct CellSummary
 
     /** Largest buffer occupancy seen in any replicate. */
     int max_occupancy = 0;
+
+    /** Totals lost to faults across replicates (see SimResult). Only
+        emitted to JSON when the spec carries a fault plan. */
+    int64_t fault_dropped = 0;
+    int64_t fault_corrupted = 0;
+    int64_t switch_dropped = 0;
 };
 
 /**
@@ -75,6 +81,11 @@ std::vector<CellSummary> aggregate(const SweepSpec& spec,
  * base_seed is emitted as a decimal string (uint64 exceeds the exact
  * range of JSON doubles). No timing or host data is included, so the
  * document is byte-identical across thread counts and machines.
+ *
+ * When the spec carries a fault plan, meta gains a "faults" string (the
+ * canonical plan) and every cell gains fault_dropped, fault_corrupted
+ * and switch_dropped totals; fault-free sweeps emit the schema
+ * unchanged, byte for byte.
  */
 std::string sweepToJson(const SweepSpec& spec,
                         const std::vector<CellSummary>& cells);

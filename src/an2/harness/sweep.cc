@@ -63,6 +63,7 @@ expandGrid(const SweepSpec& spec)
                             spec.replicates +
                         r;
                     p.traffic_seed = runSeed(spec.base_seed, workload, 1);
+                    p.fault_seed = runSeed(spec.base_seed, idx, 2);
                     grid.push_back(p);
                     ++idx;
                 }
@@ -111,6 +112,13 @@ runSweep(const SweepSpec& spec, int threads,
                 SimConfig cfg;
                 cfg.slots = spec.slots;
                 cfg.warmup = spec.warmup;
+                std::unique_ptr<fault::FaultInjector> injector;
+                if (!spec.faults.empty()) {
+                    spec.faults.validatePorts(n);
+                    injector = std::make_unique<fault::FaultInjector>(
+                        n, spec.faults, p.fault_seed);
+                    cfg.faults = injector.get();
+                }
                 out.results[static_cast<size_t>(idx)] =
                     runSimulation(*sw, *traffic, cfg);
             } catch (...) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "an2/base/types.h"
+#include "an2/fault/fault_plan.h"
 #include "an2/sim/simulator.h"
 #include "an2/sim/switch.h"
 #include "an2/sim/traffic.h"
@@ -83,6 +84,14 @@ struct SweepSpec
 
     /** Workload factory shared by all runs. */
     TrafficFactory make_traffic;
+
+    /**
+     * Fault scenario applied identically to every run (empty = none).
+     * Each run gets its own FaultInjector seeded from stream 2 of the
+     * run index, so the probabilistic modes replay deterministically on
+     * any thread count.
+     */
+    fault::FaultPlan faults;
 };
 
 /** One point of the expanded run grid. */
@@ -98,6 +107,7 @@ struct RunPoint
 
     uint64_t switch_seed = 0;
     uint64_t traffic_seed = 0;
+    uint64_t fault_seed = 0;
 };
 
 /**
@@ -107,7 +117,8 @@ struct RunPoint
  * keyed by the workload coordinate
  * `(size_index * |loads| + load_index) * replicates + replicate`,
  * giving every architecture the identical arrival sequence at a cell
- * (common random numbers).
+ * (common random numbers); stream 2 (fault injection) is keyed by the
+ * run index.
  */
 uint64_t runSeed(uint64_t base_seed, int index, uint64_t stream);
 

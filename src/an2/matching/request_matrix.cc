@@ -13,10 +13,14 @@ RequestMatrix::RequestMatrix(int n_inputs, int n_outputs)
                  0),
       col_masks_(static_cast<size_t>(n_outputs) *
                      static_cast<size_t>(col_words_),
-                 0)
+                 0),
+      live_in_(static_cast<size_t>(col_words_), 0),
+      live_out_(static_cast<size_t>(row_words_), 0)
 {
     AN2_REQUIRE(n_inputs > 0 && n_outputs > 0,
                 "request matrix must have positive dimensions");
+    wordset::fillFirst(live_in_.data(), col_words_, n_inputs);
+    wordset::fillFirst(live_out_.data(), row_words_, n_outputs);
 }
 
 void
@@ -28,6 +32,10 @@ RequestMatrix::set(PortId i, PortId j, int count)
     const bool now = count > 0;
     cell = count;
     if (was == now)
+        return;
+    // Requests touching a dead port stay hidden: the masks and the edge
+    // count track only the visible view.
+    if (dead_ports_ > 0 && (!inputLive(i) || !outputLive(j)))
         return;
     if (now) {
         wordset::setBit(rowMaskMut(i), j);
@@ -47,9 +55,71 @@ RequestMatrix::decrement(PortId i, PortId j)
     AN2_ASSERT(cell > 0,
                "decrement of empty request cell (" << i << "," << j << ")");
     if (--cell == 0) {
+        if (dead_ports_ > 0 && (!inputLive(i) || !outputLive(j)))
+            return;  // hidden edge: nothing visible to clear
         wordset::clearBit(rowMaskMut(i), j);
         wordset::clearBit(colMaskMut(j), i);
         --edges_;
+    }
+}
+
+void
+RequestMatrix::setInputLive(PortId i, bool live)
+{
+    AN2_REQUIRE(i >= 0 && i < numInputs(),
+                "input port " << i << " out of range");
+    if (inputLive(i) == live)
+        return;
+    uint64_t* row = rowMaskMut(i);
+    if (!live) {
+        // Hide row i: drop its visible edges from the column masks.
+        wordset::forEachSet(row, row_words_, [&](int j) {
+            wordset::clearBit(colMaskMut(j), i);
+            --edges_;
+        });
+        wordset::clearAll(row, row_words_);
+        wordset::clearBit(live_in_.data(), i);
+        ++dead_ports_;
+    } else {
+        wordset::setBit(live_in_.data(), i);
+        --dead_ports_;
+        // Re-expose the surviving requests toward live outputs.
+        for (PortId j = 0; j < numOutputs(); ++j) {
+            if (counts_.at(i, j) > 0 && outputLive(j)) {
+                wordset::setBit(row, j);
+                wordset::setBit(colMaskMut(j), i);
+                ++edges_;
+            }
+        }
+    }
+}
+
+void
+RequestMatrix::setOutputLive(PortId j, bool live)
+{
+    AN2_REQUIRE(j >= 0 && j < numOutputs(),
+                "output port " << j << " out of range");
+    if (outputLive(j) == live)
+        return;
+    uint64_t* col = colMaskMut(j);
+    if (!live) {
+        wordset::forEachSet(col, col_words_, [&](int i) {
+            wordset::clearBit(rowMaskMut(i), j);
+            --edges_;
+        });
+        wordset::clearAll(col, col_words_);
+        wordset::clearBit(live_out_.data(), j);
+        ++dead_ports_;
+    } else {
+        wordset::setBit(live_out_.data(), j);
+        --dead_ports_;
+        for (PortId i = 0; i < numInputs(); ++i) {
+            if (counts_.at(i, j) > 0 && inputLive(i)) {
+                wordset::setBit(rowMaskMut(i), j);
+                wordset::setBit(col, i);
+                ++edges_;
+            }
+        }
     }
 }
 
@@ -72,6 +142,12 @@ RequestMatrix::clearRow(PortId i)
         --edges_;
     });
     wordset::clearAll(row, row_words_);
+    if (dead_ports_ > 0) {
+        // Also zero requests hidden behind dead ports (the mask walk
+        // above cannot see them); only paid when faults are active.
+        for (PortId j = 0; j < numOutputs(); ++j)
+            counts_.at(i, j) = 0;
+    }
 }
 
 void
@@ -84,6 +160,10 @@ RequestMatrix::clearColumn(PortId j)
         --edges_;
     });
     wordset::clearAll(col, col_words_);
+    if (dead_ports_ > 0) {
+        for (PortId i = 0; i < numInputs(); ++i)
+            counts_.at(i, j) = 0;
+    }
 }
 
 RequestMatrix

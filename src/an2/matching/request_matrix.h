@@ -16,6 +16,14 @@
  * literally one wire per port pair (§3.3), and lets a switch patch the
  * matrix as cells arrive and depart instead of rebuilding O(N^2) state
  * every slot.
+ *
+ * Port liveness (fault injection): setInputLive/setOutputLive mark ports
+ * dead, which *hides* their requests — has() returns false, the row and
+ * column masks exclude them, and numEdges() counts only visible edges —
+ * without discarding the underlying counts. Both matcher backend styles
+ * consume only has()/rowMask()/colMask(), so a dead port can never be
+ * granted by any matcher. Reviving a port re-exposes its surviving
+ * queued requests. Liveness survives clear() and copy assignment.
  */
 #ifndef AN2_MATCHING_REQUEST_MATRIX_H
 #define AN2_MATCHING_REQUEST_MATRIX_H
@@ -43,8 +51,14 @@ class RequestMatrix
     int numInputs() const { return counts_.rows(); }
     int numOutputs() const { return counts_.cols(); }
 
-    /** True when input i has at least one cell queued for output j. */
-    bool has(PortId i, PortId j) const { return counts_.at(i, j) > 0; }
+    /** True when input i has at least one cell queued for output j and
+        both ports are live. */
+    bool has(PortId i, PortId j) const
+    {
+        if (counts_.at(i, j) <= 0)
+            return false;
+        return dead_ports_ == 0 || (inputLive(i) && outputLive(j));
+    }
 
     /** Number of cells queued from i to j. */
     int count(PortId i, PortId j) const { return counts_.at(i, j); }
@@ -58,8 +72,32 @@ class RequestMatrix
     /** Remove one queued cell for (i,j); count must be positive. */
     void decrement(PortId i, PortId j);
 
-    /** Number of (i,j) pairs with at least one request (O(1)). */
+    /** Number of (i,j) pairs with at least one visible request (O(1));
+        requests hidden by dead ports are excluded. */
     int numEdges() const { return edges_; }
+
+    /**
+     * Mark input i live or dead. Killing a port hides its requests from
+     * has()/masks/numEdges() in O(row edges); reviving re-exposes the
+     * surviving counts in O(numOutputs). Idempotent.
+     */
+    void setInputLive(PortId i, bool live);
+
+    /** Mark output j live or dead (see setInputLive). */
+    void setOutputLive(PortId j, bool live);
+
+    bool inputLive(PortId i) const
+    {
+        return wordset::testBit(live_in_.data(), i);
+    }
+
+    bool outputLive(PortId j) const
+    {
+        return wordset::testBit(live_out_.data(), j);
+    }
+
+    /** True when no port has been marked dead. */
+    bool allPortsLive() const { return dead_ports_ == 0; }
 
     /** Total queued cells across all pairs. */
     int totalCells() const { return counts_.total(); }
@@ -117,6 +155,9 @@ class RequestMatrix
     int col_words_;
     std::vector<uint64_t> row_masks_;  ///< numInputs x row_words_
     std::vector<uint64_t> col_masks_;  ///< numOutputs x col_words_
+    std::vector<uint64_t> live_in_;    ///< bit i set = input i live
+    std::vector<uint64_t> live_out_;   ///< bit j set = output j live
+    int dead_ports_ = 0;               ///< dead inputs + dead outputs
     int edges_ = 0;
 };
 

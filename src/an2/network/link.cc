@@ -12,6 +12,10 @@ NetLink::NetLink(PicoTime latency_ps) : latency_ps_(latency_ps)
 void
 NetLink::send(const Cell& cell, PicoTime now_ps)
 {
+    if (!up_) {
+        ++cells_lost_;
+        return;
+    }
     // Transmissions from one upstream port are naturally ordered in time,
     // so the in-flight queue stays sorted by arrival.
     PicoTime arrives = now_ps + latency_ps_;
@@ -19,6 +23,18 @@ NetLink::send(const Cell& cell, PicoTime now_ps)
                "link send out of time order");
     in_flight_.push_back({cell, arrives});
     ++cells_carried_;
+}
+
+void
+NetLink::setUp(bool up)
+{
+    if (up_ == up)
+        return;
+    up_ = up;
+    if (!up_) {
+        cells_lost_ += static_cast<int64_t>(in_flight_.size());
+        in_flight_.clear();
+    }
 }
 
 std::vector<Cell>

@@ -36,11 +36,21 @@ class NetLink
      */
     explicit NetLink(PicoTime latency_ps);
 
-    /** Place a cell on the link at wall time now. */
+    /** Place a cell on the link at wall time now. A downed link carries
+        nothing: the cell is lost and counted in cellsLost(). */
     void send(const Cell& cell, PicoTime now_ps);
 
     /** Remove and return all cells that have arrived by `now`. */
     std::vector<Cell> deliverUpTo(PicoTime now_ps);
+
+    /**
+     * Take the link down or bring it back up. Taking it down loses every
+     * cell currently in flight (a fiber cut does not preserve photons);
+     * bringing it up resumes carriage from the next send.
+     */
+    void setUp(bool up);
+
+    bool isUp() const { return up_; }
 
     /** Cells currently in flight. */
     int inFlight() const { return static_cast<int>(in_flight_.size()); }
@@ -50,10 +60,15 @@ class NetLink
     /** Total cells ever carried. */
     int64_t cellsCarried() const { return cells_carried_; }
 
+    /** Cells lost to link outages (in flight at down, or sent while down). */
+    int64_t cellsLost() const { return cells_lost_; }
+
   private:
     PicoTime latency_ps_;
     std::deque<TimedCell> in_flight_;
+    bool up_ = true;
     int64_t cells_carried_ = 0;
+    int64_t cells_lost_ = 0;
 };
 
 }  // namespace an2

@@ -121,6 +121,18 @@ Network::findEdge(NodeId from, NodeId to) const
     return found;
 }
 
+void
+Network::setLinkUp(NodeId from, NodeId to, bool up)
+{
+    edges_[static_cast<size_t>(findEdge(from, to))].link->setUp(up);
+}
+
+const NetLink&
+Network::linkBetween(NodeId from, NodeId to) const
+{
+    return *edges_[static_cast<size_t>(findEdge(from, to))].link;
+}
+
 FlowId
 Network::addCbrFlow(const std::vector<NodeId>& path, int cells_per_frame)
 {

@@ -82,6 +82,16 @@ class Network
     /** Route a VBR flow injecting at `rate` cells/slot along `path`. */
     FlowId addVbrFlow(const std::vector<NodeId>& path, double rate);
 
+    /**
+     * Take the unique link from `from` to `to` down or up. Downing a
+     * link loses its in-flight cells (see NetLink::setUp); fatal if no
+     * such link exists.
+     */
+    void setLinkUp(NodeId from, NodeId to, bool up);
+
+    /** The unique link from `from` to `to` (state inspection). */
+    const NetLink& linkBetween(NodeId from, NodeId to) const;
+
     /** Run the event loop until wall time `until_ps`. */
     void run(PicoTime until_ps);
 

@@ -65,6 +65,16 @@ enum class Counter : int {
     CbrMaskedOutputs,
     /** Periodic state snapshots emitted. */
     SnapshotsTaken,
+    /** Scripted fault events applied by the injector. */
+    FaultEvents,
+    /** Cells lost to faults (dead ports, in-flight loss). */
+    CellsDroppedByFaults,
+    /** Cells discarded by the HEC corruption check. */
+    CellsCorrupted,
+    /** CBR reservations revoked by port failures. */
+    CbrReservationsRevoked,
+    /** CBR reservations re-placed after port revivals. */
+    CbrReservationsRebooked,
     kCount,
 };
 
@@ -89,6 +99,7 @@ enum class EventType : uint8_t {
     CbrMask,        ///< a=masked inputs, b=masked outputs
     Enqueue,        ///< a=input b=output c=flow d=seq (low 32 bits)
     Dequeue,        ///< a=input b=output c=flow d=seq (low 32 bits)
+    Fault,          ///< a=FaultKind b=target port/link
 };
 
 /** Which algorithm emitted a MatchIter event. */

@@ -44,6 +44,13 @@ counterName(Counter c)
       case Counter::CbrMaskedInputs:      return "cbr_masked_inputs";
       case Counter::CbrMaskedOutputs:     return "cbr_masked_outputs";
       case Counter::SnapshotsTaken:       return "snapshots_taken";
+      case Counter::FaultEvents:          return "fault_events";
+      case Counter::CellsDroppedByFaults: return "cells_dropped_by_faults";
+      case Counter::CellsCorrupted:       return "cells_corrupted";
+      case Counter::CbrReservationsRevoked:
+          return "cbr_reservations_revoked";
+      case Counter::CbrReservationsRebooked:
+          return "cbr_reservations_rebooked";
       case Counter::kCount:               break;
     }
     return "unknown";
@@ -177,6 +184,13 @@ Recorder::cbrMasked(int masked_inputs, int masked_outputs)
     add(Counter::CbrMaskedOutputs, masked_outputs);
     record(EventType::CbrMask, MatchAlg::Pim, 0, masked_inputs,
            masked_outputs, 0, 0);
+}
+
+void
+Recorder::faultEvent(int kind, int target)
+{
+    add(Counter::FaultEvents, 1);
+    record(EventType::Fault, MatchAlg::Pim, 0, kind, target, 0, 0);
 }
 
 void

@@ -109,6 +109,11 @@ class Recorder
     /** Record CBR frame-reservation masking of the VBR request matrix. */
     void cbrMasked(int masked_inputs, int masked_outputs);
 
+    // ---- fault probes ----------------------------------------------------
+
+    /** Record one applied fault event (`kind` is a fault::FaultKind). */
+    void faultEvent(int kind, int target);
+
     // ---- queue probes ----------------------------------------------------
 
     void cellEnqueued(const Cell& cell);
@@ -245,6 +250,13 @@ cellDequeued(const Cell& cell)
 {
     if (Recorder* r = current())
         r->cellDequeued(cell);
+}
+
+inline void
+faultEvent(int kind, int target)
+{
+    if (Recorder* r = current())
+        r->faultEvent(kind, target);
 }
 
 }  // namespace an2::obs

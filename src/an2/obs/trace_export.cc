@@ -1,6 +1,7 @@
 #include "an2/obs/trace_export.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "an2/harness/json_writer.h"
 
@@ -32,10 +33,27 @@ eventTs(const Event& e)
         // Arrivals are buffered between runSlot calls; they carry the
         // slot of the preceding boundary.
         return base + 950;
+      case EventType::Fault:
+        // Injector events fire at the slot boundary, before the switch's
+        // own beginSlot, so they carry the preceding slot's stamp.
+        return base + 990;
       case EventType::SlotEnd:
         return base + kSlotTicks;
     }
     return base;
+}
+
+/** Span name for a fault transition, e.g. "fault:out3"; `down` reports
+    whether the event opens (down) or closes (up) the outage span. */
+const char*
+faultSpanName(int kind, int target, bool& down, char* buf, size_t len)
+{
+    // Kinds follow fault::FaultKind: in_down, in_up, out_down, out_up,
+    // link_down, link_up. Even = down, odd = up.
+    down = (kind % 2) == 0;
+    const char* side = kind <= 1 ? "in" : (kind <= 3 ? "out" : "link");
+    std::snprintf(buf, len, "fault:%s%d", side, target);
+    return buf;
 }
 
 const char*
@@ -125,6 +143,21 @@ writeEvent(JsonWriter& w, const Event& e)
         w.endObject();
         w.endObject();
         break;
+      case EventType::Fault: {
+        // Outage spans on a dedicated fault track: the down transition
+        // opens the span, the up transition closes it. The ring may clip
+        // either end; the checker tolerates unbalanced fault spans.
+        char buf[48];
+        bool down = false;
+        const char* name = faultSpanName(e.a, e.b, down, buf, sizeof buf);
+        eventHead(w, name, down ? "B" : "E", ts, 3);
+        w.key("args").beginObject();
+        w.key("kind").value(e.a);
+        w.key("target").value(e.b);
+        w.endObject();
+        w.endObject();
+        break;
+      }
     }
 }
 

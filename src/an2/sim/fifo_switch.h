@@ -12,11 +12,13 @@
 #ifndef AN2_SIM_FIFO_SWITCH_H
 #define AN2_SIM_FIFO_SWITCH_H
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 
 #include "an2/base/rng.h"
 #include "an2/fabric/crossbar.h"
+#include "an2/fault/invariants.h"
 #include "an2/sim/switch.h"
 
 namespace an2 {
@@ -40,6 +42,15 @@ class FifoSwitch final : public SwitchModel
     std::string name() const override;
     int size() const override { return n_; }
 
+    void setInputPortLive(PortId i, bool live) override;
+    void setOutputPortLive(PortId j, bool live) override;
+    bool inputPortLive(PortId i) const override;
+    bool outputPortLive(PortId j) const override;
+    int64_t droppedCells() const override { return checker_.dropped(); }
+
+    /** The per-slot invariant ledger (conservation totals). */
+    const fault::InvariantChecker& invariants() const { return checker_; }
+
   private:
     int n_;
     int window_;
@@ -48,6 +59,14 @@ class FifoSwitch final : public SwitchModel
     Crossbar crossbar_;
     Xoshiro256 rng_;
     std::vector<Cell> departed_;  ///< runSlot return buffer, reused
+
+    // Fault state. A dead input exposes nothing; a head-of-line cell for
+    // a dead output blocks the cells behind it (FIFO HOL semantics — the
+    // exposed window is truncated at the first dead-output cell).
+    std::vector<uint64_t> dead_in_;
+    std::vector<uint64_t> dead_out_;
+    bool any_dead_ = false;
+    fault::InvariantChecker checker_;
 };
 
 }  // namespace an2

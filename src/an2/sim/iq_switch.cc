@@ -20,7 +20,9 @@ InputQueuedSwitch::InputQueuedSwitch(const IqSwitchConfig& config,
       next_out_(static_cast<size_t>(busy_words_), 0),
       vbr_match_(config.n, config.n),
       combined_(config.n, config.n, config.output_speedup),
-      pending_vbr_(config.n, config.n)
+      pending_vbr_(config.n, config.n),
+      dead_in_(static_cast<size_t>(busy_words_), 0),
+      dead_out_(static_cast<size_t>(busy_words_), 0)
 {
     AN2_REQUIRE(config_.n > 0, "switch size must be positive");
     AN2_REQUIRE(config_.output_speedup >= 1, "speedup must be >= 1");
@@ -59,10 +61,62 @@ InputQueuedSwitch::name() const
 }
 
 void
+InputQueuedSwitch::setInputPortLive(PortId i, bool live)
+{
+    AN2_REQUIRE(i >= 0 && i < config_.n,
+                "input port " << i << " out of range");
+    if (live)
+        wordset::clearBit(dead_in_.data(), i);
+    else
+        wordset::setBit(dead_in_.data(), i);
+    vbr_req_.setInputLive(i, live);
+    any_dead_ = wordset::popcountAll(dead_in_.data(), busy_words_) +
+                    wordset::popcountAll(dead_out_.data(), busy_words_) >
+                0;
+}
+
+void
+InputQueuedSwitch::setOutputPortLive(PortId j, bool live)
+{
+    AN2_REQUIRE(j >= 0 && j < config_.n,
+                "output port " << j << " out of range");
+    if (live)
+        wordset::clearBit(dead_out_.data(), j);
+    else
+        wordset::setBit(dead_out_.data(), j);
+    vbr_req_.setOutputLive(j, live);
+    any_dead_ = wordset::popcountAll(dead_in_.data(), busy_words_) +
+                    wordset::popcountAll(dead_out_.data(), busy_words_) >
+                0;
+}
+
+bool
+InputQueuedSwitch::inputPortLive(PortId i) const
+{
+    return !wordset::testBit(dead_in_.data(), i);
+}
+
+bool
+InputQueuedSwitch::outputPortLive(PortId j) const
+{
+    return !wordset::testBit(dead_out_.data(), j);
+}
+
+void
 InputQueuedSwitch::acceptCell(const Cell& cell)
 {
     AN2_REQUIRE(cell.input >= 0 && cell.input < config_.n,
                 "cell input " << cell.input << " out of range");
+    if (any_dead_ && (wordset::testBit(dead_in_.data(), cell.input) ||
+                      wordset::testBit(dead_out_.data(), cell.output))) {
+        // Dead port: the cell is lost at the line card, not buffered.
+        checker_.noteDropped();
+        if (cell.cls == TrafficClass::CBR)
+            ++cbr_cells_lost_;
+        obs::count(obs::Counter::CellsDroppedByFaults);
+        return;
+    }
+    checker_.noteAccepted();
     if (cell.cls == TrafficClass::CBR) {
         AN2_REQUIRE(cbr_schedule_ != nullptr,
                     "CBR cell arrived at a switch with no frame schedule");
@@ -84,6 +138,11 @@ InputQueuedSwitch::serveCbr(SlotTime slot)
     for (PortId i = 0; i < config_.n; ++i) {
         PortId j = cbr_schedule_->outputAt(fs, i);
         if (j == kNoPort)
+            continue;
+        // A reservation whose schedule has not yet been repaired may
+        // still pair a dead port; it cannot be served.
+        if (any_dead_ && (wordset::testBit(dead_in_.data(), i) ||
+                          wordset::testBit(dead_out_.data(), j)))
             continue;
         auto& buf = cbr_bufs_[static_cast<size_t>(i)];
         if (!buf.hasCellFor(j))
@@ -113,6 +172,9 @@ InputQueuedSwitch::predictCbrBusy(SlotTime slot)
         PortId j = cbr_schedule_->outputAt(fs, i);
         if (j == kNoPort || !cbr_bufs_[static_cast<size_t>(i)].hasCellFor(j))
             continue;
+        if (any_dead_ && (wordset::testBit(dead_in_.data(), i) ||
+                          wordset::testBit(dead_out_.data(), j)))
+            continue;  // dead pairing cannot claim ports next slot
         wordset::setBit(next_in_.data(), i);
         wordset::setBit(next_out_.data(), j);
         any = true;
@@ -202,6 +264,11 @@ InputQueuedSwitch::runSlot(SlotTime slot)
             if (cbr_busy && (wordset::testBit(in_busy_.data(), i) ||
                              wordset::testBit(out_busy_.data(), j)))
                 continue;
+            // A port killed after the matching was computed (mask flip
+            // mid-pipeline) invalidates its pairings.
+            if (any_dead_ && (wordset::testBit(dead_in_.data(), i) ||
+                              wordset::testBit(dead_out_.data(), j)))
+                continue;
             combined_.add(i, j);
             forwardVbr(slot, i, j);
         }
@@ -241,6 +308,14 @@ InputQueuedSwitch::runSlot(SlotTime slot)
         }
         result = &departed_;
     }
+
+    // Always-on invariants: the crossbar setting never touches a dead
+    // port, and the conservation ledger balances every slot.
+    if (any_dead_)
+        fault::InvariantChecker::checkMatchingAvoidsDead(
+            combined_, dead_in_.data(), dead_out_.data(), "InputQueuedSwitch");
+    checker_.noteDeparted(static_cast<int64_t>(result->size()));
+    checker_.checkConservation(bufferedCells(), "InputQueuedSwitch");
 
     // Slot-boundary probes; the periodic snapshot samples the post-slot
     // queue state.

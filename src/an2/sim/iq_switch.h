@@ -30,6 +30,7 @@
 
 #include "an2/cbr/frame_schedule.h"
 #include "an2/fabric/crossbar.h"
+#include "an2/fault/invariants.h"
 #include "an2/matching/matcher.h"
 #include "an2/queueing/output_queue.h"
 #include "an2/queueing/voq.h"
@@ -83,6 +84,18 @@ class InputQueuedSwitch final : public SwitchModel
     int bufferedCells() const override;
     std::string name() const override;
     int size() const override { return config_.n; }
+
+    void setInputPortLive(PortId i, bool live) override;
+    void setOutputPortLive(PortId j, bool live) override;
+    bool inputPortLive(PortId i) const override;
+    bool outputPortLive(PortId j) const override;
+    int64_t droppedCells() const override { return checker_.dropped(); }
+
+    /** CBR cells among droppedCells() (lost reserved traffic). */
+    int64_t cbrCellsLost() const { return cbr_cells_lost_; }
+
+    /** The per-slot invariant ledger (conservation totals). */
+    const fault::InvariantChecker& invariants() const { return checker_; }
 
     /** CBR cells forwarded so far. */
     int64_t cbrForwarded() const { return cbr_forwarded_; }
@@ -156,6 +169,14 @@ class InputQueuedSwitch final : public SwitchModel
     /** Pipelined mode: the matching precomputed for the next slot. */
     Matching pending_vbr_;
     bool has_pending_ = false;
+
+    // Fault state: dead-port bitmasks mirrored into vbr_req_'s liveness,
+    // plus the always-on conservation ledger.
+    std::vector<uint64_t> dead_in_;
+    std::vector<uint64_t> dead_out_;
+    bool any_dead_ = false;
+    fault::InvariantChecker checker_;
+    int64_t cbr_cells_lost_ = 0;
 
     int64_t cbr_forwarded_ = 0;
     int64_t vbr_forwarded_ = 0;

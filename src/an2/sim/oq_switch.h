@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "an2/fault/invariants.h"
 #include "an2/queueing/output_queue.h"
 #include "an2/sim/switch.h"
 
@@ -29,10 +30,26 @@ class OutputQueuedSwitch final : public SwitchModel
     std::string name() const override { return "OutputQueued"; }
     int size() const override { return n_; }
 
+    void setInputPortLive(PortId i, bool live) override;
+    void setOutputPortLive(PortId j, bool live) override;
+    bool inputPortLive(PortId i) const override;
+    bool outputPortLive(PortId j) const override;
+    int64_t droppedCells() const override { return checker_.dropped(); }
+
+    /** The per-slot invariant ledger (conservation totals). */
+    const fault::InvariantChecker& invariants() const { return checker_; }
+
   private:
     int n_;
     std::vector<OutputQueue> queues_;
     std::vector<Cell> departed_;  ///< runSlot return buffer, reused
+
+    // Fault state: a dead output stops draining (its queue holds until
+    // revival); arrivals touching a dead port are dropped on entry.
+    std::vector<uint8_t> in_live_;
+    std::vector<uint8_t> out_live_;
+    bool any_dead_ = false;
+    fault::InvariantChecker checker_;
 };
 
 }  // namespace an2

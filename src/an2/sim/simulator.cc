@@ -23,14 +23,27 @@ runSimulation(SwitchModel& sw, TrafficGenerator& traffic,
     int64_t injected_total = 0;
     int64_t delivered_total = 0;
 
+    // Loss baselines, so a reused switch/injector accounts only this run.
+    const int64_t sw_dropped0 = sw.droppedCells();
+    const int64_t fi_dropped0 =
+        config.faults ? config.faults->cellsDropped() : 0;
+    const int64_t fi_corrupted0 =
+        config.faults ? config.faults->cellsCorrupted() : 0;
+
     std::vector<Cell> arrivals;
     for (SlotTime slot = 0; slot < config.slots; ++slot) {
+        if (config.faults)
+            config.faults->beginSlot(slot, &sw);
         arrivals.clear();
         traffic.generate(slot, arrivals);
         for (const Cell& c : arrivals) {
-            sw.acceptCell(c);
             metrics.noteInjected(c);
             ++injected_total;
+            if (config.faults &&
+                config.faults->classifyArrival(c) !=
+                    fault::FaultInjector::Verdict::Deliver)
+                continue;  // lost on the way in: dead port, drop, corrupt
+            sw.acceptCell(c);
         }
         const std::vector<Cell>& departed = sw.runSlot(slot);
         for (const Cell& c : departed) {
@@ -44,15 +57,26 @@ runSimulation(SwitchModel& sw, TrafficGenerator& traffic,
         obs::setGauge(obs::Gauge::BufferedCells, buffered);
     }
 
-    AN2_ASSERT(injected_total == delivered_total + sw.bufferedCells(),
+    SimResult result;
+    result.switch_dropped = sw.droppedCells() - sw_dropped0;
+    if (config.faults) {
+        result.fault_dropped = config.faults->cellsDropped() - fi_dropped0;
+        result.fault_corrupted =
+            config.faults->cellsCorrupted() - fi_corrupted0;
+    }
+
+    const int64_t lost =
+        result.fault_dropped + result.fault_corrupted + result.switch_dropped;
+    AN2_ASSERT(injected_total ==
+                   delivered_total + sw.bufferedCells() + lost,
                "cell conservation violated: " << injected_total
                                               << " injected, "
                                               << delivered_total
                                               << " delivered, "
                                               << sw.bufferedCells()
-                                              << " buffered");
+                                              << " buffered, " << lost
+                                              << " lost to faults");
 
-    SimResult result;
     result.mean_delay = metrics.meanDelay();
     result.p99_delay =
         metrics.delayStats().count() > 0 ? metrics.delayQuantile(0.99) : 0.0;

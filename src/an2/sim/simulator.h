@@ -12,6 +12,7 @@
 
 #include "an2/base/matrix.h"
 #include "an2/base/types.h"
+#include "an2/fault/injector.h"
 #include "an2/sim/metrics.h"
 #include "an2/sim/switch.h"
 #include "an2/sim/traffic.h"
@@ -29,6 +30,16 @@ struct SimConfig
 
     /** Optional observer invoked for every delivered cell. */
     std::function<void(const Cell&, SlotTime)> on_delivered;
+
+    /**
+     * Optional fault injector (not owned). When set, its scripted events
+     * are applied at each slot boundary (dead ports propagate into the
+     * switch via SwitchModel::set*PortLive) and every generated cell is
+     * classified before reaching the switch: cells touching a dead port
+     * or losing the drop/corrupt draw never arrive. Conservation then
+     * reads injected = delivered + buffered + dropped (all causes).
+     */
+    fault::FaultInjector* faults = nullptr;
 };
 
 /** Results of one simulation run. */
@@ -64,6 +75,17 @@ struct SimResult
 
     /** Slots over which metrics were accumulated. */
     SlotTime measured_slots = 0;
+
+    // ---- fault accounting (whole run, warmup included) ----------------
+
+    /** Cells lost before the switch: dead port or drop draw. */
+    int64_t fault_dropped = 0;
+
+    /** Cells discarded for a corrupted header (HEC check). */
+    int64_t fault_corrupted = 0;
+
+    /** Cells the switch itself discarded (its ports died). */
+    int64_t switch_dropped = 0;
 };
 
 /**

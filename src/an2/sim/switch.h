@@ -43,6 +43,44 @@ class SwitchModel
 
     /** Number of ports. */
     virtual int size() const = 0;
+
+    // ---- fault plumbing (graceful degradation) ------------------------
+    //
+    // A dead port carries nothing: arrivals at a dead input or bound for
+    // a dead output are dropped and counted in droppedCells(); cells
+    // already queued toward a dead output stay buffered until it
+    // revives. The base defaults model a fault-oblivious switch (all
+    // ports permanently live, nothing dropped), so existing models work
+    // unchanged; models that participate override all five.
+
+    /** Mark input port `i` live or dead. */
+    virtual void setInputPortLive(PortId i, bool live)
+    {
+        (void)i;
+        (void)live;
+    }
+
+    /** Mark output port `j` live or dead. */
+    virtual void setOutputPortLive(PortId j, bool live)
+    {
+        (void)j;
+        (void)live;
+    }
+
+    virtual bool inputPortLive(PortId i) const
+    {
+        (void)i;
+        return true;
+    }
+
+    virtual bool outputPortLive(PortId j) const
+    {
+        (void)j;
+        return true;
+    }
+
+    /** Cells discarded by the switch (dead ports, buffer policy). */
+    virtual int64_t droppedCells() const { return 0; }
 };
 
 }  // namespace an2

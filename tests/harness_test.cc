@@ -13,6 +13,7 @@
 
 #include "an2/base/error.h"
 #include "an2/harness/aggregate.h"
+#include "an2/harness/cli.h"
 #include "an2/harness/json_writer.h"
 #include "an2/harness/sweep.h"
 #include "an2/matching/pim.h"
@@ -162,6 +163,46 @@ TEST(SweepTest, ThreadCountInvariance)
     std::string json1 = sweepToJson(spec, aggregate(spec, serial));
     std::string json8 = sweepToJson(spec, aggregate(spec, parallel));
     EXPECT_EQ(json1, json8);
+}
+
+TEST(SweepTest, FaultedSweepThreadInvarianceAndGatedJson)
+{
+    // With a fault plan attached, the sweep must stay byte-identical
+    // across thread counts (fault-seed stream 2 is a pure function of
+    // the run index), and the JSON must carry the fault metadata and
+    // per-cell loss fields — which are absent from unfaulted documents.
+    SweepSpec spec = smallSpec();
+    spec.slots = 1'000;
+    spec.faults = fault::FaultPlan::parse(
+        "out_down(1)@300,out_up(1)@600,drop(0.02)");
+
+    SweepResult serial = runSweep(spec, 1);
+    SweepResult parallel = runSweep(spec, 8);
+    std::string json1 = sweepToJson(spec, aggregate(spec, serial));
+    std::string json8 = sweepToJson(spec, aggregate(spec, parallel));
+    EXPECT_EQ(json1, json8);
+
+    EXPECT_NE(json1.find("\"faults\": \"out_down(1)@300,out_up(1)@600,"
+                         "drop(0.02)\""),
+              std::string::npos);
+    EXPECT_NE(json1.find("\"fault_dropped\""), std::string::npos);
+    EXPECT_NE(json1.find("\"fault_corrupted\""), std::string::npos);
+    EXPECT_NE(json1.find("\"switch_dropped\""), std::string::npos);
+
+    // Losses actually happened (drop(0.02) over every run).
+    int64_t fault_dropped = 0;
+    for (const SimResult& r : serial.results)
+        fault_dropped += r.fault_dropped;
+    EXPECT_GT(fault_dropped, 0);
+
+    // The unfaulted document is unchanged by the feature's existence.
+    SweepSpec clean = smallSpec();
+    clean.slots = 1'000;
+    std::string clean_json =
+        sweepToJson(clean, aggregate(clean, runSweep(clean, 2)));
+    EXPECT_EQ(clean_json.find("\"faults\""), std::string::npos);
+    EXPECT_EQ(clean_json.find("fault_dropped"), std::string::npos);
+    EXPECT_EQ(clean_json.find("switch_dropped"), std::string::npos);
 }
 
 TEST(SweepTest, ProgressReachesTotal)
@@ -371,6 +412,143 @@ TEST(JsonWriterTest, SweepSchemaShape)
     EXPECT_NE(json.find("\"mean_delay\""), std::string::npos);
     EXPECT_NE(json.find("\"ci95\""), std::string::npos);
     EXPECT_EQ(json.find("wall"), std::string::npos);  // no timing data
+}
+
+TEST(JsonWriterTest, NonFiniteValuesEmitNullInDocuments)
+{
+    // Document-level pin of the NaN/Inf policy: a non-finite double
+    // anywhere in a document must come out as JSON null, keeping the
+    // output parseable (bare `nan`/`inf` tokens are not JSON).
+    JsonWriter w;
+    w.beginObject();
+    w.key("nan").value(std::nan(""));
+    w.key("pos_inf").value(std::numeric_limits<double>::infinity());
+    w.key("neg_inf").value(-std::numeric_limits<double>::infinity());
+    w.key("mixed")
+        .beginArray()
+        .value(1.5)
+        .value(std::nan(""))
+        .value(2.5)
+        .endArray();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\n"
+                       "  \"nan\": null,\n"
+                       "  \"pos_inf\": null,\n"
+                       "  \"neg_inf\": null,\n"
+                       "  \"mixed\": [\n"
+                       "    1.5,\n"
+                       "    null,\n"
+                       "    2.5\n"
+                       "  ]\n"
+                       "}\n");
+}
+
+// -------------------------------------------------------------------- cli
+
+/** Run parseSweepCli over a brace-list of tokens (argv[0] included). */
+bool
+parseArgs(std::initializer_list<const char*> tokens, SweepCli& cli,
+          std::string& err)
+{
+    std::vector<char*> argv;
+    for (const char* t : tokens)
+        argv.push_back(const_cast<char*>(t));
+    return parseSweepCli(static_cast<int>(argv.size()), argv.data(), cli,
+                         err);
+}
+
+TEST(CliTest, ParsesTheFullVocabulary)
+{
+    SweepCli cli;
+    std::string err;
+    ASSERT_TRUE(parseArgs({"prog", "--experiment", "fig3", "--threads", "4",
+                           "--replicates", "7", "--slots", "5000",
+                           "--warmup", "100", "--seed", "99", "--loads",
+                           "0.5,0.9", "--size", "16", "--json", "out.json",
+                           "--faults", "out_down(2)@10,out_up(2)@20"},
+                          cli, err))
+        << err;
+    EXPECT_EQ(cli.experiment, "fig3");
+    EXPECT_EQ(cli.threads, 4);
+    EXPECT_EQ(cli.replicates, 7);
+    EXPECT_EQ(cli.slots, 5000);
+    EXPECT_EQ(cli.warmup, 100);
+    EXPECT_TRUE(cli.seed_set);
+    EXPECT_EQ(cli.seed, 99u);
+    ASSERT_EQ(cli.loads.size(), 2u);
+    EXPECT_EQ(cli.loads[1], 0.9);
+    EXPECT_EQ(cli.size, 16);
+    EXPECT_EQ(cli.json_path, "out.json");
+    EXPECT_EQ(cli.faults.events.size(), 2u);
+    EXPECT_EQ(cli.faults_spec, "out_down(2)@10,out_up(2)@20");
+}
+
+TEST(CliTest, UnknownFlagNamesTheToken)
+{
+    SweepCli cli;
+    std::string err;
+    EXPECT_FALSE(parseArgs({"prog", "--bogus"}, cli, err));
+    EXPECT_NE(err.find("--bogus"), std::string::npos) << err;
+}
+
+TEST(CliTest, MalformedNumericsNameFlagAndValue)
+{
+    struct Case
+    {
+        const char* flag;
+        const char* value;
+    };
+    for (Case c : {Case{"--threads", "banana"}, Case{"--threads", "-1"},
+                   Case{"--replicates", "2x"}, Case{"--slots", "1e4"},
+                   Case{"--warmup", "ten"}, Case{"--seed", "-3"},
+                   Case{"--size", "99999999999999999999"},
+                   Case{"--loads", "0.5,oops"}, Case{"--loads", "1.5"},
+                   Case{"--loads", "0"}}) {
+        SweepCli cli;
+        std::string err;
+        EXPECT_FALSE(parseArgs({"prog", c.flag, c.value}, cli, err))
+            << c.flag << " " << c.value;
+        EXPECT_NE(err.find(c.flag), std::string::npos)
+            << c.flag << ": " << err;
+    }
+}
+
+TEST(CliTest, MissingValueAndBadFaultSpecAreErrors)
+{
+    {
+        SweepCli cli;
+        std::string err;
+        EXPECT_FALSE(parseArgs({"prog", "--threads"}, cli, err));
+        EXPECT_NE(err.find("--threads"), std::string::npos) << err;
+    }
+    {
+        SweepCli cli;
+        std::string err;
+        EXPECT_FALSE(
+            parseArgs({"prog", "--faults", "explode(3)@5"}, cli, err));
+        EXPECT_NE(err.find("explode"), std::string::npos) << err;
+    }
+}
+
+TEST(CliTest, ApplyCliOverlaysOntoSpec)
+{
+    SweepCli cli;
+    std::string err;
+    ASSERT_TRUE(parseArgs({"prog", "--replicates", "2", "--slots", "700",
+                           "--loads", "0.4", "--size", "8", "--faults",
+                           "in_down(0)@5,drop(0.1)"},
+                          cli, err))
+        << err;
+    SweepSpec spec = smallSpec();
+    applyCli(cli, spec);
+    EXPECT_EQ(spec.replicates, 2);
+    EXPECT_EQ(spec.slots, 700);
+    ASSERT_EQ(spec.loads.size(), 1u);
+    EXPECT_EQ(spec.loads[0], 0.4);
+    ASSERT_EQ(spec.sizes.size(), 1u);
+    EXPECT_EQ(spec.sizes[0], 8);
+    EXPECT_FALSE(spec.faults.empty());
+    EXPECT_EQ(spec.faults.str(), "in_down(0)@5,drop(0.1)");
 }
 
 }  // namespace

@@ -333,6 +333,171 @@ TEST(MatcherBackendEquivalence, WordParallelRejectsUnsupportedConfigs)
 }
 
 // ---------------------------------------------------------------------------
+// Degenerate request matrices under port-liveness masks. RequestMatrix
+// hides requests touching dead ports from both backend views (has() and
+// the row/column bitmasks), so every matcher x backend combination must
+// behave identically: never grant a dead port, and recover the hidden
+// requests when the port revives. Exercised for the three core
+// algorithms (PIM, iSLIP, serial greedy) on both cores.
+// ---------------------------------------------------------------------------
+
+std::vector<NamedFactory>
+backendFactories(MatcherBackend backend)
+{
+    std::string tag =
+        backend == MatcherBackend::Reference ? "_ref" : "_wp";
+    std::vector<NamedFactory> fs;
+    fs.push_back({"pim" + tag, [backend](int) {
+                      return std::make_unique<PimMatcher>(PimConfig{
+                          .iterations = 4, .seed = 17, .backend = backend});
+                  }});
+    fs.push_back({"islip" + tag, [backend](int) {
+                      return std::make_unique<IslipMatcher>(4, backend);
+                  }});
+    fs.push_back({"greedy" + tag, [backend](int) {
+                      return std::make_unique<SerialGreedyMatcher>(true, 23,
+                                                                   backend);
+                  }});
+    return fs;
+}
+
+std::vector<NamedFactory>
+allBackendFactories()
+{
+    auto fs = backendFactories(MatcherBackend::Reference);
+    auto wp = backendFactories(MatcherBackend::WordParallel);
+    fs.insert(fs.end(), wp.begin(), wp.end());
+    return fs;
+}
+
+/** Fully populated n x n request matrix (every pair has one cell). */
+RequestMatrix
+fullMatrix(int n)
+{
+    RequestMatrix req(n);
+    for (PortId i = 0; i < n; ++i)
+        for (PortId j = 0; j < n; ++j)
+            req.set(i, j, 1);
+    return req;
+}
+
+TEST(MaskedMatcherConformance, AllPortsDeadYieldsEmptyMatch)
+{
+    for (int n : {4, 16, 80}) {
+        RequestMatrix req = fullMatrix(n);
+        for (PortId p = 0; p < n; ++p) {
+            req.setInputLive(p, false);
+            req.setOutputLive(p, false);
+        }
+        EXPECT_EQ(req.numEdges(), 0);
+        for (const NamedFactory& f : allBackendFactories()) {
+            auto m = f.make(n)->match(req);
+            EXPECT_EQ(m.size(), 0) << f.label << " n=" << n;
+        }
+    }
+}
+
+TEST(MaskedMatcherConformance, SingleLivePairIsTheOnlyGrant)
+{
+    // Kill everything except input 2 / output 5: the sole visible
+    // request (2,5) is the only legal grant, and every matcher must
+    // find it (the visible graph is a single edge, so any maximal or
+    // greedy pass takes it).
+    for (int n : {8, 80}) {
+        RequestMatrix req = fullMatrix(n);
+        for (PortId p = 0; p < n; ++p) {
+            if (p != 2)
+                req.setInputLive(p, false);
+            if (p != 5)
+                req.setOutputLive(p, false);
+        }
+        EXPECT_EQ(req.numEdges(), 1);
+        for (const NamedFactory& f : allBackendFactories()) {
+            auto m = f.make(n)->match(req);
+            ASSERT_EQ(m.size(), 1) << f.label << " n=" << n;
+            EXPECT_EQ(m.outputOf(2), 5) << f.label << " n=" << n;
+            EXPECT_TRUE(m.isLegalFor(req)) << f.label << " n=" << n;
+        }
+    }
+}
+
+TEST(MaskedMatcherConformance, MaskFlipMidSlotNeverGrantsDeadPorts)
+{
+    // Kill and revive ports between match() calls on the same matrix
+    // and the same (stateful) matcher instances: each call must be
+    // legal for the masks in force at that moment, and revival must
+    // re-expose the hidden requests.
+    for (int n : {8, 64}) {
+        RequestMatrix req = fullMatrix(n);
+        for (const NamedFactory& f : allBackendFactories()) {
+            auto matcher = f.make(n);
+
+            Matching before = matcher->match(req);
+            EXPECT_TRUE(before.isLegalFor(req)) << f.label << " n=" << n;
+            EXPECT_GE(before.size(), 1) << f.label << " n=" << n;
+            EXPECT_EQ(req.numEdges(), n * n);
+
+            req.setInputLive(1, false);
+            req.setOutputLive(3, false);
+            EXPECT_EQ(req.numEdges(), (n - 1) * (n - 1));
+            Matching during = matcher->match(req);
+            // isLegalFor consults has(), which is mask-aware, so this
+            // already proves no dead port was granted; the explicit
+            // checks below document the contract.
+            EXPECT_TRUE(during.isLegalFor(req)) << f.label << " n=" << n;
+            EXPECT_EQ(during.outputOf(1), kNoPort) << f.label;
+            for (auto [i, j] : during.pairs())
+                EXPECT_NE(j, 3) << f.label << " input " << i;
+            EXPECT_GE(during.size(), 1) << f.label << " n=" << n;
+            EXPECT_LE(during.size(), n - 1) << f.label << " n=" << n;
+
+            req.setInputLive(1, true);
+            req.setOutputLive(3, true);
+            EXPECT_EQ(req.numEdges(), n * n);
+            Matching after = matcher->match(req);
+            EXPECT_TRUE(after.isLegalFor(req)) << f.label << " n=" << n;
+            EXPECT_GE(after.size(), 1) << f.label << " n=" << n;
+        }
+    }
+}
+
+TEST(MaskedMatcherConformance, BackendsAgreeUnderRandomMasks)
+{
+    // The word-parallel cores consume the masked row/column bitmasks;
+    // the reference cores consume masked has(). Same draws, same masks
+    // -> byte-identical matchings, exactly as in the unmasked
+    // equivalence suite.
+    for (int n : {16, 100}) {
+        auto refs = backendFactories(MatcherBackend::Reference);
+        auto wps = backendFactories(MatcherBackend::WordParallel);
+        ASSERT_EQ(refs.size(), wps.size());
+        for (size_t k = 0; k < refs.size(); ++k) {
+            auto ref = refs[k].make(n);
+            auto wp = wps[k].make(n);
+            Xoshiro256 rng(static_cast<uint64_t>(7000 + n + 31 * k));
+            for (int t = 0; t < 40; ++t) {
+                auto req = RequestMatrix::bernoulli(n, 0.4, rng);
+                // Kill a random quarter of the ports.
+                for (PortId p = 0; p < n; ++p) {
+                    if (rng.nextDouble() < 0.25)
+                        req.setInputLive(p, false);
+                    if (rng.nextDouble() < 0.25)
+                        req.setOutputLive(p, false);
+                }
+                Matching a = ref->match(req);
+                Matching b = wp->match(req);
+                EXPECT_TRUE(a.isLegalFor(req))
+                    << refs[k].label << " n=" << n << " t=" << t;
+                expectIdenticalMatchings(a, b,
+                                         refs[k].label + " masked n=" +
+                                             std::to_string(n) + " t=" +
+                                             std::to_string(t));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // FastPIM (the standalone bitmask matcher) deliberately skips PRNG draws
 // for singleton sets, so it is statistically — not byte — equivalent to
 // PimMatcher: same legality/maximality guarantees and the same matching

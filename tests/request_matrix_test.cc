@@ -173,5 +173,122 @@ TEST(RequestMatrixTest, CopyAssignPreservesMaskView)
     EXPECT_EQ(a.numEdges(), 2);
 }
 
+TEST(RequestMatrixLiveness, DeadPortHidesWithoutDiscarding)
+{
+    RequestMatrix req(4);
+    req.set(1, 2, 3);
+    req.set(1, 3, 1);
+    req.set(0, 2, 2);
+    EXPECT_EQ(req.numEdges(), 3);
+    EXPECT_TRUE(req.allPortsLive());
+
+    req.setInputLive(1, false);
+    EXPECT_FALSE(req.inputLive(1));
+    EXPECT_FALSE(req.allPortsLive());
+    EXPECT_FALSE(req.has(1, 2));
+    EXPECT_FALSE(req.has(1, 3));
+    EXPECT_TRUE(req.has(0, 2));
+    EXPECT_EQ(req.numEdges(), 1);
+    // Counts survive underneath the mask.
+    EXPECT_EQ(req.count(1, 2), 3);
+    EXPECT_FALSE(wordset::testBit(req.rowMask(1), 2));
+    EXPECT_FALSE(wordset::testBit(req.colMask(2), 1));
+    EXPECT_TRUE(wordset::testBit(req.colMask(2), 0));
+
+    req.setInputLive(1, true);
+    EXPECT_TRUE(req.allPortsLive());
+    EXPECT_TRUE(req.has(1, 2));
+    EXPECT_EQ(req.numEdges(), 3);
+    EXPECT_TRUE(wordset::testBit(req.rowMask(1), 2));
+}
+
+TEST(RequestMatrixLiveness, DeadOutputHidesColumn)
+{
+    RequestMatrix req(4);
+    req.set(0, 1, 1);
+    req.set(2, 1, 1);
+    req.set(2, 3, 1);
+
+    req.setOutputLive(1, false);
+    EXPECT_FALSE(req.outputLive(1));
+    EXPECT_FALSE(req.has(0, 1));
+    EXPECT_FALSE(req.has(2, 1));
+    EXPECT_TRUE(req.has(2, 3));
+    EXPECT_EQ(req.numEdges(), 1);
+    EXPECT_FALSE(wordset::testBit(req.rowMask(0), 1));
+    EXPECT_FALSE(wordset::testBit(req.rowMask(2), 1));
+
+    req.setOutputLive(1, true);
+    EXPECT_EQ(req.numEdges(), 3);
+    EXPECT_TRUE(wordset::testBit(req.colMask(1), 0));
+    EXPECT_TRUE(wordset::testBit(req.colMask(1), 2));
+}
+
+TEST(RequestMatrixLiveness, MutationsWhileDeadStayHidden)
+{
+    // set/increment/decrement on a dead row must keep the edge hidden
+    // and re-expose whatever count survives at revival.
+    RequestMatrix req(4);
+    req.set(2, 0, 2);
+    req.setInputLive(2, false);
+
+    req.increment(2, 1);     // new edge born hidden
+    req.decrement(2, 0);     // 2 -> 1, still hidden
+    req.set(2, 3, 5);
+    req.set(2, 3, 0);        // born and killed while dead
+    EXPECT_EQ(req.numEdges(), 0);
+    EXPECT_FALSE(req.has(2, 0));
+    EXPECT_FALSE(req.has(2, 1));
+
+    req.setInputLive(2, true);
+    EXPECT_EQ(req.numEdges(), 2);
+    EXPECT_TRUE(req.has(2, 0));
+    EXPECT_EQ(req.count(2, 0), 1);
+    EXPECT_TRUE(req.has(2, 1));
+    EXPECT_FALSE(req.has(2, 3));
+}
+
+TEST(RequestMatrixLiveness, IdempotentAndSurvivesClear)
+{
+    RequestMatrix req(3);
+    req.set(0, 0, 1);
+    req.setInputLive(0, false);
+    req.setInputLive(0, false);  // idempotent
+    EXPECT_EQ(req.numEdges(), 0);
+
+    req.clear();
+    EXPECT_EQ(req.numEdges(), 0);
+    EXPECT_FALSE(req.inputLive(0));  // liveness survives clear()
+    req.set(0, 1, 1);
+    req.set(1, 1, 1);
+    EXPECT_EQ(req.numEdges(), 1);  // dead input's new request hidden
+
+    req.setInputLive(0, true);
+    req.setInputLive(0, true);  // idempotent
+    EXPECT_EQ(req.numEdges(), 2);
+}
+
+TEST(RequestMatrixLiveness, ClearLinesOnMaskedMatrix)
+{
+    RequestMatrix req(4);
+    for (PortId i = 0; i < 4; ++i)
+        for (PortId j = 0; j < 4; ++j)
+            req.set(i, j, 1);
+    req.setInputLive(1, false);
+    EXPECT_EQ(req.numEdges(), 12);
+
+    req.clearRow(1);  // clearing a dead row zeroes the hidden counts
+    EXPECT_EQ(req.count(1, 0), 0);
+    EXPECT_EQ(req.numEdges(), 12);
+    req.setInputLive(1, true);  // nothing left to re-expose
+    EXPECT_EQ(req.numEdges(), 12);
+
+    req.setOutputLive(2, false);
+    EXPECT_EQ(req.numEdges(), 9);
+    req.clearColumn(2);
+    req.setOutputLive(2, true);
+    EXPECT_EQ(req.numEdges(), 9);
+}
+
 }  // namespace
 }  // namespace an2

@@ -11,6 +11,8 @@
 #include <memory>
 #include <new>
 
+#include "an2/fault/fault_plan.h"
+#include "an2/fault/injector.h"
 #include "an2/matching/islip.h"
 #include "an2/matching/pim.h"
 #include "an2/matching/serial_greedy.h"
@@ -171,6 +173,55 @@ TEST(ZeroAllocTest, AttachedRecorderIslipCountersAllocationFree)
     obs::detach();
     EXPECT_EQ(allocs, 0u);
     EXPECT_GT(rec.counter(obs::Counter::RequestsSeen), 0);
+}
+
+TEST(ZeroAllocTest, FaultedSlotLoopSteadyStateIsAllocationFree)
+{
+    // The fault path — injector beginSlot (including the port-down and
+    // port-up events landing mid-measurement), per-cell arrival
+    // classification with drop/corrupt draws, the masked slot loop, and
+    // the always-on invariant checker — must add zero heap traffic.
+    fault::FaultPlan plan = fault::FaultPlan::parse(
+        "out_down(3)@2500,out_up(3)@3200,in_down(5)@2600,in_up(5)@3100,"
+        "drop(0.02),corrupt(0.01)");
+    fault::FaultInjector injector(16, plan, 99);
+    InputQueuedSwitch sw(IqSwitchConfig{.n = 16},
+                         std::make_unique<PimMatcher>(
+                             PimConfig{.iterations = 4, .seed = 6}));
+    UniformTraffic traffic(16, 0.9, 2027);
+    std::vector<Cell> arrivals;
+    constexpr int kWarmup = 2000, kMeasured = 2000;
+    size_t counted = 0;
+    for (SlotTime slot = 0; slot < kWarmup + kMeasured; ++slot) {
+        arrivals.clear();
+        traffic.generate(slot, arrivals);
+        // beginSlot (event application + masks) and classifyArrival
+        // (verdict draws) are measured; acceptCell stays outside, as in
+        // the unfaulted tests, because arrival-side enqueues may
+        // legitimately grow buffers.
+        size_t before = g_allocations.load(std::memory_order_relaxed);
+        injector.beginSlot(slot, &sw);
+        size_t after = g_allocations.load(std::memory_order_relaxed);
+        size_t slot_allocs = after - before;
+        for (const Cell& c : arrivals) {
+            before = g_allocations.load(std::memory_order_relaxed);
+            fault::FaultInjector::Verdict v = injector.classifyArrival(c);
+            after = g_allocations.load(std::memory_order_relaxed);
+            slot_allocs += after - before;
+            if (v == fault::FaultInjector::Verdict::Deliver)
+                sw.acceptCell(c);
+        }
+        before = g_allocations.load(std::memory_order_relaxed);
+        (void)sw.runSlot(slot);
+        after = g_allocations.load(std::memory_order_relaxed);
+        slot_allocs += after - before;
+        if (slot >= kWarmup)
+            counted += slot_allocs;
+    }
+    EXPECT_EQ(counted, 0u);
+    EXPECT_EQ(injector.eventsApplied(), 4);
+    EXPECT_GT(injector.cellsDropped(), 0);
+    EXPECT_GT(injector.cellsCorrupted(), 0);
 }
 
 TEST(ZeroAllocTest, MetricsDeliverySteadyStateIsAllocationFree)
