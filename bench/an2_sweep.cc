@@ -8,9 +8,17 @@
  *     an2_sweep --list
  *     an2_sweep --experiment fig3 --threads 8 --json BENCH_fig3.json
  *     an2_sweep --experiment fig5 --replicates 5 --loads 0.9,0.95,0.99
+ *
+ * Network-scale experiments (whole topologies on topo::Lan) live in the
+ * same registry namespace and speak the same flags, plus `--frames` and
+ * `--engine serial|parallel`:
+ *
+ *     an2_sweep --experiment netscale --engine parallel --threads 8 \
+ *               --json BENCH_netscale.json
  */
 #include <cstdio>
 
+#include "net_sweep_specs.h"
 #include "sweep_specs.h"
 
 int
@@ -34,6 +42,8 @@ main(int argc, char** argv)
         std::printf("available experiments:\n");
         for (const Experiment& e : experiments())
             std::printf("  %-8s %s\n", e.name, e.blurb);
+        for (const NetExperiment& e : netExperiments())
+            std::printf("  %-8s %s\n", e.name, e.blurb);
         return 0;
     }
     if (cli.experiment.empty()) {
@@ -41,6 +51,14 @@ main(int argc, char** argv)
                      "error: --experiment NAME required (--list shows "
                      "choices)\n");
         return 2;
+    }
+    if (const NetExperiment* net = findNetExperiment(cli.experiment)) {
+        try {
+            return runNetExperiment(*net, cli);
+        } catch (const UsageError& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 2;
+        }
     }
     const Experiment* exp = findExperiment(cli.experiment);
     if (!exp) {

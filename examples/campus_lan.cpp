@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Campus LAN: a star-of-stars building network — one backbone switch,
+ * eight floor switches, eight workstations per floor — built with the
+ * topo layer. Flows are placed by endpoints; the router picks each
+ * flow's shortest path with deterministic ECMP tie-breaking. We run
+ * the same network twice, serially and on the sharded parallel engine,
+ * and check the totals agree exactly, then down a trunk mid-run to
+ * watch deterministic failover reroute the traffic that crossed it.
+ *
+ *   $ ./campus_lan
+ */
+#include <cstdio>
+#include <memory>
+
+#include "an2/fault/fault_plan.h"
+#include "an2/matching/pim.h"
+#include "an2/topo/lan.h"
+#include "an2/topo/topology.h"
+
+using namespace an2;
+
+namespace {
+
+topo::LanConfig
+campusConfig(uint64_t seed)
+{
+    topo::LanConfig config;
+    config.seed = seed;
+    config.matcher = [](int /*ports*/, uint64_t s) {
+        return std::make_unique<PimMatcher>(
+            PimConfig{.iterations = 4, .seed = s});
+    };
+    return config;
+}
+
+/** Place the campus workload: every workstation opens a VBR flow to a
+    uniformly random peer and a 2-cells/frame CBR "phone call" to
+    another. */
+void
+placeCampusTraffic(topo::Lan& lan)
+{
+    topo::TrafficSpec vbr;
+    vbr.vbr_rate = 0.08;
+    lan.placeMatrix(topo::Pattern::Uniform, vbr, /*seed=*/42);
+    topo::TrafficSpec cbr;
+    cbr.cls = TrafficClass::CBR;
+    cbr.cbr_cells_per_frame = 2;
+    lan.placeMatrix(topo::Pattern::Uniform, cbr, /*seed=*/43);
+}
+
+void
+report(const char* label, const topo::LanStats& s)
+{
+    std::printf("  %-22s  delivered %6lld/%-6lld  (%.4f)  "
+                "mean latency %.1f us\n",
+                label, static_cast<long long>(s.delivered),
+                static_cast<long long>(s.injected),
+                s.injected ? double(s.delivered) / double(s.injected) : 0.0,
+                s.mean_wall_latency_ps / 1e6);
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("an2sim example -- a campus LAN on the topo layer\n\n");
+
+    constexpr int64_t kFrames = 30;
+    constexpr uint64_t kSeed = 2026;
+
+    // 9 switches (backbone + 8 floors), 64 hosts, 72 edges.
+    const topo::Topology campus = topo::Topology::star(8, 8);
+
+    // Same network, two engines. The results are byte-identical: the
+    // engine is a wall-clock choice, never a results choice.
+    topo::Lan serial(campus, campusConfig(kSeed));
+    placeCampusTraffic(serial);
+    serial.runFrames(kFrames, /*threads=*/1);
+    topo::Lan sharded(campus, campusConfig(kSeed));
+    placeCampusTraffic(sharded);
+    sharded.runFrames(kFrames, /*threads=*/4);
+
+    topo::LanStats a = serial.stats();
+    topo::LanStats b = sharded.stats();
+    report("serial engine", a);
+    report("sharded engine (4T)", b);
+    const bool identical =
+        a.injected == b.injected && a.delivered == b.delivered &&
+        a.mean_wall_latency_ps == b.mean_wall_latency_ps;
+    std::printf("  engines agree exactly: %s  (%lld shard windows)\n\n",
+                identical ? "yes" : "NO (bug!)",
+                static_cast<long long>(sharded.shardWindows()));
+
+    // Down one trunk direction a third of the way in, once on each
+    // fabric. The single-backbone star has no alternate paths, so the
+    // flows that crossed the trunk are stranded. Rewire the same nine
+    // switches as a 3x3 torus and the identical outage reroutes them
+    // instead: each VBR flow fails over to its next live ECMP path —
+    // in flow order, deterministically — while CBR reservations stay
+    // pinned and lose cells until the link returns.
+    const fault::FaultPlan outage =
+        fault::FaultPlan::parse("link_down(0)@1000,link_up(0)@2000");
+    const topo::Topology ring_campus =
+        topo::Topology::mesh(3, 3, /*torus=*/true, /*hosts_per_switch=*/7);
+    for (const topo::Topology* t : {&campus, &ring_campus}) {
+        topo::Lan faulted(*t, campusConfig(kSeed));
+        placeCampusTraffic(faulted);
+        faulted.scheduleFaults(outage);
+        faulted.runFrames(kFrames, /*threads=*/4);
+        topo::LanStats f = faulted.stats();
+        report(t->name().c_str(), f);
+        std::printf("    reroutes %lld, stranded flows %lld, cells lost "
+                    "on dead links %lld\n",
+                    static_cast<long long>(f.reroutes),
+                    static_cast<long long>(f.unroutable),
+                    static_cast<long long>(f.link_lost));
+    }
+
+    std::printf("\nReading the output: the sharded engine reproduces the "
+                "serial run bit for bit.\nUnder the same trunk outage the "
+                "single-backbone star strands the flows that\ncrossed it, "
+                "while the torus campus reroutes them around the dead "
+                "link --\nonly pinned CBR reservations take losses.\n");
+    return identical ? 0 : 1;
+}

@@ -1,21 +1,25 @@
 #!/usr/bin/env python3
-"""Compare a bench_slot_loop run against the committed hot-path baseline.
+"""Compare a bench run against its committed baseline.
 
 Usage:
-    scripts/check_bench.py RUN.json [--baseline BENCH_hotpath.json]
-                           [--threshold 0.30]
+    scripts/check_bench.py RUN.json [--baseline FILE] [--threshold 0.30]
 
-RUN.json is an `an2.sweep.v1` document emitted by
-`bench_slot_loop --json`; the baseline is the repo's committed
-`BENCH_hotpath.json` (its `after` cells are the reference). For every
-architecture present in both, the script compares mean slots/sec and
-prints a WARNING when the run is more than `threshold` below the
-baseline.
+Two document kinds are understood, keyed on the run's schema field:
 
-The exit code is always 0: wall-clock rates on shared CI runners are
-too noisy for a hard gate, so regressions warn rather than fail.
-Investigate a warning by rerunning locally with the full slot budget
-(see "Performance methodology" in EXPERIMENTS.md).
+  an2.sweep.v1 (from `bench_slot_loop --json`) — wall-clock slots/sec
+  per architecture vs the committed `BENCH_hotpath.json` (its `after`
+  cells are the reference). Rates on shared CI runners are noisy, so
+  a drop of more than `threshold` prints a WARNING.
+
+  an2.netsweep.v1 (from `an2_sweep --experiment netscale --json`) —
+  delivered/injected throughput per (topology, load) cell vs the
+  committed `BENCH_netscale.json`. These numbers are *deterministic*
+  (byte-identical across engines and thread counts), so any drift at
+  all is flagged: it means the simulation's behavior changed and the
+  baseline should be regenerated deliberately.
+
+The exit code is always 0: both checks warn rather than fail, keeping
+CI green while making regressions visible in the log.
 """
 
 import argparse
@@ -24,29 +28,29 @@ import os
 import sys
 
 
-def load_cells(path, key=None):
+def load_doc(path):
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f)
+
+
+def schema_of(doc):
+    meta = doc.get("meta", {})
+    return meta.get("schema", doc.get("schema", ""))
+
+
+def hotpath_cells(doc, key=None):
     cells = doc[key] if key else doc["cells"]
     return {c["arch"]: c["slots_per_sec"]["mean"] for c in cells}
 
 
-def main():
-    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    parser = argparse.ArgumentParser(
-        description="Warn (never fail) on slots/sec regressions.")
-    parser.add_argument("run", help="an2.sweep.v1 JSON from bench_slot_loop")
-    parser.add_argument(
-        "--baseline",
-        default=os.path.join(repo_root, "BENCH_hotpath.json"),
-        help="committed baseline (default: repo BENCH_hotpath.json)")
-    parser.add_argument(
-        "--threshold", type=float, default=0.30,
-        help="warn when slots/sec drops more than this fraction (0.30)")
-    args = parser.parse_args()
+def netsweep_cells(doc):
+    return {(c["topo"], c["load"]): c["throughput"]["mean"]
+            for c in doc["cells"]}
 
-    run = load_cells(args.run)
-    baseline = load_cells(args.baseline, key="after")
+
+def check_hotpath(run_doc, baseline_path, threshold):
+    run = hotpath_cells(run_doc)
+    baseline = hotpath_cells(load_doc(baseline_path), key="after")
 
     warned = False
     for arch in sorted(baseline):
@@ -57,9 +61,9 @@ def main():
         ratio = now / base
         line = (f"  {arch:20s}  baseline {base:12,.0f}  "
                 f"run {now:12,.0f}  ({ratio:5.2f}x)")
-        if ratio < 1.0 - args.threshold:
+        if ratio < 1.0 - threshold:
             print(f"WARNING: slots/sec regression >"
-                  f"{args.threshold:.0%} vs committed baseline:")
+                  f"{threshold:.0%} vs committed baseline:")
             print(line)
             warned = True
         else:
@@ -73,7 +77,67 @@ def main():
               "./build/bench/bench_slot_loop --json out.json")
     else:
         print("\nPerf smoke OK: no architecture regressed beyond "
-              f"{args.threshold:.0%} of the committed baseline.")
+              f"{threshold:.0%} of the committed baseline.")
+
+
+def check_netsweep(run_doc, baseline_path):
+    run = netsweep_cells(run_doc)
+    baseline = netsweep_cells(load_doc(baseline_path))
+
+    drifted = False
+    for key in sorted(baseline):
+        topo, load = key
+        label = f"{topo} @ {load:g}"
+        if key not in run:
+            print(f"  {label:36s}  (not in this run, skipped)")
+            continue
+        base, now = baseline[key], run[key]
+        line = (f"  {label:36s}  baseline {base:.12g}  run {now:.12g}")
+        if now != base:
+            print(f"WARNING: deterministic throughput drifted vs "
+                  f"committed baseline:")
+            print(line)
+            drifted = True
+        else:
+            print(line)
+    for key in sorted(set(run) - set(baseline)):
+        print(f"  {key[0]} @ {key[1]:g}  (no baseline, skipped)")
+
+    if drifted:
+        print("\nNetwork throughput is deterministic: any drift means "
+              "the simulation changed.\nIf intentional, regenerate: "
+              "./build/bench/an2_sweep --experiment netscale "
+              "--json BENCH_netscale.json")
+    else:
+        print("\nNetwork-scale check OK: throughput matches the "
+              "committed baseline exactly.")
+
+
+def main():
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser = argparse.ArgumentParser(
+        description="Warn (never fail) on bench regressions.")
+    parser.add_argument("run", help="an2.sweep.v1 or an2.netsweep.v1 JSON")
+    parser.add_argument(
+        "--baseline",
+        help="committed baseline (default: repo BENCH_hotpath.json or "
+             "BENCH_netscale.json, by the run's schema)")
+    parser.add_argument(
+        "--threshold", type=float, default=0.30,
+        help="hot-path only: warn when slots/sec drops more than this "
+             "fraction (0.30)")
+    args = parser.parse_args()
+
+    run_doc = load_doc(args.run)
+    schema = schema_of(run_doc)
+    if schema == "an2.netsweep.v1":
+        baseline = args.baseline or os.path.join(repo_root,
+                                                 "BENCH_netscale.json")
+        check_netsweep(run_doc, baseline)
+    else:
+        baseline = args.baseline or os.path.join(repo_root,
+                                                 "BENCH_hotpath.json")
+        check_hotpath(run_doc, baseline, args.threshold)
     return 0
 
 

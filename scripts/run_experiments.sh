@@ -21,13 +21,19 @@ cmake --build "$BUILD" -j"$THREADS"
 ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
 
 # Harness sweeps: parallel execution plus one JSON trace per experiment
-# (deterministic — identical bytes for any THREADS value).
-SWEEPS=(fig3 fig4 fig5)
+# (deterministic — identical bytes for any THREADS value). netscale runs
+# whole networks on the sharded engine; its JSON is likewise identical
+# for any thread count and engine choice.
+SWEEPS=(fig3 fig4 fig5 netscale)
 mkdir -p "$BUILD/sweeps"
 for exp in "${SWEEPS[@]}"; do
     "$BUILD/bench/an2_sweep" --experiment "$exp" --threads "$THREADS" \
         --json "$BUILD/sweeps/$exp.json"
 done
+
+# Deterministic network-scale throughput vs the committed baseline
+# (warn-only; see scripts/check_bench.py).
+python3 scripts/check_bench.py "$BUILD/sweeps/netscale.json"
 
 # Merge the per-experiment documents into one trajectory file.
 if command -v jq > /dev/null; then

@@ -36,6 +36,12 @@ class RingQueue
         return buf_[head_];
     }
 
+    const T& back() const
+    {
+        AN2_ASSERT(size_ > 0, "back() on empty RingQueue");
+        return buf_[(head_ + size_ - 1) & (buf_.size() - 1)];
+    }
+
     void push_back(const T& value)
     {
         if (size_ == buf_.size())

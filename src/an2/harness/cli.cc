@@ -28,6 +28,12 @@ printSweepCliHelp(const char* prog, bool with_experiment)
                 "seeding\n");
     std::printf("  --loads A,B,...     override the load axis\n");
     std::printf("  --size N            override the switch size\n");
+    std::printf("  --frames F          switch frames per run (network "
+                "experiments)\n");
+    std::printf("  --engine E          network engine: serial | parallel "
+                "(network\n"
+                "                      experiments; results are identical "
+                "either way)\n");
     std::printf("  --faults SPEC       fault scenario applied to every run, "
                 "e.g.\n"
                 "                      "
@@ -176,6 +182,23 @@ parseSweepCli(int argc, char** argv, SweepCli& cli, std::string& err)
                 err = badValue("--size", v, "a positive integer");
                 return false;
             }
+        } else if (!std::strcmp(a, "--frames")) {
+            if (!(v = need(i)))
+                return false;
+            int64_t frames = 0;
+            if (!parseInt64(v, frames) || frames <= 0) {
+                err = badValue("--frames", v, "a positive integer");
+                return false;
+            }
+            cli.frames = frames;
+        } else if (!std::strcmp(a, "--engine")) {
+            if (!(v = need(i)))
+                return false;
+            if (std::strcmp(v, "serial") && std::strcmp(v, "parallel")) {
+                err = badValue("--engine", v, "'serial' or 'parallel'");
+                return false;
+            }
+            cli.engine = v;
         } else if (!std::strcmp(a, "--faults") ||
                    (v = eqval(a, "--faults")) != nullptr) {
             if (!v && !(v = need(i)))

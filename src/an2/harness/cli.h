@@ -36,8 +36,17 @@ struct SweepCli
     bool seed_set = false;
     std::vector<double> loads;    ///< empty = keep spec default
     int size = 0;                 ///< 0 = keep spec default
+    long long frames = 0;         ///< 0 = keep spec default (net sweeps)
     bool list = false;
     bool help = false;
+
+    /**
+     * Network engine selection for topology experiments: "serial"
+     * forces the single-threaded event loop, "parallel" the sharded
+     * engine on `threads` workers, "" (default) picks parallel when
+     * threads != 1. Results are byte-identical either way.
+     */
+    std::string engine;
 
     /** Fault scenario (--faults SPEC), already validated by parse. */
     fault::FaultPlan faults;

@@ -56,7 +56,9 @@ Controller::drainSink(PicoTime now)
 {
     if (in_link_ == nullptr)
         return;
-    for (const Cell& c : in_link_->deliverUpTo(now)) {
+    arrivals_.clear();
+    in_link_->deliverInto(now, arrivals_);
+    for (const Cell& c : arrivals_) {
         FlowDeliveryStats& st = delivered_[c.flow];
         ++st.delivered;
         st.wall_latency_ps.add(static_cast<double>(now - c.inject_ps));
@@ -136,10 +138,10 @@ Controller::tick()
 const FlowDeliveryStats&
 Controller::deliveryStats(FlowId flow) const
 {
-    auto it = delivered_.find(flow);
-    AN2_REQUIRE(it != delivered_.end(),
+    const FlowDeliveryStats* st = delivered_.get(flow);
+    AN2_REQUIRE(st != nullptr,
                 "no cells of flow " << flow << " delivered here");
-    return it->second;
+    return *st;
 }
 
 int64_t

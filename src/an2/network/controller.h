@@ -19,6 +19,7 @@
 #include <map>
 #include <vector>
 
+#include "an2/base/flat_map.h"
 #include "an2/base/rng.h"
 #include "an2/base/stats.h"
 #include "an2/cell/cell.h"
@@ -94,10 +95,16 @@ class Controller final : public NetNode
     /** Delivery statistics for a flow terminating here. */
     const FlowDeliveryStats& deliveryStats(FlowId flow) const;
 
-    /** All sink-side statistics. */
-    const std::map<FlowId, FlowDeliveryStats>& allDeliveryStats() const
+    /** True when at least one cell of `flow` was delivered here. */
+    bool hasDeliveries(FlowId flow) const
     {
-        return delivered_;
+        return delivered_.contains(flow);
+    }
+
+    /** All sink-side statistics, ordered by flow (reporting; copies). */
+    std::map<FlowId, FlowDeliveryStats> allDeliveryStats() const
+    {
+        return delivered_.toMap();
     }
 
     /** Cells injected so far, per flow. */
@@ -138,7 +145,11 @@ class Controller final : public NetNode
     std::vector<CbrSource> cbr_sources_;
     std::vector<VbrSource> vbr_sources_;
     double total_vbr_rate_ = 0.0;
-    std::map<FlowId, FlowDeliveryStats> delivered_;
+    /** Flow-indexed flat table: the per-cell sink accounting path stays
+        allocation-free once every terminating flow has been seen. */
+    FlatMap<FlowDeliveryStats> delivered_;
+    /** Arrival scratch, persistent across ticks. */
+    std::vector<Cell> arrivals_;
     Xoshiro256 rng_;
 };
 

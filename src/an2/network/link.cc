@@ -17,12 +17,34 @@ NetLink::send(const Cell& cell, PicoTime now_ps)
         return;
     }
     // Transmissions from one upstream port are naturally ordered in time,
-    // so the in-flight queue stays sorted by arrival.
+    // so both queues stay sorted by arrival.
     PicoTime arrives = now_ps + latency_ps_;
-    AN2_ASSERT(in_flight_.empty() || in_flight_.back().arrives_ps <= arrives,
+    RingQueue<TimedCell>& q = deferred_ ? pending_ : in_flight_;
+    AN2_ASSERT(q.empty() || q.back().arrives_ps <= arrives,
                "link send out of time order");
-    in_flight_.push_back({cell, arrives});
+    q.push_back({cell, arrives});
     ++cells_carried_;
+}
+
+void
+NetLink::setDeferred(bool deferred)
+{
+    if (deferred_ && !deferred)
+        commit();
+    deferred_ = deferred;
+}
+
+void
+NetLink::commit()
+{
+    while (!pending_.empty()) {
+        const TimedCell& tc = pending_.front();
+        AN2_ASSERT(in_flight_.empty() ||
+                       in_flight_.back().arrives_ps <= tc.arrives_ps,
+                   "link commit out of time order");
+        in_flight_.push_back(tc);
+        pending_.pop_front();
+    }
 }
 
 void
@@ -32,8 +54,19 @@ NetLink::setUp(bool up)
         return;
     up_ = up;
     if (!up_) {
-        cells_lost_ += static_cast<int64_t>(in_flight_.size());
+        cells_lost_ +=
+            static_cast<int64_t>(in_flight_.size() + pending_.size());
         in_flight_.clear();
+        pending_.clear();
+    }
+}
+
+void
+NetLink::deliverInto(PicoTime now_ps, std::vector<Cell>& out)
+{
+    while (!in_flight_.empty() && in_flight_.front().arrives_ps <= now_ps) {
+        out.push_back(in_flight_.front().cell);
+        in_flight_.pop_front();
     }
 }
 
@@ -41,10 +74,7 @@ std::vector<Cell>
 NetLink::deliverUpTo(PicoTime now_ps)
 {
     std::vector<Cell> out;
-    while (!in_flight_.empty() && in_flight_.front().arrives_ps <= now_ps) {
-        out.push_back(in_flight_.front().cell);
-        in_flight_.pop_front();
-    }
+    deliverInto(now_ps, out);
     return out;
 }
 

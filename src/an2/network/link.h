@@ -4,13 +4,21 @@
  * placed on a link at wall time t becomes eligible for forwarding at the
  * downstream node at t + latency (the paper's l includes per-cell switch
  * overhead; fold that into the latency here).
+ *
+ * Concurrency contract (the sharded engine, an2/topo/parallel_net.h):
+ * in *deferred* mode, send() appends to a staging queue touched only by
+ * the upstream node's shard, while deliverInto()/deliverUpTo() pop from
+ * the in-flight queue touched only by the downstream node's shard;
+ * commit() — called at a barrier, when no node is ticking — publishes
+ * staged cells into the in-flight queue. Immediate mode (the default)
+ * keeps the classic serial semantics: send() publishes directly.
  */
 #ifndef AN2_NETWORK_LINK_H
 #define AN2_NETWORK_LINK_H
 
-#include <deque>
 #include <vector>
 
+#include "an2/base/ring.h"
 #include "an2/base/types.h"
 #include "an2/cell/cell.h"
 
@@ -40,20 +48,46 @@ class NetLink
         nothing: the cell is lost and counted in cellsLost(). */
     void send(const Cell& cell, PicoTime now_ps);
 
-    /** Remove and return all cells that have arrived by `now`. */
+    /**
+     * Append every cell that has arrived by `now` to `out` (which is
+     * not cleared) and remove it from the link. The steady-state
+     * delivery path: no heap allocation once `out` has grown to its
+     * working capacity.
+     */
+    void deliverInto(PicoTime now_ps, std::vector<Cell>& out);
+
+    /** Remove and return all cells that have arrived by `now`
+        (convenience wrapper over deliverInto; allocates). */
     std::vector<Cell> deliverUpTo(PicoTime now_ps);
 
     /**
+     * Switch between immediate mode (send publishes straight to the
+     * in-flight queue; the default) and deferred mode (send stages, a
+     * later commit() publishes). Used by the sharded engine so upstream
+     * and downstream shards never touch the same queue within a
+     * synchronization window. Pending cells are committed on the switch
+     * back to immediate mode.
+     */
+    void setDeferred(bool deferred);
+
+    /** Publish staged cells into the in-flight queue (deferred mode). */
+    void commit();
+
+    /**
      * Take the link down or bring it back up. Taking it down loses every
-     * cell currently in flight (a fiber cut does not preserve photons);
-     * bringing it up resumes carriage from the next send.
+     * cell currently in flight — staged or published (a fiber cut does
+     * not preserve photons); bringing it up resumes carriage from the
+     * next send.
      */
     void setUp(bool up);
 
     bool isUp() const { return up_; }
 
-    /** Cells currently in flight. */
+    /** Cells currently in flight (published; excludes staged cells). */
     int inFlight() const { return static_cast<int>(in_flight_.size()); }
+
+    /** Cells staged in deferred mode, not yet committed. */
+    int pendingCount() const { return static_cast<int>(pending_.size()); }
 
     PicoTime latencyPs() const { return latency_ps_; }
 
@@ -65,8 +99,10 @@ class NetLink
 
   private:
     PicoTime latency_ps_;
-    std::deque<TimedCell> in_flight_;
+    RingQueue<TimedCell> in_flight_;
+    RingQueue<TimedCell> pending_;
     bool up_ = true;
+    bool deferred_ = false;
     int64_t cells_carried_ = 0;
     int64_t cells_lost_ = 0;
 };

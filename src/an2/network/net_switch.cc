@@ -14,7 +14,10 @@ NetSwitch::NetSwitch(NodeId id, LocalClock clock, int n_ports,
       fifo_merge_(fifo_merge), vbr_matcher_(std::move(vbr_matcher)),
       cbr_(n_ports, frame_slots),
       in_links_(static_cast<size_t>(n_ports), nullptr),
-      out_links_(static_cast<size_t>(n_ports), nullptr)
+      out_links_(static_cast<size_t>(n_ports), nullptr),
+      in_busy_(static_cast<size_t>(n_ports), 0),
+      out_busy_(static_cast<size_t>(n_ports), 0), req_(n_ports),
+      match_(n_ports)
 {
     AN2_REQUIRE(n_ports > 0, "switch needs at least one port");
     AN2_REQUIRE(frame_slots > 0, "frame must be non-empty");
@@ -59,7 +62,7 @@ NetSwitch::addRoute(FlowId flow, PortId in_port, PortId out_port,
 {
     checkPort(in_port);
     checkPort(out_port);
-    AN2_REQUIRE(routes_.find(flow) == routes_.end(),
+    AN2_REQUIRE(!routes_.contains(flow),
                 "flow " << flow << " already routed through this switch");
     if (cls == TrafficClass::CBR) {
         if (!cbr_.addReservation(in_port, out_port, cells_per_frame))
@@ -68,6 +71,35 @@ NetSwitch::addRoute(FlowId flow, PortId in_port, PortId out_port,
     routes_[flow] = {out_port, cls,
                      cls == TrafficClass::CBR ? cells_per_frame : 0};
     return true;
+}
+
+void
+NetSwitch::updateRoute(FlowId flow, PortId out_port)
+{
+    checkPort(out_port);
+    Route* route = routes_.get(flow);
+    AN2_REQUIRE(route != nullptr,
+                "flow " << flow << " not routed through this switch");
+    AN2_REQUIRE(route->cls == TrafficClass::VBR,
+                "CBR flow " << flow << " is pinned to its reservation");
+    AN2_REQUIRE(!fifo_merge_,
+                "cannot reroute flows inside FIFO-merged buffers");
+    if (route->out_port == out_port)
+        return;
+    route->out_port = out_port;
+    // Cells already buffered follow the new route too; the flow lives in
+    // at most one input buffer, the rest are hash-miss no-ops.
+    for (auto& buf : vbr_bufs_)
+        buf.rebindFlow(flow, out_port);
+}
+
+PortId
+NetSwitch::routeOutPort(FlowId flow) const
+{
+    const Route* route = routes_.get(flow);
+    AN2_REQUIRE(route != nullptr,
+                "flow " << flow << " not routed through this switch");
+    return route->out_port;
 }
 
 void
@@ -96,14 +128,16 @@ NetSwitch::acceptArrivals(PicoTime now)
         NetLink* link = in_links_[static_cast<size_t>(p)];
         if (link == nullptr)
             continue;
-        for (Cell c : link->deliverUpTo(now)) {
-            auto it = routes_.find(c.flow);
-            AN2_REQUIRE(it != routes_.end(),
+        arrivals_.clear();
+        link->deliverInto(now, arrivals_);
+        for (Cell c : arrivals_) {
+            const Route* route = routes_.get(c.flow);
+            AN2_REQUIRE(route != nullptr,
                         "cell of unrouted flow " << c.flow << " at switch "
                                                  << id_);
             c.input = p;
-            c.output = it->second.out_port;
-            if (it->second.cls == TrafficClass::CBR) {
+            c.output = route->out_port;
+            if (route->cls == TrafficClass::CBR) {
                 cbr_bufs_[static_cast<size_t>(p)].enqueue(c);
                 noteOccupancy(c, +1);
                 auto& peak =
@@ -156,8 +190,8 @@ NetSwitch::tick()
         clock_.slotStart((slot / frame_slots_ + 1) * frame_slots_);
 
     // Phase 1: CBR cells ride their scheduled pairings.
-    std::vector<bool> in_busy(static_cast<size_t>(n_ports_), false);
-    std::vector<bool> out_busy(static_cast<size_t>(n_ports_), false);
+    std::fill(in_busy_.begin(), in_busy_.end(), uint8_t{0});
+    std::fill(out_busy_.begin(), out_busy_.end(), uint8_t{0});
     const FrameSchedule& sched = cbr_.schedule();
     for (PortId i = 0; i < n_ports_; ++i) {
         PortId j = sched.outputAt(fs, i);
@@ -169,40 +203,43 @@ NetSwitch::tick()
         Cell c = buf.dequeueFor(j);
         noteOccupancy(c, -1);
         // Appendix B active-frame accounting for the flow's class 0.
-        auto route = routes_.find(c.flow);
-        if (route != routes_.end() && route->second.cells_per_frame > 0 &&
-            c.seq % route->second.cells_per_frame == 0)
+        const Route* route = routes_.get(c.flow);
+        if (route != nullptr && route->cells_per_frame > 0 &&
+            c.seq % route->cells_per_frame == 0)
             active_this_frame_[c.flow] = true;
         c.frame_end_ps = frame_end;
         ++c.hops;
         AN2_ASSERT(out_links_[static_cast<size_t>(j)] != nullptr,
                    "scheduled output " << j << " has no link");
         out_links_[static_cast<size_t>(j)]->send(c, now);
-        in_busy[static_cast<size_t>(i)] = true;
-        out_busy[static_cast<size_t>(j)] = true;
+        in_busy_[static_cast<size_t>(i)] = 1;
+        out_busy_[static_cast<size_t>(j)] = 1;
         ++cbr_forwarded_;
     }
 
     // Phase 2: VBR matching over the remaining ports.
-    RequestMatrix req(n_ports_);
+    req_.clear();
     for (PortId i = 0; i < n_ports_; ++i) {
-        if (in_busy[static_cast<size_t>(i)])
+        if (in_busy_[static_cast<size_t>(i)])
             continue;
         const auto& buf = vbr_bufs_[static_cast<size_t>(i)];
         if (buf.totalCells() == 0)
             continue;
         for (PortId j = 0; j < n_ports_; ++j) {
-            if (out_busy[static_cast<size_t>(j)] ||
+            if (out_busy_[static_cast<size_t>(j)] ||
                 out_links_[static_cast<size_t>(j)] == nullptr)
                 continue;
             int count = buf.cellCountFor(j);
             if (count > 0)
-                req.set(i, j, count);
+                req_.set(i, j, count);
         }
     }
-    Matching m = vbr_matcher_->match(req);
-    AN2_ASSERT(m.isLegalFor(req), "matcher returned illegal match");
-    for (auto [i, j] : m.pairs()) {
+    vbr_matcher_->matchInto(req_, match_);
+    AN2_ASSERT(match_.isLegalFor(req_), "matcher returned illegal match");
+    for (PortId i = 0; i < n_ports_; ++i) {
+        PortId j = match_.outputOf(i);
+        if (j == kNoPort)
+            continue;
         Cell c = vbr_bufs_[static_cast<size_t>(i)].dequeueFor(j);
         c.frame_end_ps = frame_end;
         ++c.hops;

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "an2/base/flat_map.h"
 #include "an2/cbr/slepian_duguid.h"
 #include "an2/matching/matcher.h"
 #include "an2/network/node.h"
@@ -77,6 +78,21 @@ class NetSwitch final : public NetNode
     bool addRoute(FlowId flow, PortId in_port, PortId out_port,
                   TrafficClass cls, int cells_per_frame);
 
+    /**
+     * Repoint an installed VBR route at a different output port (ECMP
+     * failover after a link fault). Cells already buffered keep their
+     * original output — they drain, or are lost if that link is down —
+     * while cells arriving after the update take the new port. Fatal for
+     * unknown flows and for CBR routes (reservations are pinned).
+     */
+    void updateRoute(FlowId flow, PortId out_port);
+
+    /** True when `flow` is routed through this switch. */
+    bool hasRoute(FlowId flow) const { return routes_.contains(flow); }
+
+    /** Output port a flow is currently routed to; fatal if unrouted. */
+    PortId routeOutPort(FlowId flow) const;
+
     void tick() override;
 
     /**
@@ -104,9 +120,9 @@ class NetSwitch final : public NetNode
   private:
     struct Route
     {
-        PortId out_port;
-        TrafficClass cls;
-        int cells_per_frame;  ///< CBR reservation (0 for VBR)
+        PortId out_port = kNoPort;
+        TrafficClass cls = TrafficClass::VBR;
+        int cells_per_frame = 0;  ///< CBR reservation (0 for VBR)
     };
 
     void checkPort(PortId p) const;
@@ -126,7 +142,8 @@ class NetSwitch final : public NetNode
     std::vector<NetLink*> out_links_;
     std::vector<InputBuffer> cbr_bufs_;
     std::vector<InputBuffer> vbr_bufs_;
-    std::map<FlowId, Route> routes_;
+    /** Flow -> route, looked up per arriving cell (O(1), no tree walk). */
+    FlatMap<Route> routes_;
     std::map<FlowId, int> flow_occupancy_;
     /** Per-flow activity in the current frame / current run length. */
     std::map<FlowId, bool> active_this_frame_;
@@ -136,6 +153,12 @@ class NetSwitch final : public NetNode
     int64_t vbr_dropped_ = 0;
     int64_t cbr_forwarded_ = 0;
     int64_t vbr_forwarded_ = 0;
+    // Per-tick scratch, persistent so the slot loop never allocates.
+    std::vector<Cell> arrivals_;
+    std::vector<uint8_t> in_busy_;
+    std::vector<uint8_t> out_busy_;
+    RequestMatrix req_;
+    Matching match_;
 };
 
 }  // namespace an2

@@ -79,7 +79,7 @@ Network::netSwitch(NodeId id) const
     return const_cast<Network*>(this)->netSwitch(id);
 }
 
-void
+int
 Network::connect(NodeId from, PortId from_port, NodeId to, PortId to_port,
                  PicoTime latency_ps)
 {
@@ -99,26 +99,64 @@ Network::connect(NodeId from, PortId from_port, NodeId to, PortId to_port,
         AN2_REQUIRE(to_port == 0, "controllers have a single port 0");
         controller(to).setInLink(raw);
     }
+    int index = static_cast<int>(edges_.size());
     edges_.push_back({from, from_port, to, to_port, std::move(link)});
+    auto [it, inserted] = edge_index_.try_emplace(edgeKey(from, to), index);
+    if (!inserted)
+        it->second = kAmbiguousEdge;  // parallel links; lookups are fatal
     LinkId lid = admission_.addLink();
-    AN2_ASSERT(lid == static_cast<LinkId>(edges_.size()) - 1,
+    AN2_ASSERT(lid == static_cast<LinkId>(index),
                "edge/admission link id mismatch");
+    return index;
+}
+
+int
+Network::linkIndexBetween(NodeId from, NodeId to) const
+{
+    auto it = edge_index_.find(edgeKey(from, to));
+    if (it == edge_index_.end())
+        return -1;
+    AN2_REQUIRE(it->second != kAmbiguousEdge,
+                "multiple links from " << from << " to " << to
+                                       << "; path is ambiguous");
+    return it->second;
 }
 
 int
 Network::findEdge(NodeId from, NodeId to) const
 {
-    int found = -1;
-    for (size_t e = 0; e < edges_.size(); ++e) {
-        if (edges_[e].from == from && edges_[e].to == to) {
-            AN2_REQUIRE(found < 0,
-                        "multiple links from " << from << " to " << to
-                                               << "; path is ambiguous");
-            found = static_cast<int>(e);
-        }
-    }
+    int found = linkIndexBetween(from, to);
     AN2_REQUIRE(found >= 0, "no link from " << from << " to " << to);
     return found;
+}
+
+NetLink&
+Network::linkAt(int link)
+{
+    AN2_REQUIRE(link >= 0 && link < numLinks(),
+                "unknown link index " << link);
+    return *edges_[static_cast<size_t>(link)].link;
+}
+
+const NetLink&
+Network::linkAt(int link) const
+{
+    return const_cast<Network*>(this)->linkAt(link);
+}
+
+Network::LinkEnds
+Network::linkEnds(int link) const
+{
+    AN2_REQUIRE(link >= 0 && link < numLinks(),
+                "unknown link index " << link);
+    const Edge& e = edges_[static_cast<size_t>(link)];
+    return {e.from, e.from_port, e.to, e.to_port};
+}
+
+void
+Network::setLinkUpByIndex(int link, bool up)
+{
+    linkAt(link).setUp(up);
 }
 
 void

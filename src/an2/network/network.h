@@ -8,6 +8,7 @@
 #define AN2_NETWORK_NETWORK_H
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "an2/base/types.h"
@@ -67,9 +68,11 @@ class Network
     /**
      * Create a directed link from `from`'s output port to `to`'s input
      * port. Controller ports must be 0.
+     * @return the link index (dense, in connect order; also the
+     *         admission-control LinkId and the FaultPlan link target).
      */
-    void connect(NodeId from, PortId from_port, NodeId to, PortId to_port,
-                 PicoTime latency_ps);
+    int connect(NodeId from, PortId from_port, NodeId to, PortId to_port,
+                PicoTime latency_ps);
 
     /**
      * Reserve and route a CBR flow of k cells/frame along `path`
@@ -104,6 +107,51 @@ class Network
     NetSwitch& netSwitch(NodeId id);
     const NetSwitch& netSwitch(NodeId id) const;
 
+    // ---- engine access (the sharded engine and the topo layer) --------
+
+    /** Number of nodes. */
+    int numNodes() const { return static_cast<int>(nodes_.size()); }
+
+    /** Number of directed links. */
+    int numLinks() const { return static_cast<int>(edges_.size()); }
+
+    /** True when node `id` is a switch (else a controller). */
+    bool isSwitchNode(NodeId id) const
+    {
+        return is_switch_[static_cast<size_t>(id)];
+    }
+
+    /** Untyped node access (ticking by an external engine). */
+    NetNode& nodeAt(NodeId id) { return node(id); }
+
+    /** Link access by dense link index. */
+    NetLink& linkAt(int link);
+    const NetLink& linkAt(int link) const;
+
+    /** Endpoints and ports of a link, by dense link index. */
+    struct LinkEnds
+    {
+        NodeId from;
+        PortId from_port;
+        NodeId to;
+        PortId to_port;
+    };
+    LinkEnds linkEnds(int link) const;
+
+    /**
+     * Index of the unique link from `from` to `to`, or -1 when absent;
+     * fatal when multiple parallel links make the pair ambiguous. O(1)
+     * via the (from, to) hash index.
+     */
+    int linkIndexBetween(NodeId from, NodeId to) const;
+
+    /** Take a link up or down by dense index (fault-plan targets). */
+    void setLinkUpByIndex(int link, bool up);
+
+    /** The id the next successfully admitted flow will get (the topo
+        layer hashes it for ECMP before creating the flow). */
+    FlowId nextFlowId() const { return next_flow_; }
+
     const NetworkConfig& config() const { return config_; }
 
     /** Controller frame length (switch frame + padding). */
@@ -127,10 +175,23 @@ class Network
 
     NetNode& node(NodeId id);
 
+    /** Hash key of a directed (from, to) node pair. */
+    static uint64_t edgeKey(NodeId from, NodeId to)
+    {
+        return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+               static_cast<uint32_t>(to);
+    }
+
+    /** edge_index_ value marking parallel links between the same pair. */
+    static constexpr int kAmbiguousEdge = -2;
+
     NetworkConfig config_;
     std::vector<std::unique_ptr<NetNode>> nodes_;
     std::vector<bool> is_switch_;
     std::vector<Edge> edges_;
+    /** (from, to) -> edge index; fault sweeps over large topologies hit
+        this on every event, so lookups are O(1), not a scan. */
+    std::unordered_map<uint64_t, int> edge_index_;
     AdmissionController admission_;
     FlowId next_flow_ = 0;
 };

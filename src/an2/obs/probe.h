@@ -75,6 +75,12 @@ enum class Counter : int {
     CbrReservationsRevoked,
     /** CBR reservations re-placed after port revivals. */
     CbrReservationsRebooked,
+    /** ECMP route computations (topo::Router::path calls). */
+    RouteLookups,
+    /** Flows re-pathed around a dead link (ECMP failover). */
+    EcmpReroutes,
+    /** Conservative windows executed by the sharded network engine. */
+    ShardWindows,
     kCount,
 };
 

@@ -51,6 +51,9 @@ counterName(Counter c)
           return "cbr_reservations_revoked";
       case Counter::CbrReservationsRebooked:
           return "cbr_reservations_rebooked";
+      case Counter::RouteLookups:         return "route_lookups";
+      case Counter::EcmpReroutes:         return "ecmp_reroutes";
+      case Counter::ShardWindows:         return "shard_windows";
       case Counter::kCount:               break;
     }
     return "unknown";

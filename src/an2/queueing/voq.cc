@@ -119,6 +119,53 @@ InputBuffer::flowHasCell(FlowId f) const
     return it != flows_.end() && !it->second.cells.empty();
 }
 
+void
+InputBuffer::rebindFlow(FlowId f, PortId new_output)
+{
+    AN2_REQUIRE(new_output >= 0 && new_output < n_outputs_,
+                "rebind to invalid output " << new_output);
+    auto it = flows_.find(f);
+    if (it == flows_.end())
+        return;
+    PerFlow& st = it->second;
+    if (st.output == kNoPort || st.output == new_output)
+        return;
+    PortId old = st.output;
+
+    // Drop the flow's seat in the old eligible list (stale entries from
+    // dequeueFlow() included); the rotation keeps the others in order.
+    if (st.eligible_listed) {
+        RingQueue<FlowId>& list = eligible_[static_cast<size_t>(old)];
+        for (size_t i = 0, sz = list.size(); i < sz; ++i) {
+            FlowId x = list.front();
+            list.pop_front();
+            if (x != f)
+                list.push_back(x);
+        }
+        st.eligible_listed = false;
+    }
+
+    auto n = static_cast<int>(st.cells.size());
+    if (n == 0) {
+        st.output = kNoPort;  // next enqueue binds fresh
+        return;
+    }
+    // Retag queued cells in place; a full rotation keeps FIFO order.
+    for (int i = 0; i < n; ++i) {
+        Cell c = st.cells.front();
+        st.cells.pop_front();
+        c.output = new_output;
+        st.cells.push_back(c);
+    }
+    if ((cells_per_output_[static_cast<size_t>(old)] -= n) == 0)
+        wordset::clearBit(occ_.data(), old);
+    if ((cells_per_output_[static_cast<size_t>(new_output)] += n) == n)
+        wordset::setBit(occ_.data(), new_output);
+    st.output = new_output;
+    eligible_[static_cast<size_t>(new_output)].push_back(f);
+    st.eligible_listed = true;
+}
+
 Cell
 InputBuffer::dequeueFlow(FlowId f)
 {

@@ -16,7 +16,6 @@
 #define AN2_QUEUEING_VOQ_H
 
 #include <cstdint>
-#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -87,10 +86,20 @@ class InputBuffer
      */
     Cell dequeueFlow(FlowId f);
 
+    /**
+     * Repoint a flow at a new output (VBR rerouting). Queued cells are
+     * retagged in FIFO order and the per-output counts, occupancy bits,
+     * and eligible lists move with them; a no-op when the flow has no
+     * state here or is already bound to `new_output`.
+     */
+    void rebindFlow(FlowId f, PortId new_output);
+
   private:
     struct PerFlow
     {
-        std::deque<Cell> cells;
+        /** Per-flow FIFO; a ring so steady-state churn never allocates
+            (std::deque slides through 512-byte blocks as it rotates). */
+        RingQueue<Cell> cells;
         bool eligible_listed = false;  ///< present in an eligible list
         PortId output = kNoPort;       ///< the flow's routed output
     };

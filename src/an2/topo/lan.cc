@@ -1,0 +1,370 @@
+#include "an2/topo/lan.h"
+
+#include <algorithm>
+
+#include "an2/base/error.h"
+#include "an2/base/rng.h"
+#include "an2/obs/probe.h"
+#include "an2/obs/recorder.h"
+
+namespace an2::topo {
+
+namespace {
+
+/** Independent seed stream `stream` for node `n` under `seed`. */
+uint64_t
+nodeSeed(uint64_t seed, NodeId n, uint64_t stream)
+{
+    uint64_t s = seed + UINT64_C(0x9e3779b97f4a7c15) * (stream + 1);
+    splitmix64(s);
+    s ^= static_cast<uint64_t>(static_cast<uint32_t>(n));
+    return splitmix64(s);
+}
+
+}  // namespace
+
+Lan::Lan(const Topology& topo, LanConfig config)
+    : topo_(topo), config_(std::move(config)), net_(config_.net),
+      router_(topo_)
+{
+    AN2_REQUIRE(config_.matcher != nullptr, "LanConfig needs a matcher");
+    AN2_REQUIRE(config_.max_clock_error >= 0.0,
+                "clock error must be non-negative");
+    AN2_REQUIRE(topo_.numHosts() >= 2,
+                "a LAN needs at least two hosts to talk");
+
+    // Nodes in topology order, so NodeId values coincide.
+    for (NodeId n = 0; n < topo_.numNodes(); ++n) {
+        double err = 0.0;
+        if (config_.max_clock_error > 0.0) {
+            uint64_t s = nodeSeed(config_.seed, n, 0);
+            double u = static_cast<double>(s >> 11) * 0x1.0p-53;
+            err = config_.max_clock_error * (2.0 * u - 1.0);
+        }
+        PicoTime phase = 0;
+        if (config_.phase_jitter) {
+            uint64_t s = nodeSeed(config_.seed, n, 1);
+            phase = static_cast<PicoTime>(
+                s % static_cast<uint64_t>(config_.net.slot_ps));
+        }
+        if (topo_.isHost(n)) {
+            NodeId id = net_.addController(err, nodeSeed(config_.seed, n, 2),
+                                           phase);
+            AN2_ASSERT(id == n, "node id mismatch");
+        } else {
+            int ports = topo_.degree(n);
+            AN2_REQUIRE(ports > 0, "switch " << n << " has no edges");
+            NodeId id = net_.addSwitch(
+                ports, err,
+                config_.matcher(ports, nodeSeed(config_.seed, n, 3)),
+                phase);
+            AN2_ASSERT(id == n, "node id mismatch");
+        }
+    }
+
+    // Ports follow adjacency order: the port a node uses for edge e is
+    // the rank of e in its adjacency list (hosts always use port 0).
+    std::vector<PortId> next_port(static_cast<size_t>(topo_.numNodes()), 0);
+    edge_links_.assign(2 * static_cast<size_t>(topo_.numEdges()), -1);
+    for (int e = 0; e < topo_.numEdges(); ++e) {
+        const TopoEdge& te = topo_.edge(e);
+        PortId pa = next_port[static_cast<size_t>(te.a)]++;
+        PortId pb = next_port[static_cast<size_t>(te.b)]++;
+        int ab = net_.connect(te.a, pa, te.b, pb, te.latency_ps);
+        int ba = net_.connect(te.b, pb, te.a, pa, te.latency_ps);
+        edge_links_[2 * static_cast<size_t>(e)] = ab;
+        edge_links_[2 * static_cast<size_t>(e) + 1] = ba;
+    }
+    link_edge_.assign(static_cast<size_t>(net_.numLinks()), EdgeDir{});
+    for (int e = 0; e < topo_.numEdges(); ++e) {
+        link_edge_[static_cast<size_t>(edge_links_[2 * static_cast<size_t>(
+            e)])] = {e, true};
+        link_edge_[static_cast<size_t>(
+            edge_links_[2 * static_cast<size_t>(e) + 1])] = {e, false};
+    }
+}
+
+void
+Lan::checkHost(NodeId n) const
+{
+    AN2_REQUIRE(n >= 0 && n < topo_.numNodes() && topo_.isHost(n),
+                "node " << n << " is not a host");
+}
+
+int
+Lan::netLinkIndex(int e, bool a_to_b) const
+{
+    AN2_REQUIRE(e >= 0 && e < topo_.numEdges(), "unknown edge " << e);
+    return edge_links_[2 * static_cast<size_t>(e) + (a_to_b ? 0 : 1)];
+}
+
+FlowId
+Lan::addCbrFlow(NodeId src_host, NodeId dst_host, int cells_per_frame)
+{
+    checkHost(src_host);
+    checkHost(dst_host);
+    FlowId flow = net_.nextFlowId();
+    std::vector<NodeId> path = router_.path(src_host, dst_host, flow);
+    AN2_REQUIRE(!path.empty(), "no route from host " << src_host
+                                                     << " to " << dst_host);
+    FlowId got = net_.addCbrFlow(path, cells_per_frame);
+    if (got == kNoFlow)
+        return kNoFlow;
+    AN2_ASSERT(got == flow, "flow id drifted from nextFlowId()");
+    flows_.push_back({src_host, dst_host, TrafficClass::CBR,
+                      std::move(path)});
+    return flow;
+}
+
+FlowId
+Lan::addVbrFlow(NodeId src_host, NodeId dst_host, double rate)
+{
+    checkHost(src_host);
+    checkHost(dst_host);
+    FlowId flow = net_.nextFlowId();
+    std::vector<NodeId> path = router_.path(src_host, dst_host, flow);
+    AN2_REQUIRE(!path.empty(), "no route from host " << src_host
+                                                     << " to " << dst_host);
+    FlowId got = net_.addVbrFlow(path, rate);
+    AN2_ASSERT(got == flow, "flow id drifted from nextFlowId()");
+    flows_.push_back({src_host, dst_host, TrafficClass::VBR,
+                      std::move(path)});
+    return flow;
+}
+
+int
+Lan::placeMatrix(Pattern pattern, const TrafficSpec& spec, uint64_t seed,
+                 double hot_fraction, int servers)
+{
+    std::vector<NodeId> hosts = topo_.hosts();
+    const int h = static_cast<int>(hosts.size());
+    Xoshiro256 rng(seed);
+    int placed = 0;
+
+    auto place = [&](NodeId src, NodeId dst) {
+        if (src == dst)
+            return;
+        FlowId f = spec.cls == TrafficClass::CBR
+                       ? addCbrFlow(src, dst, spec.cbr_cells_per_frame)
+                       : addVbrFlow(src, dst, spec.vbr_rate);
+        if (f != kNoFlow)
+            ++placed;
+    };
+
+    switch (pattern) {
+      case Pattern::Uniform:
+        for (int i = 0; i < h; ++i) {
+            // Uniform among the other h-1 hosts.
+            auto pick = static_cast<int>(
+                rng.nextBelow(static_cast<uint64_t>(h - 1)));
+            if (pick >= i)
+                ++pick;
+            place(hosts[static_cast<size_t>(i)],
+                  hosts[static_cast<size_t>(pick)]);
+        }
+        break;
+
+      case Pattern::Hotspot: {
+        AN2_REQUIRE(hot_fraction >= 0.0 && hot_fraction <= 1.0,
+                    "hot fraction must be in [0, 1]");
+        auto hot = static_cast<int>(
+            rng.nextBelow(static_cast<uint64_t>(h)));
+        for (int i = 0; i < h; ++i) {
+            if (i == hot)
+                continue;
+            int dst;
+            if (rng.nextBernoulli(hot_fraction)) {
+                dst = hot;
+            } else {
+                dst = static_cast<int>(
+                    rng.nextBelow(static_cast<uint64_t>(h - 1)));
+                if (dst >= i)
+                    ++dst;
+            }
+            place(hosts[static_cast<size_t>(i)],
+                  hosts[static_cast<size_t>(dst)]);
+        }
+        break;
+      }
+
+      case Pattern::ClientServer: {
+        AN2_REQUIRE(servers >= 1 && servers < h,
+                    "need 1 <= servers < hosts");
+        // Clients spread over the servers round-robin; each server
+        // answers one random client (the reply direction).
+        for (int i = servers; i < h; ++i)
+            place(hosts[static_cast<size_t>(i)],
+                  hosts[static_cast<size_t>((i - servers) % servers)]);
+        for (int s = 0; s < servers; ++s) {
+            auto c = static_cast<int>(rng.nextBelow(
+                static_cast<uint64_t>(h - servers)));
+            place(hosts[static_cast<size_t>(s)],
+                  hosts[static_cast<size_t>(servers + c)]);
+        }
+        break;
+      }
+    }
+    return placed;
+}
+
+void
+Lan::scheduleFaults(const fault::FaultPlan& plan)
+{
+    AN2_REQUIRE(!plan.probabilistic(),
+                "network fault plans support scripted link events only");
+    for (const fault::FaultEvent& ev : plan.events) {
+        AN2_REQUIRE(ev.kind == fault::FaultKind::LinkDown ||
+                        ev.kind == fault::FaultKind::LinkUp,
+                    "network fault plans support link events only (got "
+                        << fault::faultKindName(ev.kind) << ")");
+        AN2_REQUIRE(ev.target >= 0 && ev.target < net_.numLinks(),
+                    "fault link target " << ev.target << " out of range");
+        fault_events_.push_back(ev);
+    }
+    std::stable_sort(fault_events_.begin(), fault_events_.end(),
+                     [](const fault::FaultEvent& x,
+                        const fault::FaultEvent& y) {
+                         return x.slot < y.slot;
+                     });
+    fault_cursor_ = 0;
+}
+
+void
+Lan::installVbrPath(FlowId flow, const std::vector<NodeId>& path)
+{
+    for (size_t k = 1; k + 1 < path.size(); ++k) {
+        int in_link = net_.linkIndexBetween(path[k - 1], path[k]);
+        int out_link = net_.linkIndexBetween(path[k], path[k + 1]);
+        AN2_ASSERT(in_link >= 0 && out_link >= 0,
+                   "rerouted path uses a nonexistent link");
+        PortId in_port = net_.linkEnds(in_link).to_port;
+        PortId out_port = net_.linkEnds(out_link).from_port;
+        NetSwitch& sw = net_.netSwitch(path[k]);
+        if (sw.hasRoute(flow))
+            sw.updateRoute(flow, out_port);
+        else
+            sw.addRoute(flow, in_port, out_port, TrafficClass::VBR, 0);
+    }
+}
+
+void
+Lan::applyFault(const fault::FaultEvent& ev)
+{
+    const bool up = ev.kind == fault::FaultKind::LinkUp;
+    net_.setLinkUpByIndex(ev.target, up);
+    const EdgeDir& ed = link_edge_[static_cast<size_t>(ev.target)];
+    router_.setEdgeDirAlive(ed.edge, ed.a_to_b, up);
+    obs::count(obs::Counter::FaultEvents);
+    if (up)
+        return;  // revived links serve future (re)routes only
+
+    // Deterministic ECMP failover: every VBR flow whose current path
+    // crosses the dead directed link re-paths, in flow-id order.
+    for (FlowId f = 0; f < static_cast<FlowId>(flows_.size()); ++f) {
+        FlowRecord& rec = flows_[static_cast<size_t>(f)];
+        if (rec.cls != TrafficClass::VBR)
+            continue;  // CBR reservations are pinned
+        bool crosses = false;
+        for (size_t k = 0; !crosses && k + 1 < rec.path.size(); ++k)
+            crosses = net_.linkIndexBetween(rec.path[k], rec.path[k + 1]) ==
+                      ev.target;
+        if (!crosses)
+            continue;
+        std::vector<NodeId> fresh = router_.path(rec.src, rec.dst, f);
+        if (fresh.empty()) {
+            ++unroutable_;  // blackholed until something revives
+            continue;
+        }
+        installVbrPath(f, fresh);
+        rec.path = std::move(fresh);
+        ++reroutes_;
+        obs::count(obs::Counter::EcmpReroutes);
+    }
+}
+
+void
+Lan::runSegment(PicoTime until_ps, int threads)
+{
+    if (threads <= 1) {
+        net_.run(until_ps);
+        return;
+    }
+    if (!engine_ || engine_threads_ != threads) {
+        engine_ = std::make_unique<ParallelNet>(net_, threads);
+        engine_threads_ = threads;
+    }
+    engine_->run(until_ps);
+}
+
+void
+Lan::run(PicoTime until_ps, int threads)
+{
+    while (fault_cursor_ < fault_events_.size()) {
+        const fault::FaultEvent& ev = fault_events_[fault_cursor_];
+        PicoTime t = ev.slot * config_.net.slot_ps;
+        if (t > until_ps)
+            break;
+        runSegment(t, threads);
+        applyFault(ev);
+        ++fault_cursor_;
+    }
+    runSegment(until_ps, threads);
+}
+
+void
+Lan::runFrames(int64_t frames, int threads)
+{
+    AN2_REQUIRE(frames > 0, "must run at least one frame");
+    run(frames * config_.net.switch_frame_slots * config_.net.slot_ps,
+        threads);
+}
+
+LanStats
+Lan::stats() const
+{
+    LanStats out;
+    out.reroutes = reroutes_;
+    out.unroutable = unroutable_;
+    double wall_sum = 0.0;
+    double adj_sum = 0.0;
+    for (NodeId n = 0; n < topo_.numNodes(); ++n) {
+        if (topo_.isHost(n)) {
+            const Controller& c = net_.controller(n);
+            for (const auto& [flow, st] : c.allDeliveryStats()) {
+                out.delivered += st.delivered;
+                out.order_violations += st.order_violations;
+                wall_sum += st.wall_latency_ps.sum();
+                adj_sum += st.adjusted_latency_ps.sum();
+            }
+        } else {
+            const NetSwitch& sw = net_.netSwitch(n);
+            out.cbr_forwarded += sw.cbrForwarded();
+            out.vbr_forwarded += sw.vbrForwarded();
+            out.vbr_dropped += sw.vbrDropped();
+        }
+    }
+    for (FlowId f = 0; f < static_cast<FlowId>(flows_.size()); ++f) {
+        const FlowRecord& rec = flows_[static_cast<size_t>(f)];
+        out.injected +=
+            net_.controller(rec.src).injectedCells(f);
+    }
+    for (int l = 0; l < net_.numLinks(); ++l)
+        out.link_lost += net_.linkAt(l).cellsLost();
+    if (out.delivered > 0) {
+        out.mean_wall_latency_ps =
+            wall_sum / static_cast<double>(out.delivered);
+        out.mean_adjusted_latency_ps =
+            adj_sum / static_cast<double>(out.delivered);
+    }
+    return out;
+}
+
+const std::vector<NodeId>&
+Lan::flowPath(FlowId flow) const
+{
+    AN2_REQUIRE(flow >= 0 && flow < static_cast<FlowId>(flows_.size()),
+                "unknown flow " << flow);
+    return flows_[static_cast<size_t>(flow)].path;
+}
+
+}  // namespace an2::topo

@@ -1,0 +1,272 @@
+#include "an2/topo/topology.h"
+
+#include <set>
+#include <utility>
+
+#include "an2/base/error.h"
+#include "an2/base/rng.h"
+
+namespace an2::topo {
+
+NodeId
+Topology::addNode(NodeKind kind)
+{
+    auto id = static_cast<NodeId>(kind_.size());
+    kind_.push_back(kind);
+    adj_.emplace_back();
+    if (kind == NodeKind::Host)
+        ++n_hosts_;
+    return id;
+}
+
+void
+Topology::checkNode(NodeId n) const
+{
+    AN2_REQUIRE(n >= 0 && n < numNodes(), "unknown node " << n);
+}
+
+int
+Topology::link(NodeId a, NodeId b, PicoTime latency_ps)
+{
+    checkNode(a);
+    checkNode(b);
+    AN2_REQUIRE(a != b, "self-edge at node " << a);
+    AN2_REQUIRE(latency_ps > 0, "edge latency must be positive");
+    for (const Neighbor& nb : adj_[static_cast<size_t>(a)])
+        AN2_REQUIRE(nb.node != b,
+                    "duplicate edge between " << a << " and " << b);
+    AN2_REQUIRE(kind_[static_cast<size_t>(a)] != NodeKind::Host ||
+                    adj_[static_cast<size_t>(a)].empty(),
+                "host " << a << " already attached");
+    AN2_REQUIRE(kind_[static_cast<size_t>(b)] != NodeKind::Host ||
+                    adj_[static_cast<size_t>(b)].empty(),
+                "host " << b << " already attached");
+    int e = static_cast<int>(edges_.size());
+    edges_.push_back({a, b, latency_ps});
+    adj_[static_cast<size_t>(a)].push_back({b, e});
+    adj_[static_cast<size_t>(b)].push_back({a, e});
+    return e;
+}
+
+NodeKind
+Topology::kind(NodeId n) const
+{
+    checkNode(n);
+    return kind_[static_cast<size_t>(n)];
+}
+
+const TopoEdge&
+Topology::edge(int e) const
+{
+    AN2_REQUIRE(e >= 0 && e < numEdges(), "unknown edge " << e);
+    return edges_[static_cast<size_t>(e)];
+}
+
+const std::vector<Neighbor>&
+Topology::neighbors(NodeId n) const
+{
+    checkNode(n);
+    return adj_[static_cast<size_t>(n)];
+}
+
+std::vector<NodeId>
+Topology::hosts() const
+{
+    std::vector<NodeId> out;
+    out.reserve(static_cast<size_t>(n_hosts_));
+    for (NodeId n = 0; n < numNodes(); ++n)
+        if (kind_[static_cast<size_t>(n)] == NodeKind::Host)
+            out.push_back(n);
+    return out;
+}
+
+NodeId
+Topology::hostSwitch(NodeId host) const
+{
+    AN2_REQUIRE(isHost(host), "node " << host << " is not a host");
+    const auto& nb = adj_[static_cast<size_t>(host)];
+    AN2_REQUIRE(nb.size() == 1, "host " << host << " is unattached");
+    return nb[0].node;
+}
+
+PicoTime
+Topology::minLatency() const
+{
+    AN2_REQUIRE(!edges_.empty(), "topology has no edges");
+    PicoTime lo = edges_[0].latency_ps;
+    for (const TopoEdge& e : edges_)
+        lo = std::min(lo, e.latency_ps);
+    return lo;
+}
+
+// ---- generators -----------------------------------------------------------
+
+Topology
+Topology::star(int leaves, int hosts_per_leaf, Latencies lat)
+{
+    AN2_REQUIRE(leaves >= 1 && hosts_per_leaf >= 1,
+                "star needs at least one leaf and one host per leaf");
+    Topology t("star(" + std::to_string(leaves) + "x" +
+               std::to_string(hosts_per_leaf) + ")");
+    NodeId core = t.addNode(NodeKind::Switch);
+    std::vector<NodeId> leaf_ids;
+    leaf_ids.reserve(static_cast<size_t>(leaves));
+    for (int s = 0; s < leaves; ++s) {
+        NodeId leaf = t.addNode(NodeKind::Switch);
+        t.link(leaf, core, lat.trunk_ps);
+        leaf_ids.push_back(leaf);
+    }
+    for (NodeId leaf : leaf_ids)
+        for (int h = 0; h < hosts_per_leaf; ++h)
+            t.link(t.addNode(NodeKind::Host), leaf, lat.host_ps);
+    return t;
+}
+
+Topology
+Topology::fatTree(int k, int hosts_per_edge, Latencies lat)
+{
+    AN2_REQUIRE(k >= 2 && k % 2 == 0, "fat-tree arity must be even");
+    AN2_REQUIRE(hosts_per_edge >= 1, "need at least one host per edge");
+    const int half = k / 2;
+    Topology t("fat-tree(k=" + std::to_string(k) + ",h=" +
+               std::to_string(hosts_per_edge) + ")");
+
+    // Core switches first, then per pod: aggregation, then edge.
+    std::vector<NodeId> core;
+    core.reserve(static_cast<size_t>(half * half));
+    for (int c = 0; c < half * half; ++c)
+        core.push_back(t.addNode(NodeKind::Switch));
+
+    std::vector<NodeId> edge_switches;
+    for (int pod = 0; pod < k; ++pod) {
+        std::vector<NodeId> agg;
+        agg.reserve(static_cast<size_t>(half));
+        for (int j = 0; j < half; ++j)
+            agg.push_back(t.addNode(NodeKind::Switch));
+        for (int j = 0; j < half; ++j) {
+            NodeId e = t.addNode(NodeKind::Switch);
+            edge_switches.push_back(e);
+            for (int a = 0; a < half; ++a)
+                t.link(e, agg[static_cast<size_t>(a)], lat.trunk_ps);
+        }
+        // Aggregation switch j reaches core group j.
+        for (int j = 0; j < half; ++j)
+            for (int c = 0; c < half; ++c)
+                t.link(agg[static_cast<size_t>(j)],
+                       core[static_cast<size_t>(j * half + c)],
+                       lat.trunk_ps);
+    }
+    for (NodeId e : edge_switches)
+        for (int h = 0; h < hosts_per_edge; ++h)
+            t.link(t.addNode(NodeKind::Host), e, lat.host_ps);
+    return t;
+}
+
+Topology
+Topology::mesh(int rows, int cols, bool torus, int hosts_per_switch,
+               Latencies lat)
+{
+    AN2_REQUIRE(rows >= 1 && cols >= 1, "mesh needs positive dimensions");
+    if (torus)
+        AN2_REQUIRE(rows >= 3 && cols >= 3,
+                    "torus wraparound needs both dimensions >= 3");
+    AN2_REQUIRE(hosts_per_switch >= 0, "negative hosts per switch");
+    std::string name = torus ? "torus(" : "mesh(";
+    Topology t(name + std::to_string(rows) + "x" + std::to_string(cols) +
+               ",h=" + std::to_string(hosts_per_switch) + ")");
+
+    auto at = [cols](int r, int c) { return static_cast<NodeId>(r * cols + c); };
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            t.addNode(NodeKind::Switch);
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                t.link(at(r, c), at(r, c + 1), lat.trunk_ps);
+            else if (torus)
+                t.link(at(r, c), at(r, 0), lat.trunk_ps);
+            if (r + 1 < rows)
+                t.link(at(r, c), at(r + 1, c), lat.trunk_ps);
+            else if (torus)
+                t.link(at(r, c), at(0, c), lat.trunk_ps);
+        }
+    }
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            for (int h = 0; h < hosts_per_switch; ++h)
+                t.link(t.addNode(NodeKind::Host), at(r, c), lat.host_ps);
+    return t;
+}
+
+Topology
+Topology::ring(int switches, int hosts_per_switch, Latencies lat)
+{
+    AN2_REQUIRE(switches >= 3, "ring needs at least three switches");
+    AN2_REQUIRE(hosts_per_switch >= 0, "negative hosts per switch");
+    Topology t("ring(" + std::to_string(switches) + ",h=" +
+               std::to_string(hosts_per_switch) + ")");
+    for (int s = 0; s < switches; ++s)
+        t.addNode(NodeKind::Switch);
+    for (int s = 0; s < switches; ++s)
+        t.link(static_cast<NodeId>(s),
+               static_cast<NodeId>((s + 1) % switches), lat.trunk_ps);
+    for (int s = 0; s < switches; ++s)
+        for (int h = 0; h < hosts_per_switch; ++h)
+            t.link(t.addNode(NodeKind::Host), static_cast<NodeId>(s),
+                   lat.host_ps);
+    return t;
+}
+
+Topology
+Topology::randomRegular(int switches, int degree, int hosts_per_switch,
+                        uint64_t seed, Latencies lat)
+{
+    AN2_REQUIRE(switches >= 2 && degree >= 1 && degree < switches,
+                "d-regular graph needs 1 <= d < switches");
+    AN2_REQUIRE((static_cast<int64_t>(switches) * degree) % 2 == 0,
+                "switches * degree must be even");
+    AN2_REQUIRE(hosts_per_switch >= 0, "negative hosts per switch");
+    Topology t("random-regular(" + std::to_string(switches) + ",d=" +
+               std::to_string(degree) + ",h=" +
+               std::to_string(hosts_per_switch) + ")");
+    for (int s = 0; s < switches; ++s)
+        t.addNode(NodeKind::Switch);
+
+    // Pairing model: shuffle d stubs per switch, pair consecutively,
+    // resample whole shuffles until the pairing is simple. Expected
+    // O(e^(d^2/4)) attempts — constant for the small degrees used here.
+    Xoshiro256 rng(seed);
+    std::vector<NodeId> stubs;
+    stubs.reserve(static_cast<size_t>(switches) *
+                  static_cast<size_t>(degree));
+    for (int attempt = 0;; ++attempt) {
+        AN2_REQUIRE(attempt < 10'000,
+                    "pairing model failed to produce a simple "
+                        << degree << "-regular graph on " << switches
+                        << " switches");
+        stubs.clear();
+        for (int s = 0; s < switches; ++s)
+            for (int d = 0; d < degree; ++d)
+                stubs.push_back(static_cast<NodeId>(s));
+        rng.shuffle(stubs);
+        bool simple = true;
+        std::set<std::pair<NodeId, NodeId>> seen;
+        for (size_t i = 0; simple && i + 1 < stubs.size(); i += 2) {
+            NodeId a = std::min(stubs[i], stubs[i + 1]);
+            NodeId b = std::max(stubs[i], stubs[i + 1]);
+            simple = a != b && seen.emplace(a, b).second;
+        }
+        if (!simple)
+            continue;
+        for (size_t i = 0; i + 1 < stubs.size(); i += 2)
+            t.link(stubs[i], stubs[i + 1], lat.trunk_ps);
+        break;
+    }
+    for (int s = 0; s < switches; ++s)
+        for (int h = 0; h < hosts_per_switch; ++h)
+            t.link(t.addNode(NodeKind::Host), static_cast<NodeId>(s),
+                   lat.host_ps);
+    return t;
+}
+
+}  // namespace an2::topo

@@ -1,0 +1,159 @@
+/** Shortest-path, ECMP determinism, and failover properties of Router. */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "an2/base/error.h"
+#include "an2/topo/routing.h"
+#include "an2/topo/topology.h"
+
+using namespace an2;
+using namespace an2::topo;
+
+namespace {
+
+/** True when `path` walks existing edges from src to dst. */
+void
+expectValidPath(const Topology& t, const std::vector<NodeId>& path,
+                NodeId src, NodeId dst)
+{
+    ASSERT_GE(path.size(), 2u);
+    EXPECT_EQ(path.front(), src);
+    EXPECT_EQ(path.back(), dst);
+    for (size_t k = 0; k + 1 < path.size(); ++k) {
+        bool adjacent = false;
+        for (const Neighbor& nb : t.neighbors(path[k]))
+            adjacent = adjacent || nb.node == path[k + 1];
+        EXPECT_TRUE(adjacent) << path[k] << " -> " << path[k + 1];
+    }
+}
+
+}  // namespace
+
+TEST(RoutingTest, PathsAreShortest)
+{
+    Topology t = Topology::fatTree(4, 2);
+    Router r(t);
+    std::vector<NodeId> hosts = t.hosts();
+    for (size_t i = 0; i < hosts.size(); ++i) {
+        NodeId src = hosts[i];
+        NodeId dst = hosts[(i + 5) % hosts.size()];
+        if (src == dst)
+            continue;
+        auto flow = static_cast<FlowId>(i);
+        std::vector<NodeId> path = r.path(src, dst, flow);
+        expectValidPath(t, path, src, dst);
+        EXPECT_EQ(static_cast<int>(path.size()) - 1, r.distance(src, dst));
+        // Every step makes progress: d decreases by exactly one.
+        for (size_t k = 0; k + 1 < path.size(); ++k)
+            EXPECT_EQ(r.distance(path[k], dst),
+                      r.distance(path[k + 1], dst) + 1);
+    }
+}
+
+TEST(RoutingTest, DistanceBasics)
+{
+    Topology t = Topology::star(2, 1);  // core 0, leaves 1-2, hosts 3-4
+    Router r(t);
+    EXPECT_EQ(r.distance(3, 3), 0);
+    EXPECT_EQ(r.distance(3, 1), 1);
+    EXPECT_EQ(r.distance(3, 4), 4);  // host-leaf-core-leaf-host
+}
+
+TEST(RoutingTest, EcmpPickIsAPureFunction)
+{
+    EXPECT_EQ(Router::ecmpPick(7, 3, 5), Router::ecmpPick(7, 3, 5));
+    EXPECT_LT(Router::ecmpPick(7, 3, 5), 5u);
+    EXPECT_EQ(Router::ecmpPick(0, 0, 1), 0u);
+    // The hash must actually discriminate flows and nodes.
+    std::set<size_t> picks;
+    for (FlowId f = 0; f < 64; ++f)
+        picks.insert(Router::ecmpPick(f, 3, 8));
+    EXPECT_EQ(picks.size(), 8u);
+}
+
+TEST(RoutingTest, EcmpDeterministicAcrossRouters)
+{
+    Topology t = Topology::fatTree(4, 1);
+    Router r1(t);
+    Router r2(t);
+    std::vector<NodeId> hosts = t.hosts();
+    for (FlowId f = 0; f < 32; ++f) {
+        NodeId src = hosts[static_cast<size_t>(f) % hosts.size()];
+        NodeId dst = hosts[(static_cast<size_t>(f) + 3) % hosts.size()];
+        EXPECT_EQ(r1.path(src, dst, f), r2.path(src, dst, f));
+    }
+}
+
+TEST(RoutingTest, EcmpSpreadsFlowsOverParallelPaths)
+{
+    // Hosts in different pods of a fat-tree have (k/2)^2 = 4 equal-cost
+    // paths; distinct flows should not all collapse onto one.
+    Topology t = Topology::fatTree(4, 1);
+    Router r(t);
+    std::vector<NodeId> hosts = t.hosts();
+    NodeId src = hosts.front();
+    NodeId dst = hosts.back();
+    std::set<std::vector<NodeId>> paths;
+    for (FlowId f = 0; f < 64; ++f)
+        paths.insert(r.path(src, dst, f));
+    EXPECT_GT(paths.size(), 1u);
+    for (const auto& p : paths)
+        EXPECT_EQ(static_cast<int>(p.size()) - 1, r.distance(src, dst));
+}
+
+TEST(RoutingTest, DeadEdgeReroutesDeterministically)
+{
+    Topology t = Topology::fatTree(4, 1);
+    Router r(t);
+    std::vector<NodeId> hosts = t.hosts();
+    NodeId src = hosts.front();
+    NodeId dst = hosts.back();
+    const FlowId flow = 11;
+    std::vector<NodeId> before = r.path(src, dst, flow);
+
+    // Kill the first trunk hop (edge switch -> aggregation) in the
+    // forward direction only.
+    NodeId u = before[1];
+    NodeId v = before[2];
+    int dead = -1;
+    bool a_to_b = true;
+    for (const Neighbor& nb : t.neighbors(u))
+        if (nb.node == v) {
+            dead = nb.edge;
+            a_to_b = t.edge(nb.edge).a == u;
+        }
+    ASSERT_GE(dead, 0);
+    r.setEdgeDirAlive(dead, a_to_b, false);
+    EXPECT_FALSE(r.edgeDirAlive(dead, a_to_b));
+    EXPECT_TRUE(r.edgeDirAlive(dead, !a_to_b));
+
+    std::vector<NodeId> after = r.path(src, dst, flow);
+    expectValidPath(t, after, src, dst);
+    for (size_t k = 0; k + 1 < after.size(); ++k)
+        EXPECT_FALSE(after[k] == u && after[k + 1] == v);
+    // Plenty of equal-cost alternatives exist, so the reroute keeps the
+    // hop count, and a second router with the same dead edge agrees.
+    EXPECT_EQ(after.size(), before.size());
+    Router r2(t);
+    r2.setEdgeDirAlive(dead, a_to_b, false);
+    EXPECT_EQ(r2.path(src, dst, flow), after);
+
+    // Reviving restores the original choice (pure function of state).
+    r.setEdgeDirAlive(dead, a_to_b, true);
+    EXPECT_EQ(r.path(src, dst, flow), before);
+}
+
+TEST(RoutingTest, UnreachableIsEmptyNotFatal)
+{
+    Topology t = Topology::star(2, 1);  // hosts 3 (leaf 1), 4 (leaf 2)
+    Router r(t);
+    // Sever the host 4 attachment in both directions.
+    int e = t.neighbors(4)[0].edge;
+    r.setEdgeDirAlive(e, true, false);
+    r.setEdgeDirAlive(e, false, false);
+    EXPECT_EQ(r.distance(3, 4), -1);
+    EXPECT_TRUE(r.path(3, 4, 0).empty());
+    EXPECT_THROW(r.path(3, 3, 0), UsageError);  // src == dst
+}

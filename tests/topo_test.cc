@@ -1,0 +1,168 @@
+/** Topology container rules and generator invariants. */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "an2/base/error.h"
+#include "an2/topo/topology.h"
+
+using namespace an2;
+using namespace an2::topo;
+
+namespace {
+
+/** Number of switch-to-switch edges. */
+int
+trunkEdges(const Topology& t)
+{
+    int n = 0;
+    for (int e = 0; e < t.numEdges(); ++e) {
+        const TopoEdge& te = t.edge(e);
+        if (!t.isHost(te.a) && !t.isHost(te.b))
+            ++n;
+    }
+    return n;
+}
+
+}  // namespace
+
+TEST(TopologyTest, BuildRules)
+{
+    Topology t("tiny");
+    NodeId s0 = t.addNode(NodeKind::Switch);
+    NodeId s1 = t.addNode(NodeKind::Switch);
+    NodeId h = t.addNode(NodeKind::Host);
+    EXPECT_EQ(t.link(s0, s1, 100), 0);
+    EXPECT_EQ(t.link(h, s0, 50), 1);
+
+    EXPECT_EQ(t.numNodes(), 3);
+    EXPECT_EQ(t.numHosts(), 1);
+    EXPECT_EQ(t.numSwitches(), 2);
+    EXPECT_EQ(t.hostSwitch(h), s0);
+    EXPECT_EQ(t.minLatency(), 50);
+    EXPECT_EQ(t.degree(s0), 2);
+    EXPECT_EQ(t.degree(h), 1);
+
+    EXPECT_THROW(t.link(s0, s0, 100), UsageError);       // self-edge
+    EXPECT_THROW(t.link(s1, s0, 100), UsageError);       // duplicate
+    EXPECT_THROW(t.link(h, s1, 100), UsageError);        // host re-attach
+    NodeId s2 = t.addNode(NodeKind::Switch);
+    EXPECT_THROW(t.link(s0, s2, 0), UsageError);         // zero latency
+    EXPECT_THROW(t.link(s0, static_cast<NodeId>(99), 1), UsageError);
+}
+
+TEST(TopologyTest, StarShape)
+{
+    Topology t = Topology::star(3, 4);
+    EXPECT_EQ(t.numSwitches(), 4);
+    EXPECT_EQ(t.numHosts(), 12);
+    EXPECT_EQ(t.numEdges(), 3 + 12);
+    // The core (node 0) sees every leaf; each leaf sees the core plus
+    // its hosts.
+    EXPECT_EQ(t.degree(0), 3);
+    for (NodeId leaf = 1; leaf <= 3; ++leaf)
+        EXPECT_EQ(t.degree(leaf), 1 + 4);
+    for (NodeId h : t.hosts())
+        EXPECT_FALSE(t.isHost(t.hostSwitch(h)));
+}
+
+TEST(TopologyTest, FatTreeShape)
+{
+    const int k = 4;
+    const int half = k / 2;
+    Topology t = Topology::fatTree(k, 2);
+
+    EXPECT_EQ(t.numSwitches(), half * half + k * k);  // core + k pods
+    EXPECT_EQ(t.numHosts(), k * half * 2);
+    // Core switches come first and connect to one aggregation switch
+    // per pod.
+    for (NodeId c = 0; c < half * half; ++c) {
+        EXPECT_EQ(t.degree(c), k);
+        std::set<NodeId> pods;
+        for (const Neighbor& nb : t.neighbors(c))
+            pods.insert((nb.node - half * half) / (2 * half));
+        EXPECT_EQ(static_cast<int>(pods.size()), k);
+    }
+    // Every non-core switch has exactly k ports: aggregation is half up
+    // + half down, edge is half up + hosts_per_edge=2 hosts.
+    for (NodeId s = half * half; s < t.numSwitches(); ++s)
+        EXPECT_EQ(t.degree(s), k);
+}
+
+TEST(TopologyTest, FatTreeBisection)
+{
+    // hosts_per_edge = k/2 is the full-bisection configuration: the
+    // core-layer capacity (k^3/4 trunks) equals the host count.
+    const int k = 4;
+    Topology t = Topology::fatTree(k, k / 2);
+    int core_edges = 0;
+    for (int e = 0; e < t.numEdges(); ++e)
+        if (t.edge(e).a < k * k / 4 || t.edge(e).b < k * k / 4)
+            ++core_edges;
+    EXPECT_EQ(core_edges, k * k * k / 4);
+    EXPECT_EQ(t.numHosts(), core_edges);
+}
+
+TEST(TopologyTest, TorusWraparound)
+{
+    Topology mesh = Topology::mesh(3, 4, false, 1);
+    Topology torus = Topology::mesh(3, 4, true, 1);
+
+    // Mesh: interior degrees vary; torus wraparound makes every switch
+    // exactly 4-connected.
+    EXPECT_EQ(trunkEdges(mesh), 3 * 3 + 2 * 4);
+    EXPECT_EQ(trunkEdges(torus), 2 * 3 * 4);
+    EXPECT_EQ(mesh.degree(0), 2 + 1);  // corner: right + down + host
+    for (NodeId s = 0; s < torus.numSwitches(); ++s)
+        EXPECT_EQ(torus.degree(s), 4 + 1);
+    EXPECT_THROW(Topology::mesh(2, 4, true, 1), UsageError);
+}
+
+TEST(TopologyTest, RingCycle)
+{
+    Topology t = Topology::ring(5, 2);
+    EXPECT_EQ(t.numSwitches(), 5);
+    EXPECT_EQ(t.numHosts(), 10);
+    EXPECT_EQ(trunkEdges(t), 5);
+    for (NodeId s = 0; s < 5; ++s)
+        EXPECT_EQ(t.degree(s), 2 + 2);
+    EXPECT_THROW(Topology::ring(2, 1), UsageError);
+}
+
+TEST(TopologyTest, RandomRegularIsRegularAndSimple)
+{
+    const int n = 12;
+    const int d = 3;
+    Topology t = Topology::randomRegular(n, d, 1, 42);
+    EXPECT_EQ(trunkEdges(t), n * d / 2);
+    std::set<std::pair<NodeId, NodeId>> seen;
+    for (int e = 0; e < trunkEdges(t); ++e) {
+        const TopoEdge& te = t.edge(e);
+        EXPECT_NE(te.a, te.b);
+        EXPECT_TRUE(seen.emplace(std::min(te.a, te.b),
+                                 std::max(te.a, te.b)).second);
+    }
+    for (NodeId s = 0; s < n; ++s)
+        EXPECT_EQ(t.degree(s), d + 1);
+
+    EXPECT_THROW(Topology::randomRegular(5, 3, 1, 1), UsageError);  // odd
+    EXPECT_THROW(Topology::randomRegular(3, 3, 1, 1), UsageError);  // d >= n
+}
+
+TEST(TopologyTest, RandomRegularDeterministicInSeed)
+{
+    Topology a = Topology::randomRegular(10, 4, 0, 7);
+    Topology b = Topology::randomRegular(10, 4, 0, 7);
+    Topology c = Topology::randomRegular(10, 4, 0, 8);
+    ASSERT_EQ(a.numEdges(), b.numEdges());
+    bool same_as_c = a.numEdges() == c.numEdges();
+    for (int e = 0; e < a.numEdges(); ++e) {
+        EXPECT_EQ(a.edge(e).a, b.edge(e).a);
+        EXPECT_EQ(a.edge(e).b, b.edge(e).b);
+        if (same_as_c)
+            same_as_c = a.edge(e).a == c.edge(e).a &&
+                        a.edge(e).b == c.edge(e).b;
+    }
+    EXPECT_FALSE(same_as_c);  // different seed, different pairing
+}

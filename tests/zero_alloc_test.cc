@@ -20,6 +20,8 @@
 #include "an2/sim/iq_switch.h"
 #include "an2/sim/metrics.h"
 #include "an2/sim/traffic.h"
+#include "an2/topo/lan.h"
+#include "an2/topo/topology.h"
 
 // The attached-recorder assertions need the probes compiled in.
 #ifdef AN2_OBS_DISABLED
@@ -222,6 +224,39 @@ TEST(ZeroAllocTest, FaultedSlotLoopSteadyStateIsAllocationFree)
     EXPECT_EQ(injector.eventsApplied(), 4);
     EXPECT_GT(injector.cellsDropped(), 0);
     EXPECT_GT(injector.cellsCorrupted(), 0);
+}
+
+TEST(ZeroAllocTest, NetworkSteadyStateIsAllocationFree)
+{
+    // Whole-network steady state: controllers injecting VBR + CBR,
+    // switches matching and forwarding, links shifting cells, and
+    // delivery bookkeeping in the controllers' flat per-flow stores.
+    // After warmup frames have sized every ring and flat container,
+    // further serial frames must not touch the heap.
+    topo::Topology topo = topo::Topology::star(4, 2);
+    topo::LanConfig config;
+    config.seed = 31;
+    config.matcher = [](int /*ports*/, uint64_t seed) {
+        return std::make_unique<PimMatcher>(PimConfig{
+            .iterations = 4, .seed = seed});
+    };
+    topo::Lan lan(topo, config);
+    topo::TrafficSpec vbr;
+    vbr.cls = TrafficClass::VBR;
+    vbr.vbr_rate = 0.2;
+    lan.placeMatrix(topo::Pattern::Uniform, vbr, /*seed=*/7);
+    topo::TrafficSpec cbr;
+    cbr.cls = TrafficClass::CBR;
+    cbr.cbr_cells_per_frame = 2;
+    lan.placeMatrix(topo::Pattern::Uniform, cbr, /*seed=*/8);
+
+    lan.runFrames(12);  // warmup: grow rings, flat maps, scratch
+    size_t before = g_allocations.load(std::memory_order_relaxed);
+    lan.runFrames(64);
+    size_t after = g_allocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u);
+    topo::LanStats stats = lan.stats();
+    EXPECT_GT(stats.delivered, 0);
 }
 
 TEST(ZeroAllocTest, MetricsDeliverySteadyStateIsAllocationFree)
