@@ -135,6 +135,86 @@ BM_Islip4Reference(benchmark::State& state)
     });
 }
 
+/**
+ * Slot-to-slot churn model for the warm-start rows: one persistent
+ * matrix evolves by a few visible-edge flips per "slot" (the temporal
+ * locality the switch hot loop exhibits — most queued requests survive
+ * from one slot to the next), instead of rotating through independent
+ * random patterns that would invalidate every remembered edge.
+ */
+template <typename MakeMatcher>
+void
+runChurnBench(benchmark::State& state, MakeMatcher make)
+{
+    const auto n = static_cast<int>(state.range(0));
+    Xoshiro256 rng(1234);
+    RequestMatrix req = RequestMatrix::bernoulli(n, 0.75, rng);
+    auto matcher = make(n);
+    Matching m(n, n);
+    Xoshiro256 churn(99);
+    const int churn_ops = n / 4 > 4 ? n / 4 : 4;
+    int64_t matched = 0;
+    for (auto _ : state) {
+        for (int t = 0; t < churn_ops; ++t) {
+            auto i = static_cast<PortId>(
+                churn.nextBelow(static_cast<uint64_t>(n)));
+            auto j = static_cast<PortId>(
+                churn.nextBelow(static_cast<uint64_t>(n)));
+            if (churn.nextBernoulli(0.5))
+                req.increment(i, j);
+            else if (req.count(i, j) > 0)
+                req.decrement(i, j);
+        }
+        matcher->matchInto(req, m);
+        benchmark::DoNotOptimize(m.size());
+        matched += m.size();
+    }
+    reportCellsPerSecond(state, matched);
+}
+
+void
+BM_Islip4Churn(benchmark::State& state)
+{
+    // Cold baseline on the churn workload, so the warm delta below is
+    // measured on identical inputs.
+    runChurnBench(state,
+                  [](int) { return std::make_unique<IslipMatcher>(4); });
+}
+
+void
+BM_Islip4Warm(benchmark::State& state)
+{
+    runChurnBench(state, [](int) {
+        return std::make_unique<IslipMatcher>(4, MatcherBackend::Auto,
+                                              WarmStart::On);
+    });
+}
+
+void
+BM_GreedyChurn(benchmark::State& state)
+{
+    runChurnBench(state, [](int) {
+        return std::make_unique<SerialGreedyMatcher>(true, 7);
+    });
+}
+
+void
+BM_GreedyWarm(benchmark::State& state)
+{
+    runChurnBench(state, [](int) {
+        return std::make_unique<SerialGreedyMatcher>(
+            true, 7, MatcherBackend::Auto, WarmStart::On);
+    });
+}
+
+void
+BM_FastPim4Warm(benchmark::State& state)
+{
+    runChurnBench(state, [](int) {
+        return std::make_unique<FastPimMatcher>(4, 7, WarmStart::On);
+    });
+}
+
 void
 BM_Statistical2(benchmark::State& state)
 {
@@ -160,6 +240,13 @@ BENCHMARK(BM_Pim4Reference)->Arg(16)->Arg(64)->Arg(256);
 BENCHMARK(BM_Islip4Reference)->Arg(16)->Arg(64)->Arg(256);
 BENCHMARK(BM_HopcroftKarp)->Arg(16)->Arg(64);
 BENCHMARK(BM_Statistical2)->Arg(16)->Arg(64);
+
+// Warm-start rows (churn model: the matrix evolves slot to slot).
+BENCHMARK(BM_Islip4Churn)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_Islip4Warm)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_GreedyChurn)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_GreedyWarm)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_FastPim4Warm)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
 }  // namespace
 

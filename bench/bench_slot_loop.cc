@@ -27,6 +27,7 @@
 #include "an2/harness/aggregate.h"
 #include "an2/harness/json_writer.h"
 #include "an2/matching/islip.h"
+#include "an2/matching/pim_fast.h"
 #include "an2/matching/serial_greedy.h"
 #include "an2/obs/recorder.h"
 #include "an2/sim/fifo_switch.h"
@@ -196,6 +197,42 @@ archsUnderTest()
                              std::make_unique<SerialGreedyMatcher>(true,
                                                                    seed));
                      }});
+    archs.push_back({"FastPIM(4)", [](int n, uint64_t seed) {
+                         return std::make_unique<InputQueuedSwitch>(
+                             IqSwitchConfig{.n = n},
+                             std::make_unique<FastPimMatcher>(4, seed));
+                     }});
+    // Warm-start (temporal locality) variants: WarmStart::On seeds each
+    // slot's matching from the previous slot's surviving edges and
+    // repairs only the changed ports (see matcher.h). The obs-counters
+    // row additionally records the reuse/repair counters into the JSON.
+    archs.push_back({"iSLIP(4)+warm", [](int n, uint64_t) {
+                         return std::make_unique<InputQueuedSwitch>(
+                             IqSwitchConfig{.n = n},
+                             std::make_unique<IslipMatcher>(
+                                 4, MatcherBackend::Auto, WarmStart::On));
+                     }});
+    archs.push_back({"Greedy+warm", [](int n, uint64_t seed) {
+                         return std::make_unique<InputQueuedSwitch>(
+                             IqSwitchConfig{.n = n},
+                             std::make_unique<SerialGreedyMatcher>(
+                                 true, seed, MatcherBackend::Auto,
+                                 WarmStart::On));
+                     }});
+    archs.push_back({"FastPIM(4)+warm", [](int n, uint64_t seed) {
+                         return std::make_unique<InputQueuedSwitch>(
+                             IqSwitchConfig{.n = n},
+                             std::make_unique<FastPimMatcher>(
+                                 4, seed, WarmStart::On));
+                     }});
+    archs.push_back({"iSLIP(4)+warm+obs-counters",
+                     [](int n, uint64_t) {
+                         return std::make_unique<InputQueuedSwitch>(
+                             IqSwitchConfig{.n = n},
+                             std::make_unique<IslipMatcher>(
+                                 4, MatcherBackend::Auto, WarmStart::On));
+                     },
+                     /*obs_mode=*/1});
     archs.push_back({"OutputQueued", [](int n, uint64_t) {
                          return std::make_unique<OutputQueuedSwitch>(n);
                      }});
@@ -208,6 +245,40 @@ struct ArchTiming
     RunningStats slots_per_sec;
     RunningStats cells_per_sec;
     int64_t delivered = 0;
+
+    /** Warm-start counters over the measured slots (obs rows only). */
+    bool has_obs_counters = false;
+    int64_t match_edges_reused = 0;
+    int64_t match_edges_repaired = 0;
+    int64_t warm_start_full_reuses = 0;
+};
+
+/** Feeds the switch's batched runSlots() loop: arrivals straight from
+    the traffic generator, departures tallied. */
+class BenchDriver final : public SlotDriver
+{
+  public:
+    explicit BenchDriver(TrafficGenerator& traffic) : traffic_(traffic) {}
+
+    const std::vector<Cell>& beginSlot(SlotTime slot) override
+    {
+        arrivals_.clear();
+        traffic_.generate(slot, arrivals_);
+        return arrivals_;
+    }
+
+    void endSlot(SlotTime, const std::vector<Cell>& departed) override
+    {
+        delivered_ += static_cast<int64_t>(departed.size());
+    }
+
+    int64_t delivered() const { return delivered_; }
+    void resetDelivered() { delivered_ = 0; }
+
+  private:
+    TrafficGenerator& traffic_;
+    std::vector<Cell> arrivals_;
+    int64_t delivered_ = 0;
 };
 
 ArchTiming
@@ -215,6 +286,7 @@ timeArch(const ArchUnderTest& arch, const Cli& cli)
 {
     ArchTiming timing;
     timing.name = arch.name;
+    timing.has_obs_counters = arch.obs_mode > 0;
     for (int rep = 0; rep < cli.reps; ++rep) {
         std::unique_ptr<obs::Recorder> rec;
         if (arch.obs_mode > 0) {
@@ -230,28 +302,28 @@ timeArch(const ArchUnderTest& arch, const Cli& cli)
         UniformTraffic traffic(cli.size, cli.load,
                                cli.seed + 1 +
                                    static_cast<uint64_t>(rep) * 104729);
-        std::vector<Cell> arrivals;
-        SlotTime slot = 0;
-        for (; slot < cli.warmup; ++slot) {
-            arrivals.clear();
-            traffic.generate(slot, arrivals);
-            for (const Cell& c : arrivals)
-                sw->acceptCell(c);
-            sw->runSlot(slot);
-        }
-        int64_t delivered = 0;
+        BenchDriver driver(traffic);
+        sw->runSlots(0, cli.warmup, driver);
+        driver.resetDelivered();
+        const int64_t reused0 =
+            rec ? rec->counter(obs::Counter::MatchEdgesReused) : 0;
+        const int64_t repaired0 =
+            rec ? rec->counter(obs::Counter::MatchEdgesRepaired) : 0;
+        const int64_t full0 =
+            rec ? rec->counter(obs::Counter::WarmStartFullReuses) : 0;
         auto t0 = std::chrono::steady_clock::now();
-        const SlotTime end = cli.warmup + cli.slots;
-        for (; slot < end; ++slot) {
-            arrivals.clear();
-            traffic.generate(slot, arrivals);
-            for (const Cell& c : arrivals)
-                sw->acceptCell(c);
-            delivered += static_cast<int64_t>(sw->runSlot(slot).size());
-        }
+        sw->runSlots(cli.warmup, cli.slots, driver);
         auto t1 = std::chrono::steady_clock::now();
-        if (rec)
+        if (rec) {
+            timing.match_edges_reused +=
+                rec->counter(obs::Counter::MatchEdgesReused) - reused0;
+            timing.match_edges_repaired +=
+                rec->counter(obs::Counter::MatchEdgesRepaired) - repaired0;
+            timing.warm_start_full_reuses +=
+                rec->counter(obs::Counter::WarmStartFullReuses) - full0;
             obs::detach();
+        }
+        const int64_t delivered = driver.delivered();
         double secs = std::chrono::duration<double>(t1 - t0).count();
         timing.slots_per_sec.add(static_cast<double>(cli.slots) / secs);
         timing.cells_per_sec.add(static_cast<double>(delivered) / secs);
@@ -309,6 +381,11 @@ timingsToJson(const Cli& cli, const std::vector<ArchTiming>& timings)
         writeAggregate(w, "slots_per_sec", t.slots_per_sec);
         writeAggregate(w, "cells_per_sec", t.cells_per_sec);
         w.key("delivered").value(t.delivered);
+        if (t.has_obs_counters) {
+            w.key("match_edges_reused").value(t.match_edges_reused);
+            w.key("match_edges_repaired").value(t.match_edges_repaired);
+            w.key("warm_start_full_reuses").value(t.warm_start_full_reuses);
+        }
         w.endObject();
     }
     w.endArray();

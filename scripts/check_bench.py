@@ -39,8 +39,17 @@ def schema_of(doc):
 
 
 def hotpath_cells(doc, key=None):
+    # Keyed by (arch, size, load): the baseline carries rows at several
+    # switch sizes and loads. Old documents predate the size/load keys,
+    # so default to the historical 16x16 @ 0.9 workload.
     cells = doc[key] if key else doc["cells"]
-    return {c["arch"]: c["slots_per_sec"]["mean"] for c in cells}
+    return {(c["arch"], c.get("size", 16), c.get("load", 0.9)):
+            c["slots_per_sec"]["mean"] for c in cells}
+
+
+def hotpath_label(cell_key):
+    arch, size, load = cell_key
+    return f"{arch} {size}x{size}@{load:g}"
 
 
 def netsweep_cells(doc):
@@ -53,13 +62,14 @@ def check_hotpath(run_doc, baseline_path, threshold):
     baseline = hotpath_cells(load_doc(baseline_path), key="after")
 
     warned = False
-    for arch in sorted(baseline):
-        if arch not in run:
-            print(f"  {arch:20s}  (not in this run, skipped)")
+    for cell in sorted(baseline):
+        label = hotpath_label(cell)
+        if cell not in run:
+            print(f"  {label:34s}  (not in this run, skipped)")
             continue
-        base, now = baseline[arch], run[arch]
+        base, now = baseline[cell], run[cell]
         ratio = now / base
-        line = (f"  {arch:20s}  baseline {base:12,.0f}  "
+        line = (f"  {label:34s}  baseline {base:12,.0f}  "
                 f"run {now:12,.0f}  ({ratio:5.2f}x)")
         if ratio < 1.0 - threshold:
             print(f"WARNING: slots/sec regression >"
@@ -68,8 +78,8 @@ def check_hotpath(run_doc, baseline_path, threshold):
             warned = True
         else:
             print(line)
-    for arch in sorted(set(run) - set(baseline)):
-        print(f"  {arch:20s}  (no baseline, skipped)")
+    for cell in sorted(set(run) - set(baseline)):
+        print(f"  {hotpath_label(cell):34s}  (no baseline, skipped)")
 
     if warned:
         print("\nPerf smoke saw a possible regression (non-fatal; CI "

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "an2/matching/matcher.h"
+#include "an2/matching/warm_start.h"
 
 namespace an2 {
 
@@ -29,9 +30,14 @@ class IslipMatcher final : public Matcher
      * @param backend Implementation core; Auto uses the word-parallel
      *                core up to 1024 ports (identical matchings — the
      *                algorithm is deterministic given the pointers).
+     * @param warm WarmStart::On seeds each slot from the previous slot's
+     *             surviving edges and repairs only the free ports (a
+     *             different policy from cold iSLIP; see matcher.h). Both
+     *             backends make identical warm decisions.
      */
     explicit IslipMatcher(int iterations = 4,
-                          MatcherBackend backend = MatcherBackend::Auto);
+                          MatcherBackend backend = MatcherBackend::Auto,
+                          WarmStart warm = WarmStart::Off);
 
     Matching match(const RequestMatrix& req) override;
     void matchInto(const RequestMatrix& req, Matching& out) override;
@@ -45,8 +51,13 @@ class IslipMatcher final : public Matcher
     /** One word-parallel round; identical decisions to runIteration. */
     int runIterationFast(const RequestMatrix& req, Matching& m, int it);
 
+    /** The WarmStart::On slot: replay, or seed + one repair pass. */
+    void matchWarm(const RequestMatrix& req, Matching& out, bool fast);
+
     int iterations_;
     MatcherBackend backend_;
+    WarmStart warm_;
+    WarmStartState warm_state_;
     std::vector<int> grant_ptr_;   ///< per-output rotating grant pointer
     std::vector<int> accept_ptr_;  ///< per-input rotating accept pointer
 

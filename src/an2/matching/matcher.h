@@ -30,6 +30,27 @@ enum class MatcherBackend {
     WordParallel,
 };
 
+/**
+ * Cross-slot warm starting (temporal locality). At steady load the
+ * request matrix changes by O(N) edges per slot; with WarmStart::On a
+ * matcher seeds each slot's matching with the previous slot's surviving
+ * edges (pairs still requested and not hidden by a dead port) and runs a
+ * repair pass over the remaining free ports, touching O(changed) state
+ * instead of recomputing from empty. The result is always legal and
+ * *maximal*, but it is a different scheduling policy from the cold
+ * algorithm (reused edges skip re-arbitration), so the knob defaults to
+ * Off and every existing sweep/golden stays byte-identical.
+ *
+ * Supported by IslipMatcher, SerialGreedyMatcher, and FastPimMatcher.
+ * PimMatcher deliberately has no warm mode: its word-parallel backend's
+ * contract is exact RNG-draw replay of the reference core, and a warm
+ * seed would change which draws are consumed.
+ */
+enum class WarmStart {
+    Off,
+    On,
+};
+
 /** A switch-scheduling algorithm: request matrix in, legal matching out. */
 class Matcher
 {

@@ -4,6 +4,7 @@
 
 #include "an2/base/error.h"
 #include "an2/matching/wordset.h"
+#include "an2/obs/recorder.h"
 
 namespace an2 {
 
@@ -39,8 +40,8 @@ randomBitWords(const uint64_t* w, int n_words, Rng& rng)
 
 }  // namespace
 
-FastPimMatcher::FastPimMatcher(int iterations, uint64_t seed)
-    : iterations_(iterations), rng_(seed)
+FastPimMatcher::FastPimMatcher(int iterations, uint64_t seed, WarmStart warm)
+    : iterations_(iterations), rng_(seed), warm_(warm)
 {
     AN2_REQUIRE(iterations >= 0,
                 "iterations must be >= 0 (0 = to completion)");
@@ -51,8 +52,16 @@ FastPimMatcher::name() const
 {
     std::string n = "FastPIM(";
     n += iterations_ == 0 ? "complete" : std::to_string(iterations_);
+    if (warm_ == WarmStart::On)
+        n += ",warm";
     n += ")";
     return n;
+}
+
+void
+FastPimMatcher::reset()
+{
+    warm_state_.invalidate();
 }
 
 void
@@ -127,6 +136,24 @@ FastPimMatcher::matchInto(const RequestMatrix& req, Matching& out)
     uint64_t* granted = granted_.data();
     uint64_t* reqsters = requesters_.data();
 
+    obs::Recorder* const rec = obs::current();
+    int reused = 0;
+    if (warm_ == WarmStart::On) {
+        // Replay wholesale when the matrix is untouched since the last
+        // slot; otherwise seed with the surviving previous edges and let
+        // the PIM iterations below arbitrate only the free ports.
+        if (warm_state_.unchanged(req)) {
+            reused = warm_state_.replay(out);
+            if (rec) {
+                rec->add(obs::Counter::MatchEdgesReused, reused);
+                rec->add(obs::Counter::WarmStartFullReuses, 1);
+            }
+            return;
+        }
+        reused =
+            warm_state_.seed(req, out, free_in_.data(), free_out_.data());
+    }
+
     // Word-for-word the matchMasks algorithm, over multi-word masks; it
     // reads the RequestMatrix's incrementally-maintained column masks
     // directly, so there is no per-slot matrix-to-mask conversion.
@@ -163,6 +190,13 @@ FastPimMatcher::matchInto(const RequestMatrix& req, Matching& out)
             clearBit(free_in_.data(), i);
             clearBit(free_out_.data(), j);
         });
+    }
+    if (warm_ == WarmStart::On) {
+        warm_state_.remember(req, out);
+        if (rec) {
+            rec->add(obs::Counter::MatchEdgesReused, reused);
+            rec->add(obs::Counter::MatchEdgesRepaired, out.size() - reused);
+        }
     }
 }
 

@@ -25,6 +25,7 @@
 
 #include "an2/base/rng.h"
 #include "an2/matching/matcher.h"
+#include "an2/matching/warm_start.h"
 
 namespace an2 {
 
@@ -35,12 +36,20 @@ class FastPimMatcher final : public Matcher
     /**
      * @param iterations Iterations per slot (0 = run to completion).
      * @param seed PRNG seed.
+     * @param warm WarmStart::On seeds each slot from the previous slot's
+     *             surviving edges; the PIM iterations then arbitrate only
+     *             the remaining free ports (see matcher.h). FastPIM is
+     *             already only statistically equivalent to the reference
+     *             PIM, so a warm variant fits its contract — PimMatcher
+     *             itself stays cold-only.
      */
-    explicit FastPimMatcher(int iterations = 4, uint64_t seed = 1);
+    explicit FastPimMatcher(int iterations = 4, uint64_t seed = 1,
+                            WarmStart warm = WarmStart::Off);
 
     Matching match(const RequestMatrix& req) override;
     void matchInto(const RequestMatrix& req, Matching& out) override;
     std::string name() const override;
+    void reset() override;
 
     /**
      * Single-word fast path: request columns as bitmasks (cols[j] has bit
@@ -58,6 +67,8 @@ class FastPimMatcher final : public Matcher
   private:
     int iterations_;
     Xoshiro256 rng_;
+    WarmStart warm_;
+    WarmStartState warm_state_;
 
     // Multi-word scratch, reused across slots.
     std::vector<uint64_t> free_in_;     ///< unmatched inputs

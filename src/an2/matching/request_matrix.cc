@@ -15,12 +15,60 @@ RequestMatrix::RequestMatrix(int n_inputs, int n_outputs)
                      static_cast<size_t>(col_words_),
                  0),
       live_in_(static_cast<size_t>(col_words_), 0),
-      live_out_(static_cast<size_t>(row_words_), 0)
+      live_out_(static_cast<size_t>(row_words_), 0),
+      dirty_rows_(static_cast<size_t>(col_words_), 0),
+      dirty_cols_(static_cast<size_t>(row_words_), 0)
 {
     AN2_REQUIRE(n_inputs > 0 && n_outputs > 0,
                 "request matrix must have positive dimensions");
     wordset::fillFirst(live_in_.data(), col_words_, n_inputs);
     wordset::fillFirst(live_out_.data(), row_words_, n_outputs);
+}
+
+RequestMatrix::RequestMatrix(const RequestMatrix& other)
+    : counts_(other.counts_),
+      row_words_(other.row_words_),
+      col_words_(other.col_words_),
+      row_masks_(other.row_masks_),
+      col_masks_(other.col_masks_),
+      live_in_(other.live_in_),
+      live_out_(other.live_out_),
+      dead_ports_(other.dead_ports_),
+      edges_(other.edges_),
+      dirty_rows_(other.dirty_rows_),
+      dirty_cols_(other.dirty_cols_),
+      epoch_(other.epoch_)
+{
+    // Conservative: the new object's content was wholesale-assigned.
+    wordset::fillFirst(dirty_rows_.data(), col_words_, numInputs());
+    wordset::fillFirst(dirty_cols_.data(), row_words_, numOutputs());
+    ++epoch_;
+}
+
+RequestMatrix&
+RequestMatrix::operator=(const RequestMatrix& other)
+{
+    if (this == &other)
+        return *this;
+    const uint64_t own_epoch = epoch_;
+    counts_ = other.counts_;
+    row_words_ = other.row_words_;
+    col_words_ = other.col_words_;
+    row_masks_ = other.row_masks_;
+    col_masks_ = other.col_masks_;
+    live_in_ = other.live_in_;
+    live_out_ = other.live_out_;
+    dead_ports_ = other.dead_ports_;
+    edges_ = other.edges_;
+    dirty_rows_ = other.dirty_rows_;
+    dirty_cols_ = other.dirty_cols_;
+    // Conservative: any visible edge may have changed, and the epoch must
+    // advance past every value a consumer of *this* may have snapshotted
+    // (a recycled scratch matrix is overwritten every slot).
+    wordset::fillFirst(dirty_rows_.data(), col_words_, numInputs());
+    wordset::fillFirst(dirty_cols_.data(), row_words_, numOutputs());
+    epoch_ = std::max(own_epoch, other.epoch_) + 1;
+    return *this;
 }
 
 void
@@ -46,6 +94,7 @@ RequestMatrix::set(PortId i, PortId j, int count)
         wordset::clearBit(colMaskMut(j), i);
         --edges_;
     }
+    markDirty(i, j);
 }
 
 void
@@ -60,6 +109,7 @@ RequestMatrix::decrement(PortId i, PortId j)
         wordset::clearBit(rowMaskMut(i), j);
         wordset::clearBit(colMaskMut(j), i);
         --edges_;
+        markDirty(i, j);
     }
 }
 
@@ -72,10 +122,14 @@ RequestMatrix::setInputLive(PortId i, bool live)
         return;
     uint64_t* row = rowMaskMut(i);
     if (!live) {
-        // Hide row i: drop its visible edges from the column masks.
+        // Hide row i: drop its visible edges from the column masks. Each
+        // hidden edge is an edge-set transition, so the dirty sets record
+        // it — a warm-started matcher must not reuse a pairing whose
+        // input just died.
         wordset::forEachSet(row, row_words_, [&](int j) {
             wordset::clearBit(colMaskMut(j), i);
             --edges_;
+            markDirty(i, j);
         });
         wordset::clearAll(row, row_words_);
         wordset::clearBit(live_in_.data(), i);
@@ -83,12 +137,16 @@ RequestMatrix::setInputLive(PortId i, bool live)
     } else {
         wordset::setBit(live_in_.data(), i);
         --dead_ports_;
-        // Re-expose the surviving requests toward live outputs.
+        // Re-expose the surviving requests toward live outputs; each
+        // re-exposed edge is a transition the dirty sets must record
+        // (hidden-then-revived requests reappear without any count
+        // change, so the set/decrement paths never see them).
         for (PortId j = 0; j < numOutputs(); ++j) {
             if (counts_.at(i, j) > 0 && outputLive(j)) {
                 wordset::setBit(row, j);
                 wordset::setBit(colMaskMut(j), i);
                 ++edges_;
+                markDirty(i, j);
             }
         }
     }
@@ -106,6 +164,7 @@ RequestMatrix::setOutputLive(PortId j, bool live)
         wordset::forEachSet(col, col_words_, [&](int i) {
             wordset::clearBit(rowMaskMut(i), j);
             --edges_;
+            markDirty(i, j);
         });
         wordset::clearAll(col, col_words_);
         wordset::clearBit(live_out_.data(), j);
@@ -118,6 +177,7 @@ RequestMatrix::setOutputLive(PortId j, bool live)
                 wordset::setBit(rowMaskMut(i), j);
                 wordset::setBit(col, i);
                 ++edges_;
+                markDirty(i, j);
             }
         }
     }
@@ -130,6 +190,11 @@ RequestMatrix::clear()
     std::fill(row_masks_.begin(), row_masks_.end(), 0);
     std::fill(col_masks_.begin(), col_masks_.end(), 0);
     edges_ = 0;
+    // Conservatively mark everything dirty: a wholesale wipe changes (or
+    // may change) every row and column.
+    wordset::fillFirst(dirty_rows_.data(), col_words_, numInputs());
+    wordset::fillFirst(dirty_cols_.data(), row_words_, numOutputs());
+    ++epoch_;
 }
 
 void
@@ -140,6 +205,7 @@ RequestMatrix::clearRow(PortId i)
         counts_.at(i, j) = 0;
         wordset::clearBit(colMaskMut(j), i);
         --edges_;
+        markDirty(i, j);
     });
     wordset::clearAll(row, row_words_);
     if (dead_ports_ > 0) {
@@ -158,6 +224,7 @@ RequestMatrix::clearColumn(PortId j)
         counts_.at(i, j) = 0;
         wordset::clearBit(rowMaskMut(i), j);
         --edges_;
+        markDirty(i, j);
     });
     wordset::clearAll(col, col_words_);
     if (dead_ports_ > 0) {

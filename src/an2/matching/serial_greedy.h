@@ -16,6 +16,7 @@
 
 #include "an2/base/rng.h"
 #include "an2/matching/matcher.h"
+#include "an2/matching/warm_start.h"
 
 namespace an2 {
 
@@ -30,18 +31,25 @@ class SerialGreedyMatcher final : public Matcher
      * @param backend Implementation core; Auto uses the word-parallel
      *                core up to 1024 ports (bit-identical matchings —
      *                same shuffle and same PRNG draw per input).
+     * @param warm WarmStart::On seeds each slot from the previous slot's
+     *             surviving edges; seeded inputs skip their visit (and
+     *             their PRNG draw). See matcher.h.
      */
     explicit SerialGreedyMatcher(bool randomize = true, uint64_t seed = 1,
                                  MatcherBackend backend =
-                                     MatcherBackend::Auto);
+                                     MatcherBackend::Auto,
+                                 WarmStart warm = WarmStart::Off);
 
     Matching match(const RequestMatrix& req) override;
     void matchInto(const RequestMatrix& req, Matching& out) override;
     std::string name() const override;
+    void reset() override;
 
   private:
     bool randomize_;
     MatcherBackend backend_;
+    WarmStart warm_;
+    WarmStartState warm_state_;
     std::unique_ptr<Rng> rng_;
 
     // Reused scratch (no steady-state heap traffic).

@@ -81,6 +81,13 @@ enum class Counter : int {
     EcmpReroutes,
     /** Conservative windows executed by the sharded network engine. */
     ShardWindows,
+    /** Warm start: previous-slot edges reused to seed a matching. */
+    MatchEdgesReused,
+    /** Warm start: edges added by the repair pass over free ports. */
+    MatchEdgesRepaired,
+    /** Warm start: slots whose matching was replayed wholesale because
+        the request matrix was unchanged since the previous slot. */
+    WarmStartFullReuses,
     kCount,
 };
 

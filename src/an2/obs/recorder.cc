@@ -54,6 +54,9 @@ counterName(Counter c)
       case Counter::RouteLookups:         return "route_lookups";
       case Counter::EcmpReroutes:         return "ecmp_reroutes";
       case Counter::ShardWindows:         return "shard_windows";
+      case Counter::MatchEdgesReused:     return "match_edges_reused";
+      case Counter::MatchEdgesRepaired:   return "match_edges_repaired";
+      case Counter::WarmStartFullReuses:  return "warm_start_full_reuses";
       case Counter::kCount:               break;
     }
     return "unknown";

@@ -11,14 +11,29 @@
  *
  * Viewed per output, this structure is a virtual output queue (VOQ);
  * the class name reflects that common framing.
+ *
+ * Layout: per-flow state lives in a dense append-only vector; a flat
+ * integer-keyed index maps flow ids to vector slots, and the per-output
+ * eligible rings store slot indices directly. Enqueue therefore costs
+ * one linear-probe lookup, and dequeue — the matching-driven hot path —
+ * touches no hash structure at all.
+ *
+ * Single-flow fast path: most workloads route exactly one flow to each
+ * (input, output) pair, so each per-output record carries the slot of
+ * the *sole* flow bound to that output (sticky: it degrades to "many"
+ * the moment a second flow binds and never recovers). While an output
+ * is single-flow, enqueue skips the flow-index probe and dequeue skips
+ * the eligible ring entirely — the round-robin among one flow is the
+ * identity — and the transition to many flows restores the eligible
+ * list to exactly the state the general path would have maintained.
  */
 #ifndef AN2_QUEUEING_VOQ_H
 #define AN2_QUEUEING_VOQ_H
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "an2/base/flat_map.h"
 #include "an2/base/ring.h"
 #include "an2/cell/cell.h"
 #include "an2/cell/flow.h"
@@ -102,24 +117,57 @@ class InputBuffer
         RingQueue<Cell> cells;
         bool eligible_listed = false;  ///< present in an eligible list
         PortId output = kNoPort;       ///< the flow's routed output
+        FlowId flow = kNoFlow;         ///< the flow this slot belongs to
     };
 
-    PerFlow& flowState(FlowId f);
+    /**
+     * Per-output bookkeeping, one cache-resident record combining the
+     * queued-cell count with the single-flow fast-path hint so the hot
+     * paths touch one line per output instead of two arrays.
+     */
+    struct PerOutput
+    {
+        int32_t cells = 0;  ///< cells queued for this output (all flows)
+        /** slots_ index + 1 of the only flow ever bound to this output;
+            0 = none yet, -1 = two or more (sticky). */
+        int32_t sole = 0;
+    };
+
+    /** Index into slots_ for flow f, creating the slot on first touch. */
+    int32_t flowSlot(FlowId f);
 
     /** Record one fewer cell for output j, keeping occ_ in sync. */
     void noteDequeued(PortId j);
 
+    /**
+     * Output j is gaining a second flow: re-establish the general-path
+     * eligible-list invariant (listed iff non-empty) that the direct
+     * single-flow paths elide, then mark the output multi-flow.
+     */
+    void reconcileSole(PerOutput& po, PortId j);
+
     int n_outputs_;
     int total_cells_ = 0;
-    std::unordered_map<FlowId, PerFlow> flows_;
     /**
-     * Round-robin eligible-flow list per output. A ring (not a deque)
-     * so steady-state rotation never allocates.
+     * FlowId -> slots_ index + 1 (0 = absent). A linear-probe flat map,
+     * so the enqueue path's lookup is one multiply and a short probe;
+     * the map is consulted only when a cell arrives or a caller names a
+     * flow explicitly — the dequeue path below never hashes at all.
      */
-    std::vector<RingQueue<FlowId>> eligible_;
-    /** Cells queued per output, maintained incrementally. */
-    std::vector<int> cells_per_output_;
-    /** Bit j set iff cells_per_output_[j] > 0. */
+    FlatMap<int32_t> flow_index_;
+    /** Per-flow state, append-only (flows are never removed, matching
+        the paper's per-connection queue model). */
+    std::vector<PerFlow> slots_;
+    /**
+     * Round-robin eligible list per output, holding slots_ *indices*
+     * (not flow ids): serving an output is ring-pop + direct vector
+     * access. A ring (not a deque) so steady-state rotation never
+     * allocates.
+     */
+    std::vector<RingQueue<int32_t>> eligible_;
+    /** Count + single-flow hint per output, maintained incrementally. */
+    std::vector<PerOutput> per_output_;
+    /** Bit j set iff per_output_[j].cells > 0. */
     std::vector<uint64_t> occ_;
 };
 

@@ -330,6 +330,22 @@ InputQueuedSwitch::runSlot(SlotTime slot)
 }
 
 void
+InputQueuedSwitch::runSlots(SlotTime first, SlotTime count,
+                            SlotDriver& driver)
+{
+    // Identical to the base loop, but compiled against the final class:
+    // the per-cell acceptCell calls and the runSlot body are direct
+    // (inlinable) calls here, so a k-slot batch pays one virtual
+    // dispatch instead of ~arrivals+1 per slot.
+    for (SlotTime s = first; s < first + count; ++s) {
+        const std::vector<Cell>& arrivals = driver.beginSlot(s);
+        for (const Cell& c : arrivals)
+            acceptCell(c);
+        driver.endSlot(s, runSlot(s));
+    }
+}
+
+void
 InputQueuedSwitch::takeSnapshot(obs::Recorder& rec, SlotTime slot) const
 {
     AN2_REQUIRE(rec.ports() == config_.n,
@@ -361,8 +377,12 @@ InputQueuedSwitch::bufferedCells() const
     int total = 0;
     for (const auto& b : vbr_bufs_)
         total += b.totalCells();
-    for (const auto& b : cbr_bufs_)
-        total += b.totalCells();
+    // CBR cells can only be accepted when a frame schedule is present,
+    // so the CBR buffers are provably empty otherwise (and this runs
+    // twice per slot on the conservation-check path).
+    if (cbr_schedule_ != nullptr)
+        for (const auto& b : cbr_bufs_)
+            total += b.totalCells();
     for (const auto& q : out_queues_)
         total += q.size();
     return total;

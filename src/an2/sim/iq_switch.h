@@ -81,6 +81,8 @@ class InputQueuedSwitch final : public SwitchModel
 
     void acceptCell(const Cell& cell) override;
     const std::vector<Cell>& runSlot(SlotTime slot) override;
+    void runSlots(SlotTime first, SlotTime count,
+                  SlotDriver& driver) override;
     int bufferedCells() const override;
     std::string name() const override;
     int size() const override { return config_.n; }

@@ -5,6 +5,79 @@
 
 namespace an2 {
 
+namespace {
+
+/**
+ * The simulator's per-slot work as a SlotDriver, so the switch's batched
+ * runSlots() owns the loop. Semantically identical to the historical
+ * generate/classify/accept/runSlot sequence: arrivals are classified in
+ * generation order (the fault injector's PRNG draws are unchanged), and
+ * a dropped arrival emits only counters — no trace-ring events — so
+ * filtering before acceptance leaves every observable byte the same.
+ */
+class SimDriver final : public SlotDriver
+{
+  public:
+    SimDriver(SwitchModel& sw, TrafficGenerator& traffic,
+              const SimConfig& config, MetricsCollector& metrics)
+        : sw_(sw), traffic_(traffic), config_(config), metrics_(metrics)
+    {
+    }
+
+    const std::vector<Cell>& beginSlot(SlotTime slot) override
+    {
+        if (config_.faults)
+            config_.faults->beginSlot(slot, &sw_);
+        arrivals_.clear();
+        traffic_.generate(slot, arrivals_);
+        if (!config_.faults) {
+            for (const Cell& c : arrivals_) {
+                metrics_.noteInjected(c);
+                ++injected_;
+            }
+            return arrivals_;
+        }
+        accepted_.clear();
+        for (const Cell& c : arrivals_) {
+            metrics_.noteInjected(c);
+            ++injected_;
+            if (config_.faults->classifyArrival(c) !=
+                fault::FaultInjector::Verdict::Deliver)
+                continue;  // lost on the way in: dead port, drop, corrupt
+            accepted_.push_back(c);
+        }
+        return accepted_;
+    }
+
+    void endSlot(SlotTime slot, const std::vector<Cell>& departed) override
+    {
+        for (const Cell& c : departed) {
+            metrics_.noteDelivered(c, slot);
+            ++delivered_;
+            if (config_.on_delivered)
+                config_.on_delivered(c, slot);
+        }
+        int buffered = sw_.bufferedCells();
+        metrics_.noteOccupancy(buffered);
+        obs::setGauge(obs::Gauge::BufferedCells, buffered);
+    }
+
+    int64_t injected() const { return injected_; }
+    int64_t delivered() const { return delivered_; }
+
+  private:
+    SwitchModel& sw_;
+    TrafficGenerator& traffic_;
+    const SimConfig& config_;
+    MetricsCollector& metrics_;
+    std::vector<Cell> arrivals_;
+    std::vector<Cell> accepted_;  ///< arrivals surviving fault classification
+    int64_t injected_ = 0;
+    int64_t delivered_ = 0;
+};
+
+}  // namespace
+
 SimResult
 runSimulation(SwitchModel& sw, TrafficGenerator& traffic,
               const SimConfig& config)
@@ -20,8 +93,6 @@ runSimulation(SwitchModel& sw, TrafficGenerator& traffic,
                            << " slots); no slots would be measured");
 
     MetricsCollector metrics(config.warmup, sw.size());
-    int64_t injected_total = 0;
-    int64_t delivered_total = 0;
 
     // Loss baselines, so a reused switch/injector accounts only this run.
     const int64_t sw_dropped0 = sw.droppedCells();
@@ -30,32 +101,10 @@ runSimulation(SwitchModel& sw, TrafficGenerator& traffic,
     const int64_t fi_corrupted0 =
         config.faults ? config.faults->cellsCorrupted() : 0;
 
-    std::vector<Cell> arrivals;
-    for (SlotTime slot = 0; slot < config.slots; ++slot) {
-        if (config.faults)
-            config.faults->beginSlot(slot, &sw);
-        arrivals.clear();
-        traffic.generate(slot, arrivals);
-        for (const Cell& c : arrivals) {
-            metrics.noteInjected(c);
-            ++injected_total;
-            if (config.faults &&
-                config.faults->classifyArrival(c) !=
-                    fault::FaultInjector::Verdict::Deliver)
-                continue;  // lost on the way in: dead port, drop, corrupt
-            sw.acceptCell(c);
-        }
-        const std::vector<Cell>& departed = sw.runSlot(slot);
-        for (const Cell& c : departed) {
-            metrics.noteDelivered(c, slot);
-            ++delivered_total;
-            if (config.on_delivered)
-                config.on_delivered(c, slot);
-        }
-        int buffered = sw.bufferedCells();
-        metrics.noteOccupancy(buffered);
-        obs::setGauge(obs::Gauge::BufferedCells, buffered);
-    }
+    SimDriver driver(sw, traffic, config, metrics);
+    sw.runSlots(0, config.slots, driver);
+    const int64_t injected_total = driver.injected();
+    const int64_t delivered_total = driver.delivered();
 
     SimResult result;
     result.switch_dropped = sw.droppedCells() - sw_dropped0;

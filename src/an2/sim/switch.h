@@ -17,6 +17,31 @@
 
 namespace an2 {
 
+/**
+ * Per-slot callbacks for the batched slot loop (SwitchModel::runSlots).
+ * The driver supplies each slot's arrivals and consumes its departures;
+ * batching many slots into one virtual call amortizes the per-slot
+ * dispatch, and a `final` switch class devirtualizes its own slot
+ * internals inside the batch.
+ */
+class SlotDriver
+{
+  public:
+    virtual ~SlotDriver() = default;
+
+    /**
+     * Arrivals for `slot` (cells already past any admission/fault
+     * filtering — every returned cell is fed to the switch). The buffer
+     * must stay valid until the same slot's endSlot() returns; drivers
+     * reuse one buffer so steady-state slots perform no allocation.
+     */
+    virtual const std::vector<Cell>& beginSlot(SlotTime slot) = 0;
+
+    /** Departures of `slot` (the switch's runSlot() return buffer). */
+    virtual void endSlot(SlotTime slot,
+                         const std::vector<Cell>& departed) = 0;
+};
+
 /** Abstract N x N switch architecture under test. */
 class SwitchModel
 {
@@ -34,6 +59,24 @@ class SwitchModel
      * steady-state slots perform no heap allocation.
      */
     virtual const std::vector<Cell>& runSlot(SlotTime slot) = 0;
+
+    /**
+     * Run `count` consecutive slots starting at `first`, pulling each
+     * slot's arrivals from `driver` and handing its departures back —
+     * semantically identical to the acceptCell()/runSlot() loop below.
+     * Final implementations override this so the per-cell accept calls
+     * and the slot body devirtualize inside one virtual dispatch per
+     * batch instead of several per slot.
+     */
+    virtual void runSlots(SlotTime first, SlotTime count, SlotDriver& driver)
+    {
+        for (SlotTime s = first; s < first + count; ++s) {
+            const std::vector<Cell>& arrivals = driver.beginSlot(s);
+            for (const Cell& c : arrivals)
+                acceptCell(c);
+            driver.endSlot(s, runSlot(s));
+        }
+    }
 
     /** Cells currently buffered anywhere in the switch. */
     virtual int bufferedCells() const = 0;

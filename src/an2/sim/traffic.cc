@@ -8,33 +8,24 @@ namespace an2 {
 
 TrafficGenerator::TrafficGenerator(int n_inputs, int n_outputs)
     : n_inputs_(n_inputs), n_outputs_(n_outputs),
-      conn_flow_(n_inputs, n_outputs, kNoFlow),
-      next_seq_(n_inputs, n_outputs, 0)
+      conn_(n_inputs, n_outputs, ConnState{})
 {
     AN2_REQUIRE(n_inputs > 0 && n_outputs > 0,
                 "traffic generator needs positive dimensions");
 }
 
-FlowId
-TrafficGenerator::connectionFlow(PortId i, PortId j)
-{
-    FlowId f = conn_flow_.at(i, j);
-    if (f == kNoFlow) {
-        f = flows_.addFlow(i, j, TrafficClass::VBR);
-        conn_flow_.at(i, j) = f;
-    }
-    return f;
-}
-
 Cell
 TrafficGenerator::makeCell(PortId i, PortId j, SlotTime slot)
 {
+    ConnState& cs = conn_.at(i, j);
+    if (cs.flow == kNoFlow)
+        cs.flow = flows_.addFlow(i, j, TrafficClass::VBR);
     Cell c;
-    c.flow = connectionFlow(i, j);
+    c.flow = cs.flow;
     c.input = i;
     c.output = j;
     c.cls = TrafficClass::VBR;
-    c.seq = next_seq_.at(i, j)++;
+    c.seq = cs.seq++;
     c.inject_slot = slot;
     c.arrival_slot = slot;
     ++cells_injected_;

@@ -54,12 +54,19 @@ class TrafficGenerator
     int n_outputs_;
 
   private:
-    /** Lazily-created flow per connection. */
-    FlowId connectionFlow(PortId i, PortId j);
+    /**
+     * Per-connection state, one record so stamping a cell touches one
+     * cache line: the lazily-created flow id and the next FIFO sequence
+     * number.
+     */
+    struct ConnState
+    {
+        FlowId flow = kNoFlow;
+        int64_t seq = 0;
+    };
 
     FlowTable flows_;
-    Matrix<FlowId> conn_flow_;
-    Matrix<int64_t> next_seq_;
+    Matrix<ConnState> conn_;
     int64_t cells_injected_ = 0;
 };
 

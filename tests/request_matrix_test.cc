@@ -268,6 +268,140 @@ TEST(RequestMatrixLiveness, IdempotentAndSurvivesClear)
     EXPECT_EQ(req.numEdges(), 2);
 }
 
+TEST(RequestMatrixDirty, EdgeTransitionsMarkRowsAndCols)
+{
+    RequestMatrix req(6);
+    req.clearDirty();
+    const uint64_t e0 = req.epoch();
+    EXPECT_FALSE(req.anyDirty());
+
+    req.set(2, 4, 1);  // edge born
+    EXPECT_TRUE(req.rowDirty(2));
+    EXPECT_TRUE(req.colDirty(4));
+    EXPECT_FALSE(req.rowDirty(1));
+    EXPECT_FALSE(req.colDirty(3));
+    EXPECT_GT(req.epoch(), e0);
+
+    req.clearDirty();
+    EXPECT_FALSE(req.anyDirty());
+    const uint64_t e1 = req.epoch();
+    EXPECT_EQ(req.epoch(), e1);  // clearDirty leaves the epoch alone
+
+    // A count change that does not cross zero changes no visible edge.
+    req.increment(2, 4);
+    EXPECT_FALSE(req.anyDirty());
+    EXPECT_EQ(req.epoch(), e1);
+
+    req.decrement(2, 4);  // 2 -> 1, still present
+    EXPECT_FALSE(req.anyDirty());
+    req.decrement(2, 4);  // edge dies
+    EXPECT_TRUE(req.rowDirty(2));
+    EXPECT_TRUE(req.colDirty(4));
+    EXPECT_GT(req.epoch(), e1);
+}
+
+TEST(RequestMatrixDirty, ClearLinesMarkEveryAffectedEdge)
+{
+    RequestMatrix req(5);
+    req.set(1, 0, 1);
+    req.set(1, 3, 2);
+    req.set(4, 3, 1);
+    req.clearDirty();
+
+    req.clearRow(1);
+    EXPECT_TRUE(req.rowDirty(1));
+    EXPECT_TRUE(req.colDirty(0));
+    EXPECT_TRUE(req.colDirty(3));
+    EXPECT_FALSE(req.rowDirty(4));
+
+    req.clearDirty();
+    req.clearColumn(3);
+    EXPECT_TRUE(req.rowDirty(4));
+    EXPECT_TRUE(req.colDirty(3));
+    EXPECT_FALSE(req.rowDirty(1));  // row 1 had nothing left in col 3
+
+    // Clearing empty lines changes nothing.
+    req.clearDirty();
+    const uint64_t e = req.epoch();
+    req.clearRow(1);
+    req.clearColumn(3);
+    EXPECT_FALSE(req.anyDirty());
+    EXPECT_EQ(req.epoch(), e);
+}
+
+TEST(RequestMatrixDirty, LivenessFlipsMarkHiddenAndRevivedEdges)
+{
+    RequestMatrix req(4);
+    req.set(2, 1, 1);
+    req.set(2, 3, 2);
+    req.clearDirty();
+    const uint64_t e0 = req.epoch();
+
+    // Killing the input hides two visible edges -> both marked.
+    req.setInputLive(2, false);
+    EXPECT_TRUE(req.rowDirty(2));
+    EXPECT_TRUE(req.colDirty(1));
+    EXPECT_TRUE(req.colDirty(3));
+    EXPECT_GT(req.epoch(), e0);
+
+    // Mutations while dead stay invisible and mark nothing new.
+    req.clearDirty();
+    req.increment(2, 0);  // born hidden
+    EXPECT_FALSE(req.anyDirty());
+
+    // Revival re-exposes the surviving requests -> marked again,
+    // including the one that appeared while the port was dead.
+    req.setInputLive(2, true);
+    EXPECT_TRUE(req.rowDirty(2));
+    EXPECT_TRUE(req.colDirty(0));
+    EXPECT_TRUE(req.colDirty(1));
+    EXPECT_TRUE(req.colDirty(3));
+
+    // Same via the output side.
+    req.clearDirty();
+    req.setOutputLive(1, false);
+    EXPECT_TRUE(req.rowDirty(2));
+    EXPECT_TRUE(req.colDirty(1));
+    req.clearDirty();
+    req.setOutputLive(1, true);
+    EXPECT_TRUE(req.colDirty(1));
+}
+
+TEST(RequestMatrixDirty, CopyConservativelyMarksAllAndBumpsEpoch)
+{
+    RequestMatrix a(4);
+    a.set(0, 0, 1);
+    RequestMatrix b(4);
+    b.set(3, 3, 1);
+    // Drive both epochs forward so max() matters.
+    for (int k = 0; k < 5; ++k) {
+        b.set(1, 1, 1);
+        b.set(1, 1, 0);
+    }
+    a.clearDirty();
+    b.clearDirty();
+    const uint64_t ea = a.epoch();
+    const uint64_t eb = b.epoch();
+
+    b = a;
+    // Every row/column dirty, epoch strictly past both operands: a warm
+    // consumer remembering either epoch can never mistake the copy for
+    // an unchanged matrix.
+    for (PortId p = 0; p < 4; ++p) {
+        EXPECT_TRUE(b.rowDirty(p));
+        EXPECT_TRUE(b.colDirty(p));
+    }
+    EXPECT_GT(b.epoch(), ea);
+    EXPECT_GT(b.epoch(), eb);
+
+    RequestMatrix c(a);  // copy-construction likewise
+    for (PortId p = 0; p < 4; ++p) {
+        EXPECT_TRUE(c.rowDirty(p));
+        EXPECT_TRUE(c.colDirty(p));
+    }
+    EXPECT_GT(c.epoch(), a.epoch());
+}
+
 TEST(RequestMatrixLiveness, ClearLinesOnMaskedMatrix)
 {
     RequestMatrix req(4);
