@@ -89,7 +89,9 @@ main(int argc, char** argv)
         if (!cli.json_path.empty() &&
             !writeSweepJson(cli.json_path, spec, cells))
             return 1;
-        if ((!cli.trace_path.empty() || !cli.snapshot_path.empty()) &&
+        if ((!cli.trace_path.empty() || !cli.snapshot_path.empty() ||
+             !cli.metrics_path.empty() || !cli.metrics_prom_path.empty() ||
+             !cli.blackbox_path.empty()) &&
             !runObservedPoint(spec, cli))
             return 1;
     } catch (const UsageError& e) {

@@ -152,7 +152,8 @@ struct ArchUnderTest
 
     /** 0 = probes unattached (the production configuration), 1 = a
         Recorder attached with counters/histograms only, 2 = counters
-        plus a 64Ki-event trace ring. */
+        plus a 64Ki-event trace ring, 3 = counters plus latency
+        histograms and a metrics time series sampled every 1000 slots. */
     int obs_mode = 0;
 };
 
@@ -181,6 +182,12 @@ archsUnderTest()
                              IqSwitchConfig{.n = n}, makePim(4, seed));
                      },
                      /*obs_mode=*/2});
+    archs.push_back({"PIM(4)+obs-latency",
+                     [](int n, uint64_t seed) {
+                         return std::make_unique<InputQueuedSwitch>(
+                             IqSwitchConfig{.n = n}, makePim(4, seed));
+                     },
+                     /*obs_mode=*/3});
     archs.push_back({"PIM(4)-pipelined", [](int n, uint64_t seed) {
                          return std::make_unique<InputQueuedSwitch>(
                              IqSwitchConfig{.n = n, .pipelined = true},
@@ -251,6 +258,7 @@ struct ArchTiming
     int64_t match_edges_reused = 0;
     int64_t match_edges_repaired = 0;
     int64_t warm_start_full_reuses = 0;
+    int64_t trace_events_dropped = 0;
 };
 
 /** Feeds the switch's batched runSlots() loop: arrivals straight from
@@ -267,9 +275,14 @@ class BenchDriver final : public SlotDriver
         return arrivals_;
     }
 
-    void endSlot(SlotTime, const std::vector<Cell>& departed) override
+    void endSlot(SlotTime slot, const std::vector<Cell>& departed) override
     {
         delivered_ += static_cast<int64_t>(departed.size());
+        // Same delivery probe SimDriver fires in production; one
+        // load+branch per slot when nothing is attached.
+        if (obs::Recorder* rec = obs::current())
+            for (const Cell& c : departed)
+                rec->cellDelivered(c, slot);
     }
 
     int64_t delivered() const { return delivered_; }
@@ -292,8 +305,12 @@ timeArch(const ArchUnderTest& arch, const Cli& cli)
         if (arch.obs_mode > 0) {
             obs::RecorderConfig rc;
             rc.ports = cli.size;
-            if (arch.obs_mode >= 2)
+            if (arch.obs_mode == 2)
                 rc.trace_capacity = 1u << 16;
+            if (arch.obs_mode == 3) {
+                rc.track_latency = true;
+                rc.metrics_every = 1000;
+            }
             rec = std::make_unique<obs::Recorder>(rc);
             obs::attach(rec.get());
         }
@@ -311,6 +328,8 @@ timeArch(const ArchUnderTest& arch, const Cli& cli)
             rec ? rec->counter(obs::Counter::MatchEdgesRepaired) : 0;
         const int64_t full0 =
             rec ? rec->counter(obs::Counter::WarmStartFullReuses) : 0;
+        const int64_t dropped0 =
+            rec ? rec->counter(obs::Counter::TraceEventsDropped) : 0;
         auto t0 = std::chrono::steady_clock::now();
         sw->runSlots(cli.warmup, cli.slots, driver);
         auto t1 = std::chrono::steady_clock::now();
@@ -321,6 +340,8 @@ timeArch(const ArchUnderTest& arch, const Cli& cli)
                 rec->counter(obs::Counter::MatchEdgesRepaired) - repaired0;
             timing.warm_start_full_reuses +=
                 rec->counter(obs::Counter::WarmStartFullReuses) - full0;
+            timing.trace_events_dropped +=
+                rec->counter(obs::Counter::TraceEventsDropped) - dropped0;
             obs::detach();
         }
         const int64_t delivered = driver.delivered();
@@ -385,6 +406,7 @@ timingsToJson(const Cli& cli, const std::vector<ArchTiming>& timings)
             w.key("match_edges_reused").value(t.match_edges_reused);
             w.key("match_edges_repaired").value(t.match_edges_repaired);
             w.key("warm_start_full_reuses").value(t.warm_start_full_reuses);
+            w.key("trace_events_dropped").value(t.trace_events_dropped);
         }
         w.endObject();
     }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "an2/harness/cli.h"
+#include "an2/topo/net_metrics.h"
 #include "an2/topo/net_sweep.h"
 #include "sweep_specs.h"
 
@@ -238,6 +239,27 @@ runNetExperiment(const NetExperiment& exp, const SweepCli& cli)
     if (!cli.json_path.empty()) {
         std::string doc = topo::netSweepToJson(spec, cells);
         if (!writeTextFile(cli.json_path, doc, "an2.netsweep.v1"))
+            return 1;
+    }
+
+    // --metrics / --metrics-prom: re-run the observed grid point (first
+    // topology, highest load, replicate 0) sampling LanStats at frame
+    // boundaries. The samples are byte-identical for any engine/thread
+    // choice, so this doubles as the determinism check in CI.
+    if (!cli.metrics_path.empty() || !cli.metrics_prom_path.empty()) {
+        const int64_t every =
+            cli.metrics_every > 0
+                ? cli.metrics_every
+                : static_cast<int64_t>(spec.net.switch_frame_slots);
+        topo::LanMetricsSeries series(every);
+        topo::observeNetPoint(spec, engine_threads, series);
+        if (!cli.metrics_path.empty() &&
+            !writeTextFile(cli.metrics_path, series.toJsonLines(),
+                           "an2.metrics.v1"))
+            return 1;
+        if (!cli.metrics_prom_path.empty() &&
+            !writeTextFile(cli.metrics_prom_path, series.toPrometheus(),
+                           "metrics exposition"))
             return 1;
     }
     return 0;

@@ -22,7 +22,10 @@
 #include "an2/harness/aggregate.h"
 #include "an2/harness/cli.h"
 #include "an2/harness/sweep.h"
+#include "an2/matching/islip.h"
+#include "an2/obs/blackbox.h"
 #include "an2/obs/recorder.h"
+#include "an2/obs/timeseries.h"
 #include "an2/obs/trace_export.h"
 #include "an2/sim/fifo_switch.h"
 #include "an2/sim/oq_switch.h"
@@ -61,6 +64,18 @@ oqArch()
     return {"OutputQueued",
             [](int n, uint64_t) -> std::unique_ptr<SwitchModel> {
                 return std::make_unique<OutputQueuedSwitch>(n);
+            }};
+}
+
+/** iSLIP input-queued switch with the given iteration count. */
+inline harness::ArchSpec
+islipArch(int iterations)
+{
+    return {"iSLIP(" + std::to_string(iterations) + ")",
+            [iterations](int n, uint64_t) -> std::unique_ptr<SwitchModel> {
+                return std::make_unique<InputQueuedSwitch>(
+                    IqSwitchConfig{.n = n},
+                    std::make_unique<IslipMatcher>(iterations));
             }};
 }
 
@@ -132,6 +147,27 @@ fig5Spec()
     return spec;
 }
 
+/**
+ * Latency-distribution study: PIM(1) vs PIM(4) vs iSLIP(4) on the
+ * Figure 3 workload at the loads where the p99 knee appears. Meant to
+ * be driven with `--metrics` (the sweep itself reports means; the
+ * distributions come from the observed run's latency histograms).
+ */
+inline harness::SweepSpec
+latdistSpec()
+{
+    harness::SweepSpec spec;
+    spec.name = "latdist";
+    spec.description = "delivery-latency distributions (p50/p99/p999), "
+                       "uniform workload, 16x16";
+    spec.workload = "uniform";
+    spec.archs = {pimArch(1), pimArch(4), islipArch(4)};
+    spec.loads = {0.50, 0.90, 0.99};
+    spec.base_seed = 1008;
+    spec.make_traffic = uniformWorkload();
+    return spec;
+}
+
 /** Registry entry for `an2_sweep --experiment NAME`. */
 struct Experiment
 {
@@ -149,6 +185,9 @@ experiments()
          fig4Spec},
         {"fig5", "Figure 5: PIM iterations 1..4/inf vs FIFO, uniform",
          fig5Spec},
+        {"latdist",
+         "latency distributions: PIM(1)/PIM(4)/iSLIP(4), uniform",
+         latdistSpec},
     };
     return kExperiments;
 }
@@ -344,8 +383,10 @@ runObservedPoint(const harness::SweepSpec& spec, const SweepCli& cli)
 
     const int n = spec.sizes[0];
     const double load = spec.loads[static_cast<size_t>(pt->load_index)];
+    const bool want_metrics =
+        !cli.metrics_path.empty() || !cli.metrics_prom_path.empty();
     obs::RecorderConfig rc;
-    rc.trace_capacity = cli.trace_path.empty()
+    rc.trace_capacity = cli.trace_path.empty() && cli.blackbox_path.empty()
                             ? 0
                             : static_cast<size_t>(cli.trace_capacity);
     rc.snapshot_every =
@@ -353,6 +394,10 @@ runObservedPoint(const harness::SweepSpec& spec, const SweepCli& cli)
             ? 0
             : (cli.snapshot_every > 0 ? cli.snapshot_every : 1000);
     rc.ports = n;
+    rc.track_latency = want_metrics;
+    rc.metrics_every =
+        want_metrics ? (cli.metrics_every > 0 ? cli.metrics_every : 1000)
+                     : 0;
     obs::Recorder rec(rc);
 
     std::fprintf(stderr,
@@ -380,7 +425,27 @@ runObservedPoint(const harness::SweepSpec& spec, const SweepCli& cli)
                                                           pt->fault_seed);
         sim.faults = injector.get();
     }
-    runSimulation(*sw, *traffic, sim);
+    // Flight recorder: dumps on invariant panic (hook) and, when the
+    // scenario scripts port/link deaths, on each death event.
+    std::unique_ptr<obs::Blackbox> blackbox;
+    if (!cli.blackbox_path.empty()) {
+        obs::BlackboxConfig bc;
+        bc.path = cli.blackbox_path;
+        blackbox = std::make_unique<obs::Blackbox>(rec, sw.get(), bc);
+        if (injector)
+            injector->addListener(blackbox.get());
+    }
+    try {
+        runSimulation(*sw, *traffic, sim);
+    } catch (const InternalError& e) {
+        obs::detach();
+        std::fprintf(stderr, "error: invariant fired: %s\n", e.what());
+        if (blackbox && blackbox->dumps() > 0)
+            std::fprintf(stderr, "  blackbox post-mortem written to %s\n",
+                         cli.blackbox_path.c_str());
+        return false;
+    }
+    rec.sampleMetricsNow(spec.slots);  // flush the final partial window
     obs::detach();
 
     std::fprintf(stderr, "  observed counters:\n");
@@ -395,6 +460,23 @@ runObservedPoint(const harness::SweepSpec& spec, const SweepCli& cli)
                      "--trace-capacity to keep more)\n",
                      static_cast<long long>(rec.droppedEvents()));
 
+    if (rec.latencyEnabled()) {
+        std::fprintf(stderr, "  delivery latency (slots):\n");
+        for (int cls = 0; cls < 2; ++cls) {
+            const obs::LogHistogram& h = rec.latencyHistogram(
+                static_cast<TrafficClass>(cls));
+            std::fprintf(stderr,
+                         "    %s: count=%lld p50=%lld p99=%lld p999=%lld "
+                         "max=%lld\n",
+                         cls == 0 ? "cbr" : "vbr",
+                         static_cast<long long>(h.count()),
+                         static_cast<long long>(h.quantile(0.50)),
+                         static_cast<long long>(h.quantile(0.99)),
+                         static_cast<long long>(h.quantile(0.999)),
+                         static_cast<long long>(h.max()));
+        }
+    }
+
     bool ok = true;
     if (!cli.trace_path.empty())
         ok = writeTextFile(cli.trace_path, obs::toChromeTraceJson(rec),
@@ -404,6 +486,19 @@ runObservedPoint(const harness::SweepSpec& spec, const SweepCli& cli)
         ok = writeTextFile(cli.snapshot_path, rec.snapshotLines(),
                            "an2.snapshot.v1") &&
              ok;
+    if (!cli.metrics_path.empty())
+        ok = writeTextFile(cli.metrics_path, obs::metricsToJsonLines(rec),
+                           "an2.metrics.v1") &&
+             ok;
+    if (!cli.metrics_prom_path.empty())
+        ok = writeTextFile(cli.metrics_prom_path,
+                           obs::metricsToPrometheus(rec),
+                           "prometheus metrics") &&
+             ok;
+    if (blackbox && blackbox->dumps() > 0)
+        std::fprintf(stderr, "  blackbox: %lld dump(s), latest in %s\n",
+                     static_cast<long long>(blackbox->dumps()),
+                     cli.blackbox_path.c_str());
     return ok;
 }
 

@@ -1,0 +1,259 @@
+#!/usr/bin/env python3
+"""Validate `an2.metrics.v1` and `an2.blackbox.v1` documents.
+
+Usage:
+    scripts/check_metrics.py [--metrics SERIES.jsonl] [--blackbox DUMP.json]
+
+SERIES.jsonl is the JSON-lines time series written by `an2_sweep
+--metrics=FILE` (one sample per window barrier, switch or LAN source);
+DUMP.json is the flight-recorder post-mortem written on an invariant
+panic or scripted fault (`--blackbox=FILE`). The script checks the
+schema banners plus the structural invariants the exporters promise:
+samples strictly ordered by slot with cumulative (non-decreasing)
+counters, conservation between enqueue/dequeue/delivery, latency
+quantiles ordered p50 <= p99 <= p999 <= max, a square VOQ heatmap whose
+column sums never exceed the backlog vector, and counter deltas bounded
+by their absolutes.
+
+Exit code 0 when valid, 1 with a diagnostic on the first violation:
+like the trace check (and unlike the perf smoke) this IS a hard gate,
+because both formats are deterministic and machine-independent.
+"""
+
+import argparse
+import json
+import sys
+
+# Counter keys every switch-source sample must carry (the obs::Counter
+# enum as of an2.metrics.v1; new counters append, never remove).
+SWITCH_COUNTERS = [
+    "slots_run",
+    "cells_enqueued",
+    "cells_dequeued",
+    "cbr_cells_forwarded",
+    "match_iterations",
+    "requests_seen",
+    "grants_issued",
+    "accepts_issued",
+    "cells_delivered",
+    "trace_events_dropped",
+    "metrics_samples",
+    "blackbox_dumps",
+]
+
+LAN_COUNTERS = [
+    "injected",
+    "delivered",
+    "cbr_injected",
+    "vbr_injected",
+    "cbr_delivered",
+    "vbr_delivered",
+    "link_lost",
+    "reroutes",
+    "unroutable",
+]
+
+QUANTILE_KEYS = ["count", "p50", "p99", "p999", "max"]
+
+
+def fail(msg):
+    print(f"check_metrics: FAIL: {msg}")
+    sys.exit(1)
+
+
+def check_quantiles(where, hist):
+    for key in QUANTILE_KEYS:
+        if key not in hist:
+            fail(f"{where}: missing {key!r}")
+        if not isinstance(hist[key], int) or hist[key] < 0:
+            fail(f"{where}: {key} = {hist[key]!r} is not a "
+                 f"non-negative integer")
+    if not hist["p50"] <= hist["p99"] <= hist["p999"] <= hist["max"]:
+        fail(f"{where}: quantiles not monotone: {hist}")
+    if hist["count"] == 0 and hist["max"] != 0:
+        fail(f"{where}: empty histogram with max {hist['max']}")
+
+
+def check_switch_sample(where, doc):
+    counters = doc["counters"]
+    for name in SWITCH_COUNTERS:
+        if name not in counters:
+            fail(f"{where}: counter {name!r} missing")
+    if counters["cells_dequeued"] > counters["cells_enqueued"]:
+        fail(f"{where}: more cells dequeued than enqueued")
+    if counters["cells_delivered"] > counters["cells_dequeued"]:
+        fail(f"{where}: more cells delivered than dequeued")
+    gauges = doc.get("gauges")
+    if not isinstance(gauges, dict) or "buffered_cells" not in gauges:
+        fail(f"{where}: missing gauges.buffered_cells")
+    dropped = doc.get("dropped_samples")
+    if not isinstance(dropped, int) or dropped < 0:
+        fail(f"{where}: bad dropped_samples: {dropped!r}")
+    for section in ("latency", "hop_delay"):
+        block = doc.get(section)
+        if not isinstance(block, dict):
+            fail(f"{where}: missing {section!r} section")
+        for cls in ("cbr", "vbr"):
+            check_quantiles(f"{where}: {section}.{cls}", block[cls])
+    delivered = (doc["latency"]["cbr"]["count"] +
+                 doc["latency"]["vbr"]["count"])
+    if delivered != counters["cells_delivered"]:
+        fail(f"{where}: latency class counts sum to {delivered}, "
+             f"counter says {counters['cells_delivered']}")
+
+
+def check_lan_sample(where, doc):
+    counters = doc["counters"]
+    for name in LAN_COUNTERS:
+        if name not in counters:
+            fail(f"{where}: counter {name!r} missing")
+    if counters["cbr_injected"] + counters["vbr_injected"] \
+            != counters["injected"]:
+        fail(f"{where}: per-class injected does not partition the total")
+    if counters["cbr_delivered"] + counters["vbr_delivered"] \
+            != counters["delivered"]:
+        fail(f"{where}: per-class delivered does not partition the total")
+    if counters["delivered"] > counters["injected"]:
+        fail(f"{where}: more cells delivered than injected")
+    latency = doc.get("latency")
+    if not isinstance(latency, dict) or "mean_wall_ps" not in latency:
+        fail(f"{where}: missing latency.mean_wall_ps")
+
+
+def check_metrics(path):
+    source = None
+    last_slot = None
+    prev_counters = None
+    n_lines = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            if not line.strip():
+                continue
+            where = f"{path}:{lineno}"
+            doc = json.loads(line)
+            if doc.get("schema") != "an2.metrics.v1":
+                fail(f"{where}: schema is {doc.get('schema')!r}, "
+                     f"want 'an2.metrics.v1'")
+            if source is None:
+                source = doc.get("source")
+                if source not in ("switch", "lan"):
+                    fail(f"{where}: unknown source {source!r}")
+            elif doc.get("source") != source:
+                fail(f"{where}: source changed mid-series")
+            slot = doc.get("slot")
+            window = doc.get("window")
+            if not isinstance(slot, int) or slot <= 0:
+                fail(f"{where}: bad slot {slot!r}")
+            if not isinstance(window, int) or window <= 0:
+                fail(f"{where}: bad window {window!r}")
+            if last_slot is not None and slot <= last_slot:
+                fail(f"{where}: slot {slot} does not advance past "
+                     f"{last_slot}")
+            last_slot = slot
+            counters = doc.get("counters")
+            if not isinstance(counters, dict):
+                fail(f"{where}: missing counters object")
+            if prev_counters is not None:
+                for name, value in counters.items():
+                    if value < prev_counters.get(name, 0):
+                        fail(f"{where}: cumulative counter {name} fell "
+                             f"from {prev_counters[name]} to {value}")
+            prev_counters = counters
+            if source == "switch":
+                check_switch_sample(where, doc)
+            else:
+                check_lan_sample(where, doc)
+            n_lines += 1
+    if n_lines == 0:
+        fail(f"{path}: no metrics samples")
+    print(f"  metrics ok: {n_lines} {source} samples, final slot "
+          f"{last_slot}")
+
+
+def check_blackbox(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "an2.blackbox.v1":
+        fail(f"schema is {doc.get('schema')!r}, want 'an2.blackbox.v1'")
+    reason = doc.get("reason")
+    if not isinstance(reason, str) or not reason:
+        fail(f"bad reason: {reason!r}")
+    slot = doc.get("slot")
+    if not isinstance(slot, int) or slot < 0:
+        fail(f"bad slot: {slot!r}")
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        fail("missing counters object")
+    for name in SWITCH_COUNTERS:
+        if name not in counters:
+            fail(f"counter {name!r} missing")
+    deltas = doc.get("counter_deltas", {})
+    for name, value in deltas.items():
+        if name not in counters:
+            fail(f"delta for unknown counter {name!r}")
+        if value == 0:
+            fail(f"zero delta {name!r} should have been omitted")
+        if value > counters[name]:
+            fail(f"delta {name}={value} exceeds absolute "
+                 f"{counters[name]}")
+    # Switch-state sections are present whenever a switch was attached.
+    n = doc.get("ports", 0)
+    if n > 0:
+        for mask in ("live_inputs", "live_outputs"):
+            vec = doc.get(mask)
+            if not isinstance(vec, list) or len(vec) != n:
+                fail(f"{mask} is not a length-{n} vector")
+            if any(v not in (0, 1) for v in vec):
+                fail(f"{mask} has non-boolean entries: {vec}")
+        voq = doc.get("voq")
+        if not isinstance(voq, list) or len(voq) != n \
+                or any(len(row) != n for row in voq):
+            fail(f"voq heatmap is not {n}x{n}")
+        backlog = doc.get("output_backlog")
+        if not isinstance(backlog, list) or len(backlog) != n:
+            fail(f"output_backlog is not a length-{n} vector")
+        # backlog[j] = VOQ column j plus any output-queue residue
+        # (speedup > 1): it can exceed but never undercut the column.
+        for j in range(n):
+            col = sum(voq[i][j] for i in range(n))
+            if backlog[j] < col:
+                fail(f"backlog[{j}]={backlog[j]} below VOQ column "
+                     f"sum {col}")
+        if doc.get("buffered_cells") != sum(backlog):
+            fail(f"buffered_cells={doc.get('buffered_cells')} but "
+                 f"backlog sums to {sum(backlog)}")
+    events = doc.get("events")
+    if not isinstance(events, list):
+        fail("events is not a list")
+    for k, e in enumerate(events):
+        if "slot" not in e or "type" not in e:
+            fail(f"event {k} missing slot/type: {e}")
+        if k > 0 and e["slot"] < events[k - 1]["slot"]:
+            fail(f"event {k}: slot {e['slot']} decreases")
+    omitted = doc.get("events_omitted")
+    if not isinstance(omitted, int) or omitted < 0:
+        fail(f"bad events_omitted: {omitted!r}")
+    print(f"  blackbox ok: {reason!r} at slot {slot}, "
+          f"{len(events)} events ({omitted} omitted)")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Hard-validate an2.metrics.v1 / an2.blackbox.v1 "
+                    "documents.")
+    parser.add_argument("--metrics",
+                        help="an2.metrics.v1 JSON-lines from --metrics")
+    parser.add_argument("--blackbox",
+                        help="an2.blackbox.v1 JSON from --blackbox")
+    args = parser.parse_args()
+    if not args.metrics and not args.blackbox:
+        parser.error("nothing to check; pass --metrics and/or --blackbox")
+    if args.metrics:
+        check_metrics(args.metrics)
+    if args.blackbox:
+        check_blackbox(args.blackbox)
+    print("Metrics check OK.")
+
+
+if __name__ == "__main__":
+    main()

@@ -35,6 +35,20 @@ done
 # (warn-only; see scripts/check_bench.py).
 python3 scripts/check_bench.py "$BUILD/sweeps/netscale.json"
 
+# Telemetry smoke: an an2.metrics.v1 time series off the latdist
+# observed point plus a fault-triggered an2.blackbox.v1 post-mortem,
+# both hard-validated (scripts/check_metrics.py exits 1 on any
+# structural violation).
+"$BUILD/bench/an2_sweep" --experiment latdist --slots 4000 --warmup 400 \
+    --loads 0.9 --metrics "$BUILD/sweeps/latdist_metrics.jsonl" \
+    --metrics-prom "$BUILD/sweeps/latdist_metrics.prom" --json /dev/null
+"$BUILD/bench/an2_sweep" --experiment fig3 --slots 6000 --warmup 500 \
+    --loads 0.9 --faults 'out_down(3)@5000' \
+    --blackbox "$BUILD/sweeps/blackbox_smoke.json" --json /dev/null
+python3 scripts/check_metrics.py \
+    --metrics "$BUILD/sweeps/latdist_metrics.jsonl" \
+    --blackbox "$BUILD/sweeps/blackbox_smoke.json"
+
 # Merge the per-experiment documents into one trajectory file.
 if command -v jq > /dev/null; then
     jq -s '{schema: "an2.sweeps.v1", sweeps: .}' \

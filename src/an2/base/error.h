@@ -39,6 +39,17 @@ std::string formatLocation(const char* file, int line, const std::string& msg);
 /** Throw an InternalError with a formatted location prefix. */
 [[noreturn]] void panicAt(const char* file, int line, const std::string& msg);
 
+/**
+ * Observer invoked with the formatted message just before panicAt()
+ * throws — the flight-recorder hook: a black box installs one to dump a
+ * post-mortem while the failing state is still intact. Thread-local,
+ * reentrancy-guarded (a panic raised *inside* the hook skips it), and
+ * must not throw. Returns the previously installed hook (nullptr if
+ * none) so scoped installers can restore it.
+ */
+using PanicHook = void (*)(void* ctx, const std::string& msg);
+PanicHook setPanicHook(PanicHook hook, void* ctx, void** prev_ctx = nullptr);
+
 }  // namespace an2
 
 /** Report a caller error: invalid arguments/configuration. */

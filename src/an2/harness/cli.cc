@@ -56,6 +56,23 @@ printSweepCliHelp(const char* prog, bool with_experiment)
                     "                      backlog, match-size histogram)\n");
         std::printf("  --snapshot-every K  slots between snapshots "
                     "(default 1000)\n");
+        std::printf("  --metrics FILE      write an an2.metrics.v1 JSON-lines "
+                    "time series\n"
+                    "                      for the observed run (counters, "
+                    "gauges, latency\n"
+                    "                      p50/p99/p999 per traffic class)\n");
+        std::printf("  --metrics-every K   slots between metrics samples "
+                    "(default 1000;\n"
+                    "                      network experiments default to one "
+                    "frame)\n");
+        std::printf("  --metrics-prom FILE write a Prometheus-style text "
+                    "exposition of the\n"
+                    "                      observed run's final state\n");
+        std::printf("  --blackbox FILE     arm the flight recorder: dump an "
+                    "an2.blackbox.v1\n"
+                    "                      post-mortem on invariant failure "
+                    "or scripted\n"
+                    "                      port/link death\n");
     }
     std::printf("  --help              this message\n");
 }
@@ -244,6 +261,29 @@ parseSweepCli(int argc, char** argv, SweepCli& cli, std::string& err)
                 err = badValue("--snapshot-every", v, "a positive integer");
                 return false;
             }
+        } else if (!std::strcmp(a, "--metrics") ||
+                   (v = eqval(a, "--metrics")) != nullptr) {
+            if (!v && !(v = need(i)))
+                return false;
+            cli.metrics_path = v;
+        } else if (!std::strcmp(a, "--metrics-every") ||
+                   (v = eqval(a, "--metrics-every")) != nullptr) {
+            if (!v && !(v = need(i)))
+                return false;
+            if (!parseInt(v, cli.metrics_every) || cli.metrics_every <= 0) {
+                err = badValue("--metrics-every", v, "a positive integer");
+                return false;
+            }
+        } else if (!std::strcmp(a, "--metrics-prom") ||
+                   (v = eqval(a, "--metrics-prom")) != nullptr) {
+            if (!v && !(v = need(i)))
+                return false;
+            cli.metrics_prom_path = v;
+        } else if (!std::strcmp(a, "--blackbox") ||
+                   (v = eqval(a, "--blackbox")) != nullptr) {
+            if (!v && !(v = need(i)))
+                return false;
+            cli.blackbox_path = v;
         } else {
             err = std::string("unknown option: ") + a;
             return false;

@@ -60,6 +60,14 @@ struct SweepCli
     std::string trace_arch;          ///< arch to observe ("" = auto)
     long long trace_capacity = 1 << 16;  ///< event-ring size
     int snapshot_every = 0;          ///< 0 = default (1000) when snapshotting
+
+    // Telemetry (an2_sweep): metrics time series and flight recorder for
+    // the same observed grid point (or, for network experiments, for an
+    // observed run of the first topology at the highest load).
+    std::string metrics_path;        ///< write an2.metrics.v1 JSON lines
+    std::string metrics_prom_path;   ///< write Prometheus text exposition
+    int metrics_every = 0;           ///< 0 = default (1000 slots / 1 frame)
+    std::string blackbox_path;       ///< arm flight recorder, dump here
 };
 
 /** Print the option summary for `prog` to stdout. */

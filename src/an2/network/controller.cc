@@ -1,6 +1,7 @@
 #include "an2/network/controller.h"
 
 #include "an2/base/error.h"
+#include "an2/obs/recorder.h"
 
 namespace an2 {
 
@@ -58,10 +59,16 @@ Controller::drainSink(PicoTime now)
         return;
     arrivals_.clear();
     in_link_->deliverInto(now, arrivals_);
+    obs::Recorder* rec = obs::current();  // hoisted: one load per drain
     for (const Cell& c : arrivals_) {
         FlowDeliveryStats& st = delivered_[c.flow];
         ++st.delivered;
         st.wall_latency_ps.add(static_cast<double>(now - c.inject_ps));
+        if (rec != nullptr)
+            // Wall latency in nominal slot units, like the single-switch
+            // probe; the last hop's output port keys the port histogram.
+            rec->latencySample(c.cls, c.output,
+                               (now - c.inject_ps) / kSlotPicosAt1Gbps);
         st.adjusted_latency_ps.add(
             static_cast<double>(c.frame_end_ps - c.src_frame_end_ps));
         if (c.seq != st.next_expected_seq)

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Log-linear (HDR-style) latency histogram for delay-in-slots samples.
+ *
+ * The bin layout is the classic two-level scheme: values below
+ * 2^kSubBits land in exact unit bins; above that, each power-of-two
+ * range is split into kSubBuckets equal sub-buckets, so the relative
+ * quantization error is bounded by 1/kSubBuckets (~3%) at every scale.
+ * All bins are preallocated in the constructor — add() touches one
+ * counter and never allocates, which is what lets the slot loop keep
+ * latency tracking attached under the zero-alloc test.
+ *
+ * Quantiles return the *lower bound* of the bin holding the requested
+ * rank — an integer, deterministic across platforms, so exported
+ * p50/p99/p999 values are byte-stable in JSON.
+ */
+#ifndef AN2_OBS_LATENCY_H
+#define AN2_OBS_LATENCY_H
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace an2::obs {
+
+class LogHistogram
+{
+  public:
+    /** Sub-bucket resolution: 2^5 = 32 buckets per power of two. */
+    static constexpr int kSubBits = 5;
+    static constexpr int64_t kSubBuckets = int64_t{1} << kSubBits;
+
+    /** Values at or above 2^kValueBits clamp into the last bin (a delay
+        of 2^34 slots is ~3 months of simulated time at 424 ns/slot). */
+    static constexpr int kValueBits = 34;
+
+    /** Total bins: the exact range plus kSubBuckets per extra octave. */
+    static constexpr size_t kBins =
+        static_cast<size_t>(kSubBuckets) +
+        static_cast<size_t>(kValueBits - kSubBits) *
+            static_cast<size_t>(kSubBuckets);
+
+    LogHistogram() : bins_(kBins, 0) {}
+
+    /** Bin index for `v` (negatives clamp to 0, huge values to last). */
+    static size_t binOf(int64_t v)
+    {
+        if (v < kSubBuckets)
+            return static_cast<size_t>(std::max<int64_t>(v, 0));
+        // msb >= kSubBits here; shifting by (msb - kSubBits) renormalizes
+        // v into [kSubBuckets, 2*kSubBuckets).
+        int msb = 63 - std::countl_zero(static_cast<uint64_t>(v));
+        int shift = msb - kSubBits;
+        int64_t sub = v >> shift;
+        size_t bin = static_cast<size_t>(shift + 1) *
+                         static_cast<size_t>(kSubBuckets) +
+                     static_cast<size_t>(sub - kSubBuckets);
+        return std::min(bin, kBins - 1);
+    }
+
+    /** Smallest value mapping into bin `b` (the quantile estimate). */
+    static int64_t binLowerBound(size_t b)
+    {
+        if (b < static_cast<size_t>(kSubBuckets))
+            return static_cast<int64_t>(b);
+        int shift = static_cast<int>(b >> kSubBits) - 1;
+        int64_t sub =
+            kSubBuckets + static_cast<int64_t>(b & (kSubBuckets - 1));
+        return sub << shift;
+    }
+
+    void add(int64_t v)
+    {
+        ++bins_[binOf(v)];
+        ++count_;
+        sum_ += std::max<int64_t>(v, 0);
+        max_ = std::max(max_, v);
+    }
+
+    int64_t count() const { return count_; }
+    int64_t sum() const { return sum_; }
+    int64_t max() const { return max_; }
+
+    /** Mean of the exact samples (not the binned estimate); 0 if empty. */
+    double mean() const
+    {
+        return count_ == 0 ? 0.0
+                           : static_cast<double>(sum_) /
+                                 static_cast<double>(count_);
+    }
+
+    /**
+     * Value at quantile `q` in [0, 1]: the lower bound of the bin that
+     * contains the ceil(q * count)-th smallest sample (rank clamps to at
+     * least 1). Returns 0 when the histogram is empty.
+     */
+    int64_t quantile(double q) const
+    {
+        if (count_ == 0)
+            return 0;
+        int64_t rank = static_cast<int64_t>(
+            static_cast<double>(count_) * q + 0.9999999999);
+        rank = std::clamp<int64_t>(rank, 1, count_);
+        int64_t seen = 0;
+        for (size_t b = 0; b < kBins; ++b) {
+            seen += bins_[b];
+            if (seen >= rank)
+                return binLowerBound(b);
+        }
+        return binLowerBound(kBins - 1);
+    }
+
+    /** Add every sample of `other` into this histogram. */
+    void merge(const LogHistogram& other)
+    {
+        for (size_t b = 0; b < kBins; ++b)
+            bins_[b] += other.bins_[b];
+        count_ += other.count_;
+        sum_ += other.sum_;
+        max_ = std::max(max_, other.max_);
+    }
+
+    void reset()
+    {
+        std::fill(bins_.begin(), bins_.end(), 0);
+        count_ = 0;
+        sum_ = 0;
+        max_ = 0;
+    }
+
+    const std::vector<int64_t>& bins() const { return bins_; }
+
+  private:
+    std::vector<int64_t> bins_;
+    int64_t count_ = 0;
+    int64_t sum_ = 0;
+    int64_t max_ = 0;
+};
+
+}  // namespace an2::obs
+
+#endif  // AN2_OBS_LATENCY_H

@@ -88,8 +88,20 @@ enum class Counter : int {
     /** Warm start: slots whose matching was replayed wholesale because
         the request matrix was unchanged since the previous slot. */
     WarmStartFullReuses,
+    /** Cells delivered to their final sink (latency samples taken). */
+    CellsDelivered,
+    /** Trace-ring events overwritten because the ring was full
+        (drop-oldest eviction; a truncated trace is detectable here). */
+    TraceEventsDropped,
+    /** Time-series samples taken into the metrics ring. */
+    MetricsSamples,
+    /** Flight-recorder post-mortems captured. */
+    BlackboxDumps,
     kCount,
 };
+
+/** Number of counters, for sizing flat sample arrays. */
+inline constexpr size_t kNumCounters = static_cast<size_t>(Counter::kCount);
 
 /** Point-in-time gauges (last written value wins). */
 enum class Gauge : int {
@@ -99,6 +111,9 @@ enum class Gauge : int {
     LastMatchSize,
     kCount,
 };
+
+/** Number of gauges, for sizing flat sample arrays. */
+inline constexpr size_t kNumGauges = static_cast<size_t>(Gauge::kCount);
 
 /** Stable probe names for JSON export and reports. */
 const char* counterName(Counter c);

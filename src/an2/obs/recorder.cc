@@ -57,6 +57,10 @@ counterName(Counter c)
       case Counter::MatchEdgesReused:     return "match_edges_reused";
       case Counter::MatchEdgesRepaired:   return "match_edges_repaired";
       case Counter::WarmStartFullReuses:  return "warm_start_full_reuses";
+      case Counter::CellsDelivered:       return "cells_delivered";
+      case Counter::TraceEventsDropped:   return "trace_events_dropped";
+      case Counter::MetricsSamples:       return "metrics_samples";
+      case Counter::BlackboxDumps:        return "blackbox_dumps";
       case Counter::kCount:               break;
     }
     return "unknown";
@@ -78,7 +82,9 @@ Recorder::Recorder(const RecorderConfig& config)
       gauges_(static_cast<size_t>(Gauge::kCount), 0),
       capacity_(config.trace_capacity),
       snapshot_every_(config.snapshot_every),
-      ports_(config.ports)
+      ports_(config.ports),
+      track_latency_(config.track_latency),
+      metrics_every_(config.metrics_every)
 {
     AN2_REQUIRE(config.max_iterations > 0,
                 "iterations histogram needs at least one bin");
@@ -87,6 +93,14 @@ Recorder::Recorder(const RecorderConfig& config)
     AN2_REQUIRE(config.ports >= 0, "ports must be non-negative");
     AN2_REQUIRE(config.snapshot_every == 0 || config.ports > 0,
                 "snapshots need the switch size (RecorderConfig::ports)");
+    AN2_REQUIRE(config.metrics_every >= 0,
+                "metrics period must be non-negative");
+    AN2_REQUIRE(config.metrics_every == 0 || config.metrics_capacity > 0,
+                "metrics sampling needs a non-empty ring");
+    if (track_latency_ && ports_ > 0)
+        lat_port_.assign(2 * static_cast<size_t>(ports_), LogHistogram{});
+    if (metrics_every_ > 0)
+        metrics_ = TimeSeries(metrics_every_, config.metrics_capacity);
     ring_.resize(capacity_);
     iter_hist_.assign(static_cast<size_t>(config.max_iterations), 0);
     if (ports_ > 0) {
@@ -127,6 +141,7 @@ Recorder::record(EventType type, MatchAlg alg, uint16_t iter, int32_t a,
         pos = head_;
         head_ = (head_ + 1) % capacity_;
         ++dropped_;
+        add(Counter::TraceEventsDropped, 1);
     }
     Event& e = ring_[pos];
     e.slot = slot_;
@@ -142,6 +157,11 @@ Recorder::record(EventType type, MatchAlg alg, uint16_t iter, int32_t a,
 void
 Recorder::beginSlot(SlotTime slot)
 {
+    // Sample at the *start* of a window-boundary slot so the sample
+    // covers everything through the previous slot, including deliveries
+    // the driver records after runSlot() returns.
+    if (metrics_every_ > 0 && slot > 0 && slot % metrics_every_ == 0)
+        sampleMetricsNow(slot);
     slot_ = slot;
     slot_productive_iters_ = 0;
     record(EventType::SlotBegin, MatchAlg::Pim, 0, 0, 0, 0, 0);
@@ -211,8 +231,71 @@ void
 Recorder::cellDequeued(const Cell& cell)
 {
     add(Counter::CellsDequeued, 1);
+    if (track_latency_)
+        hop_class_[static_cast<size_t>(cell.cls)].add(
+            std::max<int64_t>(slot_ - cell.arrival_slot, 0));
     record(EventType::Dequeue, MatchAlg::Pim, 0, cell.input, cell.output,
            cell.flow, static_cast<int32_t>(cell.seq));
+}
+
+void
+Recorder::latencySample(TrafficClass cls, PortId output, int64_t delay_slots)
+{
+    add(Counter::CellsDelivered, 1);
+    if (!track_latency_)
+        return;
+    int64_t d = std::max<int64_t>(delay_slots, 0);
+    lat_class_[static_cast<size_t>(cls)].add(d);
+    if (!lat_port_.empty() && output >= 0 && output < ports_)
+        lat_port_[static_cast<size_t>(cls) * static_cast<size_t>(ports_) +
+                  static_cast<size_t>(output)]
+            .add(d);
+}
+
+const LogHistogram*
+Recorder::portLatencyHistogram(TrafficClass cls, PortId output) const
+{
+    if (lat_port_.empty() || output < 0 || output >= ports_)
+        return nullptr;
+    return &lat_port_[static_cast<size_t>(cls) *
+                          static_cast<size_t>(ports_) +
+                      static_cast<size_t>(output)];
+}
+
+namespace {
+
+/** Fill one per-class summary from a histogram. */
+void
+summarize(const LogHistogram& h, LatencySummary& out)
+{
+    out.count = h.count();
+    out.p50 = h.quantile(0.50);
+    out.p99 = h.quantile(0.99);
+    out.p999 = h.quantile(0.999);
+    out.max = h.max();
+}
+
+}  // namespace
+
+void
+Recorder::sampleMetricsNow(SlotTime slot)
+{
+    if (!metrics_.enabled() || slot == last_sample_slot_)
+        return;
+    last_sample_slot_ = slot;
+    add(Counter::MetricsSamples, 1);
+    MetricsSample& s = sample_scratch_;
+    s.slot = slot;
+    s.dropped_samples = metrics_.dropped();
+    for (size_t c = 0; c < kNumCounters; ++c)
+        s.counters[c] = counters_[c];
+    for (size_t g = 0; g < kNumGauges; ++g)
+        s.gauges[g] = gauges_[g];
+    for (size_t cls = 0; cls < 2; ++cls) {
+        summarize(lat_class_[cls], s.latency[cls]);
+        summarize(hop_class_[cls], s.hop_delay[cls]);
+    }
+    metrics_.push(s);
 }
 
 void

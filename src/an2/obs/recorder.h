@@ -20,7 +20,9 @@
 
 #include "an2/base/types.h"
 #include "an2/cell/cell.h"
+#include "an2/obs/latency.h"
 #include "an2/obs/probe.h"
+#include "an2/obs/timeseries.h"
 
 namespace an2::obs {
 
@@ -43,6 +45,19 @@ struct RecorderConfig
     /** Bins of the iterations-to-convergence histogram (counts clamp
         into the last bin). */
     int max_iterations = 64;
+
+    /** Track delivery-latency and per-hop-delay histograms (log-linear,
+        keyed by traffic class; per-output-port breakdowns additionally
+        require `ports`). All bins preallocate here. */
+    bool track_latency = false;
+
+    /** Sample all counters/gauges/latency quantiles into the metrics
+        ring at every slot S > 0 with S %% metrics_every == 0 (i.e. at
+        window boundaries); 0 disables the time series. */
+    int metrics_every = 0;
+
+    /** Metrics-ring capacity in samples (drop-oldest once full). */
+    size_t metrics_capacity = 4096;
 };
 
 /** Collects probe output for one observed thread. */
@@ -118,6 +133,54 @@ class Recorder
 
     void cellEnqueued(const Cell& cell);
     void cellDequeued(const Cell& cell);
+
+    // ---- latency probes --------------------------------------------------
+
+    /**
+     * Record one end-to-end delivery: counts CellsDelivered always and,
+     * when latency tracking is on, adds `delay_slots` to the class (and,
+     * if `output` is in [0, ports), the per-output) histogram.
+     */
+    void latencySample(TrafficClass cls, PortId output, int64_t delay_slots);
+
+    /** Delivery of `cell` at `slot` (delay = slot - inject_slot). */
+    void cellDelivered(const Cell& cell, SlotTime slot)
+    {
+        latencySample(cell.cls, cell.output, slot - cell.inject_slot);
+    }
+
+    bool latencyEnabled() const { return track_latency_; }
+
+    /** End-to-end delivery latency per class (empty when untracked). */
+    const LogHistogram& latencyHistogram(TrafficClass cls) const
+    {
+        return lat_class_[static_cast<size_t>(cls)];
+    }
+
+    /** Per-output delivery latency, or nullptr when per-port tracking is
+        unavailable (latency untracked, ports == 0, or out of range). */
+    const LogHistogram* portLatencyHistogram(TrafficClass cls,
+                                             PortId output) const;
+
+    /** Per-hop queueing delay (dequeue slot - arrival slot) per class. */
+    const LogHistogram& hopDelayHistogram(TrafficClass cls) const
+    {
+        return hop_class_[static_cast<size_t>(cls)];
+    }
+
+    // ---- metrics time series ---------------------------------------------
+
+    bool metricsEnabled() const { return metrics_.enabled(); }
+
+    const TimeSeries& metrics() const { return metrics_; }
+
+    /**
+     * Take one sample stamped `slot` right now. beginSlot() calls this
+     * at window boundaries; callers invoke it directly after a run to
+     * flush the final partial window. Duplicate slots are ignored, so
+     * flushing after an exact boundary is harmless.
+     */
+    void sampleMetricsNow(SlotTime slot);
 
     // ---- event ring ------------------------------------------------------
 
@@ -201,6 +264,18 @@ class Recorder
     std::vector<int32_t> voq_;
     std::vector<int32_t> backlog_;
     std::string snapshot_jsonl_;
+
+    bool track_latency_ = false;
+    std::array<LogHistogram, 2> lat_class_;  ///< by TrafficClass
+    std::array<LogHistogram, 2> hop_class_;  ///< by TrafficClass
+    /** Per-output latency, class-major (2 * ports entries); empty unless
+        track_latency and ports > 0. */
+    std::vector<LogHistogram> lat_port_;
+
+    int metrics_every_ = 0;
+    TimeSeries metrics_;
+    SlotTime last_sample_slot_ = -1;
+    MetricsSample sample_scratch_;
 };
 
 // ---- inline probe helpers (the instrumented-code entry points) -----------
@@ -257,6 +332,20 @@ faultEvent(int kind, int target)
 {
     if (Recorder* r = current())
         r->faultEvent(kind, target);
+}
+
+inline void
+cellDelivered(const Cell& cell, SlotTime slot)
+{
+    if (Recorder* r = current())
+        r->cellDelivered(cell, slot);
+}
+
+inline void
+latencySample(TrafficClass cls, PortId output, int64_t delay_slots)
+{
+    if (Recorder* r = current())
+        r->latencySample(cls, output, delay_slots);
 }
 
 }  // namespace an2::obs

@@ -1,0 +1,183 @@
+#include "an2/obs/timeseries.h"
+
+#include <cstdio>
+
+#include "an2/base/error.h"
+#include "an2/harness/json_writer.h"
+#include "an2/obs/recorder.h"
+
+namespace an2::obs {
+
+using harness::JsonStyle;
+using harness::JsonWriter;
+
+TimeSeries::TimeSeries(int every, size_t capacity)
+    : every_(every), capacity_(capacity)
+{
+    AN2_REQUIRE(every > 0, "time-series period must be positive");
+    AN2_REQUIRE(capacity > 0, "time-series ring must hold a sample");
+    ring_.resize(capacity_);
+}
+
+void
+TimeSeries::push(const MetricsSample& s)
+{
+    if (capacity_ == 0)
+        return;
+    size_t pos;
+    if (size_ < capacity_) {
+        pos = (head_ + size_) % capacity_;
+        ++size_;
+    } else {
+        pos = head_;
+        head_ = (head_ + 1) % capacity_;
+        ++dropped_;
+    }
+    ring_[pos] = s;
+}
+
+const MetricsSample&
+TimeSeries::sample(size_t k) const
+{
+    AN2_REQUIRE(k < size_, "sample index out of range");
+    return ring_[(head_ + k) % capacity_];
+}
+
+namespace {
+
+const char* kClassNames[2] = {"cbr", "vbr"};
+
+void
+writeSummary(JsonWriter& w, const LatencySummary& s)
+{
+    w.beginObject();
+    w.key("count").value(s.count);
+    w.key("p50").value(s.p50);
+    w.key("p99").value(s.p99);
+    w.key("p999").value(s.p999);
+    w.key("max").value(s.max);
+    w.endObject();
+}
+
+}  // namespace
+
+std::string
+metricsToJsonLines(const Recorder& recorder)
+{
+    const TimeSeries& ts = recorder.metrics();
+    std::string out;
+    for (size_t k = 0; k < ts.size(); ++k) {
+        const MetricsSample& s = ts.sample(k);
+        JsonWriter w(JsonStyle::Compact);
+        w.beginObject();
+        w.key("schema").value("an2.metrics.v1");
+        w.key("source").value("switch");
+        w.key("slot").value(static_cast<int64_t>(s.slot));
+        w.key("window").value(ts.every());
+        w.key("dropped_samples").value(s.dropped_samples);
+        w.key("counters").beginObject();
+        for (size_t c = 0; c < kNumCounters; ++c)
+            w.key(counterName(static_cast<Counter>(c))).value(s.counters[c]);
+        w.endObject();
+        w.key("gauges").beginObject();
+        for (size_t g = 0; g < kNumGauges; ++g)
+            w.key(gaugeName(static_cast<Gauge>(g))).value(s.gauges[g]);
+        w.endObject();
+        if (recorder.latencyEnabled()) {
+            w.key("latency").beginObject();
+            for (size_t cls = 0; cls < 2; ++cls) {
+                w.key(kClassNames[cls]);
+                writeSummary(w, s.latency[cls]);
+            }
+            w.endObject();
+            w.key("hop_delay").beginObject();
+            for (size_t cls = 0; cls < 2; ++cls) {
+                w.key(kClassNames[cls]);
+                writeSummary(w, s.hop_delay[cls]);
+            }
+            w.endObject();
+        }
+        w.endObject();
+        out += w.str();  // Compact str() ends with the newline.
+    }
+    return out;
+}
+
+namespace {
+
+/** `name{class="cbr",quantile="0.5"} value` exposition lines for one
+    histogram; `port` >= 0 adds a port label. */
+void
+promHistogram(std::string& out, const char* name, const char* cls,
+              int port, const LogHistogram& h)
+{
+    char labels[64];
+    if (port >= 0)
+        std::snprintf(labels, sizeof labels, "class=\"%s\",port=\"%d\"",
+                      cls, port);
+    else
+        std::snprintf(labels, sizeof labels, "class=\"%s\"", cls);
+    char line[160];
+    static const struct
+    {
+        const char* q;
+        double v;
+    } kQuantiles[] = {{"0.5", 0.50}, {"0.99", 0.99}, {"0.999", 0.999}};
+    for (const auto& q : kQuantiles) {
+        std::snprintf(line, sizeof line,
+                      "%s{%s,quantile=\"%s\"} %lld\n", name, labels, q.q,
+                      static_cast<long long>(h.quantile(q.v)));
+        out += line;
+    }
+    std::snprintf(line, sizeof line, "%s_count{%s} %lld\n", name, labels,
+                  static_cast<long long>(h.count()));
+    out += line;
+}
+
+}  // namespace
+
+std::string
+metricsToPrometheus(const Recorder& recorder)
+{
+    std::string out;
+    char line[160];
+    for (size_t c = 0; c < kNumCounters; ++c) {
+        const char* name = counterName(static_cast<Counter>(c));
+        std::snprintf(line, sizeof line,
+                      "# TYPE an2_%s counter\nan2_%s %lld\n", name, name,
+                      static_cast<long long>(
+                          recorder.counter(static_cast<Counter>(c))));
+        out += line;
+    }
+    for (size_t g = 0; g < kNumGauges; ++g) {
+        const char* name = gaugeName(static_cast<Gauge>(g));
+        std::snprintf(line, sizeof line,
+                      "# TYPE an2_%s gauge\nan2_%s %lld\n", name, name,
+                      static_cast<long long>(
+                          recorder.gauge(static_cast<Gauge>(g))));
+        out += line;
+    }
+    if (!recorder.latencyEnabled())
+        return out;
+    out += "# TYPE an2_latency_slots summary\n";
+    for (size_t cls = 0; cls < 2; ++cls) {
+        TrafficClass tc = static_cast<TrafficClass>(cls);
+        promHistogram(out, "an2_latency_slots", kClassNames[cls], -1,
+                      recorder.latencyHistogram(tc));
+        // Per-port breakdowns, ports with samples only (bounded output).
+        for (int p = 0; p < recorder.ports(); ++p) {
+            const LogHistogram* h = recorder.portLatencyHistogram(tc, p);
+            if (h != nullptr && h->count() > 0)
+                promHistogram(out, "an2_latency_slots", kClassNames[cls],
+                              p, *h);
+        }
+    }
+    out += "# TYPE an2_hop_delay_slots summary\n";
+    for (size_t cls = 0; cls < 2; ++cls)
+        promHistogram(out, "an2_hop_delay_slots", kClassNames[cls], -1,
+                      recorder.hopDelayHistogram(
+                          static_cast<TrafficClass>(cls)));
+    return out;
+}
+
+}  // namespace an2::obs

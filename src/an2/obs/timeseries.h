@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Windowed metrics time series: every K slots the Recorder copies all
+ * counters, gauges, and latency-quantile summaries into one POD
+ * MetricsSample and pushes it onto a preallocated ring (drop-oldest).
+ * Sampling happens at slot-multiples of K — in network runs those line
+ * up with engine window barriers, so the exported series is
+ * byte-identical for any thread count.
+ *
+ * Exported forms (exporters live in timeseries.cc and allocate freely;
+ * the ring itself never does after construction):
+ *
+ *  - metricsToJsonLines(): one `an2.metrics.v1` JSON document per line,
+ *    cumulative counters, suitable for offline diffing and plotting.
+ *  - metricsToPrometheus(): point-in-time text exposition of the
+ *    recorder's current state (counters, gauges, latency quantiles).
+ */
+#ifndef AN2_OBS_TIMESERIES_H
+#define AN2_OBS_TIMESERIES_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "an2/base/types.h"
+#include "an2/obs/probe.h"
+
+namespace an2::obs {
+
+class Recorder;
+
+/** Per-class latency summary inside a sample (delay in slots). */
+struct LatencySummary
+{
+    int64_t count = 0;
+    int64_t p50 = 0;
+    int64_t p99 = 0;
+    int64_t p999 = 0;
+    int64_t max = 0;
+};
+
+/** One windowed sample: the recorder's cumulative state at `slot`. */
+struct MetricsSample
+{
+    SlotTime slot = 0;
+    int64_t dropped_samples = 0;  ///< ring evictions before this sample
+    std::array<int64_t, kNumCounters> counters{};
+    std::array<int64_t, kNumGauges> gauges{};
+    /** Delivery latency per class, indexed by TrafficClass value. */
+    std::array<LatencySummary, 2> latency{};
+    /** Per-hop queueing delay per class, indexed by TrafficClass value. */
+    std::array<LatencySummary, 2> hop_delay{};
+};
+
+/** Fixed-capacity drop-oldest ring of MetricsSamples. */
+class TimeSeries
+{
+  public:
+    TimeSeries() = default;
+
+    TimeSeries(int every, size_t capacity);
+
+    /** Sampling period in slots; 0 means the series is disabled. */
+    int every() const { return every_; }
+
+    bool enabled() const { return every_ > 0; }
+
+    /** Append `s` (drop-oldest once full; no allocation). */
+    void push(const MetricsSample& s);
+
+    size_t size() const { return size_; }
+
+    /** The k-th oldest retained sample, k in [0, size()). */
+    const MetricsSample& sample(size_t k) const;
+
+    /** Samples evicted because the ring was full. */
+    int64_t dropped() const { return dropped_; }
+
+  private:
+    std::vector<MetricsSample> ring_;
+    int every_ = 0;
+    size_t capacity_ = 0;
+    size_t head_ = 0;
+    size_t size_ = 0;
+    int64_t dropped_ = 0;
+};
+
+/** All retained samples as an2.metrics.v1 JSON lines (source "switch"). */
+std::string metricsToJsonLines(const Recorder& recorder);
+
+/** Prometheus-style text exposition of the recorder's current state. */
+std::string metricsToPrometheus(const Recorder& recorder);
+
+}  // namespace an2::obs
+
+#endif  // AN2_OBS_TIMESERIES_H

@@ -346,13 +346,9 @@ InputQueuedSwitch::runSlots(SlotTime first, SlotTime count,
 }
 
 void
-InputQueuedSwitch::takeSnapshot(obs::Recorder& rec, SlotTime slot) const
+InputQueuedSwitch::fillOccupancy(int32_t* voq, int32_t* backlog) const
 {
-    AN2_REQUIRE(rec.ports() == config_.n,
-                "recorder snapshot ports do not match the switch size");
     const int n = config_.n;
-    int32_t* voq = rec.voqMatrix();
-    int32_t* backlog = rec.outputBacklog();
     for (PortId j = 0; j < n; ++j)
         backlog[j] = out_queues_.empty()
                          ? 0
@@ -368,6 +364,14 @@ InputQueuedSwitch::takeSnapshot(obs::Recorder& rec, SlotTime slot) const
             backlog[j] += cells;
         }
     }
+}
+
+void
+InputQueuedSwitch::takeSnapshot(obs::Recorder& rec, SlotTime slot) const
+{
+    AN2_REQUIRE(rec.ports() == config_.n,
+                "recorder snapshot ports do not match the switch size");
+    fillOccupancy(rec.voqMatrix(), rec.outputBacklog());
     rec.commitSnapshot(slot, bufferedCells());
 }
 

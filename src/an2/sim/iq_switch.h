@@ -117,6 +117,10 @@ class InputQueuedSwitch final : public SwitchModel
     /** The persistent VBR request matrix (patched incrementally). */
     const RequestMatrix& vbrRequests() const { return vbr_req_; }
 
+    /** Real VOQ occupancy (VBR + CBR buffers, plus speedup output
+        queues in the backlog). */
+    void fillOccupancy(int32_t* voq, int32_t* backlog) const override;
+
   private:
     /** Serve the frame schedule's pairings for `slot` into forwarded_,
         marking claimed ports in in_busy_/out_busy_; returns count. */

@@ -51,9 +51,12 @@ class SimDriver final : public SlotDriver
 
     void endSlot(SlotTime slot, const std::vector<Cell>& departed) override
     {
+        obs::Recorder* rec = obs::current();  // hoisted: one load per slot
         for (const Cell& c : departed) {
             metrics_.noteDelivered(c, slot);
             ++delivered_;
+            if (rec != nullptr)
+                rec->cellDelivered(c, slot);
             if (config_.on_delivered)
                 config_.on_delivered(c, slot);
         }

@@ -343,10 +343,32 @@ Lan::stats() const
             out.vbr_dropped += sw.vbrDropped();
         }
     }
+    // Per-class split in a second pass keyed by the flow table (the
+    // aggregate sums above keep their original accumulation order, so
+    // their floating-point results are unchanged).
+    double cbr_wall_sum = 0.0;
+    double vbr_wall_sum = 0.0;
     for (FlowId f = 0; f < static_cast<FlowId>(flows_.size()); ++f) {
         const FlowRecord& rec = flows_[static_cast<size_t>(f)];
-        out.injected +=
-            net_.controller(rec.src).injectedCells(f);
+        int64_t injected = net_.controller(rec.src).injectedCells(f);
+        out.injected += injected;
+        const Controller& sink = net_.controller(rec.dst);
+        int64_t delivered = 0;
+        double wall = 0.0;
+        if (sink.hasDeliveries(f)) {
+            const FlowDeliveryStats& st = sink.deliveryStats(f);
+            delivered = st.delivered;
+            wall = st.wall_latency_ps.sum();
+        }
+        if (rec.cls == TrafficClass::CBR) {
+            out.cbr_injected += injected;
+            out.cbr_delivered += delivered;
+            cbr_wall_sum += wall;
+        } else {
+            out.vbr_injected += injected;
+            out.vbr_delivered += delivered;
+            vbr_wall_sum += wall;
+        }
     }
     for (int l = 0; l < net_.numLinks(); ++l)
         out.link_lost += net_.linkAt(l).cellsLost();
@@ -356,6 +378,12 @@ Lan::stats() const
         out.mean_adjusted_latency_ps =
             adj_sum / static_cast<double>(out.delivered);
     }
+    if (out.cbr_delivered > 0)
+        out.mean_cbr_wall_latency_ps =
+            cbr_wall_sum / static_cast<double>(out.cbr_delivered);
+    if (out.vbr_delivered > 0)
+        out.mean_vbr_wall_latency_ps =
+            vbr_wall_sum / static_cast<double>(out.vbr_delivered);
     return out;
 }
 

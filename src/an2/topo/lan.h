@@ -101,6 +101,16 @@ struct LanStats
 
     /** Delivery-weighted mean Appendix B adjusted latency. */
     double mean_adjusted_latency_ps = 0.0;
+
+    // Per-traffic-class splits of the injection/delivery/latency totals
+    // (the telemetry pipeline reports CBR and VBR separately; the
+    // paper's reservation argument is about exactly this split).
+    int64_t cbr_injected = 0;
+    int64_t vbr_injected = 0;
+    int64_t cbr_delivered = 0;
+    int64_t vbr_delivered = 0;
+    double mean_cbr_wall_latency_ps = 0.0;
+    double mean_vbr_wall_latency_ps = 0.0;
 };
 
 /** A Topology instantiated as a runnable Network. */

@@ -1,0 +1,134 @@
+#include "an2/topo/net_metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "an2/base/error.h"
+#include "an2/harness/json_writer.h"
+
+namespace an2::topo {
+
+using harness::JsonStyle;
+using harness::JsonWriter;
+
+LanMetricsSeries::LanMetricsSeries(int64_t every_slots)
+    : every_slots_(every_slots)
+{
+    AN2_REQUIRE(every_slots > 0, "metrics period must be positive");
+}
+
+void
+LanMetricsSeries::sample(SlotTime slot, const LanStats& stats)
+{
+    samples_.push_back(LanMetricsSample{slot, stats});
+}
+
+std::string
+LanMetricsSeries::toJsonLines() const
+{
+    std::string out;
+    for (const LanMetricsSample& s : samples_) {
+        JsonWriter w(JsonStyle::Compact);
+        w.beginObject();
+        w.key("schema").value("an2.metrics.v1");
+        w.key("source").value("lan");
+        w.key("slot").value(static_cast<int64_t>(s.slot));
+        w.key("window").value(every_slots_);
+        w.key("counters").beginObject();
+        w.key("injected").value(s.stats.injected);
+        w.key("delivered").value(s.stats.delivered);
+        w.key("cbr_injected").value(s.stats.cbr_injected);
+        w.key("vbr_injected").value(s.stats.vbr_injected);
+        w.key("cbr_delivered").value(s.stats.cbr_delivered);
+        w.key("vbr_delivered").value(s.stats.vbr_delivered);
+        w.key("cbr_forwarded").value(s.stats.cbr_forwarded);
+        w.key("vbr_forwarded").value(s.stats.vbr_forwarded);
+        w.key("vbr_dropped").value(s.stats.vbr_dropped);
+        w.key("link_lost").value(s.stats.link_lost);
+        w.key("order_violations").value(s.stats.order_violations);
+        w.key("reroutes").value(s.stats.reroutes);
+        w.key("unroutable").value(s.stats.unroutable);
+        w.endObject();
+        w.key("latency").beginObject();
+        w.key("mean_wall_ps").value(s.stats.mean_wall_latency_ps);
+        w.key("mean_adjusted_ps").value(s.stats.mean_adjusted_latency_ps);
+        w.key("cbr_mean_wall_ps").value(s.stats.mean_cbr_wall_latency_ps);
+        w.key("vbr_mean_wall_ps").value(s.stats.mean_vbr_wall_latency_ps);
+        w.endObject();
+        w.endObject();
+        out += w.str();  // Compact str() ends with the newline.
+    }
+    return out;
+}
+
+std::string
+LanMetricsSeries::toPrometheus() const
+{
+    std::string out;
+    if (samples_.empty())
+        return out;
+    const LanStats& s = samples_.back().stats;
+    char line[128];
+    const struct
+    {
+        const char* name;
+        int64_t v;
+    } kCounters[] = {
+        {"injected", s.injected},
+        {"delivered", s.delivered},
+        {"cbr_injected", s.cbr_injected},
+        {"vbr_injected", s.vbr_injected},
+        {"cbr_delivered", s.cbr_delivered},
+        {"vbr_delivered", s.vbr_delivered},
+        {"cbr_forwarded", s.cbr_forwarded},
+        {"vbr_forwarded", s.vbr_forwarded},
+        {"vbr_dropped", s.vbr_dropped},
+        {"link_lost", s.link_lost},
+        {"order_violations", s.order_violations},
+        {"reroutes", s.reroutes},
+        {"unroutable", s.unroutable},
+    };
+    for (const auto& c : kCounters) {
+        std::snprintf(line, sizeof line,
+                      "# TYPE an2_lan_%s counter\nan2_lan_%s %lld\n",
+                      c.name, c.name, static_cast<long long>(c.v));
+        out += line;
+    }
+    const struct
+    {
+        const char* name;
+        double v;
+    } kGauges[] = {
+        {"mean_wall_latency_ps", s.mean_wall_latency_ps},
+        {"mean_adjusted_latency_ps", s.mean_adjusted_latency_ps},
+        {"cbr_mean_wall_latency_ps", s.mean_cbr_wall_latency_ps},
+        {"vbr_mean_wall_latency_ps", s.mean_vbr_wall_latency_ps},
+    };
+    for (const auto& g : kGauges) {
+        std::snprintf(line, sizeof line,
+                      "# TYPE an2_lan_%s gauge\nan2_lan_%s %.6f\n",
+                      g.name, g.name, g.v);
+        out += line;
+    }
+    return out;
+}
+
+void
+runLanWithMetrics(Lan& lan, int64_t frames, int threads,
+                  LanMetricsSeries& series)
+{
+    AN2_REQUIRE(frames > 0, "must run at least one frame");
+    const NetworkConfig& net = lan.net().config();
+    const int64_t total_slots =
+        frames * static_cast<int64_t>(net.switch_frame_slots);
+    const int64_t every = series.everySlots();
+    for (int64_t t = every; ; t += every) {
+        int64_t slot = std::min(t, total_slots);
+        lan.run(slot * net.slot_ps, threads);
+        series.sample(slot, lan.stats());
+        if (slot == total_slots)
+            break;
+    }
+}
+
+}  // namespace an2::topo

@@ -7,6 +7,7 @@
 #include "an2/harness/json_writer.h"
 #include "an2/harness/sweep.h"
 #include "an2/matching/pim.h"
+#include "an2/topo/net_metrics.h"
 
 namespace an2::topo {
 
@@ -44,7 +45,8 @@ struct RunOutcome
 
 RunOutcome
 runPoint(const NetSweepSpec& spec, const Topology& topo, double load,
-         int run_index, int engine_threads)
+         int run_index, int engine_threads,
+         LanMetricsSeries* series = nullptr)
 {
     LanConfig config;
     config.net = spec.net;
@@ -76,7 +78,10 @@ runPoint(const NetSweepSpec& spec, const Topology& topo, double load,
                         << lan.net().numLinks() << " links");
         lan.scheduleFaults(spec.faults);
     }
-    lan.runFrames(spec.frames, engine_threads);
+    if (series != nullptr)
+        runLanWithMetrics(lan, spec.frames, engine_threads, *series);
+    else
+        lan.runFrames(spec.frames, engine_threads);
 
     RunOutcome out;
     out.stats = lan.stats();
@@ -160,6 +165,26 @@ runNetSweep(const NetSweepSpec& spec, int engine_threads,
         }
     }
     return cells;
+}
+
+void
+observeNetPoint(const NetSweepSpec& spec, int engine_threads,
+                LanMetricsSeries& series)
+{
+    validateSpec(spec);
+
+    // Grid point: topology 0, the highest load on the axis, replicate
+    // 0. Runs are topo-major then load then replicate, so this point's
+    // run_index — and with it every seed — matches the sweep's.
+    size_t li = 0;
+    for (size_t i = 1; i < spec.loads.size(); ++i)
+        if (spec.loads[i] > spec.loads[li])
+            li = i;
+    const int run_index = static_cast<int>(li) * spec.replicates;
+
+    Topology topo = spec.topos[0].make();
+    runPoint(spec, topo, spec.loads[li], run_index, engine_threads,
+             &series);
 }
 
 namespace {

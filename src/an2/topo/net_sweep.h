@@ -126,6 +126,19 @@ std::vector<NetCellSummary> runNetSweep(
 std::string netSweepToJson(const NetSweepSpec& spec,
                            const std::vector<NetCellSummary>& cells);
 
+class LanMetricsSeries;
+
+/**
+ * Re-run one grid point of the sweep — the first topology at its
+ * highest load, replicate 0, with that run's exact seeds — sampling
+ * cumulative LanStats into `series` every series.everySlots() slots.
+ * Samples land at Lan::run() boundaries, which are full barriers in
+ * both engines, so the series is byte-identical for any
+ * `engine_threads`, with or without a fault plan.
+ */
+void observeNetPoint(const NetSweepSpec& spec, int engine_threads,
+                     LanMetricsSeries& series);
+
 /** Spec-form name of a traffic pattern ("uniform", ...). */
 const char* patternName(Pattern pattern);
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "an2/fault/fault_plan.h"
+#include "an2/topo/net_metrics.h"
 #include "an2/topo/net_sweep.h"
 
 namespace an2::topo {
@@ -86,6 +87,62 @@ TEST(NetSweepTest, CellGridIsTopoMajorAndPopulated)
             EXPECT_LE(c.throughput.mean, 1.0);
         }
     }
+}
+
+std::string
+metricsAtThreads(const NetSweepSpec& spec, int engine_threads,
+                 int64_t every_slots)
+{
+    LanMetricsSeries series(every_slots);
+    observeNetPoint(spec, engine_threads, series);
+    return series.toJsonLines();
+}
+
+TEST(NetMetricsTest, SeriesIsByteIdenticalAcrossEngineThreadCounts)
+{
+    // The shard-merge contract extends to the metrics time series: the
+    // observed point's an2.metrics.v1 lines — every counter and every
+    // digit of every float — must not depend on the engine threading.
+    NetSweepSpec spec = smallSpec();
+    const std::string serial = metricsAtThreads(spec, 1, /*every=*/100);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_NE(serial.find("\"an2.metrics.v1\""), std::string::npos);
+    EXPECT_NE(serial.find("\"source\":\"lan\""), std::string::npos);
+    EXPECT_EQ(metricsAtThreads(spec, 2, 100), serial);
+    EXPECT_EQ(metricsAtThreads(spec, 8, 100), serial);
+}
+
+TEST(NetMetricsTest, SeriesIsByteIdenticalUnderLinkFaults)
+{
+    NetSweepSpec spec = smallSpec();
+    spec.faults = fault::FaultPlan::parse("link_down(3)@40,link_up(3)@400");
+    const std::string serial = metricsAtThreads(spec, 1, /*every=*/100);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(metricsAtThreads(spec, 2, 100), serial);
+    EXPECT_EQ(metricsAtThreads(spec, 8, 100), serial);
+}
+
+TEST(NetMetricsTest, SamplesLandOnWindowBoundaries)
+{
+    NetSweepSpec spec = smallSpec();
+    LanMetricsSeries series(/*every_slots=*/150);
+    observeNetPoint(spec, 2, series);
+    // 5 frames x 100 slots = 500 slots: boundaries at 150, 300, 450,
+    // then the tail sample at the run's end.
+    ASSERT_EQ(series.size(), 4u);
+    EXPECT_EQ(series.at(0).slot, 150);
+    EXPECT_EQ(series.at(2).slot, 450);
+    EXPECT_EQ(series.at(3).slot, 500);
+    // Cumulative: injections never decrease, and the final sample
+    // matches a straight runFrames() of the same point.
+    for (size_t k = 1; k < series.size(); ++k)
+        EXPECT_GE(series.at(k).stats.injected,
+                  series.at(k - 1).stats.injected);
+    EXPECT_GT(series.at(3).stats.delivered, 0);
+    // Per-class splits partition the totals.
+    const LanStats& last = series.at(3).stats;
+    EXPECT_EQ(last.cbr_injected + last.vbr_injected, last.injected);
+    EXPECT_EQ(last.cbr_delivered + last.vbr_delivered, last.delivered);
 }
 
 TEST(NetSweepTest, RejectsNonPositiveAndOverUnityLoads)

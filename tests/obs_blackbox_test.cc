@@ -1,0 +1,281 @@
+// Tests for the flight recorder (an2/obs/blackbox): the base-layer
+// panic hook, fault-triggered post-mortems with a byte-exact golden
+// an2.blackbox.v1 document, dump structure, and hook save/restore.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "an2/base/error.h"
+#include "an2/fault/fault_plan.h"
+#include "an2/fault/injector.h"
+#include "an2/matching/pim.h"
+#include "an2/obs/blackbox.h"
+#include "an2/obs/recorder.h"
+#include "an2/sim/iq_switch.h"
+#include "an2/sim/traffic.h"
+
+#ifndef AN2_TEST_GOLDEN_DIR
+#define AN2_TEST_GOLDEN_DIR "tests/golden"
+#endif
+
+#ifdef AN2_OBS_DISABLED
+#define SKIP_IF_OBS_DISABLED() \
+    GTEST_SKIP() << "obs layer compiled out (AN2_OBS_DISABLED)"
+#else
+#define SKIP_IF_OBS_DISABLED() (void)0
+#endif
+
+namespace an2::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The panic hook itself
+
+struct HookSpy
+{
+    int calls = 0;
+    std::string last_msg;
+
+    static void fire(void* ctx, const std::string& msg)
+    {
+        auto* self = static_cast<HookSpy*>(ctx);
+        ++self->calls;
+        self->last_msg = msg;
+    }
+};
+
+TEST(PanicHookTest, HookSeesTheMessageBeforeTheThrow)
+{
+    HookSpy spy;
+    PanicHook prev = setPanicHook(&HookSpy::fire, &spy);
+    EXPECT_THROW(AN2_PANIC("hooked failure " << 42), InternalError);
+    setPanicHook(prev, nullptr);
+    EXPECT_EQ(spy.calls, 1);
+    EXPECT_NE(spy.last_msg.find("hooked failure 42"), std::string::npos);
+}
+
+TEST(PanicHookTest, SetReturnsPreviousHookForRestore)
+{
+    HookSpy outer;
+    HookSpy inner;
+    PanicHook prev0 = setPanicHook(&HookSpy::fire, &outer);
+    void* prev_ctx = nullptr;
+    PanicHook prev1 = setPanicHook(&HookSpy::fire, &inner, &prev_ctx);
+    EXPECT_EQ(prev1, &HookSpy::fire);
+    EXPECT_EQ(prev_ctx, &outer);
+    // Restore the outer hook; the next panic reaches it, not inner.
+    setPanicHook(prev1, prev_ctx);
+    EXPECT_THROW(AN2_PANIC("after restore"), InternalError);
+    setPanicHook(prev0, nullptr);
+    EXPECT_EQ(outer.calls, 1);
+    EXPECT_EQ(inner.calls, 0);
+}
+
+TEST(PanicHookTest, FatalErrorsDoNotFireTheHook)
+{
+    HookSpy spy;
+    PanicHook prev = setPanicHook(&HookSpy::fire, &spy);
+    EXPECT_THROW(AN2_FATAL("usage, not a bug"), UsageError);
+    setPanicHook(prev, nullptr);
+    EXPECT_EQ(spy.calls, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Blackbox triggers
+
+TEST(BlackboxTest, PanicTriggersADumpBeforeUnwind)
+{
+    Recorder rec;
+    rec.add(Counter::CellsEnqueued, 7);
+    Blackbox bb(rec);
+    EXPECT_THROW(AN2_PANIC("invariant blew up"), InternalError);
+    EXPECT_EQ(bb.dumps(), 1);
+    const std::string& doc = bb.lastDump();
+    EXPECT_NE(doc.find("\"schema\": \"an2.blackbox.v1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("invariant blew up"), std::string::npos);
+    EXPECT_EQ(rec.counter(Counter::BlackboxDumps), 1);
+}
+
+TEST(BlackboxTest, DestructorRestoresThePreviousHook)
+{
+    HookSpy spy;
+    PanicHook prev = setPanicHook(&HookSpy::fire, &spy);
+    Recorder rec;
+    {
+        Blackbox bb(rec);
+        (void)bb;
+    }
+    // With the blackbox gone, the spy is the hook again.
+    EXPECT_THROW(AN2_PANIC("post-blackbox"), InternalError);
+    setPanicHook(prev, nullptr);
+    EXPECT_EQ(spy.calls, 1);
+    EXPECT_EQ(rec.counter(Counter::BlackboxDumps), 0);
+}
+
+TEST(BlackboxTest, CounterDeltasAreSinceBaseline)
+{
+    Recorder rec;
+    rec.add(Counter::CellsEnqueued, 100);
+    BlackboxConfig cfg;
+    cfg.arm_panic_hook = false;
+    Blackbox bb(rec, nullptr, cfg);
+    rec.add(Counter::CellsEnqueued, 5);
+    bb.dump("manual", 9);
+    // The absolute section reports 105, the delta section only the 5
+    // accumulated after construction; untouched counters are omitted
+    // from the deltas.
+    EXPECT_NE(bb.lastDump().find("\"cells_enqueued\": 105"),
+              std::string::npos);
+    size_t deltas = bb.lastDump().find("\"counter_deltas\": {");
+    ASSERT_NE(deltas, std::string::npos);
+    size_t deltas_end = bb.lastDump().find('}', deltas);
+    std::string delta_body =
+        bb.lastDump().substr(deltas, deltas_end - deltas);
+    EXPECT_NE(delta_body.find("\"cells_enqueued\": 5"), std::string::npos);
+    EXPECT_EQ(delta_body.find("cells_dequeued"), std::string::npos);
+    bb.rebaseline();
+    bb.dump("manual again", 10);
+    EXPECT_EQ(bb.lastDump().find("\"cells_enqueued\": 5"),
+              std::string::npos);
+}
+
+/** Drive a seeded faulted run: 4x4 PIM switch, uniform load, the plan's
+    port death dumps through `bb` mid-run. */
+void
+runFaulted(Recorder& rec, Blackbox& bb, InputQueuedSwitch& sw,
+           const std::string& plan_spec, int slots)
+{
+    fault::FaultPlan plan = fault::FaultPlan::parse(plan_spec);
+    fault::FaultInjector injector(sw.size(), plan, /*seed=*/77);
+    injector.addListener(&bb);
+    UniformTraffic traffic(sw.size(), 0.6, /*seed=*/19);
+    attach(&rec);
+    std::vector<Cell> arrivals;
+    for (SlotTime slot = 0; slot < slots; ++slot) {
+        injector.beginSlot(slot, &sw);
+        arrivals.clear();
+        traffic.generate(slot, arrivals);
+        for (const Cell& c : arrivals)
+            if (injector.classifyArrival(c) ==
+                fault::FaultInjector::Verdict::Deliver)
+                sw.acceptCell(c);
+        const std::vector<Cell>& departed = sw.runSlot(slot);
+        for (const Cell& c : departed)
+            rec.cellDelivered(c, slot);
+    }
+    detach();
+}
+
+TEST(BlackboxTest, GoldenPortDeathDump)
+{
+    SKIP_IF_OBS_DISABLED();
+    Recorder rec(RecorderConfig{
+        .trace_capacity = 512, .ports = 4, .track_latency = true});
+    InputQueuedSwitch sw(IqSwitchConfig{.n = 4},
+                         std::make_unique<PimMatcher>(
+                             PimConfig{.iterations = 4, .seed = 13}));
+    BlackboxConfig cfg;
+    cfg.max_events = 64;
+    Blackbox bb(rec, &sw, cfg);
+    runFaulted(rec, bb, sw, "out_down(2)@30", /*slots=*/40);
+
+    ASSERT_EQ(bb.dumps(), 1);
+    const std::string& doc = bb.lastDump();
+
+    const std::string path =
+        std::string(AN2_TEST_GOLDEN_DIR) + "/blackbox_4x4_portdown.json";
+    if (std::getenv("AN2_REGEN_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << doc;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden " << path
+        << " (run with AN2_REGEN_GOLDEN=1 to create it)";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(doc, golden.str())
+        << "an2.blackbox.v1 output changed; if intentional, regenerate "
+           "with AN2_REGEN_GOLDEN=1";
+}
+
+TEST(BlackboxTest, FaultDumpStructure)
+{
+    SKIP_IF_OBS_DISABLED();
+    Recorder rec(RecorderConfig{
+        .trace_capacity = 512, .ports = 4, .track_latency = true});
+    InputQueuedSwitch sw(IqSwitchConfig{.n = 4},
+                         std::make_unique<PimMatcher>(
+                             PimConfig{.iterations = 4, .seed = 13}));
+    BlackboxConfig cfg;
+    cfg.max_events = 64;
+    Blackbox bb(rec, &sw, cfg);
+    runFaulted(rec, bb, sw, "out_down(2)@30,out_up(2)@35", /*slots=*/40);
+
+    // out_up is not a death; only the down event dumps.
+    EXPECT_EQ(bb.dumps(), 1);
+    const std::string& doc = bb.lastDump();
+    EXPECT_NE(doc.find("\"reason\": \"fault: output port 2 down\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"slot\": 30"), std::string::npos);
+    // Switch state: port masks (output 2 dead at dump time), the VOQ
+    // heatmap (4 rows), and the backlog vector.
+    EXPECT_NE(doc.find("\"live_outputs\": [\n    1,\n    1,\n    0,\n"
+                       "    1\n  ]"),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"live_inputs\": [\n    1,\n    1,\n    1,\n"
+                       "    1\n  ]"),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"voq\": ["), std::string::npos);
+    EXPECT_NE(doc.find("\"output_backlog\": ["), std::string::npos);
+    // Telemetry sections ride along when enabled.
+    EXPECT_NE(doc.find("\"latency\": {"), std::string::npos);
+    EXPECT_NE(doc.find("\"events\": ["), std::string::npos);
+    EXPECT_NE(doc.find("\"type\": \"fault\""), std::string::npos);
+    EXPECT_EQ(rec.counter(Counter::BlackboxDumps), 1);
+}
+
+TEST(BlackboxTest, DumpOnFaultCanBeDisarmed)
+{
+    SKIP_IF_OBS_DISABLED();
+    Recorder rec(RecorderConfig{.ports = 4});
+    InputQueuedSwitch sw(IqSwitchConfig{.n = 4},
+                         std::make_unique<PimMatcher>(
+                             PimConfig{.iterations = 4, .seed = 13}));
+    BlackboxConfig cfg;
+    cfg.dump_on_fault = false;
+    cfg.arm_panic_hook = false;
+    Blackbox bb(rec, &sw, cfg);
+    runFaulted(rec, bb, sw, "out_down(2)@30", /*slots=*/40);
+    EXPECT_EQ(bb.dumps(), 0);
+    EXPECT_EQ(bb.lastDump(), "");
+}
+
+TEST(BlackboxTest, DumpWritesConfiguredFile)
+{
+    Recorder rec;
+    const std::string path = ::testing::TempDir() + "an2_blackbox.json";
+    BlackboxConfig cfg;
+    cfg.arm_panic_hook = false;
+    cfg.path = path;
+    Blackbox bb(rec, nullptr, cfg);
+    bb.dump("file check", 3);
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "dump did not write " << path;
+    std::ostringstream body;
+    body << in.rdbuf();
+    EXPECT_EQ(body.str(), bb.lastDump());
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace an2::obs

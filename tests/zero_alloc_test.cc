@@ -272,6 +272,50 @@ TEST(ZeroAllocTest, AttachedRecorderSteadyStateIsAllocationFree)
     EXPECT_GT(rec.droppedEvents(), 0);
 }
 
+TEST(ZeroAllocTest, LatencyAndTimeSeriesSteadyStateIsAllocationFree)
+{
+    SKIP_IF_OBS_DISABLED();
+    // The full telemetry tier: latency histograms (class + per-port +
+    // hop delay) on every delivery and a metrics sample landing every
+    // 500 slots — 8 samples inside the measured window, each copying
+    // all counters, gauges, and latency quantiles into the
+    // preallocated ring. Still zero heap traffic.
+    obs::Recorder rec(obs::RecorderConfig{.ports = 16,
+                                          .track_latency = true,
+                                          .metrics_every = 500,
+                                          .metrics_capacity = 64});
+    obs::attach(&rec);
+    InputQueuedSwitch sw(IqSwitchConfig{.n = 16},
+                         std::make_unique<PimMatcher>(
+                             PimConfig{.iterations = 4, .seed = 7}));
+    UniformTraffic traffic(16, 0.9, 2029);
+    std::vector<Cell> arrivals;
+    constexpr int kWarmup = 2000, kMeasured = 4000;
+    size_t counted = 0;
+    for (SlotTime slot = 0; slot < kWarmup + kMeasured; ++slot) {
+        arrivals.clear();
+        traffic.generate(slot, arrivals);
+        for (const Cell& c : arrivals)
+            sw.acceptCell(c);
+        // The delivery probe (as fired by the production SimDriver) is
+        // part of the measured region alongside runSlot.
+        size_t before = g_allocations.load(std::memory_order_relaxed);
+        const std::vector<Cell>& departed = sw.runSlot(slot);
+        for (const Cell& c : departed)
+            rec.cellDelivered(c, slot);
+        size_t after = g_allocations.load(std::memory_order_relaxed);
+        if (slot >= kWarmup)
+            counted += after - before;
+    }
+    obs::detach();
+    EXPECT_EQ(counted, 0u);
+    EXPECT_GT(rec.counter(obs::Counter::CellsDelivered), 0);
+    EXPECT_EQ(rec.counter(obs::Counter::MetricsSamples), 11);
+    EXPECT_EQ(rec.metrics().size(), 11u);
+    EXPECT_GT(rec.latencyHistogram(TrafficClass::VBR).count(), 0);
+    EXPECT_GT(rec.hopDelayHistogram(TrafficClass::VBR).count(), 0);
+}
+
 TEST(ZeroAllocTest, AttachedRecorderIslipCountersAllocationFree)
 {
     SKIP_IF_OBS_DISABLED();
