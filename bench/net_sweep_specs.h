@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "an2/harness/cli.h"
+#include "an2/obs/blackbox.h"
+#include "an2/obs/recorder.h"
 #include "an2/topo/net_metrics.h"
 #include "an2/topo/net_sweep.h"
 #include "sweep_specs.h"
@@ -155,6 +157,12 @@ applyNetCli(const SweepCli& cli, topo::NetSweepSpec& spec)
         spec.loads = cli.loads;
     if (!cli.faults.empty())
         spec.faults = cli.faults;
+    if (cli.chaos.enabled()) {
+        // Chaos without restoration is just attrition; --chaos always
+        // arms the CBR path restorer (default retry/backoff policy).
+        spec.chaos = cli.chaos;
+        spec.restore = true;
+    }
 }
 
 /** Engine thread count from --engine / --threads (1 = serial loop). */
@@ -199,12 +207,9 @@ printNetTable(const topo::NetSweepSpec& spec,
  * optional an2.netsweep.v1 JSON. Returns the process exit code.
  */
 inline int
-runNetExperiment(const NetExperiment& exp, const SweepCli& cli)
+runNetExperimentInner(const topo::NetSweepSpec& spec, const SweepCli& cli,
+                      int engine_threads)
 {
-    topo::NetSweepSpec spec = exp.make();
-    applyNetCli(cli, spec);
-    const int engine_threads = netEngineThreads(cli);
-
     const bool table = cli.json_path != "-";
     if (table) {
         banner("an2_sweep -- " + spec.name + ": " + spec.description,
@@ -213,6 +218,9 @@ runNetExperiment(const NetExperiment& exp, const SweepCli& cli)
                    " traffic matrix)");
         if (!spec.faults.empty())
             std::printf("  fault plan: %s\n", spec.faults.str().c_str());
+        if (spec.chaos.enabled())
+            std::printf("  chaos: %s (CBR path restoration armed)\n",
+                        spec.chaos.str().c_str());
         std::printf("  delivered/injected throughput; %s engine\n\n",
                     engine_threads > 1 ? "sharded parallel" : "serial");
     }
@@ -263,6 +271,49 @@ runNetExperiment(const NetExperiment& exp, const SweepCli& cli)
             return 1;
     }
     return 0;
+}
+
+/**
+ * Run a network experiment end to end for `an2_sweep`. Under --chaos the
+ * run is flown with a flight recorder: any invariant panic or engine
+ * failure dumps an an2.blackbox.v1 post-mortem and prints the one-line
+ * serial repro command before exiting nonzero.
+ */
+inline int
+runNetExperiment(const NetExperiment& exp, const SweepCli& cli)
+{
+    topo::NetSweepSpec spec = exp.make();
+    applyNetCli(cli, spec);
+    const int engine_threads = netEngineThreads(cli);
+
+    if (!spec.chaos.enabled())
+        return runNetExperimentInner(spec, cli, engine_threads);
+
+    // Chaos flight recorder. The panic hook covers invariants tripped on
+    // this thread; failures rethrown from engine workers land in the
+    // catch below and dump manually. Either way the newest post-mortem
+    // is on disk next to a command that replays the exact run serially.
+    obs::Recorder recorder{obs::RecorderConfig{}};
+    obs::BlackboxConfig bb_cfg;
+    bb_cfg.dump_on_fault = false;  // chaos churn is scripted, not fatal
+    bb_cfg.path = cli.blackbox_path.empty() ? "an2_chaos_blackbox.json"
+                                            : cli.blackbox_path;
+    obs::Blackbox box(recorder, nullptr, bb_cfg);
+    try {
+        return runNetExperimentInner(spec, cli, engine_threads);
+    } catch (const std::exception& e) {
+        box.dump(e.what(), 0);
+        std::fprintf(stderr,
+                     "an2_sweep: chaos run failed: %s\n"
+                     "  post-mortem: %s\n"
+                     "  repro: an2_sweep --experiment %s --chaos '%s' "
+                     "--seed %llu --frames %lld --engine serial\n",
+                     e.what(), bb_cfg.path.c_str(), spec.name.c_str(),
+                     spec.chaos.str().c_str(),
+                     static_cast<unsigned long long>(spec.base_seed),
+                     static_cast<long long>(spec.frames));
+        return 1;
+    }
 }
 
 }  // namespace an2::bench

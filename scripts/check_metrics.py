@@ -51,6 +51,11 @@ LAN_COUNTERS = [
     "link_lost",
     "reroutes",
     "unroutable",
+    "cbr_restored",
+    "cbr_degraded",
+    "cbr_abandoned",
+    "cbr_restore_retries",
+    "restore_lost",
 ]
 
 QUANTILE_KEYS = ["count", "p50", "p99", "p999", "max"]

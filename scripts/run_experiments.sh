@@ -49,6 +49,28 @@ python3 scripts/check_metrics.py \
     --metrics "$BUILD/sweeps/latdist_metrics.jsonl" \
     --blackbox "$BUILD/sweeps/blackbox_smoke.json"
 
+# Chaos smoke: seeded link/switch churn on the netscale fat-tree with
+# CBR path restoration armed. The expanded fault plan and every
+# restoration retry are deterministic, so the serial and 8-thread
+# engines must produce identical bytes; a blackbox post-mortem on disk
+# means an invariant tripped mid-churn.
+chaos='chaos(7,2.5,link+switch+storm)'
+rm -f "$BUILD/sweeps/chaos_blackbox.json"
+"$BUILD/bench/an2_sweep" --experiment netscale --chaos "$chaos" \
+    --frames 2 --loads 0.05 --engine serial \
+    --blackbox "$BUILD/sweeps/chaos_blackbox.json" \
+    --json "$BUILD/sweeps/chaos_serial.json"
+"$BUILD/bench/an2_sweep" --experiment netscale --chaos "$chaos" \
+    --frames 2 --loads 0.05 --threads 8 \
+    --blackbox "$BUILD/sweeps/chaos_blackbox.json" \
+    --json "$BUILD/sweeps/chaos_t8.json"
+cmp "$BUILD/sweeps/chaos_serial.json" "$BUILD/sweeps/chaos_t8.json"
+if [ -e "$BUILD/sweeps/chaos_blackbox.json" ]; then
+    echo "chaos smoke dumped a post-mortem:" >&2
+    cat "$BUILD/sweeps/chaos_blackbox.json" >&2
+    exit 1
+fi
+
 # Merge the per-experiment documents into one trajectory file.
 if command -v jq > /dev/null; then
     jq -s '{schema: "an2.sweeps.v1", sweeps: .}' \

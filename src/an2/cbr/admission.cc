@@ -1,5 +1,7 @@
 #include "an2/cbr/admission.h"
 
+#include <algorithm>
+
 namespace an2 {
 
 AdmissionController::AdmissionController(int frame_slots)
@@ -53,6 +55,15 @@ AdmissionController::admit(const std::vector<LinkId>& path, int k)
     for (LinkId link : path)
         committed_[static_cast<size_t>(link)] += k;
     return true;
+}
+
+int
+AdmissionController::maxAdmissible(const std::vector<LinkId>& path) const
+{
+    int k = frame_slots_;
+    for (LinkId link : path)
+        k = std::min(k, available(link));
+    return k;
 }
 
 void

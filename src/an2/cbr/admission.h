@@ -56,6 +56,11 @@ class AdmissionController
     /** Release a previously admitted reservation. */
     void release(const std::vector<LinkId>& path, int k);
 
+    /** Largest k admissible along the path right now (0 when some link
+        is full, frameSlots() for an empty path). Restoration uses this
+        to pick the degraded rate after full re-admission keeps failing. */
+    int maxAdmissible(const std::vector<LinkId>& path) const;
+
     /** Frame capacity per link. */
     int frameSlots() const { return frame_slots_; }
 

@@ -1,0 +1,232 @@
+#include "an2/fault/chaos.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "an2/base/error.h"
+#include "an2/base/parse.h"
+#include "an2/base/rng.h"
+#include "an2/network/network.h"
+
+namespace an2::fault {
+
+namespace {
+
+/** Canonical kind order for str(); storm last because it is a modifier. */
+struct KindName
+{
+    uint32_t bit;
+    const char* name;
+};
+constexpr KindName kKindNames[] = {
+    {kChaosPort, "port"},
+    {kChaosLink, "link"},
+    {kChaosSwitch, "switch"},
+    {kChaosStorm, "storm"},
+};
+
+/** Shortest-round-trip decimal for the rate (mirrors FaultPlan probs). */
+std::string
+rateString(double r)
+{
+    char buf[64];
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof buf, "%.*g", prec, r);
+        double back = 0.0;
+        std::sscanf(buf, "%lf", &back);
+        if (back == r)
+            break;
+    }
+    return buf;
+}
+
+/** Storms quantize revivals to this boundary, coalescing many link_up
+    events into the same slot. */
+constexpr SlotTime kStormQuantum = 1000;
+
+/** Bounded uniform draw off a splitmix64 chain (modulo bias is fine for
+    fault fuzzing; determinism is what matters). */
+uint64_t
+draw(uint64_t& state, uint64_t n)
+{
+    return splitmix64(state) % n;
+}
+
+}  // namespace
+
+ChaosSpec
+ChaosSpec::parse(const std::string& spec)
+{
+    const size_t open = spec.find('(');
+    const size_t close = spec.rfind(')');
+    AN2_REQUIRE(open != std::string::npos && close == spec.size() - 1 &&
+                    close > open + 1 && spec.substr(0, open) == "chaos",
+                "malformed chaos spec '" << spec
+                                         << "' (want chaos(seed,rate,kinds))");
+    const std::string body = spec.substr(open + 1, close - open - 1);
+    const size_t c1 = body.find(',');
+    const size_t c2 = body.find(',', c1 == std::string::npos ? c1 : c1 + 1);
+    AN2_REQUIRE(c1 != std::string::npos && c2 != std::string::npos,
+                "chaos spec '" << spec << "' wants three comma-separated "
+                               << "parts: seed,rate,kinds");
+    ChaosSpec out;
+    AN2_REQUIRE(parseUint64(body.substr(0, c1), out.seed),
+                "chaos spec '" << spec << "': seed '" << body.substr(0, c1)
+                               << "' is not an unsigned integer");
+    AN2_REQUIRE(parseDouble(body.substr(c1 + 1, c2 - c1 - 1), out.rate) &&
+                    out.rate > 0.0,
+                "chaos spec '" << spec << "': rate '"
+                               << body.substr(c1 + 1, c2 - c1 - 1)
+                               << "' is not a positive number");
+    std::string kinds = body.substr(c2 + 1);
+    size_t pos = 0;
+    while (pos <= kinds.size()) {
+        size_t plus = kinds.find('+', pos);
+        if (plus == std::string::npos)
+            plus = kinds.size();
+        const std::string part = kinds.substr(pos, plus - pos);
+        bool known = false;
+        for (const KindName& kn : kKindNames) {
+            if (part == kn.name) {
+                out.kinds |= kn.bit;
+                known = true;
+            }
+        }
+        AN2_REQUIRE(known, "chaos spec '" << spec << "': unknown kind '"
+                                          << part
+                                          << "' (want port/link/switch/"
+                                          << "storm joined by '+')");
+        pos = plus + 1;
+    }
+    AN2_REQUIRE(
+        (out.kinds & (kChaosPort | kChaosLink | kChaosSwitch)) != 0,
+        "chaos spec '" << spec << "' needs at least one of port/link/switch"
+                       << " (storm alone generates nothing)");
+    return out;
+}
+
+std::string
+ChaosSpec::str() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "chaos(%llu,",
+                  static_cast<unsigned long long>(seed));
+    std::string out = buf;
+    out += rateString(rate);
+    out += ',';
+    bool first = true;
+    for (const KindName& kn : kKindNames) {
+        if ((kinds & kn.bit) == 0)
+            continue;
+        if (!first)
+            out += '+';
+        out += kn.name;
+        first = false;
+    }
+    out += ')';
+    return out;
+}
+
+ChaosEnv
+chaosEnvFor(const Network& net, SlotTime horizon_slots)
+{
+    ChaosEnv env;
+    env.horizon_slots = horizon_slots;
+    env.num_links = net.numLinks();
+    env.peer.assign(static_cast<size_t>(env.num_links), -1);
+    env.switch_links.assign(static_cast<size_t>(net.numNodes()), {});
+    for (int l = 0; l < env.num_links; ++l) {
+        const Network::LinkEnds ends = net.linkEnds(l);
+        env.peer[static_cast<size_t>(l)] =
+            net.linkIndexBetween(ends.to, ends.from);
+        if (net.isSwitchNode(ends.from))
+            env.switch_links[static_cast<size_t>(ends.from)].push_back(l);
+        if (net.isSwitchNode(ends.to))
+            env.switch_links[static_cast<size_t>(ends.to)].push_back(l);
+    }
+    // Drop controller rows and empty groups so the group draw is over
+    // actual correlated-failure candidates.
+    std::vector<std::vector<int>> groups;
+    for (std::vector<int>& g : env.switch_links)
+        if (!g.empty())
+            groups.push_back(std::move(g));
+    env.switch_links = std::move(groups);
+    return env;
+}
+
+FaultPlan
+expandChaos(const ChaosSpec& spec, const ChaosEnv& env)
+{
+    AN2_REQUIRE(spec.enabled(), "expandChaos on a disabled spec");
+    FaultPlan plan;
+    if (env.num_links == 0 || env.horizon_slots < 2)
+        return plan;
+
+    // Episode kinds actually available in this environment.
+    std::vector<uint32_t> kinds;
+    if (spec.kinds & kChaosPort)
+        kinds.push_back(kChaosPort);
+    if (spec.kinds & kChaosLink)
+        kinds.push_back(kChaosLink);
+    if ((spec.kinds & kChaosSwitch) && !env.switch_links.empty())
+        kinds.push_back(kChaosSwitch);
+    if (kinds.empty())
+        return plan;
+
+    const int64_t episodes = static_cast<int64_t>(
+        spec.rate * static_cast<double>(env.horizon_slots) / 1000.0 + 0.5);
+    // Private chain: one hash step insulates the episode stream from the
+    // raw user seed so seed 0 and seed 1 diverge immediately.
+    uint64_t state = spec.seed;
+    splitmix64(state);
+
+    auto addEvent = [&plan](FaultKind kind, int target, SlotTime slot) {
+        plan.events.push_back(FaultEvent{slot, kind, target});
+    };
+
+    for (int64_t i = 0; i < episodes; ++i) {
+        const uint32_t kind = kinds[draw(state, kinds.size())];
+        const SlotTime down =
+            1 + static_cast<SlotTime>(
+                    draw(state,
+                         static_cast<uint64_t>(env.horizon_slots - 1)));
+        // Dwell long enough that restoration's first retries land while
+        // the element is still down, short enough that most revive.
+        SlotTime up = down + 40 +
+                      static_cast<SlotTime>(draw(state, 960));
+        if (spec.kinds & kChaosStorm)
+            up = (up + kStormQuantum - 1) / kStormQuantum * kStormQuantum;
+        const bool revives = up < env.horizon_slots;
+
+        std::vector<int> targets;
+        if (kind == kChaosPort) {
+            targets.push_back(static_cast<int>(
+                draw(state, static_cast<uint64_t>(env.num_links))));
+        } else if (kind == kChaosLink) {
+            const int l = static_cast<int>(
+                draw(state, static_cast<uint64_t>(env.num_links)));
+            targets.push_back(l);
+            const int p = env.peer[static_cast<size_t>(l)];
+            if (p >= 0 && p != l)
+                targets.push_back(p);
+        } else {
+            const std::vector<int>& group =
+                env.switch_links[draw(state, env.switch_links.size())];
+            targets = group;
+        }
+        for (int t : targets)
+            addEvent(FaultKind::LinkDown, t, down);
+        if (revives)
+            for (int t : targets)
+                addEvent(FaultKind::LinkUp, t, up);
+    }
+    // Same canonicalization as FaultPlan::parse: sorted by slot, stable
+    // for same-slot ties, so str() of the expansion round-trips.
+    std::stable_sort(plan.events.begin(), plan.events.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                         return a.slot < b.slot;
+                     });
+    return plan;
+}
+
+}  // namespace an2::fault

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Seeded chaos: randomized fault-plan generation for LAN fuzzing.
+ *
+ * A ChaosSpec is a tiny, replayable description of randomized churn:
+ *
+ *     chaos(SEED,RATE,KINDS)        e.g.  chaos(7,2.5,link+switch+storm)
+ *
+ * SEED seeds a private splitmix64 chain, RATE is the expected number of
+ * fault episodes per 1000 slots, and KINDS is a '+'-joined subset of
+ *
+ *     port    one directed link dies and later revives
+ *     link    both directions of a link die together
+ *     switch  every link incident to one switch dies together
+ *             (correlated failure)
+ *     storm   modifier: revival slots quantize to 1000-slot boundaries,
+ *             so many elements revive in the same slot (revival storm)
+ *
+ * expandChaos() turns a spec plus a topology summary (ChaosEnv) into an
+ * ordinary FaultPlan of link_down/link_up events. The expansion consumes
+ * only the spec's own PRNG chain, so the same (spec, topology) pair
+ * yields byte-identical plans — and therefore byte-identical runs — on
+ * any machine, engine, or thread count.
+ */
+#ifndef AN2_FAULT_CHAOS_H
+#define AN2_FAULT_CHAOS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "an2/base/types.h"
+#include "an2/fault/fault_plan.h"
+
+namespace an2 {
+class Network;
+}  // namespace an2
+
+namespace an2::fault {
+
+/** Chaos kind bits; at least one of Port/Link/Switch must be set. */
+enum ChaosKind : uint32_t {
+    kChaosPort = 1u << 0,    ///< single directed-link churn
+    kChaosLink = 1u << 1,    ///< both directions of a link together
+    kChaosSwitch = 1u << 2,  ///< all links of one switch (correlated)
+    kChaosStorm = 1u << 3,   ///< quantize revivals into storms
+};
+
+/** A seeded randomized-churn spec; see the file comment for the text
+    form. Default-constructed specs are disabled. */
+struct ChaosSpec
+{
+    uint64_t seed = 0;
+
+    /** Expected fault episodes per 1000 slots of horizon. */
+    double rate = 0.0;
+
+    /** OR of ChaosKind bits. */
+    uint32_t kinds = 0;
+
+    /** True when expansion would generate events. */
+    bool enabled() const { return rate > 0.0 && kinds != 0; }
+
+    /**
+     * Parse the `chaos(seed,rate,kinds)` text form. Throws UsageError
+     * naming the offending part on malformed input; requires rate > 0
+     * and at least one of port/link/switch.
+     */
+    static ChaosSpec parse(const std::string& spec);
+
+    /** Canonical spec string: parse(str()) round-trips byte-identically. */
+    std::string str() const;
+};
+
+/** The topology facts chaos expansion needs, decoupled from Network so
+    tests can fabricate environments directly. */
+struct ChaosEnv
+{
+    /** Expansion horizon: every generated event lands in [1, horizon). */
+    SlotTime horizon_slots = 0;
+
+    /** Number of directed links (FaultPlan link-event target space). */
+    int num_links = 0;
+
+    /** peer[l] is the reverse-direction link of l, or -1 when absent. */
+    std::vector<int> peer;
+
+    /** Per-switch incident directed links (both directions), used by
+        kChaosSwitch; empty groups are skipped. */
+    std::vector<std::vector<int>> switch_links;
+};
+
+/** Summarize a built Network for expansion over `horizon_slots`. */
+ChaosEnv chaosEnvFor(const Network& net, SlotTime horizon_slots);
+
+/**
+ * Expand a spec into a concrete, slot-sorted FaultPlan of link events.
+ * Deterministic in (spec, env); revivals that would land at or past the
+ * horizon are dropped, leaving the element down for the rest of the run.
+ */
+FaultPlan expandChaos(const ChaosSpec& spec, const ChaosEnv& env);
+
+}  // namespace an2::fault
+
+#endif  // AN2_FAULT_CHAOS_H

@@ -101,6 +101,23 @@ class InvariantChecker
                                       const ReservationMatrix& res,
                                       const char* who);
 
+    /**
+     * Restoration slot conservation: every revoked cells/frame slot must
+     * be re-placed on a live path, shed (degraded re-admission or an
+     * abandoned flow), or still pending re-admission — no reservation
+     * bandwidth silently leaks during path restoration.
+     */
+    static void checkRestorationConservation(int64_t revoked,
+                                             int64_t replaced, int64_t shed,
+                                             int64_t pending,
+                                             const char* who)
+    {
+        AN2_CHECK(revoked == replaced + shed + pending,
+                  who << ": revoked-slot conservation violated: " << revoked
+                      << " revoked != " << replaced << " replaced + " << shed
+                      << " shed + " << pending << " pending");
+    }
+
   private:
     int64_t accepted_ = 0;
     int64_t departed_ = 0;

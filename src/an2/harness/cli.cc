@@ -42,6 +42,16 @@ printSweepCliHelp(const char* prog, bool with_experiment)
                 "link_down\n"
                 "                      link_up (port/link)@slot; modes: "
                 "drop(p) corrupt(p)\n");
+    std::printf("  --chaos SPEC        seeded random churn for network "
+                "experiments, e.g.\n"
+                "                      chaos(7,2.5,link+switch+storm) — "
+                "SEED, expected\n"
+                "                      episodes per 1000 slots, '+'-joined "
+                "kinds from\n"
+                "                      port link switch storm; expands to a "
+                "concrete\n"
+                "                      fault plan and enables CBR path "
+                "restoration\n");
     if (with_experiment) {
         std::printf("  --trace FILE        after the sweep, re-run one grid "
                     "point with probes\n"
@@ -227,6 +237,17 @@ parseSweepCli(int argc, char** argv, SweepCli& cli, std::string& err)
                 return false;
             }
             cli.faults_spec = v;
+        } else if (!std::strcmp(a, "--chaos") ||
+                   (v = eqval(a, "--chaos")) != nullptr) {
+            if (!v && !(v = need(i)))
+                return false;
+            try {
+                cli.chaos = fault::ChaosSpec::parse(v);
+            } catch (const UsageError& e) {
+                err = std::string("--chaos: ") + e.what();
+                return false;
+            }
+            cli.chaos_spec = v;
         } else if (!std::strcmp(a, "--trace") ||
                    (v = eqval(a, "--trace")) != nullptr) {
             if (!v && !(v = need(i)))

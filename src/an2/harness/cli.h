@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "an2/fault/chaos.h"
 #include "an2/fault/fault_plan.h"
 #include "an2/harness/sweep.h"
 
@@ -51,6 +52,15 @@ struct SweepCli
     /** Fault scenario (--faults SPEC), already validated by parse. */
     fault::FaultPlan faults;
     std::string faults_spec;      ///< the raw spec, for reporting
+
+    /**
+     * Seeded chaos churn (--chaos 'chaos(SEED,RATE,KINDS)'): expanded
+     * into a concrete FaultPlan per run and driven with CBR path
+     * restoration enabled (network experiments only). Same spec, same
+     * run => same plan, byte-identical on any engine/thread count.
+     */
+    fault::ChaosSpec chaos;
+    std::string chaos_spec;       ///< the raw spec, for reporting
 
     // Observability (an2_sweep): re-run one grid point with a Recorder
     // attached after the sweep. The sweep results themselves are

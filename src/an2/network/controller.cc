@@ -29,7 +29,8 @@ Controller::addCbrSource(FlowId flow, int cells_per_frame,
     AN2_REQUIRE(attempted_per_frame >= cells_per_frame,
                 "application cannot attempt less than the paced rate");
     cbr_sources_.push_back(
-        {flow, cells_per_frame, attempted_per_frame, cbr_assigned_, 0, 0, 0});
+        {flow, cells_per_frame, attempted_per_frame, cells_per_frame,
+         cbr_assigned_, 0, 0, 0});
     cbr_assigned_ += cells_per_frame;
 }
 
@@ -39,6 +40,22 @@ Controller::policedDrops(FlowId flow) const
     for (const auto& src : cbr_sources_)
         if (src.flow == flow)
             return src.policed_drops;
+    AN2_FATAL("flow " << flow << " does not originate here");
+}
+
+void
+Controller::setCbrActiveCells(FlowId flow, int cells)
+{
+    for (auto& src : cbr_sources_) {
+        if (src.flow != flow)
+            continue;
+        AN2_REQUIRE(cells >= 0 && cells <= src.cells_per_frame,
+                    "active cells " << cells << " outside [0, "
+                                    << src.cells_per_frame << "] for flow "
+                                    << flow);
+        src.active_cells = cells;
+        return;
+    }
     AN2_FATAL("flow " << flow << " does not originate here");
 }
 
@@ -121,7 +138,7 @@ Controller::tick()
         }
     }
     for (auto& src : cbr_sources_) {
-        if (fs >= src.first_slot && fs < src.first_slot + src.cells_per_frame) {
+        if (fs >= src.first_slot && fs < src.first_slot + src.active_cells) {
             emit(src.flow, TrafficClass::CBR, src.next_seq++, now, slot);
             ++src.injected;
             return;  // one cell per slot on the link

@@ -85,6 +85,16 @@ class Controller final : public NetNode
     int64_t policedDrops(FlowId flow) const;
 
     /**
+     * Throttle a CBR source to `cells` cells/frame without disturbing its
+     * frame-slot assignment (path restoration: 0 mutes the source while
+     * its path is being rebuilt; a value below the registered reservation
+     * models a degraded re-admission). Skipped slots consume no sequence
+     * numbers, so delivery stays FIFO-clean across a pause. `cells` must
+     * be in [0, cells_per_frame]; fatal if no such source exists here.
+     */
+    void setCbrActiveCells(FlowId flow, int cells);
+
+    /**
      * Register a VBR flow originating here injecting with probability
      * `rate` per free slot. Total VBR rate must not exceed 1.
      */
@@ -116,7 +126,8 @@ class Controller final : public NetNode
         FlowId flow;
         int cells_per_frame;
         int attempted_per_frame;
-        int first_slot;  ///< first frame slot assigned to this flow
+        int active_cells;  ///< cells actually emitted per frame (<= k)
+        int first_slot;    ///< first frame slot assigned to this flow
         int64_t next_seq = 0;
         int64_t injected = 0;
         int64_t policed_drops = 0;

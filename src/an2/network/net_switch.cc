@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "an2/base/error.h"
+#include "an2/fault/invariants.h"
 #include "an2/matching/request_matrix.h"
 
 namespace an2 {
@@ -69,8 +70,91 @@ NetSwitch::addRoute(FlowId flow, PortId in_port, PortId out_port,
             return false;
     }
     routes_[flow] = {out_port, cls,
-                     cls == TrafficClass::CBR ? cells_per_frame : 0};
+                     cls == TrafficClass::CBR ? cells_per_frame : 0, in_port,
+                     false};
     return true;
+}
+
+void
+NetSwitch::revokeCbrRoute(FlowId flow)
+{
+    Route* route = routes_.get(flow);
+    AN2_REQUIRE(route != nullptr && route->cls == TrafficClass::CBR,
+                "flow " << flow
+                        << " has no CBR route through this switch");
+    if (route->revoked)
+        return;
+    cbr_.removeReservation(route->in_port, route->out_port,
+                           route->cells_per_frame);
+    route->revoked = true;
+    fault::InvariantChecker::checkScheduleRealizes(
+        cbr_.schedule(), cbr_.reservations(), "NetSwitch revoke");
+}
+
+bool
+NetSwitch::restoreCbrRoute(FlowId flow, PortId in_port, PortId out_port,
+                           int cells_per_frame)
+{
+    checkPort(in_port);
+    checkPort(out_port);
+    AN2_REQUIRE(cells_per_frame > 0, "restored reservation must be positive");
+    Route* route = routes_.get(flow);
+    if (route == nullptr) {
+        // This switch is new to the flow: a plain install.
+        return addRoute(flow, in_port, out_port, TrafficClass::CBR,
+                        cells_per_frame);
+    }
+    AN2_REQUIRE(route->cls == TrafficClass::CBR && route->revoked,
+                "flow " << flow << " has a live route; revoke before "
+                        << "restoring");
+    if (!cbr_.addReservation(in_port, out_port, cells_per_frame))
+        return false;
+    // Cells queued before the fault: still valid when the flow enters by
+    // the same port (retag to the new output, FIFO order kept); purged
+    // when the ingress moved — their (input, output) schedule slots no
+    // longer exist.
+    for (PortId p = 0; p < n_ports_; ++p) {
+        if (p == in_port)
+            cbr_bufs_[static_cast<size_t>(p)].rebindFlow(flow, out_port);
+        else
+            purgeCbrQueueAt(p, flow);
+    }
+    route->in_port = in_port;
+    route->out_port = out_port;
+    route->cells_per_frame = cells_per_frame;
+    route->revoked = false;
+    fault::InvariantChecker::checkScheduleRealizes(
+        cbr_.schedule(), cbr_.reservations(), "NetSwitch restore");
+    return true;
+}
+
+int
+NetSwitch::purgeCbrQueueAt(PortId p, FlowId flow)
+{
+    int n = cbr_bufs_[static_cast<size_t>(p)].purgeFlow(flow);
+    if (n > 0) {
+        restore_purged_ += n;
+        int& cur = flow_occupancy_[flow];
+        cur -= n;
+        AN2_ASSERT(cur >= 0, "negative flow occupancy after purge");
+    }
+    return n;
+}
+
+int
+NetSwitch::purgeCbrFlow(FlowId flow)
+{
+    int purged = 0;
+    for (PortId p = 0; p < n_ports_; ++p)
+        purged += purgeCbrQueueAt(p, flow);
+    return purged;
+}
+
+bool
+NetSwitch::cbrRouteRevoked(FlowId flow) const
+{
+    const Route* route = routes_.get(flow);
+    return route != nullptr && route->revoked;
 }
 
 void
@@ -135,6 +219,14 @@ NetSwitch::acceptArrivals(PicoTime now)
             AN2_REQUIRE(route != nullptr,
                         "cell of unrouted flow " << c.flow << " at switch "
                                                  << id_);
+            if (route->revoked) {
+                // Mid-restoration: the reservation is gone, so the cell
+                // has no schedule slot to ride. It is shed here rather
+                // than parked — the restorer re-sources the flow once a
+                // new path is admitted.
+                ++restore_dropped_;
+                continue;
+            }
             c.input = p;
             c.output = route->out_port;
             if (route->cls == TrafficClass::CBR) {

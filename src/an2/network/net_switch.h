@@ -117,18 +117,64 @@ class NetSwitch final : public NetNode
     int64_t cbrForwarded() const { return cbr_forwarded_; }
     int64_t vbrForwarded() const { return vbr_forwarded_; }
 
+    // ---- CBR path restoration (driven by fault::PathRestorer) ---------
+
+    /**
+     * Revoke a CBR flow's reservation here without removing the route
+     * entry: its frame slots return to the Slepian-Duguid schedule, and
+     * cells of the flow that still arrive (already in flight, or queued
+     * upstream) are dropped at ingress and counted under
+     * restorationDropped(). Idempotent; fatal for VBR/unknown flows.
+     */
+    void revokeCbrRoute(FlowId flow);
+
+    /**
+     * (Re-)install a CBR route during restoration: reserve
+     * `cells_per_frame` on (in_port, out_port) and re-activate the route.
+     * Cells still queued from before the fault are rebound to the new
+     * output when the input is unchanged, and purged (counted under
+     * restorationPurged()) when the flow now enters by a different port —
+     * their old schedule slots no longer exist. Works both for flows with
+     * a revoked route here and for switches new to the flow.
+     * @return false (no state change) if the reservation does not fit.
+     */
+    bool restoreCbrRoute(FlowId flow, PortId in_port, PortId out_port,
+                         int cells_per_frame);
+
+    /**
+     * Discard every queued cell of a CBR flow here (the switch left the
+     * flow's path for good). @return cells purged (also added to
+     * restorationPurged()).
+     */
+    int purgeCbrFlow(FlowId flow);
+
+    /** True when the flow's route here is revoked (mid-restoration). */
+    bool cbrRouteRevoked(FlowId flow) const;
+
+    /** Cells dropped at ingress because their route was revoked. */
+    int64_t restorationDropped() const { return restore_dropped_; }
+
+    /** Queued cells purged by restoration re-pathing. */
+    int64_t restorationPurged() const { return restore_purged_; }
+
   private:
     struct Route
     {
         PortId out_port = kNoPort;
         TrafficClass cls = TrafficClass::VBR;
-        int cells_per_frame = 0;  ///< CBR reservation (0 for VBR)
+        int cells_per_frame = 0;   ///< CBR reservation (0 for VBR)
+        PortId in_port = kNoPort;  ///< ingress port (CBR restoration)
+        bool revoked = false;      ///< reservation revoked, not yet rebuilt
     };
 
     void checkPort(PortId p) const;
 
     /** Pull arrived cells off the in-links into the input buffers. */
     void acceptArrivals(PicoTime now);
+
+    /** Purge a CBR flow's queue at one input, fixing the occupancy
+        ledger and the restoration loss counter. */
+    int purgeCbrQueueAt(PortId p, FlowId flow);
 
     /** Track per-flow and per-input occupancy highs. */
     void noteOccupancy(const Cell& cell, int delta);
@@ -153,6 +199,8 @@ class NetSwitch final : public NetNode
     int64_t vbr_dropped_ = 0;
     int64_t cbr_forwarded_ = 0;
     int64_t vbr_forwarded_ = 0;
+    int64_t restore_dropped_ = 0;
+    int64_t restore_purged_ = 0;
     // Per-tick scratch, persistent so the slot loop never allocates.
     std::vector<Cell> arrivals_;
     std::vector<uint8_t> in_busy_;

@@ -152,6 +152,12 @@ class Network
         layer hashes it for ECMP before creating the flow). */
     FlowId nextFlowId() const { return next_flow_; }
 
+    /** The CBR admission database. Mutable access exists for the path
+        restorer, which releases and re-admits reservations as topology
+        dies and revives; everything else should treat it as read-only. */
+    AdmissionController& admission() { return admission_; }
+    const AdmissionController& admission() const { return admission_; }
+
     const NetworkConfig& config() const { return config_; }
 
     /** Controller frame length (switch frame + padding). */

@@ -97,6 +97,12 @@ enum class Counter : int {
     MetricsSamples,
     /** Flight-recorder post-mortems captured. */
     BlackboxDumps,
+    /** CBR flows whose path was rebuilt after a fault (full rate). */
+    CbrRestorations,
+    /** Re-admission attempts made by the path restorer. */
+    CbrRestoreRetries,
+    /** CBR flows abandoned after the retry budget ran out. */
+    CbrAbandoned,
     kCount,
 };
 

@@ -61,6 +61,9 @@ counterName(Counter c)
       case Counter::TraceEventsDropped:   return "trace_events_dropped";
       case Counter::MetricsSamples:       return "metrics_samples";
       case Counter::BlackboxDumps:        return "blackbox_dumps";
+      case Counter::CbrRestorations:      return "cbr_restorations";
+      case Counter::CbrRestoreRetries:    return "cbr_restore_retries";
+      case Counter::CbrAbandoned:         return "cbr_abandoned";
       case Counter::kCount:               break;
     }
     return "unknown";

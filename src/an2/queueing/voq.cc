@@ -237,6 +237,42 @@ InputBuffer::rebindFlow(FlowId f, PortId new_output)
     st.eligible_listed = true;
 }
 
+int
+InputBuffer::purgeFlow(FlowId f)
+{
+    int32_t* idx = flow_index_.get(f);
+    if (idx == nullptr)
+        return 0;
+    const int32_t slot = *idx - 1;
+    PerFlow& st = slots_[static_cast<size_t>(slot)];
+    const PortId out = st.output;
+    if (out == kNoPort)
+        return 0;  // never bound (or already purged): nothing queued
+    if (st.eligible_listed) {
+        RingQueue<int32_t>& list = eligible_[static_cast<size_t>(out)];
+        for (size_t i = 0, sz = list.size(); i < sz; ++i) {
+            int32_t x = list.front();
+            list.pop_front();
+            if (x != slot)
+                list.push_back(x);
+        }
+        st.eligible_listed = false;
+    }
+    PerOutput& po = per_output_[static_cast<size_t>(out)];
+    if (po.sole == slot + 1)
+        po.sole = 0;  // the output loses its only flow
+    const auto n = static_cast<int>(st.cells.size());
+    while (!st.cells.empty())
+        st.cells.pop_front();
+    if (n > 0) {
+        if ((po.cells -= n) == 0)
+            wordset::clearBit(occ_.data(), out);
+        total_cells_ -= n;
+    }
+    st.output = kNoPort;  // next enqueue binds fresh
+    return n;
+}
+
 Cell
 InputBuffer::dequeueFlow(FlowId f)
 {

@@ -109,6 +109,15 @@ class InputBuffer
      */
     void rebindFlow(FlowId f, PortId new_output);
 
+    /**
+     * Discard every queued cell of a flow (CBR path restoration: cells
+     * buffered at a switch that left the flow's path can never be
+     * scheduled again). Counts, occupancy bits, and eligible lists are
+     * maintained; the flow's slot survives for later re-use.
+     * @return the number of cells discarded.
+     */
+    int purgeFlow(FlowId f);
+
   private:
     struct PerFlow
     {

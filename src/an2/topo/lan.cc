@@ -4,6 +4,7 @@
 
 #include "an2/base/error.h"
 #include "an2/base/rng.h"
+#include "an2/fault/restoration.h"
 #include "an2/obs/probe.h"
 #include "an2/obs/recorder.h"
 
@@ -84,6 +85,8 @@ Lan::Lan(const Topology& topo, LanConfig config)
     }
 }
 
+Lan::~Lan() = default;
+
 void
 Lan::checkHost(NodeId n) const
 {
@@ -112,7 +115,7 @@ Lan::addCbrFlow(NodeId src_host, NodeId dst_host, int cells_per_frame)
         return kNoFlow;
     AN2_ASSERT(got == flow, "flow id drifted from nextFlowId()");
     flows_.push_back({src_host, dst_host, TrafficClass::CBR,
-                      std::move(path)});
+                      std::move(path), cells_per_frame, cells_per_frame});
     return flow;
 }
 
@@ -280,6 +283,59 @@ Lan::applyFault(const fault::FaultEvent& ev)
         ++reroutes_;
         obs::count(obs::Counter::EcmpReroutes);
     }
+
+    // CBR: with a restorer armed, revoke-and-re-admit end to end;
+    // otherwise at least release the bandwidth the dead link strands at
+    // every switch downstream of it (those frame slots could never carry
+    // this flow's cells again, yet they would block other admissions).
+    if (restorer_)
+        restorer_->onLinkDown(ev.target, ev.slot);
+    else
+        releaseDownstream(ev.target);
+}
+
+void
+Lan::releaseDownstream(int dead_link)
+{
+    for (FlowId f = 0; f < static_cast<FlowId>(flows_.size()); ++f) {
+        FlowRecord& rec = flows_[static_cast<size_t>(f)];
+        if (rec.cls != TrafficClass::CBR || rec.cbr_admitted == 0)
+            continue;
+        const std::vector<LinkId> links = pathLinks(rec.path);
+        const size_t m = links.size();
+        size_t h = SIZE_MAX;
+        for (size_t i = 0; i < m; ++i) {
+            if (links[i] == dead_link) {
+                h = i;
+                break;
+            }
+        }
+        if (h == SIZE_MAX)
+            continue;
+        // links[i] joins path[i] -> path[i+1]: everything strictly past
+        // the dead link — links [h+1, m) and switches path[h+1 .. m-1] —
+        // is stranded. Clip against what an earlier fault already freed.
+        const size_t start = h + 1;
+        const size_t end = std::min(rec.revoked_from, m);
+        if (start >= end) {
+            rec.revoked_from = std::min(rec.revoked_from, start);
+            continue;
+        }
+        const std::vector<LinkId> seg(links.begin() +
+                                          static_cast<ptrdiff_t>(start),
+                                      links.begin() +
+                                          static_cast<ptrdiff_t>(end));
+        net_.admission().release(seg, rec.cbr_admitted);
+        downstream_released_ +=
+            static_cast<int64_t>(rec.cbr_admitted) *
+            static_cast<int64_t>(end - start);
+        for (size_t p = start; p < end; ++p) {
+            NetSwitch& sw = net_.netSwitch(rec.path[p]);
+            sw.revokeCbrRoute(f);
+            sw.purgeCbrFlow(f);
+        }
+        rec.revoked_from = start;
+    }
 }
 
 void
@@ -299,14 +355,40 @@ Lan::runSegment(PicoTime until_ps, int threads)
 void
 Lan::run(PicoTime until_ps, int threads)
 {
-    while (fault_cursor_ < fault_events_.size()) {
-        const fault::FaultEvent& ev = fault_events_[fault_cursor_];
-        PicoTime t = ev.slot * config_.net.slot_ps;
+    // Interleave two deterministic event streams: scheduled fault events
+    // and the restorer's retry timers. Both are pinned to nominal slot
+    // times, and faults win ties, so the split points — and therefore
+    // the run — are identical on every engine and thread count.
+    const PicoTime slot_ps = config_.net.slot_ps;
+    while (true) {
+        const bool have_fault = fault_cursor_ < fault_events_.size();
+        const PicoTime tf =
+            have_fault ? fault_events_[fault_cursor_].slot * slot_ps : 0;
+        const SlotTime rs =
+            restorer_ ? restorer_->nextActionSlot() : SlotTime{-1};
+        const bool have_retry = rs >= 0;
+        const PicoTime tr = have_retry ? rs * slot_ps : 0;
+
+        bool fault_first;
+        PicoTime t;
+        if (have_fault && (!have_retry || tf <= tr)) {
+            fault_first = true;
+            t = tf;
+        } else if (have_retry) {
+            fault_first = false;
+            t = tr;
+        } else {
+            break;
+        }
         if (t > until_ps)
             break;
         runSegment(t, threads);
-        applyFault(ev);
-        ++fault_cursor_;
+        if (fault_first) {
+            applyFault(fault_events_[fault_cursor_]);
+            ++fault_cursor_;
+        } else {
+            restorer_->runPending(rs);
+        }
     }
     runSegment(until_ps, threads);
 }
@@ -341,8 +423,19 @@ Lan::stats() const
             out.cbr_forwarded += sw.cbrForwarded();
             out.vbr_forwarded += sw.vbrForwarded();
             out.vbr_dropped += sw.vbrDropped();
+            out.restore_lost +=
+                sw.restorationDropped() + sw.restorationPurged();
         }
     }
+    if (restorer_) {
+        const fault::RestoreStats& rs = restorer_->stats();
+        out.cbr_restored = rs.restored;
+        out.cbr_degraded = rs.degraded;
+        out.cbr_abandoned = rs.abandoned;
+        out.cbr_restore_retries = rs.retries;
+        out.cbr_restore_pending = restorer_->pendingCount();
+    }
+    out.cbr_downstream_released = downstream_released_;
     // Per-class split in a second pass keyed by the flow table (the
     // aggregate sums above keep their original accumulation order, so
     // their floating-point results are unchanged).
@@ -393,6 +486,109 @@ Lan::flowPath(FlowId flow) const
     AN2_REQUIRE(flow >= 0 && flow < static_cast<FlowId>(flows_.size()),
                 "unknown flow " << flow);
     return flows_[static_cast<size_t>(flow)].path;
+}
+
+void
+Lan::enableRestoration(const fault::RestorePolicy& policy)
+{
+    AN2_REQUIRE(restorer_ == nullptr, "restoration already enabled");
+    restorer_ = std::make_unique<fault::PathRestorer>(*this, policy);
+}
+
+Lan::FlowInfo
+Lan::flowInfo(FlowId flow) const
+{
+    AN2_REQUIRE(flow >= 0 && flow < static_cast<FlowId>(flows_.size()),
+                "unknown flow " << flow);
+    const FlowRecord& rec = flows_[static_cast<size_t>(flow)];
+    return {rec.src, rec.dst, rec.cls, rec.cbr_cells, rec.cbr_admitted};
+}
+
+std::vector<LinkId>
+Lan::pathLinks(const std::vector<NodeId>& path) const
+{
+    std::vector<LinkId> links;
+    if (path.size() >= 2)
+        links.reserve(path.size() - 1);
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+        int l = net_.linkIndexBetween(path[i], path[i + 1]);
+        AN2_ASSERT(l >= 0, "path uses a nonexistent link");
+        links.push_back(l);
+    }
+    return links;
+}
+
+int
+Lan::revokeCbrPath(FlowId flow)
+{
+    AN2_REQUIRE(flow >= 0 && flow < static_cast<FlowId>(flows_.size()),
+                "unknown flow " << flow);
+    FlowRecord& rec = flows_[static_cast<size_t>(flow)];
+    AN2_REQUIRE(rec.cls == TrafficClass::CBR,
+                "flow " << flow << " is not CBR");
+    const int k = rec.cbr_admitted;
+    AN2_REQUIRE(k > 0, "flow " << flow << " holds no admitted reservation");
+    for (size_t p = 1; p + 1 < rec.path.size(); ++p)
+        net_.netSwitch(rec.path[p]).revokeCbrRoute(flow);
+    net_.admission().release(pathLinks(rec.path), k);
+    net_.controller(rec.src).setCbrActiveCells(flow, 0);
+    rec.cbr_admitted = 0;
+    return k;
+}
+
+void
+Lan::installRestoredCbrPath(FlowId flow, const std::vector<NodeId>& path,
+                            int cells_per_frame)
+{
+    AN2_REQUIRE(flow >= 0 && flow < static_cast<FlowId>(flows_.size()),
+                "unknown flow " << flow);
+    FlowRecord& rec = flows_[static_cast<size_t>(flow)];
+    AN2_REQUIRE(rec.cls == TrafficClass::CBR && rec.cbr_admitted == 0,
+                "flow " << flow << " is not awaiting restoration");
+    AN2_REQUIRE(cells_per_frame >= 1 && cells_per_frame <= rec.cbr_cells,
+                "restored rate " << cells_per_frame << " outside [1, "
+                                 << rec.cbr_cells << "]");
+    const bool ok =
+        net_.admission().admit(pathLinks(path), cells_per_frame);
+    AN2_ASSERT(ok, "restoration path was not admissible");
+
+    // Switches the flow no longer crosses keep a revoked tombstone route
+    // (in-flight cells shed there); their queues are purged for good.
+    for (size_t p = 1; p + 1 < rec.path.size(); ++p) {
+        NodeId n = rec.path[p];
+        bool on_new = false;
+        for (size_t q = 1; !on_new && q + 1 < path.size(); ++q)
+            on_new = path[q] == n;
+        if (!on_new)
+            net_.netSwitch(n).purgeCbrFlow(flow);
+    }
+    // (Re-)reserve along the new path; by Slepian-Duguid this cannot
+    // fail once admission accepted every link.
+    for (size_t q = 1; q + 1 < path.size(); ++q) {
+        int in_link = net_.linkIndexBetween(path[q - 1], path[q]);
+        int out_link = net_.linkIndexBetween(path[q], path[q + 1]);
+        AN2_ASSERT(in_link >= 0 && out_link >= 0,
+                   "restored path uses a nonexistent link");
+        const bool placed = net_.netSwitch(path[q]).restoreCbrRoute(
+            flow, net_.linkEnds(in_link).to_port,
+            net_.linkEnds(out_link).from_port, cells_per_frame);
+        AN2_ASSERT(placed, "Slepian-Duguid re-reservation failed");
+    }
+    net_.controller(rec.src).setCbrActiveCells(flow, cells_per_frame);
+    rec.path = path;
+    rec.cbr_admitted = cells_per_frame;
+}
+
+void
+Lan::abandonCbrFlow(FlowId flow)
+{
+    AN2_REQUIRE(flow >= 0 && flow < static_cast<FlowId>(flows_.size()),
+                "unknown flow " << flow);
+    FlowRecord& rec = flows_[static_cast<size_t>(flow)];
+    AN2_REQUIRE(rec.cls == TrafficClass::CBR && rec.cbr_admitted == 0,
+                "flow " << flow << " is not awaiting restoration");
+    for (size_t p = 1; p + 1 < rec.path.size(); ++p)
+        net_.netSwitch(rec.path[p]).purgeCbrFlow(flow);
 }
 
 }  // namespace an2::topo

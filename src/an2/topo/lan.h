@@ -32,6 +32,7 @@
 #ifndef AN2_TOPO_LAN_H
 #define AN2_TOPO_LAN_H
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -41,6 +42,11 @@
 #include "an2/topo/parallel_net.h"
 #include "an2/topo/routing.h"
 #include "an2/topo/topology.h"
+
+namespace an2::fault {
+class PathRestorer;
+struct RestorePolicy;
+}  // namespace an2::fault
 
 namespace an2::topo {
 
@@ -111,6 +117,21 @@ struct LanStats
     int64_t vbr_delivered = 0;
     double mean_cbr_wall_latency_ps = 0.0;
     double mean_vbr_wall_latency_ps = 0.0;
+
+    // CBR path restoration (all zero unless enableRestoration() ran;
+    // see fault::PathRestorer).
+    int64_t cbr_restored = 0;         ///< episodes re-admitted at full rate
+    int64_t cbr_degraded = 0;         ///< episodes re-admitted degraded
+    int64_t cbr_abandoned = 0;        ///< episodes given up
+    int64_t cbr_restore_retries = 0;  ///< re-admission attempts made
+    int64_t cbr_restore_pending = 0;  ///< episodes still pending
+    /** Cells shed during restoration: dropped at revoked routes plus
+        queued cells purged by re-pathing. */
+    int64_t restore_lost = 0;
+    /** Reservation slots released downstream of dead links before any
+        restoration ran (the immediate-revocation fix; nonzero only when
+        no restorer is armed). */
+    int64_t cbr_downstream_released = 0;
 };
 
 /** A Topology instantiated as a runnable Network. */
@@ -118,6 +139,7 @@ class Lan
 {
   public:
     Lan(const Topology& topo, LanConfig config);
+    ~Lan();  // out of line: fault::PathRestorer is forward-declared
 
     const Topology& topology() const { return topo_; }
     Network& net() { return net_; }
@@ -177,6 +199,56 @@ class Lan
     /** Current routed path of a flow (endpoints included). */
     const std::vector<NodeId>& flowPath(FlowId flow) const;
 
+    // ---- CBR path restoration ----------------------------------------
+
+    /**
+     * Arm a fault::PathRestorer: from now on, a link_down revokes every
+     * CBR reservation crossing the dead link and re-admits each flow on
+     * a fresh path under the policy's retry/backoff schedule. Must be
+     * called before run(); fatal when called twice.
+     */
+    void enableRestoration(const fault::RestorePolicy& policy);
+
+    /** The armed restorer, or null (state and telemetry inspection). */
+    const fault::PathRestorer* restorer() const { return restorer_.get(); }
+
+    /** Per-flow facts the restorer (and tests) read. */
+    struct FlowInfo
+    {
+        NodeId src = -1;
+        NodeId dst = -1;
+        TrafficClass cls = TrafficClass::VBR;
+        int cbr_cells = 0;     ///< registered reservation, cells/frame
+        int cbr_admitted = 0;  ///< currently admitted rate (<= cbr_cells)
+    };
+    FlowInfo flowInfo(FlowId flow) const;
+
+    /** Admission LinkIds of each consecutive node pair along `path`. */
+    std::vector<LinkId> pathLinks(const std::vector<NodeId>& path) const;
+
+    /**
+     * Revoke a CBR flow end-to-end: every switch on its path drops the
+     * reservation (frame slots return to the schedules), the admission
+     * commitment is released on every link, and the source is muted.
+     * @return the cells/frame released.
+     */
+    int revokeCbrPath(FlowId flow);
+
+    /**
+     * Re-admit a previously revoked CBR flow at `cells_per_frame` along
+     * `path` (which the caller has checked admissible): reserve on every
+     * link and switch, purge queues at switches the flow no longer
+     * crosses, and un-mute the source. Fatal if admission refuses.
+     */
+    void installRestoredCbrPath(FlowId flow,
+                                const std::vector<NodeId>& path,
+                                int cells_per_frame);
+
+    /** Give a revoked CBR flow up: purge its queues everywhere; the
+        source stays muted and its route tombstones keep shedding
+        in-flight cells. */
+    void abandonCbrFlow(FlowId flow);
+
     /** ECMP failovers applied so far. */
     int64_t reroutes() const { return reroutes_; }
 
@@ -196,9 +268,20 @@ class Lan
         NodeId dst = -1;
         TrafficClass cls = TrafficClass::VBR;
         std::vector<NodeId> path;
+        int cbr_cells = 0;     ///< registered CBR reservation
+        int cbr_admitted = 0;  ///< currently admitted (0 mid-restoration)
+        /** Without a restorer: smallest path-link index whose admission
+            was already released downstream of a dead link (SIZE_MAX =
+            nothing released). */
+        size_t revoked_from = SIZE_MAX;
     };
 
     void checkHost(NodeId n) const;
+
+    /** Immediate downstream revocation (no restorer armed): free the
+        reservation slots a dead link strands at every switch and link
+        past it. */
+    void releaseDownstream(int dead_link);
 
     /** Install VBR routing state along `path` for `flow` (switches that
         already know the flow are repointed). */
@@ -230,6 +313,8 @@ class Lan
     int64_t unroutable_ = 0;
     std::unique_ptr<ParallelNet> engine_;
     int engine_threads_ = 0;
+    std::unique_ptr<fault::PathRestorer> restorer_;
+    int64_t downstream_released_ = 0;
 };
 
 }  // namespace an2::topo

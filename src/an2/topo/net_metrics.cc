@@ -48,6 +48,18 @@ LanMetricsSeries::toJsonLines() const
         w.key("order_violations").value(s.stats.order_violations);
         w.key("reroutes").value(s.stats.reroutes);
         w.key("unroutable").value(s.stats.unroutable);
+        w.key("cbr_restored").value(s.stats.cbr_restored);
+        w.key("cbr_degraded").value(s.stats.cbr_degraded);
+        w.key("cbr_abandoned").value(s.stats.cbr_abandoned);
+        w.key("cbr_restore_retries").value(s.stats.cbr_restore_retries);
+        w.key("restore_lost").value(s.stats.restore_lost);
+        w.key("cbr_downstream_released")
+            .value(s.stats.cbr_downstream_released);
+        w.endObject();
+        // Pending episodes fall back to zero as restorations finish, so
+        // the count lives outside the cumulative counters object.
+        w.key("gauges").beginObject();
+        w.key("cbr_restore_pending").value(s.stats.cbr_restore_pending);
         w.endObject();
         w.key("latency").beginObject();
         w.key("mean_wall_ps").value(s.stats.mean_wall_latency_ps);
@@ -87,6 +99,12 @@ LanMetricsSeries::toPrometheus() const
         {"order_violations", s.order_violations},
         {"reroutes", s.reroutes},
         {"unroutable", s.unroutable},
+        {"cbr_restored", s.cbr_restored},
+        {"cbr_degraded", s.cbr_degraded},
+        {"cbr_abandoned", s.cbr_abandoned},
+        {"cbr_restore_retries", s.cbr_restore_retries},
+        {"restore_lost", s.restore_lost},
+        {"cbr_downstream_released", s.cbr_downstream_released},
     };
     for (const auto& c : kCounters) {
         std::snprintf(line, sizeof line,
@@ -94,6 +112,11 @@ LanMetricsSeries::toPrometheus() const
                       c.name, c.name, static_cast<long long>(c.v));
         out += line;
     }
+    std::snprintf(line, sizeof line,
+                  "# TYPE an2_lan_cbr_restore_pending gauge\n"
+                  "an2_lan_cbr_restore_pending %lld\n",
+                  static_cast<long long>(s.cbr_restore_pending));
+    out += line;
     const struct
     {
         const char* name;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "an2/base/error.h"
+#include "an2/fault/chaos.h"
 #include "an2/harness/json_writer.h"
 #include "an2/harness/sweep.h"
 #include "an2/matching/pim.h"
@@ -70,6 +71,12 @@ runPoint(const NetSweepSpec& spec, const Topology& topo, double load,
                         TrafficSpec{TrafficClass::CBR, 0.0,
                                     spec.cbr_cells_per_frame},
                         place_seed + 1);
+    if (spec.restore) {
+        fault::RestorePolicy policy = spec.restore_policy;
+        if (policy.seed == 0)
+            policy.seed = harness::runSeed(spec.base_seed, run_index, 2);
+        lan.enableRestoration(policy);
+    }
     if (!spec.faults.empty()) {
         AN2_REQUIRE(spec.faults.maxLinkTarget() < lan.net().numLinks(),
                     "fault plan targets link "
@@ -77,6 +84,13 @@ runPoint(const NetSweepSpec& spec, const Topology& topo, double load,
                         << topo.name() << " has only "
                         << lan.net().numLinks() << " links");
         lan.scheduleFaults(spec.faults);
+    }
+    if (spec.chaos.enabled()) {
+        // The expansion is a pure function of (spec, topology, horizon);
+        // every replicate of a topology sees the same churn.
+        const fault::ChaosEnv env = fault::chaosEnvFor(
+            lan.net(), spec.frames * spec.net.switch_frame_slots);
+        lan.scheduleFaults(fault::expandChaos(spec.chaos, env));
     }
     if (series != nullptr)
         runLanWithMetrics(lan, spec.frames, engine_threads, *series);
@@ -112,6 +126,11 @@ runNetSweep(const NetSweepSpec& spec, int engine_threads,
         int64_t reroutes = 0;
         int64_t unroutable = 0;
         int64_t link_lost = 0;
+        int64_t cbr_restored = 0;
+        int64_t cbr_degraded = 0;
+        int64_t cbr_abandoned = 0;
+        int64_t cbr_restore_retries = 0;
+        int64_t restore_lost = 0;
     };
     std::vector<CellAccum> accums(spec.topos.size() * spec.loads.size());
 
@@ -135,6 +154,11 @@ runNetSweep(const NetSweepSpec& spec, int engine_threads,
                 acc.reroutes += out.stats.reroutes;
                 acc.unroutable += out.stats.unroutable;
                 acc.link_lost += out.stats.link_lost;
+                acc.cbr_restored += out.stats.cbr_restored;
+                acc.cbr_degraded += out.stats.cbr_degraded;
+                acc.cbr_abandoned += out.stats.cbr_abandoned;
+                acc.cbr_restore_retries += out.stats.cbr_restore_retries;
+                acc.restore_lost += out.stats.restore_lost;
                 if (on_progress)
                     on_progress(run_index + 1, total);
             }
@@ -161,6 +185,11 @@ runNetSweep(const NetSweepSpec& spec, int engine_threads,
             cell.reroutes = acc.reroutes;
             cell.unroutable = acc.unroutable;
             cell.link_lost = acc.link_lost;
+            cell.cbr_restored = acc.cbr_restored;
+            cell.cbr_degraded = acc.cbr_degraded;
+            cell.cbr_abandoned = acc.cbr_abandoned;
+            cell.cbr_restore_retries = acc.cbr_restore_retries;
+            cell.restore_lost = acc.restore_lost;
             cells.push_back(std::move(cell));
         }
     }
@@ -226,9 +255,22 @@ netSweepToJson(const NetSweepSpec& spec,
                "+ 1)); lan (clocks/matchers/injection): stream 0, "
                "i = run_index; placement: stream 1, i = run_index; runs "
                "are topo-major, then load, then replicate");
-    const bool faulted = !spec.faults.empty();
-    if (faulted)
+    const bool faulted = !spec.faults.empty() || spec.chaos.enabled();
+    if (!spec.faults.empty())
         w.key("faults").value(spec.faults.str());
+    if (spec.chaos.enabled())
+        w.key("chaos").value(spec.chaos.str());
+    if (spec.restore) {
+        w.key("restore").beginObject();
+        w.key("retry_budget").value(spec.restore_policy.retry_budget);
+        w.key("base_backoff_slots")
+            .value(spec.restore_policy.base_backoff_slots);
+        w.key("max_backoff_slots")
+            .value(spec.restore_policy.max_backoff_slots);
+        w.key("jitter_slots").value(spec.restore_policy.jitter_slots);
+        w.key("allow_degraded").value(spec.restore_policy.allow_degraded);
+        w.endObject();
+    }
     w.endObject();
 
     w.key("axes").beginObject();
@@ -259,6 +301,13 @@ netSweepToJson(const NetSweepSpec& spec,
             w.key("reroutes").value(cell.reroutes);
             w.key("unroutable").value(cell.unroutable);
             w.key("link_lost").value(cell.link_lost);
+        }
+        if (spec.restore) {
+            w.key("cbr_restored").value(cell.cbr_restored);
+            w.key("cbr_degraded").value(cell.cbr_degraded);
+            w.key("cbr_abandoned").value(cell.cbr_abandoned);
+            w.key("cbr_restore_retries").value(cell.cbr_restore_retries);
+            w.key("restore_lost").value(cell.restore_lost);
         }
         w.endObject();
     }

@@ -19,7 +19,9 @@
 #include <string>
 #include <vector>
 
+#include "an2/fault/chaos.h"
 #include "an2/fault/fault_plan.h"
+#include "an2/fault/restoration.h"
 #include "an2/harness/aggregate.h"
 #include "an2/topo/lan.h"
 #include "an2/topo/topology.h"
@@ -81,6 +83,23 @@ struct NetSweepSpec
      * only. Each run revalidates the plan against its topology.
      */
     fault::FaultPlan faults;
+
+    /**
+     * Seeded chaos churn (empty = none): expanded per run into a
+     * concrete scripted FaultPlan against the run's own topology, over
+     * the run's nominal horizon. The expansion depends only on the spec
+     * and the topology, so the same grid point replays byte-identically
+     * on any engine/thread count.
+     */
+    fault::ChaosSpec chaos;
+
+    /**
+     * Drive every run with a CBR PathRestorer (revoke / re-route /
+     * re-admit with retry+backoff). The policy's seed, when left 0, is
+     * derived per run as runSeed(base_seed, run_index, 2).
+     */
+    bool restore = false;
+    fault::RestorePolicy restore_policy;
 };
 
 /** Aggregated results for one (topo, load) grid cell. */
@@ -104,6 +123,14 @@ struct NetCellSummary
     int64_t reroutes = 0;
     int64_t unroutable = 0;
     int64_t link_lost = 0;
+
+    /** Restoration totals across replicates (JSON only when
+        spec.restore is set). */
+    int64_t cbr_restored = 0;
+    int64_t cbr_degraded = 0;
+    int64_t cbr_abandoned = 0;
+    int64_t cbr_restore_retries = 0;
+    int64_t restore_lost = 0;
 };
 
 /**

@@ -60,6 +60,34 @@ ParallelNet::commitShard(int k)
 }
 
 void
+ParallelNet::setWatchdog(int max_stalled_windows)
+{
+    AN2_REQUIRE(max_stalled_windows >= 0,
+                "watchdog limit must be non-negative (0 disables)");
+    watchdog_limit_ = max_stalled_windows;
+}
+
+void
+ParallelNet::noteWindowAdvance(PicoTime prev_m, PicoTime m,
+                               int& stalled) const
+{
+    if (watchdog_limit_ <= 0 || m == kNever || m > prev_m) {
+        stalled = 0;
+        return;
+    }
+    if (++stalled < watchdog_limit_)
+        return;
+    NodeId stuck = -1;
+    for (NodeId n = 0; n < net_.numNodes() && stuck < 0; ++n)
+        if (net_.nodeAt(n).nextTick() <= m)
+            stuck = n;
+    AN2_FATAL("ParallelNet watchdog: min next-tick stuck at "
+              << m << " ps for " << stalled << " consecutive windows "
+              << "(node " << stuck << ", shard " << stuck % threads_
+              << " of " << threads_ << ")");
+}
+
+void
 ParallelNet::run(PicoTime until_ps)
 {
     // Sends go to the pending side for the duration of the run; leaving
@@ -72,12 +100,15 @@ ParallelNet::run(PicoTime until_ps)
     for (NodeId n = 0; n < net_.numNodes(); ++n)
         m = std::min(m, net_.nodeAt(n).nextTick());
 
+    int stalled = 0;
     if (threads_ == 1) {
         while (m <= until_ps) {
             PicoTime end = std::min(until_ps, m + min_latency_ - 1);
+            PicoTime prev_m = m;
             m = tickShard(0, end);
             commitShard(0);
             ++windows_;
+            noteWindowAdvance(prev_m, m, stalled);
         }
     } else {
         // Shared window state, published by the main thread (shard 0)
@@ -128,6 +159,7 @@ ParallelNet::run(PicoTime until_ps)
         std::exception_ptr failure;
         while (m <= until_ps) {
             window_end = std::min(until_ps, m + min_latency_ - 1);
+            PicoTime prev_m = m;
             sync.arrive_and_wait();
             step(0);
             m = kNever;
@@ -137,6 +169,15 @@ ParallelNet::run(PicoTime until_ps)
             for (const std::exception_ptr& e : errors)
                 if (e != nullptr && failure == nullptr)
                     failure = e;
+            // The watchdog must not throw past the barrier protocol
+            // (workers would block forever at "window published"); route
+            // it through the drain path like any shard error.
+            try {
+                noteWindowAdvance(prev_m, m, stalled);
+            } catch (...) {
+                if (failure == nullptr)
+                    failure = std::current_exception();
+            }
             if (failure != nullptr)
                 break;
         }

@@ -61,6 +61,15 @@ class ParallelNet
     /** Conservative windows executed so far (scheduler introspection). */
     int64_t windows() const { return windows_; }
 
+    /**
+     * Watchdog: a healthy window always advances the global min
+     * next-tick (every ticked node moves past the window end), so a run
+     * whose min sticks for `max_stalled_windows` consecutive barriers
+     * has a wedged shard — abort with a diagnostic naming the shard and
+     * the stuck tick instead of spinning forever. 0 disables; default 8.
+     */
+    void setWatchdog(int max_stalled_windows);
+
   private:
     struct Shard
     {
@@ -74,11 +83,16 @@ class ParallelNet
 
     void commitShard(int k);
 
+    /** Watchdog bookkeeping after each window: `prev_m` -> `m`. Fatal
+        (names the stuck node and shard) once the stall budget is spent. */
+    void noteWindowAdvance(PicoTime prev_m, PicoTime m, int& stalled) const;
+
     Network& net_;
     int threads_;
     PicoTime min_latency_ = 0;
     std::vector<Shard> shards_;
     int64_t windows_ = 0;
+    int watchdog_limit_ = 8;
 };
 
 }  // namespace an2::topo

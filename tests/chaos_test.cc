@@ -1,0 +1,229 @@
+// Property tests for the seeded chaos engine (an2/fault/chaos.h) and
+// the FaultPlan text form it expands into: spec round-trips are
+// byte-identical over a thousand seeded random instances, expansion is
+// a pure function of (spec, env), and every generated event targets a
+// live element inside the horizon.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "an2/base/error.h"
+#include "an2/base/rng.h"
+#include "an2/fault/chaos.h"
+#include "an2/fault/fault_plan.h"
+#include "an2/matching/pim.h"
+#include "an2/topo/lan.h"
+#include "an2/topo/topology.h"
+
+namespace an2 {
+namespace {
+
+using fault::ChaosEnv;
+using fault::ChaosSpec;
+using fault::FaultEvent;
+using fault::FaultKind;
+using fault::FaultPlan;
+
+topo::LanConfig
+lanConfig(uint64_t seed = 1)
+{
+    topo::LanConfig config;
+    config.seed = seed;
+    config.matcher = [](int /*n_ports*/, uint64_t s) {
+        PimConfig cfg;
+        cfg.iterations = 2;
+        cfg.seed = s;
+        return std::make_unique<PimMatcher>(cfg);
+    };
+    return config;
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan round-trip property
+
+TEST(ChaosTest, FaultPlanRoundTripsOverRandomPlans)
+{
+    // parse() stable-sorts events by slot, so a canonical plan is one
+    // whose events were generated in slot order; str() -> parse() ->
+    // str() must then reproduce every byte.
+    const FaultKind kKinds[] = {FaultKind::InputDown,  FaultKind::InputUp,
+                                FaultKind::OutputDown, FaultKind::OutputUp,
+                                FaultKind::LinkDown,   FaultKind::LinkUp};
+    uint64_t state = 0xC0FFEE;
+    for (int trial = 0; trial < 1000; ++trial) {
+        FaultPlan plan;
+        const int n_events = static_cast<int>(splitmix64(state) % 8);
+        SlotTime slot = 0;
+        for (int e = 0; e < n_events; ++e) {
+            FaultEvent ev;
+            slot += static_cast<SlotTime>(splitmix64(state) % 5000);
+            ev.slot = slot;
+            ev.kind =
+                kKinds[splitmix64(state) % (sizeof kKinds / sizeof *kKinds)];
+            ev.target = static_cast<int>(splitmix64(state) % 64);
+            plan.events.push_back(ev);
+        }
+        // Exercise the probabilistic modes on a quarter of the plans,
+        // with probabilities that have short exact decimal forms.
+        if (splitmix64(state) % 4 == 0)
+            plan.drop_prob = (1.0 + splitmix64(state) % 9) / 16.0;
+        if (splitmix64(state) % 4 == 0)
+            plan.corrupt_prob = (1.0 + splitmix64(state) % 9) / 32.0;
+
+        const std::string s1 = plan.str();
+        const FaultPlan reparsed = FaultPlan::parse(s1);
+        EXPECT_EQ(reparsed.str(), s1) << "trial " << trial;
+        EXPECT_EQ(reparsed.events.size(), plan.events.size());
+        EXPECT_EQ(reparsed.drop_prob, plan.drop_prob);
+        EXPECT_EQ(reparsed.corrupt_prob, plan.corrupt_prob);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ChaosSpec text form
+
+TEST(ChaosTest, SpecRoundTripsOverRandomSpecs)
+{
+    uint64_t state = 0xBEEF;
+    for (int trial = 0; trial < 1000; ++trial) {
+        ChaosSpec spec;
+        spec.seed = splitmix64(state);
+        spec.rate = (1.0 + splitmix64(state) % 10000) / 100.0;
+        // Any kind subset with at least one base (non-storm) kind.
+        do {
+            spec.kinds = static_cast<uint32_t>(splitmix64(state) % 16);
+        } while ((spec.kinds &
+                  (fault::kChaosPort | fault::kChaosLink |
+                   fault::kChaosSwitch)) == 0);
+        ASSERT_TRUE(spec.enabled());
+
+        const std::string s1 = spec.str();
+        const ChaosSpec reparsed = ChaosSpec::parse(s1);
+        EXPECT_EQ(reparsed.str(), s1) << "trial " << trial;
+        EXPECT_EQ(reparsed.seed, spec.seed);
+        EXPECT_EQ(reparsed.rate, spec.rate);
+        EXPECT_EQ(reparsed.kinds, spec.kinds);
+    }
+}
+
+TEST(ChaosTest, SpecParseRejectsMalformedInput)
+{
+    EXPECT_THROW(ChaosSpec::parse(""), UsageError);
+    EXPECT_THROW(ChaosSpec::parse("chaos(1,2.0)"), UsageError);
+    EXPECT_THROW(ChaosSpec::parse("chaos(1,2.0,storm)"), UsageError);
+    EXPECT_THROW(ChaosSpec::parse("chaos(1,0,link)"), UsageError);
+    EXPECT_THROW(ChaosSpec::parse("chaos(1,-2,link)"), UsageError);
+    EXPECT_THROW(ChaosSpec::parse("chaos(1,2.0,link+)"), UsageError);
+    EXPECT_THROW(ChaosSpec::parse("chaos(1,2.0,banana)"), UsageError);
+    EXPECT_THROW(ChaosSpec::parse("chaos(x,2.0,link)"), UsageError);
+    EXPECT_THROW(ChaosSpec::parse("havoc(1,2.0,link)"), UsageError);
+}
+
+// ---------------------------------------------------------------------------
+// Environment extraction and expansion
+
+TEST(ChaosTest, EnvForStarHasSymmetricPeersAndSwitchGroups)
+{
+    topo::Lan lan(topo::Topology::star(4, 2), lanConfig());
+    const ChaosEnv env = fault::chaosEnvFor(lan.net(), 10'000);
+
+    EXPECT_EQ(env.horizon_slots, 10'000);
+    EXPECT_EQ(env.num_links, lan.net().numLinks());
+    ASSERT_EQ(static_cast<int>(env.peer.size()), env.num_links);
+    for (int l = 0; l < env.num_links; ++l) {
+        ASSERT_GE(env.peer[l], 0) << "full-duplex topology";
+        EXPECT_EQ(env.peer[env.peer[l]], l);
+        EXPECT_NE(env.peer[l], l);
+    }
+    // star(4,2): one core + 4 leaf switches, all with incident trunks.
+    EXPECT_EQ(env.switch_links.size(), 5u);
+    for (const std::vector<int>& group : env.switch_links)
+        EXPECT_FALSE(group.empty());
+}
+
+TEST(ChaosTest, ExpansionIsDeterministicAndInBounds)
+{
+    topo::Lan lan(topo::Topology::mesh(3, 3, /*torus=*/true, 2),
+                  lanConfig());
+    const SlotTime horizon = 20'000;
+    const ChaosEnv env = fault::chaosEnvFor(lan.net(), horizon);
+
+    ChaosSpec spec = ChaosSpec::parse("chaos(42,3.5,port+link+switch+storm)");
+    const FaultPlan a = fault::expandChaos(spec, env);
+    const FaultPlan b = fault::expandChaos(spec, env);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_FALSE(a.empty());
+    EXPECT_FALSE(a.probabilistic());
+
+    SlotTime prev = 0;
+    for (const FaultEvent& ev : a.events) {
+        EXPECT_TRUE(ev.kind == FaultKind::LinkDown ||
+                    ev.kind == FaultKind::LinkUp);
+        EXPECT_GE(ev.target, 0);
+        EXPECT_LT(ev.target, env.num_links);
+        EXPECT_GE(ev.slot, 1);
+        EXPECT_LT(ev.slot, horizon);
+        EXPECT_GE(ev.slot, prev);  // parse/expand keep slot order
+        prev = ev.slot;
+    }
+
+    // A different seed produces different churn.
+    spec.seed = 43;
+    EXPECT_NE(fault::expandChaos(spec, env).str(), a.str());
+}
+
+TEST(ChaosTest, StormQuantizesRevivalSlots)
+{
+    topo::Lan lan(topo::Topology::star(8, 2), lanConfig());
+    const SlotTime horizon = 50'000;
+    const ChaosEnv env = fault::chaosEnvFor(lan.net(), horizon);
+
+    const FaultPlan plan = fault::expandChaos(
+        ChaosSpec::parse("chaos(5,4,link+storm)"), env);
+    int revivals = 0;
+    for (const FaultEvent& ev : plan.events) {
+        if (ev.kind != FaultKind::LinkUp)
+            continue;
+        ++revivals;
+        EXPECT_EQ(ev.slot % 1000, 0)
+            << "storm revivals land on 1000-slot boundaries";
+    }
+    EXPECT_GT(revivals, 0);
+}
+
+TEST(ChaosTest, SwitchKindKillsEveryIncidentLinkTogether)
+{
+    topo::Lan lan(topo::Topology::star(4, 2), lanConfig());
+    const ChaosEnv env = fault::chaosEnvFor(lan.net(), 30'000);
+
+    const FaultPlan plan = fault::expandChaos(
+        ChaosSpec::parse("chaos(11,2,switch)"), env);
+    ASSERT_FALSE(plan.events.empty());
+
+    // Every down-slot's target set must be exactly one switch's whole
+    // incident-link group.
+    std::set<SlotTime> down_slots;
+    for (const FaultEvent& ev : plan.events)
+        if (ev.kind == FaultKind::LinkDown)
+            down_slots.insert(ev.slot);
+    for (SlotTime slot : down_slots) {
+        std::set<int> targets;
+        for (const FaultEvent& ev : plan.events)
+            if (ev.kind == FaultKind::LinkDown && ev.slot == slot)
+                targets.insert(ev.target);
+        bool matches_a_group = false;
+        for (const std::vector<int>& group : env.switch_links) {
+            std::set<int> g(group.begin(), group.end());
+            if (g == targets)
+                matches_a_group = true;
+        }
+        EXPECT_TRUE(matches_a_group)
+            << "down-set at slot " << slot << " is not a switch group";
+    }
+}
+
+}  // namespace
+}  // namespace an2
