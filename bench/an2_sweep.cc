@@ -70,6 +70,7 @@ main(int argc, char** argv)
 
     harness::SweepSpec spec = exp->make();
     applyCli(cli, spec);
+    applyArchOverride(cli, spec);
 
     // With --json - the document owns stdout; keep the table off it.
     const bool table = cli.json_path != "-";

@@ -30,6 +30,7 @@
 #include "an2/matching/pim_fast.h"
 #include "an2/matching/serial_greedy.h"
 #include "an2/obs/recorder.h"
+#include "an2/sim/cioq_switch.h"
 #include "an2/sim/fifo_switch.h"
 #include "an2/sim/oq_switch.h"
 #include "an2/sim/simulator.h"
@@ -242,6 +243,18 @@ archsUnderTest()
                      /*obs_mode=*/1});
     archs.push_back({"OutputQueued", [](int n, uint64_t) {
                          return std::make_unique<OutputQueuedSwitch>(n);
+                     }});
+    // CIOQ hot path: S greedy matching phases per slot plus the
+    // per-class output service stage. check_bench skips rows with no
+    // committed baseline, so adding this row leaves BENCH_hotpath.json
+    // comparisons untouched.
+    archs.push_back({"CIOQ(S=2,strict)", [](int n, uint64_t seed) {
+                         CioqSwitchConfig cfg;
+                         cfg.n = n;
+                         cfg.speedup = 2;
+                         return std::make_unique<CioqSwitch>(
+                             cfg, std::make_unique<SerialGreedyMatcher>(
+                                      true, seed));
                      }});
     return archs;
 }

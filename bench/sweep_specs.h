@@ -23,10 +23,12 @@
 #include "an2/harness/cli.h"
 #include "an2/harness/sweep.h"
 #include "an2/matching/islip.h"
+#include "an2/matching/serial_greedy.h"
 #include "an2/obs/blackbox.h"
 #include "an2/obs/recorder.h"
 #include "an2/obs/timeseries.h"
 #include "an2/obs/trace_export.h"
+#include "an2/sim/cioq_switch.h"
 #include "an2/sim/fifo_switch.h"
 #include "an2/sim/oq_switch.h"
 #include "bench_common.h"
@@ -79,6 +81,31 @@ islipArch(int iterations)
             }};
 }
 
+/**
+ * CIOQ switch at crossbar speedup S with the greedy maximal matcher
+ * (the Cogill-Lall setting: maximal matching, S = 2). `service` picks
+ * the output discipline across the class queues: "strict" or "wrr".
+ */
+inline harness::ArchSpec
+cioqArch(int speedup, const std::string& service = "strict")
+{
+    ServiceDiscipline disc = service == "wrr" ? ServiceDiscipline::Wrr
+                                              : ServiceDiscipline::Strict;
+    std::string name =
+        "CIOQ(S=" + std::to_string(speedup) + "," + service + ")";
+    return {std::move(name),
+            [speedup,
+             disc](int n, uint64_t seed) -> std::unique_ptr<SwitchModel> {
+                CioqSwitchConfig cfg;
+                cfg.n = n;
+                cfg.speedup = speedup;
+                cfg.service = disc;
+                return std::make_unique<CioqSwitch>(
+                    cfg, std::make_unique<SerialGreedyMatcher>(
+                             /*randomize=*/true, seed));
+            }};
+}
+
 inline harness::TrafficFactory
 uniformWorkload()
 {
@@ -92,6 +119,15 @@ clientServerWorkload(int servers)
 {
     return [servers](int n, double load, uint64_t seed) {
         return std::make_unique<ClientServerTraffic>(n, servers, load, seed);
+    };
+}
+
+/** Uniform arrivals with a CBR/VBR/best-effort class mix per flow. */
+inline harness::TrafficFactory
+multiClassWorkload()
+{
+    return [](int n, double load, uint64_t seed) {
+        return std::make_unique<MultiClassUniformTraffic>(n, load, seed);
     };
 }
 
@@ -168,6 +204,28 @@ latdistSpec()
     return spec;
 }
 
+/**
+ * Speedup study: CIOQ at S = 1/2/4 with the greedy maximal matcher vs
+ * the ideal output-queued switch, multi-class uniform workload. The
+ * headline (Cogill & Lall) is that S = 2 already tracks output
+ * queueing; S = 1 shows the input-queued gap, S = 4 buys almost
+ * nothing over S = 2.
+ */
+inline harness::SweepSpec
+speedupSpec()
+{
+    harness::SweepSpec spec;
+    spec.name = "speedup";
+    spec.description = "CIOQ crossbar speedup 1/2/4 vs output queueing, "
+                       "multi-class uniform workload, 16x16";
+    spec.workload = "uniform3";
+    spec.archs = {oqArch(), cioqArch(1), cioqArch(2), cioqArch(4)};
+    spec.loads.assign(kLoadSweep, kLoadSweep + kLoadSweepSize);
+    spec.base_seed = 1010;
+    spec.make_traffic = multiClassWorkload();
+    return spec;
+}
+
 /** Registry entry for `an2_sweep --experiment NAME`. */
 struct Experiment
 {
@@ -188,6 +246,9 @@ experiments()
         {"latdist",
          "latency distributions: PIM(1)/PIM(4)/iSLIP(4), uniform",
          latdistSpec},
+        {"speedup",
+         "CIOQ speedup 1/2/4 vs OutputQ, multi-class uniform",
+         speedupSpec},
     };
     return kExperiments;
 }
@@ -207,6 +268,29 @@ findExperiment(const std::string& name)
 
 using harness::SweepCli;
 using harness::applyCli;
+
+/**
+ * Apply the `--arch cioq` override: replace the experiment's
+ * architecture axis with a single CIOQ switch at `--speedup` (default
+ * 2) and `--service` (default strict), and stamp the gated
+ * meta.speedup / meta.service keys into the JSON. The workload, loads,
+ * and seeding stay the spec's own, so the CIOQ runs face the same
+ * arrivals as the archs they replace. No-op when --arch was not given
+ * (parseSweepCli already rejected values other than "cioq").
+ */
+inline void
+applyArchOverride(const SweepCli& cli, harness::SweepSpec& spec)
+{
+    if (cli.arch.empty())
+        return;
+    const int speedup = cli.speedup > 0 ? cli.speedup : 2;
+    const std::string service =
+        cli.service.empty() ? "strict" : cli.service;
+    spec.archs = {cioqArch(speedup, service)};
+    spec.speedup = speedup;
+    spec.service = service;
+}
+
 using harness::parseLoadList;
 using harness::parseSweepCli;
 using harness::printSweepCliHelp;
@@ -362,7 +446,7 @@ runObservedPoint(const harness::SweepSpec& spec, const SweepCli& cli)
         for (size_t k = 0; k < spec.archs.size() && arch < 0; ++k) {
             const std::string& nm = spec.archs[k].name;
             if (nm.rfind("PIM", 0) == 0 || nm.rfind("iSLIP", 0) == 0 ||
-                nm.rfind("Greedy", 0) == 0)
+                nm.rfind("Greedy", 0) == 0 || nm.rfind("CIOQ", 0) == 0)
                 arch = static_cast<int>(k);
         }
         if (arch < 0)
@@ -462,13 +546,15 @@ runObservedPoint(const harness::SweepSpec& spec, const SweepCli& cli)
 
     if (rec.latencyEnabled()) {
         std::fprintf(stderr, "  delivery latency (slots):\n");
-        for (int cls = 0; cls < 2; ++cls) {
+        static const char* kClsNames[kNumTrafficClasses] = {"cbr", "vbr",
+                                                            "be"};
+        for (int cls = 0; cls < kNumTrafficClasses; ++cls) {
             const obs::LogHistogram& h = rec.latencyHistogram(
                 static_cast<TrafficClass>(cls));
             std::fprintf(stderr,
                          "    %s: count=%lld p50=%lld p99=%lld p999=%lld "
                          "max=%lld\n",
-                         cls == 0 ? "cbr" : "vbr",
+                         kClsNames[cls],
                          static_cast<long long>(h.count()),
                          static_cast<long long>(h.quantile(0.50)),
                          static_cast<long long>(h.quantile(0.99)),

@@ -68,6 +68,12 @@ def check_hotpath(run_doc, baseline_path, threshold):
             print(f"  {label:34s}  (not in this run, skipped)")
             continue
         base, now = baseline[cell], run[cell]
+        if base <= 0:
+            # A zero/negative baseline cell is a broken baseline, not a
+            # regression; dividing by it would crash the whole check.
+            print(f"  {label:34s}  baseline {base:12,.0f}  "
+                  f"run {now:12,.0f}  (baseline 0, no ratio)")
+            continue
         ratio = now / base
         line = (f"  {label:34s}  baseline {base:12,.0f}  "
                 f"run {now:12,.0f}  ({ratio:5.2f}x)")
@@ -123,11 +129,66 @@ def check_netsweep(run_doc, baseline_path):
               "committed baseline exactly.")
 
 
+def self_test():
+    """Exercise the hot-path comparison on synthetic documents —
+    including the zero-baseline cell that used to crash the whole check
+    with a ZeroDivisionError. Unlike the warn-only comparisons this
+    guards the checker itself, so it exits 1 on any failure."""
+    import contextlib
+    import io
+    import tempfile
+
+    def cell(arch, rate):
+        return {"arch": arch, "size": 16, "load": 0.9,
+                "slots_per_sec": {"mean": rate}}
+
+    baseline = {"after": [cell("PIM(4)", 1_000_000.0),
+                          cell("Broken", 0.0),
+                          cell("Gone", 500_000.0)]}
+    run = {"meta": {"schema": "an2.sweep.v1"},
+           "cells": [cell("PIM(4)", 900_000.0),
+                     cell("Broken", 750_000.0),
+                     cell("CIOQ(S=2,strict)", 400_000.0)]}
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as f:
+        json.dump(baseline, f)
+        path = f.name
+    try:
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            check_hotpath(run, path, 0.30)
+    finally:
+        os.unlink(path)
+    text = out.getvalue()
+    checks = [
+        ("baseline 0, no ratio" in text,
+         "zero baseline reported explicitly, not divided by"),
+        ("0.90x" in text, "healthy cell still gets a ratio"),
+        ("CIOQ(S=2,strict) 16x16@0.9" in text and
+         "(no baseline, skipped)" in text,
+         "arch with no committed baseline is skipped"),
+        ("Gone 16x16@0.9" in text and
+         "(not in this run, skipped)" in text,
+         "baseline arch missing from the run is skipped"),
+    ]
+    ok = True
+    for passed, what in checks:
+        print(f"  {'ok' if passed else 'FAIL'}: {what}")
+        ok = ok and passed
+    print("check_bench self-test", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
 def main():
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     parser = argparse.ArgumentParser(
         description="Warn (never fail) on bench regressions.")
-    parser.add_argument("run", help="an2.sweep.v1 or an2.netsweep.v1 JSON")
+    parser.add_argument("run", nargs="?",
+                        help="an2.sweep.v1 or an2.netsweep.v1 JSON")
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="run the checker's own unit checks and exit (nonzero on "
+             "failure)")
     parser.add_argument(
         "--baseline",
         help="committed baseline (default: repo BENCH_hotpath.json or "
@@ -137,6 +198,11 @@ def main():
         help="hot-path only: warn when slots/sec drops more than this "
              "fraction (0.30)")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.run:
+        parser.error("RUN.json required unless --self-test")
 
     run_doc = load_doc(args.run)
     schema = schema_of(run_doc)

@@ -94,14 +94,19 @@ def check_switch_sample(where, doc):
     dropped = doc.get("dropped_samples")
     if not isinstance(dropped, int) or dropped < 0:
         fail(f"{where}: bad dropped_samples: {dropped!r}")
+    # "be" joined the class axis with the CIOQ switch; older documents
+    # carry cbr/vbr only, so it is validated (and summed) when present.
     for section in ("latency", "hop_delay"):
         block = doc.get(section)
         if not isinstance(block, dict):
             fail(f"{where}: missing {section!r} section")
         for cls in ("cbr", "vbr"):
             check_quantiles(f"{where}: {section}.{cls}", block[cls])
-    delivered = (doc["latency"]["cbr"]["count"] +
-                 doc["latency"]["vbr"]["count"])
+        if "be" in block:
+            check_quantiles(f"{where}: {section}.be", block["be"])
+    delivered = sum(doc["latency"][cls]["count"]
+                    for cls in ("cbr", "vbr", "be")
+                    if cls in doc["latency"])
     if delivered != counters["cells_delivered"]:
         fail(f"{where}: latency class counts sum to {delivered}, "
              f"counter says {counters['cells_delivered']}")

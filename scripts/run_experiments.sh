@@ -35,6 +35,22 @@ done
 # (warn-only; see scripts/check_bench.py).
 python3 scripts/check_bench.py "$BUILD/sweeps/netscale.json"
 
+# CIOQ speedup study (Cogill-Lall): greedy maximal matching at crossbar
+# speedup S = 1/2/4 vs the ideal output-queued switch under the
+# multi-class uniform workload. Written to its own committed document
+# rather than merged into BENCH_sweeps.json, so that trajectory file
+# stays byte-stable. The serial-vs-8-thread cmp guards the CIOQ arch's
+# determinism the same way the chaos smoke guards the network engine.
+"$BUILD/bench/an2_sweep" --experiment speedup --threads "$THREADS" \
+    --json BENCH_speedup.json
+"$BUILD/bench/an2_sweep" --experiment fig3 --arch cioq --speedup 2 \
+    --service wrr --slots 20000 --warmup 4000 --threads 1 \
+    --json "$BUILD/sweeps/cioq_t1.json"
+"$BUILD/bench/an2_sweep" --experiment fig3 --arch cioq --speedup 2 \
+    --service wrr --slots 20000 --warmup 4000 --threads 8 \
+    --json "$BUILD/sweeps/cioq_t8.json"
+cmp "$BUILD/sweeps/cioq_t1.json" "$BUILD/sweeps/cioq_t8.json"
+
 # Telemetry smoke: an an2.metrics.v1 time series off the latdist
 # observed point plus a fault-triggered an2.blackbox.v1 post-mortem,
 # both hard-validated (scripts/check_metrics.py exits 1 on any

@@ -56,6 +56,7 @@
 #include "an2/cbr/subframes.h"
 #include "an2/cbr/timing.h"
 
+#include "an2/sim/cioq_switch.h"
 #include "an2/sim/fifo_switch.h"
 #include "an2/sim/iq_switch.h"
 #include "an2/sim/metrics.h"

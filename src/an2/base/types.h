@@ -51,11 +51,16 @@ slotsToMicros(double slots)
     return slots * static_cast<double>(kSlotPicosAt1Gbps) * 1e-6;
 }
 
-/** Traffic class of a flow (paper §4): reserved vs. datagram traffic. */
+/** Traffic class of a flow (paper §4): reserved vs. datagram traffic,
+    plus a best-effort tier below both for CIOQ output scheduling. */
 enum class TrafficClass : uint8_t {
     CBR,  ///< constant bit rate; carried by the pre-computed frame schedule
     VBR,  ///< variable bit rate (datagram); carried by iterative matching
+    BE,   ///< best effort; served only when no CBR/VBR cell is waiting
 };
+
+/** Number of traffic classes, for sizing per-class arrays. */
+inline constexpr int kNumTrafficClasses = 3;
 
 }  // namespace an2
 

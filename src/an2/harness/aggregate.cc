@@ -132,6 +132,12 @@ sweepToJson(const SweepSpec& spec, const std::vector<CellSummary>& cells)
     const bool faulted = !spec.faults.empty();
     if (faulted)
         w.key("faults").value(spec.faults.str());
+    // CIOQ annotations, gated like faults: absent unless set, so every
+    // pre-CIOQ an2.sweep.v1 document stays byte-identical.
+    if (spec.speedup > 0)
+        w.key("speedup").value(spec.speedup);
+    if (!spec.service.empty())
+        w.key("service").value(spec.service);
     w.endObject();
 
     w.key("axes").beginObject();

@@ -28,6 +28,16 @@ printSweepCliHelp(const char* prog, bool with_experiment)
                 "seeding\n");
     std::printf("  --loads A,B,...     override the load axis\n");
     std::printf("  --size N            override the switch size\n");
+    std::printf("  --arch A            architecture override: cioq "
+                "(combined\n"
+                "                      input-output queued switch; see "
+                "--speedup)\n");
+    std::printf("  --speedup S         CIOQ crossbar speedup, 1..4 "
+                "(default 2;\n"
+                "                      requires --arch cioq)\n");
+    std::printf("  --service D         CIOQ output scheduling: strict | wrr\n"
+                "                      (default strict; requires --arch "
+                "cioq)\n");
     std::printf("  --frames F          switch frames per run (network "
                 "experiments)\n");
     std::printf("  --engine E          network engine: serial | parallel "
@@ -140,9 +150,28 @@ parseSweepCli(int argc, char** argv, SweepCli& cli, std::string& err)
             return arg + n + 1;
         return nullptr;
     };
+    // Repeated flags are an error, not last-wins: `--slots 100 --slots
+    // 900` silently dropping one value has burned enough scripts. The
+    // idempotent --help/--list toggles stay exempt.
+    std::vector<std::string> seen;
     for (int i = 1; i < argc; ++i) {
         const char* a = argv[i];
         const char* v = nullptr;
+        if (std::strncmp(a, "--", 2) == 0 && a[2] != '\0') {
+            std::string flag(a);
+            if (size_t eq = flag.find('='); eq != std::string::npos)
+                flag.resize(eq);
+            if (flag != "--help" && flag != "--list") {
+                for (const std::string& s : seen) {
+                    if (s == flag) {
+                        err = "duplicate option: " + flag +
+                              " was given more than once";
+                        return false;
+                    }
+                }
+                seen.push_back(flag);
+            }
+        }
         if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) {
             cli.help = true;
         } else if (!std::strcmp(a, "--list")) {
@@ -209,6 +238,30 @@ parseSweepCli(int argc, char** argv, SweepCli& cli, std::string& err)
                 err = badValue("--size", v, "a positive integer");
                 return false;
             }
+        } else if (!std::strcmp(a, "--arch")) {
+            if (!(v = need(i)))
+                return false;
+            if (std::strcmp(v, "cioq")) {
+                err = badValue("--arch", v, "'cioq'");
+                return false;
+            }
+            cli.arch = v;
+        } else if (!std::strcmp(a, "--speedup")) {
+            if (!(v = need(i)))
+                return false;
+            if (!parseInt(v, cli.speedup) || cli.speedup < 1 ||
+                cli.speedup > 4) {
+                err = badValue("--speedup", v, "an integer in 1..4");
+                return false;
+            }
+        } else if (!std::strcmp(a, "--service")) {
+            if (!(v = need(i)))
+                return false;
+            if (std::strcmp(v, "strict") && std::strcmp(v, "wrr")) {
+                err = badValue("--service", v, "'strict' or 'wrr'");
+                return false;
+            }
+            cli.service = v;
         } else if (!std::strcmp(a, "--frames")) {
             if (!(v = need(i)))
                 return false;
@@ -309,6 +362,12 @@ parseSweepCli(int argc, char** argv, SweepCli& cli, std::string& err)
             err = std::string("unknown option: ") + a;
             return false;
         }
+    }
+    if ((cli.speedup > 0 || !cli.service.empty()) && cli.arch.empty()) {
+        err = cli.speedup > 0
+                  ? "--speedup requires --arch cioq"
+                  : "--service requires --arch cioq";
+        return false;
     }
     return true;
 }

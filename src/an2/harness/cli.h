@@ -9,7 +9,8 @@
  * predecessor accepted `--threads banana` as 0). Numeric values must
  * consume their whole token and fit their type; fault specs are parsed
  * through fault::FaultPlan::parse, whose errors also quote the bad
- * token.
+ * token. A flag given more than once is an error naming the flag —
+ * last-wins would silently discard one of two conflicting values.
  */
 #ifndef AN2_HARNESS_CLI_H
 #define AN2_HARNESS_CLI_H
@@ -40,6 +41,12 @@ struct SweepCli
     long long frames = 0;         ///< 0 = keep spec default (net sweeps)
     bool list = false;
     bool help = false;
+
+    /** Architecture override (--arch): "" keeps the spec's archs;
+        "cioq" swaps in a CIOQ switch at --speedup / --service. */
+    std::string arch;
+    int speedup = 0;              ///< 0 = default (2); CIOQ arch only
+    std::string service;          ///< "" = default ("strict") | "wrr"
 
     /**
      * Network engine selection for topology experiments: "serial"

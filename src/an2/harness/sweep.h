@@ -92,6 +92,14 @@ struct SweepSpec
      * any thread count.
      */
     fault::FaultPlan faults;
+
+    /**
+     * CIOQ annotations for the JSON meta (set by the --arch cioq glue):
+     * speedup 0 / service "" mean "not a CIOQ sweep" and the keys are
+     * omitted entirely, keeping pre-CIOQ documents byte-stable.
+     */
+    int speedup = 0;
+    std::string service;
 };
 
 /** One point of the expanded run grid. */

@@ -169,6 +169,7 @@ Blackbox::dump(const std::string& reason, SlotTime slot)
         w.key("latency").beginObject();
         writeLatency(w, "cbr", rec_.latencyHistogram(TrafficClass::CBR));
         writeLatency(w, "vbr", rec_.latencyHistogram(TrafficClass::VBR));
+        writeLatency(w, "be", rec_.latencyHistogram(TrafficClass::BE));
         w.endObject();
     }
 

@@ -103,6 +103,13 @@ enum class Counter : int {
     CbrRestoreRetries,
     /** CBR flows abandoned after the retry budget ran out. */
     CbrAbandoned,
+    /** Matcher phases executed by a CIOQ switch (speedup S runs S per
+        slot; an IQ switch never bumps this). */
+    SpeedupPhases,
+    /** Delivered cells by class (sampled where CellsDelivered is). */
+    CbrCellsDelivered,
+    VbrCellsDelivered,
+    BeCellsDelivered,
     kCount,
 };
 
@@ -115,6 +122,8 @@ enum class Gauge : int {
     BufferedCells = 0,
     /** Size of the most recent slot's VBR matching. */
     LastMatchSize,
+    /** High-water mark of any single output queue (CIOQ switches). */
+    OutputQueueHwm,
     kCount,
 };
 

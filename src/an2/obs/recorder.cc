@@ -64,6 +64,10 @@ counterName(Counter c)
       case Counter::CbrRestorations:      return "cbr_restorations";
       case Counter::CbrRestoreRetries:    return "cbr_restore_retries";
       case Counter::CbrAbandoned:         return "cbr_abandoned";
+      case Counter::SpeedupPhases:        return "speedup_phases";
+      case Counter::CbrCellsDelivered:    return "cbr_cells_delivered";
+      case Counter::VbrCellsDelivered:    return "vbr_cells_delivered";
+      case Counter::BeCellsDelivered:     return "be_cells_delivered";
       case Counter::kCount:               break;
     }
     return "unknown";
@@ -73,9 +77,10 @@ const char*
 gaugeName(Gauge g)
 {
     switch (g) {
-      case Gauge::BufferedCells: return "buffered_cells";
-      case Gauge::LastMatchSize: return "last_match_size";
-      case Gauge::kCount:        break;
+      case Gauge::BufferedCells:  return "buffered_cells";
+      case Gauge::LastMatchSize:  return "last_match_size";
+      case Gauge::OutputQueueHwm: return "output_queue_hwm";
+      case Gauge::kCount:         break;
     }
     return "unknown";
 }
@@ -101,7 +106,9 @@ Recorder::Recorder(const RecorderConfig& config)
     AN2_REQUIRE(config.metrics_every == 0 || config.metrics_capacity > 0,
                 "metrics sampling needs a non-empty ring");
     if (track_latency_ && ports_ > 0)
-        lat_port_.assign(2 * static_cast<size_t>(ports_), LogHistogram{});
+        lat_port_.assign(static_cast<size_t>(kNumTrafficClasses) *
+                             static_cast<size_t>(ports_),
+                         LogHistogram{});
     if (metrics_every_ > 0)
         metrics_ = TimeSeries(metrics_every_, config.metrics_capacity);
     ring_.resize(capacity_);
@@ -245,6 +252,12 @@ void
 Recorder::latencySample(TrafficClass cls, PortId output, int64_t delay_slots)
 {
     add(Counter::CellsDelivered, 1);
+    // Per-class delivery counters sit contiguously after
+    // CbrCellsDelivered in TrafficClass order.
+    add(static_cast<Counter>(
+            static_cast<int>(Counter::CbrCellsDelivered) +
+            static_cast<int>(cls)),
+        1);
     if (!track_latency_)
         return;
     int64_t d = std::max<int64_t>(delay_slots, 0);
@@ -294,7 +307,8 @@ Recorder::sampleMetricsNow(SlotTime slot)
         s.counters[c] = counters_[c];
     for (size_t g = 0; g < kNumGauges; ++g)
         s.gauges[g] = gauges_[g];
-    for (size_t cls = 0; cls < 2; ++cls) {
+    for (size_t cls = 0; cls < static_cast<size_t>(kNumTrafficClasses);
+         ++cls) {
         summarize(lat_class_[cls], s.latency[cls]);
         summarize(hop_class_[cls], s.hop_delay[cls]);
     }

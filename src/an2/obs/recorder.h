@@ -266,10 +266,10 @@ class Recorder
     std::string snapshot_jsonl_;
 
     bool track_latency_ = false;
-    std::array<LogHistogram, 2> lat_class_;  ///< by TrafficClass
-    std::array<LogHistogram, 2> hop_class_;  ///< by TrafficClass
-    /** Per-output latency, class-major (2 * ports entries); empty unless
-        track_latency and ports > 0. */
+    std::array<LogHistogram, kNumTrafficClasses> lat_class_;  ///< by class
+    std::array<LogHistogram, kNumTrafficClasses> hop_class_;  ///< by class
+    /** Per-output latency, class-major (kNumTrafficClasses * ports
+        entries); empty unless track_latency and ports > 0. */
     std::vector<LogHistogram> lat_port_;
 
     int metrics_every_ = 0;

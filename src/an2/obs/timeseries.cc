@@ -45,7 +45,7 @@ TimeSeries::sample(size_t k) const
 
 namespace {
 
-const char* kClassNames[2] = {"cbr", "vbr"};
+const char* kClassNames[kNumTrafficClasses] = {"cbr", "vbr", "be"};
 
 void
 writeSummary(JsonWriter& w, const LatencySummary& s)
@@ -85,13 +85,13 @@ metricsToJsonLines(const Recorder& recorder)
         w.endObject();
         if (recorder.latencyEnabled()) {
             w.key("latency").beginObject();
-            for (size_t cls = 0; cls < 2; ++cls) {
+            for (size_t cls = 0; cls < static_cast<size_t>(kNumTrafficClasses); ++cls) {
                 w.key(kClassNames[cls]);
                 writeSummary(w, s.latency[cls]);
             }
             w.endObject();
             w.key("hop_delay").beginObject();
-            for (size_t cls = 0; cls < 2; ++cls) {
+            for (size_t cls = 0; cls < static_cast<size_t>(kNumTrafficClasses); ++cls) {
                 w.key(kClassNames[cls]);
                 writeSummary(w, s.hop_delay[cls]);
             }
@@ -160,7 +160,7 @@ metricsToPrometheus(const Recorder& recorder)
     if (!recorder.latencyEnabled())
         return out;
     out += "# TYPE an2_latency_slots summary\n";
-    for (size_t cls = 0; cls < 2; ++cls) {
+    for (size_t cls = 0; cls < static_cast<size_t>(kNumTrafficClasses); ++cls) {
         TrafficClass tc = static_cast<TrafficClass>(cls);
         promHistogram(out, "an2_latency_slots", kClassNames[cls], -1,
                       recorder.latencyHistogram(tc));
@@ -173,7 +173,7 @@ metricsToPrometheus(const Recorder& recorder)
         }
     }
     out += "# TYPE an2_hop_delay_slots summary\n";
-    for (size_t cls = 0; cls < 2; ++cls)
+    for (size_t cls = 0; cls < static_cast<size_t>(kNumTrafficClasses); ++cls)
         promHistogram(out, "an2_hop_delay_slots", kClassNames[cls], -1,
                       recorder.hopDelayHistogram(
                           static_cast<TrafficClass>(cls)));

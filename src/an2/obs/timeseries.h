@@ -48,9 +48,9 @@ struct MetricsSample
     std::array<int64_t, kNumCounters> counters{};
     std::array<int64_t, kNumGauges> gauges{};
     /** Delivery latency per class, indexed by TrafficClass value. */
-    std::array<LatencySummary, 2> latency{};
+    std::array<LatencySummary, kNumTrafficClasses> latency{};
     /** Per-hop queueing delay per class, indexed by TrafficClass value. */
-    std::array<LatencySummary, 2> hop_delay{};
+    std::array<LatencySummary, kNumTrafficClasses> hop_delay{};
 };
 
 /** Fixed-capacity drop-oldest ring of MetricsSamples. */

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Combined input-output queued (CIOQ) switch: VOQ inputs, a pluggable
+ * matcher run S times per slot (crossbar speedup S, Cogill & Lall), and
+ * per-output, per-class queues drained at one cell per output per slot.
+ *
+ * Slot sequence:
+ *  1. Up to `speedup` matching phases. Each phase computes a matching
+ *     over the live request matrix, configures the crossbar, and moves
+ *     the matched cells from the VOQs into the output queues — so an
+ *     input can send (and an output receive) up to S cells per slot.
+ *  2. Output service. Every live output transmits at most one cell,
+ *     chosen among its three class queues (CBR > VBR > best-effort) by
+ *     strict priority or deterministic weighted round-robin.
+ *
+ * With a maximal matcher and S = 2 the mean delay tracks the ideal
+ * output-queued switch (the Cogill–Lall bound); S = 1 degenerates to an
+ * input-queued switch with an output queue, S >= N would emulate output
+ * queueing exactly.
+ *
+ * The request matrix is persistent (incremented on arrival, decremented
+ * as cells cross), the output queues are preallocated rings, and every
+ * per-slot scratch buffer is reused: steady-state runSlot() performs no
+ * heap allocation. Dead ports follow the IQ switch's contract: arrivals
+ * at dead ports are dropped at the line card, matchers never grant a
+ * dead port, and a dead output holds its queues until revival.
+ */
+#ifndef AN2_SIM_CIOQ_SWITCH_H
+#define AN2_SIM_CIOQ_SWITCH_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "an2/base/ring.h"
+#include "an2/fabric/crossbar.h"
+#include "an2/fault/invariants.h"
+#include "an2/matching/matcher.h"
+#include "an2/queueing/voq.h"
+#include "an2/sim/switch.h"
+
+namespace an2 {
+
+namespace obs {
+class Recorder;
+}  // namespace obs
+
+/** How a CIOQ output picks among its class queues each slot. */
+enum class ServiceDiscipline : uint8_t {
+    Strict,  ///< CBR before VBR before best-effort, always
+    Wrr,     ///< weighted round-robin over non-empty classes
+};
+
+/** Configuration for a CioqSwitch. */
+struct CioqSwitchConfig
+{
+    /** Switch size N. */
+    int n = 16;
+
+    /** Matching phases per slot (crossbar speedup), 1..4. */
+    int speedup = 2;
+
+    /** Output scheduling discipline across the class queues. */
+    ServiceDiscipline service = ServiceDiscipline::Strict;
+
+    /** WRR weights per TrafficClass (cells served before the pointer
+        advances); ignored under strict priority. */
+    std::array<int, kNumTrafficClasses> wrr_weights = {4, 2, 1};
+};
+
+/** CIOQ switch: VOQs + matcher at speedup S + per-class output queues. */
+class CioqSwitch final : public SwitchModel
+{
+  public:
+    CioqSwitch(const CioqSwitchConfig& config,
+               std::unique_ptr<Matcher> matcher);
+
+    void acceptCell(const Cell& cell) override;
+    const std::vector<Cell>& runSlot(SlotTime slot) override;
+    void runSlots(SlotTime first, SlotTime count,
+                  SlotDriver& driver) override;
+    int bufferedCells() const override;
+    std::string name() const override;
+    int size() const override { return config_.n; }
+
+    void setInputPortLive(PortId i, bool live) override;
+    void setOutputPortLive(PortId j, bool live) override;
+    bool inputPortLive(PortId i) const override;
+    bool outputPortLive(PortId j) const override;
+    int64_t droppedCells() const override { return checker_.dropped(); }
+
+    /** The per-slot invariant ledger (conservation totals). */
+    const fault::InvariantChecker& invariants() const { return checker_; }
+
+    /** The scheduler run each phase. */
+    Matcher& matcher() { return *matcher_; }
+
+    /** The persistent request matrix (patched incrementally). */
+    const RequestMatrix& requests() const { return req_; }
+
+    /** Matching phases executed so far (<= speedup per slot). */
+    int64_t phasesRun() const { return phases_run_; }
+
+    /** Largest single-output backlog (all classes) seen at any slot
+        boundary. */
+    int64_t outputQueueHighWaterMark() const { return out_hwm_; }
+
+    /** Cells currently queued at output j in class `cls`. */
+    int outputQueueDepth(PortId j, TrafficClass cls) const
+    {
+        return static_cast<int>(outQueue(j, cls).size());
+    }
+
+    /** VOQ occupancy plus output-queue backlog. */
+    void fillOccupancy(int32_t* voq, int32_t* backlog) const override;
+
+  private:
+    RingQueue<Cell>& outQueue(PortId j, TrafficClass cls)
+    {
+        return out_q_[static_cast<size_t>(j) * kNumTrafficClasses +
+                      static_cast<size_t>(cls)];
+    }
+
+    const RingQueue<Cell>& outQueue(PortId j, TrafficClass cls) const
+    {
+        return out_q_[static_cast<size_t>(j) * kNumTrafficClasses +
+                      static_cast<size_t>(cls)];
+    }
+
+    /** Serve one cell from output j per its discipline; false if every
+        class queue at j is empty. */
+    bool serveOutput(PortId j);
+
+    /** Fill the recorder's VOQ/backlog scratch and commit one snapshot
+        line for `slot`. */
+    void takeSnapshot(obs::Recorder& rec, SlotTime slot) const;
+
+    CioqSwitchConfig config_;
+    std::unique_ptr<Matcher> matcher_;
+    std::vector<InputBuffer> bufs_;
+    Crossbar crossbar_;
+
+    /** count(i,j) = cells queued at input i for output j (all classes).
+        Incremented in acceptCell, decremented as cells cross. */
+    RequestMatrix req_;
+
+    /** Per-output, per-class FIFO rings, class-major within an output. */
+    std::vector<RingQueue<Cell>> out_q_;
+
+    // WRR state per output: the class the pointer rests on and the
+    // credit it has left there.
+    std::vector<uint8_t> wrr_cls_;
+    std::vector<int32_t> wrr_credit_;
+
+    // Per-slot scratch, reused so steady-state slots never allocate.
+    Matching match_;               ///< one phase's matching
+    std::vector<Cell> departed_;   ///< runSlot return buffer
+
+    // Fault state, mirrored into req_'s liveness masks.
+    int mask_words_;
+    std::vector<uint64_t> dead_in_;
+    std::vector<uint64_t> dead_out_;
+    bool any_dead_ = false;
+    fault::InvariantChecker checker_;
+
+    int64_t phases_run_ = 0;
+    int64_t out_hwm_ = 0;
+};
+
+}  // namespace an2
+
+#endif  // AN2_SIM_CIOQ_SWITCH_H

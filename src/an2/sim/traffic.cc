@@ -17,14 +17,21 @@ TrafficGenerator::TrafficGenerator(int n_inputs, int n_outputs)
 Cell
 TrafficGenerator::makeCell(PortId i, PortId j, SlotTime slot)
 {
+    return makeCell(i, j, slot, TrafficClass::VBR);
+}
+
+Cell
+TrafficGenerator::makeCell(PortId i, PortId j, SlotTime slot,
+                           TrafficClass cls)
+{
     ConnState& cs = conn_.at(i, j);
     if (cs.flow == kNoFlow)
-        cs.flow = flows_.addFlow(i, j, TrafficClass::VBR);
+        cs.flow = flows_.addFlow(i, j, cls);
     Cell c;
     c.flow = cs.flow;
     c.input = i;
     c.output = j;
-    c.cls = TrafficClass::VBR;
+    c.cls = cls;
     c.seq = cs.seq++;
     c.inject_slot = slot;
     c.arrival_slot = slot;
@@ -57,6 +64,57 @@ UniformTraffic::generate(SlotTime slot, std::vector<Cell>& out)
         auto j = static_cast<PortId>(
             rng_.nextBelow(static_cast<uint64_t>(n_outputs_)));
         out.push_back(makeCell(i, j, slot));
+    }
+}
+
+// ------------------------------------------------------ multi-class uniform
+
+MultiClassUniformTraffic::MultiClassUniformTraffic(int n, double load,
+                                                   uint64_t seed,
+                                                   double cbr_fraction,
+                                                   double be_fraction)
+    : TrafficGenerator(n, n), load_(load), cbr_fraction_(cbr_fraction),
+      be_fraction_(be_fraction), rng_(seed)
+{
+    AN2_REQUIRE(load >= 0.0 && load <= 1.0, "load must be in [0,1]");
+    AN2_REQUIRE(cbr_fraction >= 0.0 && be_fraction >= 0.0 &&
+                    cbr_fraction + be_fraction <= 1.0,
+                "class fractions must be non-negative and sum to <= 1");
+}
+
+std::string
+MultiClassUniformTraffic::name() const
+{
+    std::ostringstream oss;
+    oss << "uniform3(load=" << load_ << ",cbr=" << cbr_fraction_
+        << ",be=" << be_fraction_ << ")";
+    return oss.str();
+}
+
+TrafficClass
+MultiClassUniformTraffic::classOf(PortId i, PortId j) const
+{
+    uint64_t state =
+        (static_cast<uint64_t>(static_cast<uint32_t>(i)) << 32) |
+        static_cast<uint32_t>(j);
+    uint64_t h = splitmix64(state);
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (u < cbr_fraction_)
+        return TrafficClass::CBR;
+    if (u < cbr_fraction_ + be_fraction_)
+        return TrafficClass::BE;
+    return TrafficClass::VBR;
+}
+
+void
+MultiClassUniformTraffic::generate(SlotTime slot, std::vector<Cell>& out)
+{
+    for (PortId i = 0; i < n_inputs_; ++i) {
+        if (!rng_.nextBernoulli(load_))
+            continue;
+        auto j = static_cast<PortId>(
+            rng_.nextBelow(static_cast<uint64_t>(n_outputs_)));
+        out.push_back(makeCell(i, j, slot, classOf(i, j)));
     }
 }
 

@@ -50,6 +50,14 @@ class TrafficGenerator
     /** Build and account a VBR cell on the (i,j) connection flow. */
     Cell makeCell(PortId i, PortId j, SlotTime slot);
 
+    /**
+     * Build and account a cell of class `cls` on the (i,j) connection
+     * flow. A connection's class is fixed by its first cell (the flow
+     * registers with that class); callers must pass a class that is a
+     * pure function of (i,j).
+     */
+    Cell makeCell(PortId i, PortId j, SlotTime slot, TrafficClass cls);
+
     int n_inputs_;
     int n_outputs_;
 
@@ -85,6 +93,43 @@ class UniformTraffic final : public TrafficGenerator
 
   private:
     double load_;
+    Xoshiro256 rng_;
+};
+
+/**
+ * Bernoulli-uniform workload carrying a CBR/VBR/best-effort mix for the
+ * CIOQ per-class service experiments. Arrivals are drawn exactly as in
+ * UniformTraffic (same seed, same PRNG stream — common random numbers
+ * across architectures); each connection's class is a pure splitmix64
+ * hash of (i, j) against the mix fractions, so the class assignment is
+ * deterministic and independent of the arrival draws. No frame schedule
+ * is involved: CBR cells here are simply the top service class at a
+ * CIOQ/OQ output (do not offer them to a schedule-less IQ switch).
+ */
+class MultiClassUniformTraffic final : public TrafficGenerator
+{
+  public:
+    /**
+     * @param n Switch size.
+     * @param load Arrival probability per input per slot (all classes).
+     * @param seed PRNG seed.
+     * @param cbr_fraction Fraction of connections assigned CBR.
+     * @param be_fraction Fraction assigned best-effort; the rest is VBR.
+     */
+    MultiClassUniformTraffic(int n, double load, uint64_t seed,
+                             double cbr_fraction = 0.2,
+                             double be_fraction = 0.3);
+
+    void generate(SlotTime slot, std::vector<Cell>& out) override;
+    std::string name() const override;
+
+    /** The deterministic class of connection (i, j). */
+    TrafficClass classOf(PortId i, PortId j) const;
+
+  private:
+    double load_;
+    double cbr_fraction_;
+    double be_fraction_;
     Xoshiro256 rng_;
 };
 

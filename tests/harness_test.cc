@@ -530,6 +530,91 @@ TEST(CliTest, MissingValueAndBadFaultSpecAreErrors)
     }
 }
 
+TEST(CliTest, RepeatedFlagIsAnErrorNamingTheFlag)
+{
+    // Last-wins on a repeated flag would silently discard one of two
+    // conflicting values; the parser must refuse and say which flag.
+    struct Case
+    {
+        std::initializer_list<const char*> tokens;
+        const char* flag;
+    };
+    for (const Case& c :
+         {Case{{"prog", "--threads", "2", "--threads", "4"}, "--threads"},
+          Case{{"prog", "--loads", "0.5", "--loads", "0.9"}, "--loads"},
+          Case{{"prog", "--json", "a.json", "--json", "b.json"}, "--json"},
+          Case{{"prog", "--metrics-every=5", "--metrics-every", "7"},
+               "--metrics-every"},
+          Case{{"prog", "--arch", "cioq", "--arch", "cioq"}, "--arch"}}) {
+        SweepCli cli;
+        std::string err;
+        EXPECT_FALSE(parseArgs(c.tokens, cli, err)) << c.flag;
+        EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
+        EXPECT_NE(err.find(c.flag), std::string::npos) << err;
+    }
+    // --help and --list stay idempotent: wrappers commonly append them.
+    SweepCli cli;
+    std::string err;
+    EXPECT_TRUE(parseArgs({"prog", "--help", "--help"}, cli, err)) << err;
+    EXPECT_TRUE(cli.help);
+}
+
+TEST(CliTest, ObservabilityIntervalsRejectZeroAndNegative)
+{
+    // A zero or negative cadence/capacity would fall through to "never
+    // sample" or an empty ring; the parser rejects it outright.
+    struct Case
+    {
+        const char* flag;
+        const char* value;
+    };
+    for (Case c : {Case{"--metrics-every", "0"},
+                   Case{"--metrics-every", "-3"},
+                   Case{"--trace-capacity", "0"},
+                   Case{"--trace-capacity", "-1"},
+                   Case{"--snapshot-every", "0"},
+                   Case{"--snapshot-every", "-7"}}) {
+        SweepCli cli;
+        std::string err;
+        EXPECT_FALSE(parseArgs({"prog", c.flag, c.value}, cli, err))
+            << c.flag << " " << c.value;
+        EXPECT_NE(err.find(c.flag), std::string::npos)
+            << c.flag << ": " << err;
+    }
+}
+
+TEST(CliTest, CioqArchFlagsValidated)
+{
+    {
+        SweepCli cli;
+        std::string err;
+        ASSERT_TRUE(parseArgs({"prog", "--arch", "cioq", "--speedup", "3",
+                               "--service", "wrr"},
+                              cli, err))
+            << err;
+        EXPECT_EQ(cli.arch, "cioq");
+        EXPECT_EQ(cli.speedup, 3);
+        EXPECT_EQ(cli.service, "wrr");
+    }
+    for (auto tokens :
+         {std::initializer_list<const char*>{"prog", "--arch", "oq"},
+          {"prog", "--arch", "cioq", "--speedup", "0"},
+          {"prog", "--arch", "cioq", "--speedup", "5"},
+          {"prog", "--arch", "cioq", "--service", "fifo"},
+          {"prog", "--speedup", "2"},
+          {"prog", "--service", "wrr"}}) {
+        SweepCli cli;
+        std::string err;
+        EXPECT_FALSE(parseArgs(tokens, cli, err));
+        EXPECT_FALSE(err.empty());
+    }
+    // The dependency errors name the missing flag.
+    SweepCli cli;
+    std::string err;
+    EXPECT_FALSE(parseArgs({"prog", "--speedup", "2"}, cli, err));
+    EXPECT_NE(err.find("--arch cioq"), std::string::npos) << err;
+}
+
 TEST(CliTest, ApplyCliOverlaysOntoSpec)
 {
     SweepCli cli;

@@ -61,6 +61,22 @@ TEST(NetSweepTest, JsonIsByteIdenticalUnderLinkFaults)
     EXPECT_EQ(jsonAtThreads(spec, 8), serial);
 }
 
+TEST(NetSweepTest, JsonIsByteIdenticalUnderRevivalStorm)
+{
+    // Flap the same link twice in quick succession (kill -> revive ->
+    // kill -> revive, all inside one metrics window). Every router in
+    // every shard must rebuild its cached fields on each epoch bump;
+    // a stale next-hop in any one shard would desynchronize the
+    // engines and break byte-identity.
+    NetSweepSpec spec = smallSpec();
+    spec.faults = fault::FaultPlan::parse(
+        "link_down(3)@40,link_up(3)@60,link_down(3)@80,link_up(3)@400");
+    const std::string serial = jsonAtThreads(spec, 1);
+    EXPECT_NE(serial.find("\"faults\""), std::string::npos);
+    EXPECT_EQ(jsonAtThreads(spec, 2), serial);
+    EXPECT_EQ(jsonAtThreads(spec, 8), serial);
+}
+
 TEST(NetSweepTest, FaultKeysAppearOnlyUnderAFaultPlan)
 {
     NetSweepSpec spec = smallSpec();

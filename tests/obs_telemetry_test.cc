@@ -90,6 +90,41 @@ TEST(LogHistogramTest, BinBoundsAreMonotone)
     }
 }
 
+TEST(LogHistogramTest, RoundTripAtPowerOfTwoBoundaries)
+{
+    // Property: for every representable value v >= 0,
+    // binLowerBound(binOf(v)) <= v — a histogram must never report a
+    // quantile above a value it actually saw. The risky inputs are the
+    // bin-edge neighborhoods, so probe 2^k - 1, 2^k, 2^k + 1 for every
+    // k up to (and past) kValueBits, where values clamp into the last
+    // bin.
+    for (int k = 0; k <= 62; ++k) {
+        for (int64_t v :
+             {(int64_t{1} << k) - 1, int64_t{1} << k,
+              (int64_t{1} << k) + 1}) {
+            size_t bin = LogHistogram::binOf(v);
+            ASSERT_LT(bin, LogHistogram::kBins) << "value " << v;
+            EXPECT_LE(LogHistogram::binLowerBound(bin), v)
+                << "k=" << k << " value " << v << " bin " << bin;
+            // A value past the clamp threshold must land in the last
+            // bin, not wrap into an arbitrary one.
+            if (v >= (int64_t{1} << LogHistogram::kValueBits))
+                EXPECT_EQ(bin, LogHistogram::kBins - 1) << "value " << v;
+        }
+    }
+    // INT64_MAX clamps into the last bin and its floor stays below it.
+    const int64_t top = std::numeric_limits<int64_t>::max();
+    EXPECT_EQ(LogHistogram::binOf(top), LogHistogram::kBins - 1);
+    EXPECT_LE(LogHistogram::binLowerBound(LogHistogram::kBins - 1), top);
+    // Negative values clamp to bin 0 by contract (lower bound 0, which
+    // over-reports them — documented and acceptable for delays).
+    for (int64_t v : {int64_t{-1}, int64_t{-1000},
+                      std::numeric_limits<int64_t>::min()}) {
+        EXPECT_EQ(LogHistogram::binOf(v), 0u) << "value " << v;
+    }
+    EXPECT_EQ(LogHistogram::binLowerBound(0), 0);
+}
+
 TEST(LogHistogramTest, RelativeErrorIsBounded)
 {
     // Log-linear with 32 sub-buckets: the bin lower bound understates

@@ -145,6 +145,63 @@ TEST(RoutingTest, DeadEdgeReroutesDeterministically)
     EXPECT_EQ(r.path(src, dst, flow), before);
 }
 
+TEST(RoutingTest, RevivalStormKeepsCachedFieldsFresh)
+{
+    // Regression: the per-destination distance fields are cached
+    // against the router's liveness epoch. A kill -> revive -> kill of
+    // the same link in quick succession (a flapping trunk inside one
+    // metrics window) must invalidate the cache at every step — a stale
+    // field from the first kill would hand out a next-hop across the
+    // edge that just died again.
+    Topology t = Topology::fatTree(4, 1);
+    Router r(t);
+    std::vector<NodeId> hosts = t.hosts();
+    NodeId src = hosts.front();
+    NodeId dst = hosts.back();
+    const FlowId flow = 11;
+    std::vector<NodeId> healthy = r.path(src, dst, flow);
+
+    NodeId u = healthy[1];
+    NodeId v = healthy[2];
+    int dead = -1;
+    bool a_to_b = true;
+    for (const Neighbor& nb : t.neighbors(u))
+        if (nb.node == v) {
+            dead = nb.edge;
+            a_to_b = t.edge(nb.edge).a == u;
+        }
+    ASSERT_GE(dead, 0);
+
+    // Storm: kill, query (caches fields for the dead state), revive,
+    // query, kill again, query. After the second kill the router must
+    // agree with a fresh router built directly in the dead state.
+    r.setEdgeDirAlive(dead, a_to_b, false);
+    std::vector<NodeId> dead1 = r.path(src, dst, flow);
+    expectValidPath(t, dead1, src, dst);
+    for (size_t k = 0; k + 1 < dead1.size(); ++k)
+        EXPECT_FALSE(dead1[k] == u && dead1[k + 1] == v);
+
+    r.setEdgeDirAlive(dead, a_to_b, true);
+    EXPECT_EQ(r.path(src, dst, flow), healthy);
+
+    r.setEdgeDirAlive(dead, a_to_b, false);
+    std::vector<NodeId> dead2 = r.path(src, dst, flow);
+    EXPECT_EQ(dead2, dead1);
+    for (size_t k = 0; k + 1 < dead2.size(); ++k)
+        EXPECT_FALSE(dead2[k] == u && dead2[k + 1] == v);
+
+    Router fresh(t);
+    fresh.setEdgeDirAlive(dead, a_to_b, false);
+    EXPECT_EQ(fresh.path(src, dst, flow), dead2);
+    for (NodeId n : t.hosts())
+        EXPECT_EQ(fresh.distance(n, dst), r.distance(n, dst)) << n;
+
+    // Idempotent re-kill of an already-dead edge must not disturb the
+    // cached fields (no epoch bump, same answers).
+    r.setEdgeDirAlive(dead, a_to_b, false);
+    EXPECT_EQ(r.path(src, dst, flow), dead2);
+}
+
 TEST(RoutingTest, UnreachableIsEmptyNotFatal)
 {
     Topology t = Topology::star(2, 1);  // hosts 3 (leaf 1), 4 (leaf 2)

@@ -90,6 +90,23 @@ allSwitches()
                       sw->setDefaultRate(0.1);
                       return sw;
                   }});
+    fs.push_back({"cioq_s2_strict", [](int n) {
+                      CioqSwitchConfig cfg;
+                      cfg.n = n;
+                      cfg.speedup = 2;
+                      return std::make_unique<CioqSwitch>(
+                          cfg,
+                          std::make_unique<SerialGreedyMatcher>(true, 18));
+                  }});
+    fs.push_back({"cioq_s3_wrr", [](int n) {
+                      CioqSwitchConfig cfg;
+                      cfg.n = n;
+                      cfg.speedup = 3;
+                      cfg.service = ServiceDiscipline::Wrr;
+                      return std::make_unique<CioqSwitch>(
+                          cfg,
+                          std::make_unique<SerialGreedyMatcher>(true, 19));
+                  }});
     return fs;
 }
 
@@ -174,7 +191,7 @@ TEST_P(SwitchConformanceTest, IdleSwitchStaysIdle)
 
 INSTANTIATE_TEST_SUITE_P(
     AllSwitches, SwitchConformanceTest,
-    ::testing::Combine(::testing::Range(0, 10),
+    ::testing::Combine(::testing::Range(0, 12),
                        ::testing::Values(std::string("uniform"),
                                          std::string("bursty"),
                                          std::string("periodic"))),

@@ -17,6 +17,7 @@
 #include "an2/matching/pim.h"
 #include "an2/matching/serial_greedy.h"
 #include "an2/obs/recorder.h"
+#include "an2/sim/cioq_switch.h"
 #include "an2/sim/iq_switch.h"
 #include "an2/sim/metrics.h"
 #include "an2/sim/traffic.h"
@@ -240,6 +241,34 @@ TEST(ZeroAllocTest, BatchedRunSlotsWithRecorderIsAllocationFree)
     EXPECT_EQ(rec.counter(obs::Counter::SlotsRun), 2000);
     EXPECT_GT(rec.counter(obs::Counter::MatchEdgesReused), 0);
     EXPECT_GT(rec.counter(obs::Counter::WarmStartFullReuses), 0);
+}
+
+TEST(ZeroAllocTest, CioqRunSlotsSteadyStateIsAllocationFree)
+{
+    // CIOQ adds per-output class rings and up to S matching phases per
+    // slot; under the stationary permutation load the rings reach their
+    // high-water capacity during warmup and must never grow again.
+    // (Bernoulli workloads are unsuitable here: their rare backlog
+    // excursions legitimately grow the output rings inside runSlot.)
+    CioqSwitchConfig cfg;
+    cfg.n = 16;
+    cfg.speedup = 2;
+    CioqSwitch sw(cfg, std::make_unique<SerialGreedyMatcher>(true, 5));
+    PermutationDriver driver(16, 100);
+    sw.runSlots(0, 2000, driver);
+    EXPECT_EQ(driver.counted(), 0u);
+}
+
+TEST(ZeroAllocTest, CioqWrrRunSlotsSteadyStateIsAllocationFree)
+{
+    CioqSwitchConfig cfg;
+    cfg.n = 16;
+    cfg.speedup = 3;
+    cfg.service = ServiceDiscipline::Wrr;
+    CioqSwitch sw(cfg, std::make_unique<SerialGreedyMatcher>(true, 6));
+    PermutationDriver driver(16, 100);
+    sw.runSlots(0, 2000, driver);
+    EXPECT_EQ(driver.counted(), 0u);
 }
 
 TEST(ZeroAllocTest, MultiWordSwitchSteadyStateIsAllocationFree)
